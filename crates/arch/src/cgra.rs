@@ -1,0 +1,419 @@
+//! The CGRA grid: dimensions, topology, adjacency and connectivity
+//! degree.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PeId, PeSet, Topology};
+
+/// An error constructing a [`Cgra`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArchError {
+    /// The grid had zero rows or columns.
+    EmptyGrid,
+    /// The grid exceeds the supported PE count (65 536).
+    TooLarge {
+        /// Requested number of PEs.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::EmptyGrid => write!(f, "CGRA grid must have at least one row and column"),
+            ArchError::TooLarge { requested } => {
+                write!(f, "CGRA grid of {requested} PEs exceeds the supported 65536")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// A coarse-grain reconfigurable array: a `rows × cols` grid of PEs.
+///
+/// Each PE has an ALU and a register file; per the paper's architectural
+/// assumption, a PE can read the register files of its topological
+/// neighbours, so a value never needs multi-hop routing — its consumers
+/// only need to be placed on the producing PE or one of its neighbours.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_arch::{Cgra, Topology};
+///
+/// let cgra = Cgra::with_topology(3, 3, Topology::Torus)?;
+/// assert_eq!(cgra.num_pes(), 9);
+/// assert_eq!(cgra.connectivity_degree(), 5); // 4 neighbours + self
+/// # Ok::<(), cgra_arch::ArchError>(())
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(try_from = "CgraSpec", into = "CgraSpec")]
+pub struct Cgra {
+    rows: usize,
+    cols: usize,
+    topology: Topology,
+    register_file_size: usize,
+    neighbors: Vec<Vec<PeId>>,
+    masks: Vec<PeSet>,
+    masks_with_self: Vec<PeSet>,
+}
+
+/// Serialisable description of a [`Cgra`]; adjacency caches are rebuilt
+/// on deserialisation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CgraSpec {
+    rows: usize,
+    cols: usize,
+    topology: Topology,
+    register_file_size: usize,
+}
+
+impl From<Cgra> for CgraSpec {
+    fn from(c: Cgra) -> CgraSpec {
+        CgraSpec {
+            rows: c.rows,
+            cols: c.cols,
+            topology: c.topology,
+            register_file_size: c.register_file_size,
+        }
+    }
+}
+
+impl TryFrom<CgraSpec> for Cgra {
+    type Error = ArchError;
+
+    fn try_from(s: CgraSpec) -> Result<Cgra, ArchError> {
+        Ok(Cgra::with_topology(s.rows, s.cols, s.topology)?
+            .with_register_file_size(s.register_file_size))
+    }
+}
+
+impl Cgra {
+    /// Creates a CGRA with the default (paper-faithful) torus topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::EmptyGrid`] for zero dimensions and
+    /// [`ArchError::TooLarge`] above 65 536 PEs.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, ArchError> {
+        Cgra::with_topology(rows, cols, Topology::default())
+    }
+
+    /// Creates a CGRA with an explicit topology.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cgra::new`].
+    pub fn with_topology(rows: usize, cols: usize, topology: Topology) -> Result<Self, ArchError> {
+        if rows == 0 || cols == 0 {
+            return Err(ArchError::EmptyGrid);
+        }
+        let n = rows
+            .checked_mul(cols)
+            .filter(|&n| n <= u16::MAX as usize + 1)
+            .ok_or(ArchError::TooLarge {
+                requested: rows.saturating_mul(cols),
+            })?;
+        let mut cgra = Cgra {
+            rows,
+            cols,
+            topology,
+            register_file_size: 8,
+            neighbors: Vec::with_capacity(n),
+            masks: Vec::with_capacity(n),
+            masks_with_self: Vec::with_capacity(n),
+        };
+        cgra.rebuild_adjacency();
+        Ok(cgra)
+    }
+
+    /// Sets the per-PE register-file size (used by the simulator's
+    /// register-pressure accounting; default 8).
+    pub fn with_register_file_size(mut self, size: usize) -> Self {
+        self.register_file_size = size;
+        self
+    }
+
+    fn rebuild_adjacency(&mut self) {
+        let n = self.num_pes();
+        self.neighbors.clear();
+        self.masks.clear();
+        self.masks_with_self.clear();
+        for idx in 0..n {
+            let r = (idx / self.cols) as i32;
+            let c = (idx % self.cols) as i32;
+            let mut nbrs: Vec<PeId> = Vec::new();
+            for &(dr, dc) in self.topology.offsets() {
+                let (nr, nc) = if self.topology.wraps() {
+                    (
+                        (r + dr).rem_euclid(self.rows as i32),
+                        (c + dc).rem_euclid(self.cols as i32),
+                    )
+                } else {
+                    let nr = r + dr;
+                    let nc = c + dc;
+                    if nr < 0 || nr >= self.rows as i32 || nc < 0 || nc >= self.cols as i32 {
+                        continue;
+                    }
+                    (nr, nc)
+                };
+                let nid = PeId::from_index(nr as usize * self.cols + nc as usize);
+                if nid.index() != idx && !nbrs.contains(&nid) {
+                    nbrs.push(nid);
+                }
+            }
+            nbrs.sort_unstable();
+            let mut mask = PeSet::new(n);
+            for &p in &nbrs {
+                mask.insert(p);
+            }
+            let mut mask_self = mask.clone();
+            mask_self.insert(PeId::from_index(idx));
+            self.neighbors.push(nbrs);
+            self.masks.push(mask);
+            self.masks_with_self.push(mask_self);
+        }
+    }
+
+    /// Number of grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Per-PE register-file size.
+    pub fn register_file_size(&self) -> usize {
+        self.register_file_size
+    }
+
+    /// Total number of PEs (`|V_Mi|` in the paper).
+    pub fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The PE at the given grid coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn pe(&self, row: usize, col: usize) -> PeId {
+        assert!(row < self.rows && col < self.cols, "PE ({row},{col}) out of range");
+        PeId::from_index(row * self.cols + col)
+    }
+
+    /// Grid coordinates of a PE.
+    pub fn coords(&self, pe: PeId) -> (usize, usize) {
+        (pe.index() / self.cols, pe.index() % self.cols)
+    }
+
+    /// Iterates over all PEs in row-major order.
+    pub fn pes(&self) -> impl Iterator<Item = PeId> + '_ {
+        (0..self.num_pes()).map(PeId::from_index)
+    }
+
+    /// The distinct neighbours of a PE (excluding the PE itself).
+    pub fn neighbors(&self, pe: PeId) -> &[PeId] {
+        &self.neighbors[pe.index()]
+    }
+
+    /// Neighbour set of a PE as a bit mask (excluding the PE itself).
+    pub fn neighbor_mask(&self, pe: PeId) -> &PeSet {
+        &self.masks[pe.index()]
+    }
+
+    /// Neighbour set of a PE including the PE itself — the set of PEs
+    /// whose register files a consumer placed there could read a value
+    /// from, or equivalently the placement candidates for a consumer of a
+    /// value produced at `pe`.
+    pub fn neighbor_mask_with_self(&self, pe: PeId) -> &PeSet {
+        &self.masks_with_self[pe.index()]
+    }
+
+    /// Whether two distinct PEs are directly connected.
+    pub fn adjacent(&self, a: PeId, b: PeId) -> bool {
+        self.masks[a.index()].contains(b)
+    }
+
+    /// Whether a consumer on `b` can read a value held on `a` (same PE or
+    /// neighbouring PE).
+    pub fn reachable(&self, a: PeId, b: PeId) -> bool {
+        a == b || self.adjacent(a, b)
+    }
+
+    /// The connectivity degree `D_M` used by the paper's connectivity
+    /// constraint: the number of PEs that can observe a given PE's
+    /// register file, *including the PE itself*, minimised over the grid
+    /// so the monomorphism-existence argument stays sound on non-uniform
+    /// topologies.
+    ///
+    /// On a torus this is uniform: 3 on a 2×2, 5 on 3×3 and larger,
+    /// matching the paper's quoted values.
+    pub fn connectivity_degree(&self) -> usize {
+        self.neighbors
+            .iter()
+            .map(|n| n.len() + 1)
+            .min()
+            .unwrap_or(1)
+    }
+
+    /// The maximum connectivity degree over the grid (equals
+    /// [`Cgra::connectivity_degree`] on uniform topologies).
+    pub fn max_connectivity_degree(&self) -> usize {
+        self.neighbors
+            .iter()
+            .map(|n| n.len() + 1)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// A short human-readable description like `4x4 torus`.
+    pub fn describe(&self) -> String {
+        format!("{}x{} {}", self.rows, self.cols, self.topology)
+    }
+}
+
+impl fmt::Display for Cgra {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+impl PartialEq for Cgra {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.topology == other.topology
+    }
+}
+
+impl Eq for Cgra {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_grid() {
+        assert_eq!(Cgra::new(0, 3).unwrap_err(), ArchError::EmptyGrid);
+        assert_eq!(Cgra::new(3, 0).unwrap_err(), ArchError::EmptyGrid);
+    }
+
+    #[test]
+    fn torus_2x2_matches_paper_degree() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        // Wrap-around makes up/down collapse to the same PE, so each PE
+        // has exactly 2 distinct neighbours; D_M = 3 as in the paper.
+        for pe in cgra.pes() {
+            assert_eq!(cgra.neighbors(pe).len(), 2);
+        }
+        assert_eq!(cgra.connectivity_degree(), 3);
+    }
+
+    #[test]
+    fn torus_3x3_and_larger_match_paper_degree() {
+        for n in [3, 4, 5, 10] {
+            let cgra = Cgra::new(n, n).unwrap();
+            assert_eq!(cgra.connectivity_degree(), 5, "{n}x{n}");
+            assert_eq!(cgra.max_connectivity_degree(), 5, "{n}x{n}");
+        }
+    }
+
+    #[test]
+    fn mesh_has_nonuniform_degree() {
+        let cgra = Cgra::with_topology(3, 3, Topology::Mesh).unwrap();
+        // Corner: 2 neighbours; centre: 4.
+        assert_eq!(cgra.neighbors(cgra.pe(0, 0)).len(), 2);
+        assert_eq!(cgra.neighbors(cgra.pe(1, 1)).len(), 4);
+        assert_eq!(cgra.connectivity_degree(), 3);
+        assert_eq!(cgra.max_connectivity_degree(), 5);
+    }
+
+    #[test]
+    fn diagonal_center_has_eight() {
+        let cgra = Cgra::with_topology(3, 3, Topology::Diagonal).unwrap();
+        assert_eq!(cgra.neighbors(cgra.pe(1, 1)).len(), 8);
+        assert_eq!(cgra.neighbors(cgra.pe(0, 0)).len(), 3);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        for topo in [Topology::Torus, Topology::Mesh, Topology::Diagonal] {
+            let cgra = Cgra::with_topology(4, 5, topo).unwrap();
+            for a in cgra.pes() {
+                for b in cgra.pes() {
+                    assert_eq!(cgra.adjacent(a, b), cgra.adjacent(b, a), "{topo} {a} {b}");
+                }
+                assert!(!cgra.adjacent(a, a), "no self loops in neighbour lists");
+                assert!(cgra.reachable(a, a), "self reachability via own RF");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_adjacency_expected_pairs() {
+        let cgra = Cgra::with_topology(2, 3, Topology::Mesh).unwrap();
+        // Layout: 0 1 2 / 3 4 5
+        assert!(cgra.adjacent(cgra.pe(0, 0), cgra.pe(0, 1)));
+        assert!(cgra.adjacent(cgra.pe(0, 0), cgra.pe(1, 0)));
+        assert!(!cgra.adjacent(cgra.pe(0, 0), cgra.pe(1, 1)));
+        assert!(!cgra.adjacent(cgra.pe(0, 0), cgra.pe(0, 2)));
+    }
+
+    #[test]
+    fn torus_wraps_edges() {
+        let cgra = Cgra::new(3, 3).unwrap();
+        assert!(cgra.adjacent(cgra.pe(0, 0), cgra.pe(0, 2)));
+        assert!(cgra.adjacent(cgra.pe(0, 0), cgra.pe(2, 0)));
+    }
+
+    #[test]
+    fn single_pe_grid() {
+        let cgra = Cgra::new(1, 1).unwrap();
+        assert_eq!(cgra.num_pes(), 1);
+        assert!(cgra.neighbors(cgra.pe(0, 0)).is_empty());
+        assert_eq!(cgra.connectivity_degree(), 1);
+    }
+
+    #[test]
+    fn neighbor_masks_match_lists() {
+        let cgra = Cgra::new(4, 4).unwrap();
+        for pe in cgra.pes() {
+            let from_mask: Vec<PeId> = cgra.neighbor_mask(pe).iter().collect();
+            assert_eq!(from_mask, cgra.neighbors(pe));
+            assert!(cgra.neighbor_mask_with_self(pe).contains(pe));
+            assert!(!cgra.neighbor_mask(pe).contains(pe));
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let cgra = Cgra::new(5, 7).unwrap();
+        for pe in cgra.pes() {
+            let (r, c) = cgra.coords(pe);
+            assert_eq!(cgra.pe(r, c), pe);
+        }
+    }
+
+    #[test]
+    fn describe_and_display() {
+        let cgra = Cgra::new(4, 4).unwrap();
+        assert_eq!(cgra.to_string(), "4x4 torus");
+    }
+
+    #[test]
+    fn equality_ignores_caches() {
+        let a = Cgra::new(4, 4).unwrap();
+        let b = Cgra::new(4, 4).unwrap().with_register_file_size(16);
+        assert_eq!(a, b);
+    }
+}

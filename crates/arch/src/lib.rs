@@ -1,0 +1,43 @@
+//! # cgra-arch — CGRA architecture model and MRRG construction
+//!
+//! Models the target of the `monomap` mapper: a 2-D grid of processing
+//! elements (PEs), each with an ALU and a register file readable by its
+//! neighbours (the architectural assumption of the paper, §V.3), plus the
+//! Modulo Routing Resource Graph (MRRG): `II` stacked copies of the CGRA
+//! whose vertices are labelled with their time step (paper §IV-A).
+//!
+//! ## Topology
+//!
+//! The paper states that every MRRG vertex has the same connectivity
+//! degree (`D_M = 3` on 2×2, `D_M = 5` on 3×3 and larger). A plain mesh
+//! does not have uniform degree — a torus does, and produces exactly
+//! those numbers — so [`Topology::Torus`] is the paper-faithful default,
+//! with [`Topology::Mesh`] and [`Topology::Diagonal`] available for
+//! ablations.
+//!
+//! ## Example
+//!
+//! ```
+//! use cgra_arch::{Cgra, Mrrg, Topology};
+//!
+//! let cgra = Cgra::new(2, 2)?;
+//! assert_eq!(cgra.connectivity_degree(), 3); // 2 torus neighbours + self
+//! let mrrg = Mrrg::new(&cgra, 4);
+//! assert_eq!(mrrg.num_vertices(), 16);       // 4 PEs × 4 time steps
+//! # Ok::<(), cgra_arch::ArchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod cgra;
+mod mrrg;
+mod pe;
+mod topology;
+
+pub use bitset::PeSet;
+pub use cgra::{ArchError, Cgra};
+pub use mrrg::{Mrrg, MrrgVertex};
+pub use pe::PeId;
+pub use topology::Topology;

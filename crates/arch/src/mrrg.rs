@@ -1,0 +1,284 @@
+//! The Modulo Routing Resource Graph (MRRG).
+//!
+//! The MRRG is `II` stacked copies of the CGRA (paper §IV-A, Fig. 3): an
+//! undirected vertex-labelled graph whose vertices are `(PE, time step)`
+//! pairs labelled with their time step, and whose edges encode "the
+//! value produced here is observable there":
+//!
+//! * **intra-step** edges connect topologically adjacent PEs within the
+//!   same time step (a consumer reads a neighbour's register file in the
+//!   same kernel slot — possible when the value was produced by an
+//!   earlier pipelined iteration);
+//! * **inter-step** edges connect `(p, i)` to `(q, j)` for `i ≠ j`
+//!   whenever `q` is `p` itself or one of its neighbours — the value
+//!   stays in `p`'s register file and is read later (Fig. 3's green,
+//!   red and yellow edges from PE0 at `T = 0` reach *all* other steps).
+//!
+//! The labelled monomorphism of the scheduled DFG into this graph is the
+//! space solution of the mapper.
+
+use std::fmt;
+
+use crate::{Cgra, PeId};
+
+/// A vertex of the MRRG: a PE at a kernel time step.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MrrgVertex {
+    /// The kernel time step (the vertex label, in `0..II`).
+    pub slot: usize,
+    /// The processing element.
+    pub pe: PeId,
+}
+
+impl fmt::Debug for MrrgVertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@T{}", self.pe, self.slot)
+    }
+}
+
+impl fmt::Display for MrrgVertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The Modulo Routing Resource Graph for a CGRA and an iteration
+/// interval.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_arch::{Cgra, Mrrg};
+///
+/// let cgra = Cgra::new(2, 2)?;
+/// let mrrg = Mrrg::new(&cgra, 4);
+/// assert_eq!(mrrg.num_vertices(), 16);
+/// // Every vertex at slot 0 has label 0.
+/// let v = mrrg.vertex(0, cgra.pe(0, 0));
+/// assert_eq!(mrrg.label(v), 0);
+/// # Ok::<(), cgra_arch::ArchError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mrrg<'a> {
+    cgra: &'a Cgra,
+    ii: usize,
+}
+
+impl<'a> Mrrg<'a> {
+    /// Builds the MRRG of `cgra` for iteration interval `ii`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(cgra: &'a Cgra, ii: usize) -> Self {
+        assert!(ii > 0, "iteration interval must be positive");
+        Mrrg { cgra, ii }
+    }
+
+    /// The underlying CGRA.
+    pub fn cgra(&self) -> &Cgra {
+        self.cgra
+    }
+
+    /// The iteration interval (number of stacked CGRA copies).
+    pub fn ii(&self) -> usize {
+        self.ii
+    }
+
+    /// Total number of vertices (`|V_M| = II · |V_Mi|`).
+    pub fn num_vertices(&self) -> usize {
+        self.ii * self.cgra.num_pes()
+    }
+
+    /// The vertex for `pe` at time step `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= II`.
+    pub fn vertex(&self, slot: usize, pe: PeId) -> MrrgVertex {
+        assert!(slot < self.ii, "slot {slot} out of range for II={}", self.ii);
+        MrrgVertex { slot, pe }
+    }
+
+    /// The dense index of a vertex (`slot * num_pes + pe`).
+    pub fn index_of(&self, v: MrrgVertex) -> usize {
+        v.slot * self.cgra.num_pes() + v.pe.index()
+    }
+
+    /// The vertex with the given dense index.
+    pub fn vertex_at(&self, index: usize) -> MrrgVertex {
+        let n = self.cgra.num_pes();
+        MrrgVertex {
+            slot: index / n,
+            pe: PeId::from_index(index % n),
+        }
+    }
+
+    /// The label of a vertex — its time step (`l_M` in the paper).
+    pub fn label(&self, v: MrrgVertex) -> usize {
+        v.slot
+    }
+
+    /// Whether two distinct vertices are connected.
+    ///
+    /// Within a slot: topological adjacency. Across slots: same PE or
+    /// topological adjacency (the value is held in the producer's
+    /// register file and read by a neighbour or the producer itself).
+    pub fn adjacent(&self, a: MrrgVertex, b: MrrgVertex) -> bool {
+        if a == b {
+            return false;
+        }
+        if a.slot == b.slot {
+            self.cgra.adjacent(a.pe, b.pe)
+        } else {
+            self.cgra.reachable(a.pe, b.pe)
+        }
+    }
+
+    /// Iterates over all vertices in slot-major order.
+    pub fn vertices(&self) -> impl Iterator<Item = MrrgVertex> + '_ {
+        (0..self.num_vertices()).map(move |i| self.vertex_at(i))
+    }
+
+    /// Iterates over all undirected edges, each reported once with
+    /// `index_of(a) < index_of(b)`.
+    pub fn edges(&self) -> impl Iterator<Item = (MrrgVertex, MrrgVertex)> + '_ {
+        self.vertices().flat_map(move |a| {
+            let ai = self.index_of(a);
+            self.vertices()
+                .skip(ai + 1)
+                .filter(move |&b| self.adjacent(a, b))
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Degree of a vertex (number of adjacent vertices).
+    pub fn degree(&self, v: MrrgVertex) -> usize {
+        let nbrs = self.cgra.neighbors(v.pe).len();
+        // Same slot: neighbours only. Other slots: neighbours + self.
+        nbrs + (self.ii - 1) * (nbrs + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    fn cgra2x2() -> Cgra {
+        Cgra::new(2, 2).unwrap()
+    }
+
+    #[test]
+    fn vertex_counts() {
+        let cgra = cgra2x2();
+        let mrrg = Mrrg::new(&cgra, 4);
+        assert_eq!(mrrg.num_vertices(), 16);
+        assert_eq!(mrrg.vertices().count(), 16);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let cgra = cgra2x2();
+        let mrrg = Mrrg::new(&cgra, 3);
+        for i in 0..mrrg.num_vertices() {
+            let v = mrrg.vertex_at(i);
+            assert_eq!(mrrg.index_of(v), i);
+            assert_eq!(mrrg.label(v), v.slot);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ii_panics() {
+        let cgra = cgra2x2();
+        let _ = Mrrg::new(&cgra, 0);
+    }
+
+    #[test]
+    fn same_slot_edges_follow_topology() {
+        let cgra = cgra2x2();
+        let mrrg = Mrrg::new(&cgra, 2);
+        let a = mrrg.vertex(0, cgra.pe(0, 0));
+        let b = mrrg.vertex(0, cgra.pe(0, 1));
+        let d = mrrg.vertex(0, cgra.pe(1, 1)); // diagonal: not adjacent
+        assert!(mrrg.adjacent(a, b));
+        assert!(!mrrg.adjacent(a, d));
+        assert!(!mrrg.adjacent(a, a));
+    }
+
+    #[test]
+    fn cross_slot_includes_self_pe() {
+        let cgra = cgra2x2();
+        let mrrg = Mrrg::new(&cgra, 3);
+        let p = cgra.pe(0, 0);
+        let a = mrrg.vertex(0, p);
+        let later_same = mrrg.vertex(2, p);
+        assert!(
+            mrrg.adjacent(a, later_same),
+            "value held in own RF is readable later"
+        );
+        // Non-consecutive slots are also connected (Fig. 3 colours).
+        let far_neighbor = mrrg.vertex(2, cgra.pe(0, 1));
+        assert!(mrrg.adjacent(a, far_neighbor));
+        // Diagonal PE is not reachable at any slot.
+        let diag = mrrg.vertex(1, cgra.pe(1, 1));
+        assert!(!mrrg.adjacent(a, diag));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let cgra = Cgra::with_topology(3, 3, Topology::Mesh).unwrap();
+        let mrrg = Mrrg::new(&cgra, 3);
+        for a in mrrg.vertices() {
+            for b in mrrg.vertices() {
+                assert_eq!(mrrg.adjacent(a, b), mrrg.adjacent(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_formula_matches_enumeration() {
+        for topo in [Topology::Torus, Topology::Mesh] {
+            let cgra = Cgra::with_topology(3, 3, topo).unwrap();
+            let mrrg = Mrrg::new(&cgra, 4);
+            for v in mrrg.vertices() {
+                let by_enum = mrrg.vertices().filter(|&u| mrrg.adjacent(v, u)).count();
+                assert_eq!(mrrg.degree(v), by_enum, "{topo} {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_uniform_degree_on_torus() {
+        // The paper: "all the vertices of M have the same degree".
+        let cgra = Cgra::new(3, 3).unwrap();
+        let mrrg = Mrrg::new(&cgra, 4);
+        let d0 = mrrg.degree(mrrg.vertex_at(0));
+        assert!(mrrg.vertices().all(|v| mrrg.degree(v) == d0));
+    }
+
+    #[test]
+    fn edge_iterator_is_consistent() {
+        let cgra = cgra2x2();
+        let mrrg = Mrrg::new(&cgra, 2);
+        let edges: Vec<_> = mrrg.edges().collect();
+        // Handshake: sum of degrees = 2 |E|.
+        let degree_sum: usize = mrrg.vertices().map(|v| mrrg.degree(v)).sum();
+        assert_eq!(degree_sum, 2 * edges.len());
+        for (a, b) in edges {
+            assert!(mrrg.index_of(a) < mrrg.index_of(b));
+            assert!(mrrg.adjacent(a, b));
+        }
+    }
+
+    #[test]
+    fn ii_one_has_no_cross_slot_edges() {
+        let cgra = cgra2x2();
+        let mrrg = Mrrg::new(&cgra, 1);
+        assert_eq!(mrrg.num_vertices(), 4);
+        for v in mrrg.vertices() {
+            assert_eq!(mrrg.degree(v), cgra.neighbors(v.pe).len());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Processing-element identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processing element, numbered row-major from zero.
+///
+/// A `PeId` is only meaningful relative to the [`crate::Cgra`] that
+/// produced it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeId(pub(crate) u16);
+
+impl PeId {
+    /// Creates a `PeId` from a raw row-major index.
+    pub fn from_index(index: usize) -> Self {
+        PeId(index as u16)
+    }
+
+    /// The dense row-major index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PE{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let pe = PeId::from_index(13);
+        assert_eq!(pe.index(), 13);
+        assert_eq!(format!("{pe}"), "PE13");
+        assert_eq!(format!("{pe:?}"), "PE13");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PeId::from_index(2) < PeId::from_index(10));
+    }
+}

@@ -1,0 +1,90 @@
+//! Interconnect topologies of the PE grid.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How PEs of the grid are wired to each other.
+///
+/// All topologies connect a PE to (a subset of) the PEs one step away;
+/// every PE can additionally always read its own register file, which is
+/// accounted for separately as the implicit self connection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Topology {
+    /// 4-neighbour mesh with wrap-around links (uniform degree). This is
+    /// the paper-faithful default: it yields the connectivity degrees the
+    /// paper quotes (`D_M = 3` on 2×2, `D_M = 5` on 3×3+).
+    #[default]
+    Torus,
+    /// Plain 4-neighbour mesh without wrap-around; border PEs have fewer
+    /// neighbours.
+    Mesh,
+    /// 8-neighbour mesh (orthogonal + diagonal links), no wrap-around.
+    Diagonal,
+}
+
+impl Topology {
+    /// The neighbour offsets of this topology as `(drow, dcol)` pairs.
+    pub fn offsets(self) -> &'static [(i32, i32)] {
+        match self {
+            Topology::Torus | Topology::Mesh => &[(-1, 0), (1, 0), (0, -1), (0, 1)],
+            Topology::Diagonal => &[
+                (-1, 0),
+                (1, 0),
+                (0, -1),
+                (0, 1),
+                (-1, -1),
+                (-1, 1),
+                (1, -1),
+                (1, 1),
+            ],
+        }
+    }
+
+    /// Whether offsets wrap around the grid borders.
+    pub fn wraps(self) -> bool {
+        matches!(self, Topology::Torus)
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Topology::Torus => "torus",
+            Topology::Mesh => "mesh",
+            Topology::Diagonal => "diagonal",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_torus() {
+        assert_eq!(Topology::default(), Topology::Torus);
+    }
+
+    #[test]
+    fn offsets_have_expected_counts() {
+        assert_eq!(Topology::Torus.offsets().len(), 4);
+        assert_eq!(Topology::Mesh.offsets().len(), 4);
+        assert_eq!(Topology::Diagonal.offsets().len(), 8);
+    }
+
+    #[test]
+    fn only_torus_wraps() {
+        assert!(Topology::Torus.wraps());
+        assert!(!Topology::Mesh.wraps());
+        assert!(!Topology::Diagonal.wraps());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Topology::Torus.to_string(), "torus");
+        assert_eq!(Topology::Mesh.to_string(), "mesh");
+        assert_eq!(Topology::Diagonal.to_string(), "diagonal");
+    }
+}

@@ -1,0 +1,280 @@
+//! A DRESC-style simulated-annealing mapper ([11] in the paper's
+//! related work): schedule, placement and routing are perturbed
+//! together, guided by a penalty cost. Heuristic and incomplete —
+//! included as the classic point of comparison for the ablation
+//! benches.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cgra_arch::{Cgra, PeId};
+use cgra_dfg::{Dfg, EdgeKind};
+use cgra_sched::{min_ii, Kms, Mobility};
+use monomap_core::{MapError, Mapping, Placement};
+
+use crate::{BaselineResult, BaselineStats};
+
+/// Annealing schedule parameters.
+#[derive(Clone, Debug)]
+pub struct AnnealingConfig {
+    /// Largest II to attempt; `None` means `mII + 16`.
+    pub max_ii: Option<usize>,
+    /// Window slack applied to candidate times.
+    pub window_slack: usize,
+    /// Moves per temperature step.
+    pub moves_per_temp: usize,
+    /// Number of temperature steps.
+    pub temp_steps: usize,
+    /// Initial temperature.
+    pub initial_temp: f64,
+    /// Geometric cooling factor per step.
+    pub cooling: f64,
+    /// Independent restarts per II.
+    pub restarts: usize,
+    /// RNG seed (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        AnnealingConfig {
+            max_ii: None,
+            window_slack: 1,
+            moves_per_temp: 400,
+            temp_steps: 120,
+            initial_temp: 4.0,
+            cooling: 0.93,
+            restarts: 3,
+            seed: 0xd2e5c,
+        }
+    }
+}
+
+/// The simulated-annealing mapper.
+#[derive(Clone, Debug)]
+pub struct AnnealingMapper<'a> {
+    cgra: &'a Cgra,
+    config: AnnealingConfig,
+}
+
+impl<'a> AnnealingMapper<'a> {
+    /// An annealer with default parameters.
+    pub fn new(cgra: &'a Cgra) -> Self {
+        AnnealingMapper {
+            cgra,
+            config: AnnealingConfig::default(),
+        }
+    }
+
+    /// An annealer with explicit parameters.
+    pub fn with_config(cgra: &'a Cgra, config: AnnealingConfig) -> Self {
+        AnnealingMapper { cgra, config }
+    }
+
+    /// Maps `dfg`, escalating the II when annealing cannot reach zero
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::InvalidDfg`] or [`MapError::NoSolution`]; the
+    /// annealer never reports timeouts (its work is bounded by the
+    /// schedule parameters).
+    pub fn map(&self, dfg: &Dfg) -> Result<BaselineResult, MapError> {
+        dfg.validate()?;
+        let start = Instant::now();
+        let mii = min_ii(dfg, self.cgra);
+        let max_ii = self.config.max_ii.unwrap_or(mii + 16).max(mii);
+        let mobility = Mobility::compute(dfg).expect("validated DFG");
+        let mut stats = BaselineStats {
+            mii,
+            ..BaselineStats::default()
+        };
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        for ii in mii..=max_ii {
+            stats.iis_tried += 1;
+            let kms = Kms::with_slack(&mobility, ii, self.config.window_slack);
+            let times: Vec<Vec<usize>> = dfg.nodes().map(|v| kms.times_of(v)).collect();
+            for _ in 0..self.config.restarts {
+                if let Some(mapping) = self.anneal_once(dfg, ii, &times, &mut rng) {
+                    stats.achieved_ii = ii;
+                    stats.total_seconds = start.elapsed().as_secs_f64();
+                    debug_assert_eq!(mapping.validate(dfg, self.cgra), Ok(()));
+                    return Ok(BaselineResult { mapping, stats });
+                }
+            }
+        }
+        Err(MapError::NoSolution { mii, max_ii })
+    }
+
+    fn anneal_once(
+        &self,
+        dfg: &Dfg,
+        ii: usize,
+        times: &[Vec<usize>],
+        rng: &mut StdRng,
+    ) -> Option<Mapping> {
+        let n = dfg.num_nodes();
+        let npes = self.cgra.num_pes();
+        // State: (time index into times[v], pe index) per node.
+        let mut state: Vec<(usize, usize)> = (0..n)
+            .map(|v| {
+                (
+                    rng.gen_range(0..times[v].len()),
+                    rng.gen_range(0..npes),
+                )
+            })
+            .collect();
+        let mut cost = self.cost(dfg, ii, times, &state);
+        let mut temp = self.config.initial_temp;
+        for _ in 0..self.config.temp_steps {
+            for _ in 0..self.config.moves_per_temp {
+                if cost == 0 {
+                    return Some(self.to_mapping(dfg, ii, times, &state));
+                }
+                let v = rng.gen_range(0..n);
+                let old = state[v];
+                if rng.gen_bool(0.5) {
+                    state[v].0 = rng.gen_range(0..times[v].len());
+                } else {
+                    state[v].1 = rng.gen_range(0..npes);
+                }
+                let new_cost = self.cost(dfg, ii, times, &state);
+                let delta = new_cost as f64 - cost as f64;
+                if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
+                    cost = new_cost;
+                } else {
+                    state[v] = old;
+                }
+            }
+            temp *= self.config.cooling;
+        }
+        if cost == 0 {
+            return Some(self.to_mapping(dfg, ii, times, &state));
+        }
+        None
+    }
+
+    /// Penalty cost: (PE, slot) collisions + timing violations +
+    /// unreadable register files.
+    fn cost(&self, dfg: &Dfg, ii: usize, times: &[Vec<usize>], state: &[(usize, usize)]) -> usize {
+        let mut cost = 0usize;
+        // Collisions.
+        let mut seen = std::collections::HashMap::new();
+        for (v, &(ti, p)) in state.iter().enumerate() {
+            let slot = times[v][ti] % ii;
+            *seen.entry((slot, p)).or_insert(0usize) += 1;
+        }
+        cost += seen.values().map(|&c| c.saturating_sub(1) * 2).sum::<usize>();
+        // Edges.
+        for e in dfg.edges() {
+            if e.src == e.dst {
+                continue;
+            }
+            let (u, v) = (e.src.index(), e.dst.index());
+            let tu = times[u][state[u].0] as i64;
+            let tv = times[v][state[v].0] as i64;
+            let legal = match e.kind {
+                EdgeKind::Data => tv > tu,
+                EdgeKind::LoopCarried { distance } => {
+                    tv >= tu + 1 - (distance as i64) * (ii as i64)
+                }
+            };
+            if !legal {
+                cost += 2;
+            }
+            let pu = PeId::from_index(state[u].1);
+            let pv = PeId::from_index(state[v].1);
+            let same_slot = tu.rem_euclid(ii as i64) == tv.rem_euclid(ii as i64);
+            let reachable = if same_slot {
+                self.cgra.adjacent(pu, pv)
+            } else {
+                self.cgra.reachable(pu, pv)
+            };
+            if !reachable {
+                cost += 1;
+            }
+        }
+        cost
+    }
+
+    fn to_mapping(
+        &self,
+        dfg: &Dfg,
+        ii: usize,
+        times: &[Vec<usize>],
+        state: &[(usize, usize)],
+    ) -> Mapping {
+        let placements: Vec<Placement> = state
+            .iter()
+            .enumerate()
+            .map(|(v, &(ti, p))| {
+                let time = times[v][ti];
+                Placement {
+                    pe: PeId::from_index(p),
+                    slot: time % ii,
+                    time,
+                }
+            })
+            .collect();
+        Mapping::new(dfg.name(), ii, placements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_dfg::examples::{accumulator, running_example};
+
+    #[test]
+    fn accumulator_anneals() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = accumulator();
+        let r = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
+        r.mapping.validate(&dfg, &cgra).unwrap();
+        assert!(r.mapping.ii() >= 2);
+    }
+
+    #[test]
+    fn running_example_anneals_on_3x3() {
+        // On a roomier CGRA the annealer converges reliably.
+        let cgra = Cgra::new(3, 3).unwrap();
+        let dfg = running_example();
+        let r = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
+        r.mapping.validate(&dfg, &cgra).unwrap();
+        assert!(r.mapping.ii() >= r.stats.mii);
+    }
+
+    #[test]
+    fn determinism_with_fixed_seed() {
+        let cgra = Cgra::new(3, 3).unwrap();
+        let dfg = accumulator();
+        let a = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
+        let b = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn hopeless_instance_reports_no_solution() {
+        // More nodes than (PEs x max II) slots cannot fit.
+        let mut b = cgra_dfg::DfgBuilder::new();
+        let x = b.input("x");
+        let mut cur = x;
+        for i in 0..10 {
+            cur = b.unary(format!("u{i}"), cgra_dfg::Operation::Neg, cur);
+        }
+        let dfg = b.build().unwrap();
+        let cgra = Cgra::new(1, 1).unwrap();
+        let cfg = AnnealingConfig {
+            max_ii: Some(3),
+            temp_steps: 5,
+            moves_per_temp: 50,
+            restarts: 1,
+            ..AnnealingConfig::default()
+        };
+        // A 1x1 CGRA cannot host a chain that needs neighbours.
+        assert!(AnnealingMapper::with_config(&cgra, cfg).map(&dfg).is_err());
+    }
+}

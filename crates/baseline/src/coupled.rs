@@ -1,0 +1,378 @@
+//! The coupled (joint space-time) SAT mapper, in the style of
+//! SAT-MapIt.
+//!
+//! One Boolean variable `x[v][t][p]` per node × candidate time × PE.
+//! Constraints:
+//!
+//! * exactly one `(t, p)` per node;
+//! * at most one node per `(kernel slot, p)` (a PE executes one
+//!   operation per slot);
+//! * for every dependence edge and candidate time pair: timing
+//!   legality, and — when legal — placement compatibility (the consumer
+//!   must sit on a PE that can read the producer's register file).
+//!
+//! The variable count is `|V| · |window| · |PEs|`: the formulation
+//! grows linearly with the PE count and the search space exponentially,
+//! which is exactly the scalability wall the paper attributes to
+//! coupled approaches (§V, Fig. 5). The decoupled mapper's time
+//! formulation, by contrast, references the CGRA only through two
+//! scalar constants.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cgra_arch::{Cgra, PeId};
+use cgra_dfg::{Dfg, EdgeKind};
+use cgra_sched::{min_ii, Kms, Mobility};
+use cgra_smt::{at_most_one, Budget, Lit};
+use cgra_sat::{SatResult, Solver};
+use monomap_core::{MapError, Mapping, Placement};
+
+/// Configuration of the coupled mapper.
+#[derive(Clone, Debug)]
+pub struct CoupledConfig {
+    /// Largest II to attempt; `None` means `mII + 16`.
+    pub max_ii: Option<usize>,
+    /// Maximum window slack per II (same completeness net as the
+    /// decoupled mapper, for a fair comparison).
+    pub max_window_slack: usize,
+    /// Optional SAT budget per `(II, slack)` attempt.
+    pub budget: Option<Budget>,
+}
+
+impl Default for CoupledConfig {
+    fn default() -> Self {
+        CoupledConfig {
+            max_ii: None,
+            max_window_slack: 2,
+            budget: None,
+        }
+    }
+}
+
+/// A mapping found by a baseline mapper, with statistics.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The mapping (same type and validator as the decoupled mapper's).
+    pub mapping: Mapping,
+    /// Search statistics.
+    pub stats: BaselineStats,
+}
+
+/// Statistics of a baseline search.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BaselineStats {
+    /// Lower bound the search started from.
+    pub mii: usize,
+    /// Achieved II.
+    pub achieved_ii: usize,
+    /// Wall-clock total.
+    pub total_seconds: f64,
+    /// IIs attempted.
+    pub iis_tried: usize,
+    /// SAT variables of the successful formulation.
+    pub sat_vars: usize,
+    /// SAT clauses of the successful formulation.
+    pub clauses: usize,
+}
+
+/// The coupled SAT mapper. See the module docs for the encoding.
+#[derive(Clone, Debug)]
+pub struct CoupledMapper<'a> {
+    cgra: &'a Cgra,
+    config: CoupledConfig,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl<'a> CoupledMapper<'a> {
+    /// A coupled mapper with default configuration.
+    pub fn new(cgra: &'a Cgra) -> Self {
+        CoupledMapper {
+            cgra,
+            config: CoupledConfig::default(),
+            cancel: None,
+        }
+    }
+
+    /// A coupled mapper with explicit configuration.
+    pub fn with_config(cgra: &'a Cgra, config: CoupledConfig) -> Self {
+        CoupledMapper {
+            cgra,
+            config,
+            cancel: None,
+        }
+    }
+
+    /// Installs a cooperative cancellation flag.
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Maps `dfg` onto the CGRA by joint space-time SAT search.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`monomap_core::DecoupledMapper::map`].
+    pub fn map(&self, dfg: &Dfg) -> Result<BaselineResult, MapError> {
+        dfg.validate()?;
+        let start = Instant::now();
+        let mii = min_ii(dfg, self.cgra);
+        let max_ii = self.config.max_ii.unwrap_or(mii + 16).max(mii);
+        let mut stats = BaselineStats {
+            mii,
+            ..BaselineStats::default()
+        };
+        let mobility = Mobility::compute(dfg).expect("validated DFG");
+
+        for ii in mii..=max_ii {
+            stats.iis_tried += 1;
+            for slack in 0..=self.config.max_window_slack {
+                if self.cancelled() {
+                    return Err(MapError::Timeout { ii });
+                }
+                match self.attempt(dfg, &mobility, ii, slack, &mut stats) {
+                    Attempt::Found(mapping) => {
+                        stats.achieved_ii = ii;
+                        stats.total_seconds = start.elapsed().as_secs_f64();
+                        debug_assert_eq!(mapping.validate(dfg, self.cgra), Ok(()));
+                        return Ok(BaselineResult { mapping, stats });
+                    }
+                    Attempt::Unsat => continue,
+                    Attempt::Timeout => return Err(MapError::Timeout { ii }),
+                }
+            }
+        }
+        Err(MapError::NoSolution { mii, max_ii })
+    }
+
+    fn attempt(
+        &self,
+        dfg: &Dfg,
+        mobility: &Mobility,
+        ii: usize,
+        slack: usize,
+        stats: &mut BaselineStats,
+    ) -> Attempt {
+        let kms = Kms::with_slack(mobility, ii, slack);
+        let npes = self.cgra.num_pes();
+        let mut solver = Solver::new();
+        if let Some(flag) = &self.cancel {
+            solver.set_cancel_flag(Arc::clone(flag));
+        }
+
+        // x[v][ti][p]: node v at candidate time index ti on PE p.
+        let mut x: Vec<Vec<Vec<Lit>>> = Vec::with_capacity(dfg.num_nodes());
+        // times[v]: the candidate absolute times of v.
+        let mut times: Vec<Vec<usize>> = Vec::with_capacity(dfg.num_nodes());
+        // y[v][ti] = OR_p x[v][ti][p] (node v executes at that time).
+        let mut y: Vec<Vec<Lit>> = Vec::with_capacity(dfg.num_nodes());
+        for v in dfg.nodes() {
+            let ts = kms.times_of(v);
+            let mut rows = Vec::with_capacity(ts.len());
+            let mut yrow = Vec::with_capacity(ts.len());
+            for _ in &ts {
+                let row: Vec<Lit> = (0..npes).map(|_| solver.new_var().pos()).collect();
+                let yv = solver.new_var().pos();
+                for &l in &row {
+                    solver.add_clause([!l, yv]);
+                }
+                let mut def = vec![!yv];
+                def.extend(row.iter().copied());
+                solver.add_clause(def);
+                rows.push(row);
+                yrow.push(yv);
+            }
+            // Exactly one (t, p) placement per node.
+            let all: Vec<Lit> = rows.iter().flatten().copied().collect();
+            solver.add_clause(all.iter().copied());
+            cgra_smt::at_most_k(&mut solver, &all, 1);
+            x.push(rows);
+            y.push(yrow);
+            times.push(ts);
+        }
+
+        // One operation per (slot, PE).
+        for slot in 0..ii {
+            #[allow(clippy::needless_range_loop)]
+            for p in 0..npes {
+                let mut lits: Vec<Lit> = Vec::new();
+                for v in dfg.nodes() {
+                    let vi = v.index();
+                    for (ti, &t) in times[vi].iter().enumerate() {
+                        if t % ii == slot {
+                            lits.push(x[vi][ti][p]);
+                        }
+                    }
+                }
+                at_most_one(&mut solver, &lits);
+            }
+        }
+
+        // Dependence edges: timing + register-file reachability.
+        for e in dfg.edges() {
+            // The encoding itself can be large on big CGRAs; keep the
+            // external timeout responsive during construction too.
+            if self.cancelled() {
+                return Attempt::Timeout;
+            }
+            if e.src == e.dst {
+                continue;
+            }
+            let (u, v) = (e.src.index(), e.dst.index());
+            for (tui, &tu) in times[u].iter().enumerate() {
+                for (tvi, &tv) in times[v].iter().enumerate() {
+                    let legal = match e.kind {
+                        EdgeKind::Data => tv as i64 > tu as i64,
+                        EdgeKind::LoopCarried { distance } => {
+                            tv as i64 >= tu as i64 + 1 - (distance as i64) * (ii as i64)
+                        }
+                    };
+                    if !legal {
+                        solver.add_clause([!y[u][tui], !y[v][tvi]]);
+                        continue;
+                    }
+                    let same_slot = tu % ii == tv % ii;
+                    for p in self.cgra.pes() {
+                        // x[u][tui][p] ∧ y[v][tvi] → v on a PE readable
+                        // from p.
+                        let mut clause = vec![!x[u][tui][p.index()], !y[v][tvi]];
+                        if same_slot {
+                            for q in self.cgra.neighbors(p) {
+                                clause.push(x[v][tvi][q.index()]);
+                            }
+                        } else {
+                            for q in self.cgra.neighbor_mask_with_self(p).iter() {
+                                clause.push(x[v][tvi][q.index()]);
+                            }
+                        }
+                        solver.add_clause(clause);
+                    }
+                }
+            }
+        }
+
+        stats.sat_vars = stats.sat_vars.max(solver.num_vars());
+        stats.clauses = stats.clauses.max(solver.num_clauses());
+
+        let result = match &self.config.budget {
+            Some(b) => solver.solve_limited(&[], b),
+            None => solver.solve(),
+        };
+        match result {
+            SatResult::Sat => {
+                let mut placements = Vec::with_capacity(dfg.num_nodes());
+                for v in dfg.nodes() {
+                    let vi = v.index();
+                    let mut found = None;
+                    for (ti, &t) in times[vi].iter().enumerate() {
+                        #[allow(clippy::needless_range_loop)]
+                        for p in 0..npes {
+                            if solver.lit_value(x[vi][ti][p]).is_true() {
+                                found = Some(Placement {
+                                    pe: PeId::from_index(p),
+                                    slot: t % ii,
+                                    time: t,
+                                });
+                            }
+                        }
+                    }
+                    placements.push(found.expect("exactly-one placement per node"));
+                }
+                Attempt::Found(Mapping::new(dfg.name(), ii, placements))
+            }
+            SatResult::Unsat => Attempt::Unsat,
+            SatResult::Unknown => Attempt::Timeout,
+        }
+    }
+}
+
+enum Attempt {
+    Found(Mapping),
+    Unsat,
+    Timeout,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_dfg::examples::{accumulator, running_example, stream_scale};
+    use monomap_core::DecoupledMapper;
+
+    #[test]
+    fn running_example_same_ii_as_decoupled() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let coupled = CoupledMapper::new(&cgra).map(&dfg).unwrap();
+        coupled.mapping.validate(&dfg, &cgra).unwrap();
+        assert_eq!(coupled.mapping.ii(), 4);
+
+        let decoupled = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        assert_eq!(coupled.mapping.ii(), decoupled.mapping.ii());
+    }
+
+    #[test]
+    fn accumulator_maps() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = accumulator();
+        let r = CoupledMapper::new(&cgra).map(&dfg).unwrap();
+        assert_eq!(r.mapping.ii(), 2);
+        r.mapping.validate(&dfg, &cgra).unwrap();
+        assert!(r.stats.sat_vars > 0);
+        assert!(r.stats.clauses > 0);
+    }
+
+    #[test]
+    fn stream_scale_on_3x3() {
+        let cgra = Cgra::new(3, 3).unwrap();
+        let dfg = stream_scale();
+        let r = CoupledMapper::new(&cgra).map(&dfg).unwrap();
+        r.mapping.validate(&dfg, &cgra).unwrap();
+        assert!(r.mapping.ii() >= r.stats.mii);
+    }
+
+    #[test]
+    fn cancel_flag_times_out() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let mut mapper = CoupledMapper::new(&cgra);
+        mapper.set_cancel_flag(Arc::new(AtomicBool::new(true)));
+        assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
+    }
+
+    #[test]
+    fn budget_limits_search() {
+        let cgra = Cgra::new(3, 3).unwrap();
+        let dfg = running_example();
+        let cfg = CoupledConfig {
+            budget: Some(Budget::conflicts(1)),
+            ..CoupledConfig::default()
+        };
+        // With a single-conflict budget the solver gives up quickly.
+        let r = CoupledMapper::with_config(&cgra, cfg).map(&dfg);
+        assert!(matches!(r, Err(MapError::Timeout { .. })) || r.is_ok());
+    }
+
+    #[test]
+    fn variable_count_grows_with_cgra() {
+        let dfg = accumulator();
+        let small = {
+            let cgra = Cgra::new(2, 2).unwrap();
+            CoupledMapper::new(&cgra).map(&dfg).unwrap().stats.sat_vars
+        };
+        let large = {
+            let cgra = Cgra::new(5, 5).unwrap();
+            CoupledMapper::new(&cgra).map(&dfg).unwrap().stats.sat_vars
+        };
+        assert!(
+            large > small * 3,
+            "coupled formulation scales with PE count ({small} vs {large})"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # cgra-baseline — coupled space-time CGRA mappers
+//!
+//! The comparison systems of the paper's evaluation, rebuilt:
+//!
+//! * [`CoupledMapper`] — a SAT-MapIt-style exact mapper ([22] in the
+//!   paper): one joint SAT formulation over `(node, time, PE)`
+//!   placement variables, i.e. the *coupled* space-time search whose
+//!   cost grows with the CGRA size. It shares the KMS windows, the
+//!   dependence semantics and the CDCL core with the decoupled mapper,
+//!   which makes the comparison hardware-independent and conservative.
+//! * [`AnnealingMapper`] — a DRESC-style simulated-annealing heuristic
+//!   ([11] in the paper's related work), used in ablation benches.
+//!
+//! Both produce the same [`monomap_core::Mapping`] type and are checked
+//! by the same validator, so quality (II) comparisons are apples to
+//! apples.
+//!
+//! ## Example
+//!
+//! ```
+//! use cgra_arch::Cgra;
+//! use cgra_dfg::examples::accumulator;
+//! use cgra_baseline::CoupledMapper;
+//!
+//! let cgra = Cgra::new(2, 2)?;
+//! let dfg = accumulator();
+//! let result = CoupledMapper::new(&cgra).map(&dfg)?;
+//! assert_eq!(result.mapping.ii(), 2);
+//! result.mapping.validate(&dfg, &cgra)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anneal;
+mod coupled;
+
+pub use anneal::{AnnealingConfig, AnnealingMapper};
+pub use coupled::{BaselineResult, BaselineStats, CoupledConfig, CoupledMapper};

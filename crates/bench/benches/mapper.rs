@@ -1,0 +1,59 @@
+//! Criterion end-to-end benchmarks: the decoupled mapper vs the
+//! coupled baseline across CGRA sizes — the wall-clock shape behind
+//! Table III and Fig. 5.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgra_arch::Cgra;
+use cgra_baseline::{CoupledConfig, CoupledMapper};
+use cgra_dfg::{examples, suite};
+use monomap_core::DecoupledMapper;
+
+fn bench_decoupled_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decoupled");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    // The headline: end-to-end decoupled mapping stays flat as the
+    // CGRA grows (Fig. 5's lower curve).
+    let dfg = suite::generate("susan");
+    for size in [2usize, 5, 10, 20] {
+        let cgra = Cgra::new(size, size).unwrap();
+        g.bench_with_input(BenchmarkId::new("susan", size), &size, |b, _| {
+            b.iter(|| {
+                DecoupledMapper::new(&cgra)
+                    .map(&dfg)
+                    .expect("susan maps at every size")
+            })
+        });
+    }
+    let running = examples::running_example();
+    let cgra = Cgra::new(2, 2).unwrap();
+    g.bench_function("running_example_2x2", |b| {
+        b.iter(|| DecoupledMapper::new(&cgra).map(&running).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_coupled_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coupled");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    // The coupled baseline on the same kernel, growing CGRA: the upper
+    // curve of Fig. 5. Kept to small sizes so the bench suite stays
+    // fast — the full curve is produced by the fig5 binary.
+    let dfg = examples::stream_scale();
+    for size in [2usize, 3, 4] {
+        let cgra = Cgra::new(size, size).unwrap();
+        g.bench_with_input(BenchmarkId::new("stream_scale", size), &size, |b, _| {
+            b.iter(|| {
+                CoupledMapper::with_config(&cgra, CoupledConfig::default())
+                    .map(&dfg)
+                    .expect("stream_scale maps at small sizes")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decoupled_scaling, bench_coupled_scaling);
+criterion_main!(benches);

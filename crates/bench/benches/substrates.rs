@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the substrate crates: SAT core,
+//! finite-domain layer, scheduling machinery and monomorphism engine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgra_arch::Cgra;
+use cgra_dfg::{examples, suite};
+use cgra_sat::{SatResult, Solver};
+use cgra_sched::{Kms, Mobility, TimeSolver, TimeSolverConfig};
+use cgra_smt::FdSolver;
+use monomap_core::{build_pattern, build_target, space_search};
+
+fn bench_sat_core(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sat");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    // Unsatisfiable pigeonhole: stresses conflict analysis and
+    // learning.
+    g.bench_function("pigeonhole_7_into_6", |b| {
+        b.iter(|| {
+            let mut s = Solver::new();
+            let x: Vec<Vec<_>> = (0..7).map(|_| s.new_vars(6)).collect();
+            for row in &x {
+                s.add_clause(row.iter().map(|v| v.pos()));
+            }
+            #[allow(clippy::needless_range_loop)]
+            for h in 0..6 {
+                for p1 in 0..7 {
+                    for p2 in (p1 + 1)..7 {
+                        s.add_clause([x[p1][h].neg(), x[p2][h].neg()]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), SatResult::Unsat);
+        })
+    });
+    g.finish();
+}
+
+fn bench_fd_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("smt");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    g.bench_function("ordering_chain_20", |b| {
+        b.iter(|| {
+            let mut fd = FdSolver::new();
+            let xs: Vec<_> = (0..20).map(|_| fd.new_int(0..20)).collect();
+            for w in xs.windows(2) {
+                fd.require_binary(w[0], w[1], |a, b| a < b);
+            }
+            assert!(fd.solve().is_sat());
+        })
+    });
+    g.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let dfg = suite::generate("hotspot3D"); // largest kernel (57 nodes)
+    g.bench_function("mobility_hotspot3D", |b| {
+        b.iter(|| Mobility::compute(&dfg).unwrap())
+    });
+    let mobility = Mobility::compute(&dfg).unwrap();
+    g.bench_function("kms_fold_hotspot3D_ii3", |b| {
+        b.iter(|| Kms::with_slack(&mobility, 3, 1))
+    });
+    let cgra = Cgra::new(5, 5).unwrap();
+    g.bench_function("time_solve_hotspot3D_5x5", |b| {
+        b.iter(|| {
+            let cfg = TimeSolverConfig::for_cgra(&cgra).with_window_slack(1);
+            let mut solver = TimeSolver::new(&dfg, 3, cfg).unwrap();
+            solver.solve_outcome()
+        })
+    });
+    g.finish();
+}
+
+fn bench_monomorphism(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iso");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    // Space phase of the running example at the paper's II = 4, for
+    // growing CGRA sizes: the paper's core scalability claim is that
+    // this stays cheap.
+    let dfg = examples::running_example();
+    for size in [2usize, 5, 10, 20] {
+        let cgra = Cgra::new(size, size).unwrap();
+        let cfg = TimeSolverConfig::for_cgra(&cgra);
+        let sol = TimeSolver::new(&dfg, 4, cfg)
+            .unwrap()
+            .solve()
+            .expect("running example schedulable at II=4");
+        g.bench_with_input(
+            BenchmarkId::new("space_phase_running_example", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let (outcome, _) = space_search(&dfg, &cgra, &sol, 10_000_000);
+                    outcome
+                })
+            },
+        );
+    }
+    // Target construction alone, 20x20.
+    let cgra = Cgra::new(20, 20).unwrap();
+    g.bench_function("build_target_20x20_ii4", |b| {
+        b.iter(|| build_target(&cgra, 4))
+    });
+    let cfg = TimeSolverConfig::for_cgra(&cgra);
+    let sol = TimeSolver::new(&dfg, 4, cfg).unwrap().solve().unwrap();
+    g.bench_function("build_pattern_running_example", |b| {
+        b.iter(|| build_pattern(&dfg, &sol))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sat_core,
+    bench_fd_layer,
+    bench_scheduling,
+    bench_monomorphism
+);
+criterion_main!(benches);

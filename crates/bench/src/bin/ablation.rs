@@ -1,0 +1,225 @@
+//! Ablation studies for the design decisions called out in DESIGN.md:
+//!
+//! 1. **Constraint families** — are the paper's capacity/connectivity
+//!    additions (§IV-B2/3) actually what makes the first time solution
+//!    spatially mappable (§IV-D)?
+//! 2. **Strict vs paper connectivity bound** — does tightening the
+//!    same-slot bound change II or compile time?
+//! 3. **Mesh vs torus topology** — cost of non-uniform degree.
+//! 4. **Simulated annealing** — the classic heuristic as a quality and
+//!    runtime reference.
+//!
+//! Usage: ablation [--timeout SECS]
+
+use std::time::{Duration, Instant};
+
+use cgra_arch::{Cgra, Topology};
+use cgra_dfg::suite;
+use cgra_sched::{min_ii, SolveOutcome, TimeSolver, TimeSolverConfig};
+use monomap_bench::{run_cell, MapperKind};
+use monomap_core::{space_search, DecoupledMapper, MapperConfig, SpaceOutcome};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut timeout = 8.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                i += 1;
+                timeout = args[i].parse().expect("--timeout SECS");
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    constraint_families();
+    strictness(timeout);
+    topology(timeout);
+    annealing(timeout);
+    time_strategy();
+}
+
+/// SMT vs IMS-heuristic time phase (both feeding the same monomorphism
+/// space phase) — an extension beyond the paper in the spirit of its
+/// CRIMSON/PathSeeker related work.
+fn time_strategy() {
+    use monomap_core::TimeStrategy;
+    println!("=== ablation 5: SMT vs IMS-heuristic time phase (5x5) ===");
+    println!(
+        "{:<16} | {:>8} {:>9} | {:>8} {:>9}",
+        "benchmark", "II smt", "t smt", "II ims", "t ims"
+    );
+    let cgra = Cgra::new(5, 5).unwrap();
+    for dfg in suite::generate_all() {
+        let run = |strategy: TimeStrategy| {
+            let cfg = MapperConfig::new().with_time_strategy(strategy);
+            let t0 = Instant::now();
+            let r = DecoupledMapper::with_config(&cgra, cfg).map(&dfg);
+            (r.map(|r| r.mapping.ii()).ok(), t0.elapsed().as_secs_f64())
+        };
+        let (ii_s, t_s) = run(TimeStrategy::Smt);
+        let (ii_h, t_h) = run(TimeStrategy::Heuristic);
+        println!(
+            "{:<16} | {:>8} {:>9.3} | {:>8} {:>9.3}",
+            dfg.name(),
+            ii_s.map_or("-".into(), |i| i.to_string()),
+            t_s,
+            ii_h.map_or("-".into(), |i| i.to_string()),
+            t_h
+        );
+    }
+    println!();
+}
+
+/// For each kernel on a 2×2 CGRA: find the first time solution with
+/// the paper's capacity+connectivity constraints and without them, and
+/// check whether it admits a monomorphism. Reproduces the motivation
+/// for §IV-D: without the added constraint families, time solutions
+/// routinely fail in space.
+fn constraint_families() {
+    println!("=== ablation 1: capacity/connectivity constraint families (2x2) ===");
+    println!(
+        "{:<16} | {:>22} | {:>22}",
+        "benchmark", "families ON: space ok?", "families OFF: space ok?"
+    );
+    let cgra = Cgra::new(2, 2).unwrap();
+    let mut on_ok = 0;
+    let mut off_ok = 0;
+    let mut rows = 0;
+    for dfg in suite::generate_all() {
+        let verdict = |enable: bool| -> &'static str {
+            let mii = min_ii(&dfg, &cgra);
+            for ii in mii..=mii + 8 {
+                for slack in 0..=2 {
+                    let mut cfg = TimeSolverConfig::for_cgra(&cgra).with_window_slack(slack);
+                    cfg.capacity_constraints = enable;
+                    cfg.connectivity_constraints = enable;
+                    let mut solver = match TimeSolver::new(&dfg, ii, cfg) {
+                        Ok(s) => s,
+                        Err(_) => return "error",
+                    };
+                    match solver.solve_outcome() {
+                        SolveOutcome::Solution(sol) => {
+                            let (space, _) = space_search(&dfg, &cgra, &sol, 2_000_000);
+                            return match space {
+                                SpaceOutcome::Found(_) => "yes",
+                                SpaceOutcome::Exhausted => "no",
+                                SpaceOutcome::LimitReached => "limit",
+                            };
+                        }
+                        SolveOutcome::Unsat => continue,
+                        SolveOutcome::Timeout => return "timeout",
+                    }
+                }
+            }
+            "no time sol"
+        };
+        let on = verdict(true);
+        let off = verdict(false);
+        if on == "yes" {
+            on_ok += 1;
+        }
+        if off == "yes" {
+            off_ok += 1;
+        }
+        rows += 1;
+        println!("{:<16} | {:>22} | {:>22}", dfg.name(), on, off);
+    }
+    println!(
+        "first time solution spatially mappable: {on_ok}/{rows} with families, {off_ok}/{rows} without\n"
+    );
+}
+
+/// Strict (`D_M − 1` same-slot) vs paper (`D_M`) connectivity bound on
+/// a 5×5 CGRA.
+fn strictness(timeout: f64) {
+    println!("=== ablation 2: strict vs paper connectivity bound (5x5) ===");
+    println!(
+        "{:<16} | {:>8} {:>9} | {:>8} {:>9}",
+        "benchmark", "II paper", "t paper", "II strict", "t strict"
+    );
+    let cgra = Cgra::new(5, 5).unwrap();
+    for dfg in suite::generate_all() {
+        let run = |strict: bool| {
+            let cfg = MapperConfig::new().with_strict_connectivity(strict);
+            let t0 = Instant::now();
+            let r = DecoupledMapper::with_config(&cgra, cfg).map(&dfg);
+            (r.map(|r| r.mapping.ii()).ok(), t0.elapsed().as_secs_f64())
+        };
+        let (ii_p, t_p) = run(false);
+        let (ii_s, t_s) = run(true);
+        let _ = timeout;
+        println!(
+            "{:<16} | {:>8} {:>9.3} | {:>8} {:>9.3}",
+            dfg.name(),
+            ii_p.map_or("-".into(), |i| i.to_string()),
+            t_p,
+            ii_s.map_or("-".into(), |i| i.to_string()),
+            t_s
+        );
+    }
+    println!();
+}
+
+/// Mesh vs torus (5×5): the mesh's non-uniform degree forces the
+/// conservative `D_M = min degree + 1` bound, which can cost II.
+fn topology(timeout: f64) {
+    println!("=== ablation 3: mesh vs torus topology (5x5) ===");
+    println!(
+        "{:<16} | {:>9} {:>9} | {:>9} {:>9}",
+        "benchmark", "II torus", "t torus", "II mesh", "t mesh"
+    );
+    for dfg in suite::generate_all() {
+        let run = |topo: Topology| {
+            let cgra = Cgra::with_topology(5, 5, topo).unwrap();
+            let t0 = Instant::now();
+            let r = DecoupledMapper::new(&cgra).map(&dfg);
+            (r.map(|r| r.mapping.ii()).ok(), t0.elapsed().as_secs_f64())
+        };
+        let (ii_t, t_t) = run(Topology::Torus);
+        let (ii_m, t_m) = run(Topology::Mesh);
+        let _ = timeout;
+        println!(
+            "{:<16} | {:>9} {:>9.3} | {:>9} {:>9.3}",
+            dfg.name(),
+            ii_t.map_or("-".into(), |i| i.to_string()),
+            t_t,
+            ii_m.map_or("-".into(), |i| i.to_string()),
+            t_m
+        );
+    }
+    println!();
+}
+
+/// Simulated annealing (DRESC-style) vs the decoupled mapper on a 4×4
+/// CGRA, small kernels.
+fn annealing(timeout: f64) {
+    println!("=== ablation 4: simulated annealing vs decoupled mapper (4x4) ===");
+    println!(
+        "{:<16} | {:>8} {:>9} | {:>8} {:>9}",
+        "benchmark", "II mono", "t mono", "II SA", "t SA"
+    );
+    for name in ["bitcount", "susan", "sha1", "fft", "basicmath", "gsm"] {
+        let dfg = suite::generate(name);
+        let mono = run_cell(&dfg, 4, MapperKind::Monomorphism, Duration::from_secs_f64(timeout));
+        let sa = run_cell(&dfg, 4, MapperKind::Annealing, Duration::from_secs_f64(timeout));
+        let show = |c: &monomap_bench::CellResult| {
+            (
+                c.ii().map_or("-".to_string(), |i| i.to_string()),
+                c.total_seconds,
+            )
+        };
+        let (ii_m, t_m) = show(&mono);
+        let (ii_a, t_a) = show(&sa);
+        println!(
+            "{:<16} | {:>8} {:>9.3} | {:>8} {:>9.3}",
+            name, ii_m, t_m, ii_a, t_a
+        );
+    }
+    println!();
+}

@@ -1,0 +1,81 @@
+//! Regenerates the paper's Fig. 5: compilation time (seconds, log
+//! scale in the paper) vs CGRA size for the `aes` benchmark, decoupled
+//! mapper vs SAT-MapIt baseline.
+//!
+//! Usage: fig5 [--timeout SECS] [--sizes 2,5,10,20] [--bench NAME]
+
+use std::time::Duration;
+
+use cgra_dfg::suite;
+use monomap_bench::{report, run_cell, CellResult, MapperKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sizes: Vec<usize> = vec![2, 5, 10, 20];
+    let mut timeout = 8.0f64;
+    let mut bench = String::from("aes");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout" => {
+                i += 1;
+                timeout = args[i].parse().expect("--timeout SECS");
+            }
+            "--sizes" => {
+                i += 1;
+                sizes = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--sizes a,b,c"))
+                    .collect();
+            }
+            "--bench" => {
+                i += 1;
+                bench = args[i].clone();
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let dfg = suite::generate(&bench);
+    let mut cells: Vec<CellResult> = Vec::new();
+    for &size in &sizes {
+        for kind in [MapperKind::Monomorphism, MapperKind::SatMapIt] {
+            eprintln!("running {bench} {size}x{size} {kind:?}...");
+            cells.push(run_cell(&dfg, size, kind, Duration::from_secs_f64(timeout)));
+        }
+    }
+
+    println!("# Fig. 5 — compilation time vs CGRA size, benchmark {bench}");
+    print!("{}", report::render_fig5_csv(&cells));
+
+    // ASCII sketch of the two series (log10 seconds).
+    println!("\n# sketch (each column one size; M = monomorphism, S = sat-mapit, ! = timeout)");
+    for kind in [MapperKind::Monomorphism, MapperKind::SatMapIt] {
+        let tag = match kind {
+            MapperKind::Monomorphism => 'M',
+            _ => 'S',
+        };
+        let series: Vec<String> = cells
+            .iter()
+            .filter(|c| c.mapper == kind)
+            .map(|c| {
+                if c.timed_out() {
+                    format!("{}x{}:{tag}=!", c.size, c.size)
+                } else {
+                    format!("{}x{}:{tag}={:.2}s", c.size, c.size, c.total_seconds)
+                }
+            })
+            .collect();
+        println!("{}", series.join("  "));
+    }
+
+    let _ = std::fs::create_dir_all("results");
+    let csv = report::render_fig5_csv(&cells);
+    if std::fs::write("results/fig5.csv", csv).is_ok() {
+        eprintln!("wrote results/fig5.csv");
+    }
+}

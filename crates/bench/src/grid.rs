@@ -1,0 +1,202 @@
+//! One experiment cell: (benchmark, CGRA size, mapper) under a
+//! wall-clock timeout.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use cgra_arch::Cgra;
+use cgra_baseline::{AnnealingMapper, CoupledMapper};
+use cgra_dfg::Dfg;
+use cgra_sched::min_ii;
+use monomap_core::{DecoupledMapper, MapError};
+
+/// Which mapper to run in a cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum MapperKind {
+    /// The paper's decoupled monomorphism-based mapper.
+    Monomorphism,
+    /// The SAT-MapIt-style coupled baseline.
+    SatMapIt,
+    /// The DRESC-style simulated annealer.
+    Annealing,
+}
+
+impl MapperKind {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MapperKind::Monomorphism => "monomorphism",
+            MapperKind::SatMapIt => "sat-mapit",
+            MapperKind::Annealing => "annealing",
+        }
+    }
+}
+
+/// How a cell ended.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum CellOutcome {
+    /// A valid mapping was produced at the reported II.
+    Mapped {
+        /// Achieved iteration interval.
+        ii: usize,
+    },
+    /// The wall-clock timeout (or internal budget) fired first.
+    Timeout,
+    /// The II range was exhausted without a solution.
+    NoSolution,
+}
+
+/// Result of one experiment cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// DFG node count.
+    pub nodes: usize,
+    /// CGRA side length (rows = cols).
+    pub size: usize,
+    /// Mapper that ran.
+    pub mapper: MapperKind,
+    /// Outcome.
+    pub outcome: CellOutcome,
+    /// `mII` lower bound for this (benchmark, size).
+    pub mii: usize,
+    /// Wall-clock of the whole cell in seconds.
+    pub total_seconds: f64,
+    /// Time-phase seconds (decoupled mapper only; 0 otherwise).
+    pub time_phase_seconds: f64,
+    /// Space-phase seconds (decoupled mapper only; 0 otherwise).
+    pub space_phase_seconds: f64,
+}
+
+impl CellResult {
+    /// The achieved II, if mapped.
+    pub fn ii(&self) -> Option<usize> {
+        match self.outcome {
+            CellOutcome::Mapped { ii } => Some(ii),
+            _ => None,
+        }
+    }
+
+    /// True when the cell timed out.
+    pub fn timed_out(&self) -> bool {
+        self.outcome == CellOutcome::Timeout
+    }
+}
+
+/// Runs one cell under a wall-clock timeout.
+///
+/// The mapper runs on a worker thread with a cooperative cancellation
+/// flag; when the timeout fires the flag is raised and the worker
+/// returns at its next cancellation point (SAT decisions, solver
+/// boundaries, encoding loops), so cells never wedge the harness.
+pub fn run_cell(dfg: &Dfg, size: usize, kind: MapperKind, timeout: Duration) -> CellResult {
+    let cgra = Cgra::new(size, size).expect("valid grid size");
+    let mii = min_ii(dfg, &cgra);
+    let flag = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+
+    let (outcome, time_phase, space_phase) = std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        let worker_flag = Arc::clone(&flag);
+        let cgra_ref = &cgra;
+        scope.spawn(move || {
+            let result = match kind {
+                MapperKind::Monomorphism => {
+                    let mut mapper = DecoupledMapper::new(cgra_ref);
+                    mapper.set_cancel_flag(worker_flag);
+                    match mapper.map(dfg) {
+                        Ok(r) => (
+                            CellOutcome::Mapped { ii: r.mapping.ii() },
+                            r.stats.time_phase_seconds,
+                            r.stats.space_phase_seconds,
+                        ),
+                        Err(MapError::Timeout { .. }) => (CellOutcome::Timeout, 0.0, 0.0),
+                        Err(_) => (CellOutcome::NoSolution, 0.0, 0.0),
+                    }
+                }
+                MapperKind::SatMapIt => {
+                    let mut mapper = CoupledMapper::new(cgra_ref);
+                    mapper.set_cancel_flag(worker_flag);
+                    match mapper.map(dfg) {
+                        Ok(r) => (CellOutcome::Mapped { ii: r.mapping.ii() }, 0.0, 0.0),
+                        Err(MapError::Timeout { .. }) => (CellOutcome::Timeout, 0.0, 0.0),
+                        Err(_) => (CellOutcome::NoSolution, 0.0, 0.0),
+                    }
+                }
+                MapperKind::Annealing => {
+                    let mapper = AnnealingMapper::new(cgra_ref);
+                    match mapper.map(dfg) {
+                        Ok(r) => (CellOutcome::Mapped { ii: r.mapping.ii() }, 0.0, 0.0),
+                        Err(_) => (CellOutcome::NoSolution, 0.0, 0.0),
+                    }
+                }
+            };
+            let _ = tx.send(result);
+        });
+        match rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(_) => {
+                flag.store(true, Ordering::Relaxed);
+                // The worker notices the flag and reports a timeout; the
+                // scope join below waits for it.
+                match rx.recv() {
+                    Ok((CellOutcome::Mapped { ii }, t, s)) => {
+                        // Finished in the race window: keep the result.
+                        (CellOutcome::Mapped { ii }, t, s)
+                    }
+                    _ => (CellOutcome::Timeout, 0.0, 0.0),
+                }
+            }
+        }
+    });
+
+    CellResult {
+        benchmark: dfg.name().to_string(),
+        nodes: dfg.num_nodes(),
+        size,
+        mapper: kind,
+        outcome,
+        mii,
+        total_seconds: started.elapsed().as_secs_f64(),
+        time_phase_seconds: time_phase,
+        space_phase_seconds: space_phase,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_dfg::suite;
+
+    #[test]
+    fn mono_cell_maps_susan_quickly() {
+        let dfg = suite::generate("susan");
+        let r = run_cell(&dfg, 5, MapperKind::Monomorphism, Duration::from_secs(60));
+        assert_eq!(r.mii, 2);
+        assert!(matches!(r.outcome, CellOutcome::Mapped { .. }), "{r:?}");
+        assert!(!r.timed_out());
+        assert_eq!(r.nodes, 21);
+    }
+
+    #[test]
+    fn satmapit_cell_times_out_when_squeezed() {
+        // A large grid with a millisecond budget must report Timeout,
+        // not hang.
+        let dfg = suite::generate("hotspot3D");
+        let r = run_cell(&dfg, 10, MapperKind::SatMapIt, Duration::from_millis(50));
+        assert!(r.timed_out(), "{:?}", r.outcome);
+        assert!(r.total_seconds < 30.0, "watchdog released the harness");
+    }
+
+    #[test]
+    fn annealing_cell_runs() {
+        let dfg = cgra_dfg::examples::accumulator();
+        let r = run_cell(&dfg, 3, MapperKind::Annealing, Duration::from_secs(30));
+        assert!(matches!(r.outcome, CellOutcome::Mapped { .. }));
+    }
+}

@@ -1,0 +1,24 @@
+//! # monomap-bench — the paper's evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (§V): Table III (II and compile time, ours vs SAT-MapIt, 17
+//! benchmarks × 4 CGRA sizes), Fig. 5 (compile time vs CGRA size for
+//! `aes`), plus the ablation studies called out in DESIGN.md.
+//!
+//! Binaries:
+//!
+//! * `table3` — the full grid with per-cell timeouts
+//!   (`cargo run -p monomap-bench --release --bin table3 [--quick]`),
+//! * `fig5` — the `aes` scaling curve,
+//! * `ablation` — constraint-family, strictness, topology and annealer
+//!   ablations.
+//!
+//! Criterion micro-benchmarks for the substrates live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod report;
+
+pub use grid::{run_cell, CellOutcome, CellResult, MapperKind};

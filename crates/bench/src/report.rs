@@ -1,0 +1,169 @@
+//! Table III / Fig. 5 rendering.
+
+use std::fmt::Write as _;
+
+use crate::{CellResult, MapperKind};
+
+/// Pairs up the mono and baseline cells of one (benchmark, size) and
+/// renders a Table III block for one CGRA size.
+///
+/// Columns follow the paper: benchmark, node count, monomorphism time
+/// split into time/space phases, SAT-MapIt time, ΔT (difference), CTR
+/// (ratio), II of both mappers and mII. Cells that timed out print
+/// `TO`; the averages exclude rows where either tool timed out, exactly
+/// as the paper's caption specifies.
+pub fn render_size_table(size: usize, cells: &[CellResult], timeout_secs: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== {size}x{size} CGRA (torus), per-cell timeout {timeout_secs:.0}s ==="
+    );
+    let _ = writeln!(
+        out,
+        "{:<16}{:>6} | {:>9} {:>8} {:>8} | {:>9} | {:>9} {:>9} | {:>5} {:>5} {:>4}",
+        "benchmark", "nodes", "mono[s]", "time[s]", "space[s]", "satmap[s]", "dT[s]", "CTR", "IIm", "IIs", "mII"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(118));
+
+    let benches: Vec<&str> = {
+        let mut names: Vec<&str> = cells
+            .iter()
+            .filter(|c| c.size == size)
+            .map(|c| c.benchmark.as_str())
+            .collect();
+        names.dedup();
+        names
+    };
+
+    let mut sum_mono = 0.0;
+    let mut sum_sat = 0.0;
+    let mut sum_dt = 0.0;
+    let mut sum_ctr = 0.0;
+    let mut counted = 0usize;
+
+    for name in benches {
+        let mono = cells
+            .iter()
+            .find(|c| c.size == size && c.benchmark == name && c.mapper == MapperKind::Monomorphism);
+        let sat = cells
+            .iter()
+            .find(|c| c.size == size && c.benchmark == name && c.mapper == MapperKind::SatMapIt);
+        let (Some(mono), Some(sat)) = (mono, sat) else {
+            continue;
+        };
+        let fmt_time = |c: &CellResult| {
+            if c.timed_out() {
+                "TO".to_string()
+            } else {
+                format!("{:.2}", c.total_seconds)
+            }
+        };
+        let fmt_ii = |c: &CellResult| match c.ii() {
+            Some(ii) => ii.to_string(),
+            None => "-".to_string(),
+        };
+        let both_finished = !mono.timed_out() && !sat.timed_out();
+        let (dt, ctr) = if both_finished {
+            (
+                mono.total_seconds - sat.total_seconds,
+                sat.total_seconds / mono.total_seconds.max(1e-9),
+            )
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        if both_finished {
+            sum_mono += mono.total_seconds;
+            sum_sat += sat.total_seconds;
+            sum_dt += dt;
+            sum_ctr += ctr;
+            counted += 1;
+        }
+        let _ = writeln!(
+            out,
+            "{:<16}{:>6} | {:>9} {:>8.2} {:>8.2} | {:>9} | {:>9} {:>9} | {:>5} {:>5} {:>4}",
+            name,
+            mono.nodes,
+            fmt_time(mono),
+            mono.time_phase_seconds,
+            mono.space_phase_seconds,
+            fmt_time(sat),
+            if dt.is_nan() { "-".into() } else { format!("{dt:.2}") },
+            if ctr.is_nan() { "-".into() } else { format!("{ctr:.2}") },
+            fmt_ii(mono),
+            fmt_ii(sat),
+            mono.mii
+        );
+    }
+    if counted > 0 {
+        let n = counted as f64;
+        let _ = writeln!(out, "{}", "-".repeat(118));
+        let _ = writeln!(
+            out,
+            "{:<16}{:>6} | {:>9.2} {:>8} {:>8} | {:>9.2} | {:>9.2} {:>9.2} | (averages exclude TO rows: {} counted)",
+            "average", "-", sum_mono / n, "-", "-", sum_sat / n, sum_dt / n, sum_ctr / n, counted
+        );
+    }
+    out
+}
+
+/// Renders the Fig. 5 series (compile time vs CGRA size) as CSV.
+pub fn render_fig5_csv(cells: &[CellResult]) -> String {
+    let mut out = String::from("size,mapper,seconds,outcome\n");
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{}",
+            c.size,
+            c.mapper.name(),
+            c.total_seconds,
+            if c.timed_out() { "timeout" } else { "ok" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellOutcome;
+
+    fn cell(name: &str, size: usize, mapper: MapperKind, secs: f64, to: bool) -> CellResult {
+        CellResult {
+            benchmark: name.into(),
+            nodes: 10,
+            size,
+            mapper,
+            outcome: if to {
+                CellOutcome::Timeout
+            } else {
+                CellOutcome::Mapped { ii: 4 }
+            },
+            mii: 4,
+            total_seconds: secs,
+            time_phase_seconds: secs * 0.8,
+            space_phase_seconds: secs * 0.1,
+        }
+    }
+
+    #[test]
+    fn table_excludes_timeouts_from_average() {
+        let cells = vec![
+            cell("a", 5, MapperKind::Monomorphism, 0.5, false),
+            cell("a", 5, MapperKind::SatMapIt, 5.0, false),
+            cell("b", 5, MapperKind::Monomorphism, 0.2, false),
+            cell("b", 5, MapperKind::SatMapIt, 0.0, true),
+        ];
+        let t = render_size_table(5, &cells, 10.0);
+        assert!(t.contains("TO"));
+        assert!(t.contains("1 counted"), "{t}");
+        assert!(t.contains("10.00"), "CTR 5.0/0.5: {t}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let cells = vec![cell("aes", 10, MapperKind::Monomorphism, 0.3, false)];
+        let csv = render_fig5_csv(&cells);
+        assert!(csv.starts_with("size,mapper"));
+        assert!(csv.contains("10,monomorphism,0.3"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Mapper configuration.
+
+use cgra_smt::Budget;
+
+/// Which algorithm produces time solutions (phase 1 of the decoupled
+/// mapper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TimeStrategy {
+    /// The paper's SMT search: exact, and able to enumerate alternative
+    /// schedules through blocking clauses.
+    #[default]
+    Smt,
+    /// Rau-style iterative modulo scheduling with the paper's capacity
+    /// and connectivity admission checks
+    /// ([`cgra_sched::ims_schedule`]): heuristic and single-shot per
+    /// `(II, slack)` level, but allocation-free fast. An extension
+    /// beyond the paper, in the spirit of its CRIMSON/PathSeeker
+    /// related work.
+    Heuristic,
+}
+
+/// Tuning knobs of the [`crate::DecoupledMapper`].
+///
+/// The defaults follow the paper: both constraint families on, the
+/// paper's (non-strict) connectivity bound, escalating II from `mII`.
+/// The window-slack retries and the time-solution enumeration cap are
+/// implementation-level completeness nets documented in DESIGN.md §6.
+#[derive(Clone, Debug)]
+pub struct MapperConfig {
+    /// Largest II to attempt; `None` means `mII + 16`.
+    pub max_ii: Option<usize>,
+    /// Maximum window slack (ALAP extension in multiples of II) to try
+    /// per II before escalating the II.
+    pub max_window_slack: usize,
+    /// Maximum number of alternative time solutions to try per
+    /// `(II, slack)` before widening.
+    pub max_time_solutions: usize,
+    /// Step budget for each monomorphism search attempt.
+    pub mono_step_limit: u64,
+    /// Enable the capacity constraint family (ablation switch).
+    pub capacity_constraints: bool,
+    /// Enable the connectivity constraint family (ablation switch).
+    pub connectivity_constraints: bool,
+    /// Use the tight same-slot connectivity bound instead of the
+    /// paper's uniform `D_M` (ablation switch).
+    pub strict_connectivity: bool,
+    /// Optional SAT budget per time-solve call.
+    pub time_budget: Option<Budget>,
+    /// Which algorithm produces time solutions.
+    pub time_strategy: TimeStrategy,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            max_ii: None,
+            max_window_slack: 2,
+            max_time_solutions: 16,
+            mono_step_limit: 2_000_000,
+            capacity_constraints: true,
+            connectivity_constraints: true,
+            strict_connectivity: false,
+            time_budget: None,
+            time_strategy: TimeStrategy::Smt,
+        }
+    }
+}
+
+impl MapperConfig {
+    /// The paper-faithful default configuration.
+    pub fn new() -> Self {
+        MapperConfig::default()
+    }
+
+    /// Caps the II search range.
+    pub fn with_max_ii(mut self, max_ii: usize) -> Self {
+        self.max_ii = Some(max_ii);
+        self
+    }
+
+    /// Sets the window-slack ceiling.
+    pub fn with_max_window_slack(mut self, slack: usize) -> Self {
+        self.max_window_slack = slack;
+        self
+    }
+
+    /// Sets the per-`(II, slack)` time-solution enumeration cap.
+    pub fn with_max_time_solutions(mut self, n: usize) -> Self {
+        self.max_time_solutions = n;
+        self
+    }
+
+    /// Sets the per-attempt monomorphism step budget.
+    pub fn with_mono_step_limit(mut self, steps: u64) -> Self {
+        self.mono_step_limit = steps;
+        self
+    }
+
+    /// Toggles the strict same-slot connectivity bound.
+    pub fn with_strict_connectivity(mut self, strict: bool) -> Self {
+        self.strict_connectivity = strict;
+        self
+    }
+
+    /// Sets a SAT budget per time-solve call.
+    pub fn with_time_budget(mut self, budget: Budget) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Chooses the time-phase algorithm.
+    pub fn with_time_strategy(mut self, strategy: TimeStrategy) -> Self {
+        self.time_strategy = strategy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_faithful() {
+        let c = MapperConfig::default();
+        assert!(c.capacity_constraints);
+        assert!(c.connectivity_constraints);
+        assert!(!c.strict_connectivity);
+        assert_eq!(c.max_ii, None);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = MapperConfig::new()
+            .with_max_ii(9)
+            .with_max_window_slack(1)
+            .with_max_time_solutions(4)
+            .with_mono_step_limit(10)
+            .with_strict_connectivity(true);
+        assert_eq!(c.max_ii, Some(9));
+        assert_eq!(c.max_window_slack, 1);
+        assert_eq!(c.max_time_solutions, 4);
+        assert_eq!(c.mono_step_limit, 10);
+        assert!(c.strict_connectivity);
+    }
+}

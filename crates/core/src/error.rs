@@ -1,0 +1,139 @@
+//! Error types of the mapper and of mapping validation.
+
+use std::fmt;
+
+use cgra_dfg::{DfgError, NodeId};
+
+/// An error from [`crate::DecoupledMapper::map`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// The input DFG is structurally invalid.
+    InvalidDfg(DfgError),
+    /// No mapping was found for any II up to the configured maximum.
+    NoSolution {
+        /// Smallest II attempted (`mII`).
+        mii: usize,
+        /// Largest II attempted.
+        max_ii: usize,
+    },
+    /// A budget or cancellation flag interrupted the search.
+    Timeout {
+        /// The II being attempted when the search was interrupted.
+        ii: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::InvalidDfg(e) => write!(f, "invalid DFG: {e}"),
+            MapError::NoSolution { mii, max_ii } => {
+                write!(f, "no mapping found for any II in {mii}..={max_ii}")
+            }
+            MapError::Timeout { ii } => write!(f, "mapping interrupted at II={ii}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<DfgError> for MapError {
+    fn from(e: DfgError) -> Self {
+        MapError::InvalidDfg(e)
+    }
+}
+
+/// A violation found by [`crate::Mapping::validate`] — each variant is
+/// the negation of one mapping invariant (paper §IV-A and §III-C).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MappingError {
+    /// Two nodes share a PE in the same kernel slot (violates mono1).
+    NotInjective {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+    },
+    /// A node's slot is not its time modulo II (violates mono2).
+    LabelMismatch {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A dependence's endpoints are on PEs that cannot see each other's
+    /// register files (violates mono3 / the routing validity of §III-C).
+    Unreachable {
+        /// Producing node.
+        src: NodeId,
+        /// Consuming node.
+        dst: NodeId,
+    },
+    /// The schedule violates a dependence's timing.
+    DependenceViolated {
+        /// Producing node.
+        src: NodeId,
+        /// Consuming node.
+        dst: NodeId,
+    },
+    /// A placement references a PE outside the CGRA.
+    UnknownPe {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The mapping covers a different number of nodes than the DFG.
+    WrongArity {
+        /// Nodes in the mapping.
+        got: usize,
+        /// Nodes in the DFG.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::NotInjective { a, b } => {
+                write!(f, "nodes {a} and {b} share a PE and kernel slot")
+            }
+            MappingError::LabelMismatch { node } => {
+                write!(f, "slot of {node} is not its time modulo II")
+            }
+            MappingError::Unreachable { src, dst } => {
+                write!(f, "dependence {src} -> {dst} spans non-adjacent PEs")
+            }
+            MappingError::DependenceViolated { src, dst } => {
+                write!(f, "dependence {src} -> {dst} violates timing")
+            }
+            MappingError::UnknownPe { node } => write!(f, "{node} is placed on an unknown PE"),
+            MappingError::WrongArity { got, expected } => {
+                write!(f, "mapping covers {got} nodes, DFG has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MapError::NoSolution { mii: 3, max_ii: 9 };
+        assert_eq!(e.to_string(), "no mapping found for any II in 3..=9");
+        let e = MappingError::NotInjective {
+            a: NodeId::from_index(1),
+            b: NodeId::from_index(2),
+        };
+        assert!(e.to_string().contains("share a PE"));
+    }
+
+    #[test]
+    fn dfg_error_converts() {
+        let e: MapError = DfgError::SelfDataEdge {
+            node: NodeId::from_index(0),
+        }
+        .into();
+        assert!(matches!(e, MapError::InvalidDfg(_)));
+    }
+}

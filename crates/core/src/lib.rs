@@ -1,0 +1,50 @@
+//! # monomap-core — monomorphism-based CGRA mapping via space and time
+//! decoupling
+//!
+//! The primary contribution of the reproduced paper: a CGRA mapper that
+//! explores the temporal and spatial dimensions *separately*:
+//!
+//! 1. **Time** ([`cgra_sched::TimeSolver`]): an SMT search over the
+//!    Kernel Mobility Schedule finds a modulo schedule satisfying the
+//!    paper's capacity and connectivity constraints (§IV-B);
+//! 2. **Space** ([`cgra_iso`]): the scheduled DFG, viewed as an
+//!    undirected graph labelled with kernel slots, is embedded into the
+//!    MRRG by subgraph-monomorphism search (§IV-C).
+//!
+//! The paper proves (§IV-D) that a time solution under those constraints
+//! always admits a space solution; [`DecoupledMapper`] nevertheless
+//! keeps a correctness net — if the space search fails or exceeds its
+//! step budget, the next time solution is requested from the SMT layer
+//! (blocking clauses), then the window slack and finally the II are
+//! escalated.
+//!
+//! ## Example
+//!
+//! ```
+//! use cgra_arch::Cgra;
+//! use cgra_dfg::examples::running_example;
+//! use monomap_core::DecoupledMapper;
+//!
+//! let cgra = Cgra::new(2, 2)?;
+//! let dfg = running_example();
+//! let result = DecoupledMapper::new(&cgra).map(&dfg)?;
+//! assert_eq!(result.mapping.ii(), 4); // the paper's Fig. 2b kernel
+//! result.mapping.validate(&dfg, &cgra)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod mapper;
+mod mapping;
+mod printer;
+mod space;
+
+pub use config::{MapperConfig, TimeStrategy};
+pub use error::{MapError, MappingError};
+pub use mapper::{DecoupledMapper, MapResult, MapStats};
+pub use mapping::{Mapping, Placement};
+pub use space::{build_pattern, build_target, space_search, target_matches_mrrg, SpaceOutcome};

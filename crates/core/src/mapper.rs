@@ -1,0 +1,395 @@
+//! The decoupled space/time mapper (paper §IV).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cgra_arch::Cgra;
+use cgra_dfg::Dfg;
+use cgra_sched::{
+    ims_schedule, min_ii, SolveOutcome, TimeSolution, TimeSolver, TimeSolverConfig,
+    TimeSolverError,
+};
+
+use crate::config::TimeStrategy;
+use crate::space::{space_search, SpaceOutcome};
+use crate::{MapError, MapperConfig, Mapping, Placement};
+
+/// A successful mapping together with search statistics.
+#[derive(Clone, Debug)]
+pub struct MapResult {
+    /// The space-time mapping.
+    pub mapping: Mapping,
+    /// How the search went (phase timings, attempts, II escalations).
+    pub stats: MapStats,
+}
+
+/// Search statistics of one [`DecoupledMapper::map`] call.
+///
+/// The paper's Table III reports the time and space phases separately;
+/// [`MapStats::time_phase_seconds`] and [`MapStats::space_phase_seconds`]
+/// are those columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MapStats {
+    /// The lower bound `mII` the search started from.
+    pub mii: usize,
+    /// The achieved iteration interval.
+    pub achieved_ii: usize,
+    /// Wall-clock total.
+    pub total_seconds: f64,
+    /// Wall-clock spent in the SMT time search.
+    pub time_phase_seconds: f64,
+    /// Wall-clock spent in monomorphism search (including MRRG
+    /// construction).
+    pub space_phase_seconds: f64,
+    /// Time solutions produced by the SMT layer.
+    pub time_solutions: usize,
+    /// Monomorphism searches attempted.
+    pub space_attempts: usize,
+    /// Total monomorphism search steps.
+    pub mono_steps: u64,
+    /// Number of II values attempted.
+    pub iis_tried: usize,
+    /// Window slack of the successful attempt.
+    pub window_slack: usize,
+}
+
+/// The mapper: SMT time solve, then monomorphism space solve, with
+/// fall-back enumeration and II escalation.
+///
+/// See the crate-level example.
+#[derive(Clone, Debug)]
+pub struct DecoupledMapper<'a> {
+    cgra: &'a Cgra,
+    config: MapperConfig,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl<'a> DecoupledMapper<'a> {
+    /// A mapper for `cgra` with the paper-faithful default
+    /// configuration.
+    pub fn new(cgra: &'a Cgra) -> Self {
+        DecoupledMapper {
+            cgra,
+            config: MapperConfig::default(),
+            cancel: None,
+        }
+    }
+
+    /// A mapper with an explicit configuration.
+    pub fn with_config(cgra: &'a Cgra, config: MapperConfig) -> Self {
+        DecoupledMapper {
+            cgra,
+            config,
+            cancel: None,
+        }
+    }
+
+    /// The mapper's configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// Installs a cooperative cancellation flag checked between solver
+    /// calls and inside the SAT core.
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Maps `dfg` onto the CGRA.
+    ///
+    /// Searches II values from `mII` upward; for each II tries window
+    /// slacks `0..=max_window_slack`, and for each time solution runs
+    /// the monomorphism search, enumerating alternative schedules when
+    /// the space phase fails (paper §IV-D guarantees this is rare).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::InvalidDfg`] for malformed graphs,
+    /// [`MapError::NoSolution`] when the II range is exhausted, and
+    /// [`MapError::Timeout`] when interrupted.
+    pub fn map(&self, dfg: &Dfg) -> Result<MapResult, MapError> {
+        dfg.validate()?;
+        let start = Instant::now();
+        let mii = min_ii(dfg, self.cgra);
+        let max_ii = self.config.max_ii.unwrap_or(mii + 16).max(mii);
+        let mut stats = MapStats {
+            mii,
+            ..MapStats::default()
+        };
+
+        for ii in mii..=max_ii {
+            stats.iis_tried += 1;
+            for slack in 0..=self.config.max_window_slack {
+                if self.cancelled() {
+                    return Err(MapError::Timeout { ii });
+                }
+                let mut ts_config = TimeSolverConfig::for_cgra(self.cgra)
+                    .with_window_slack(slack)
+                    .with_strict_connectivity(self.config.strict_connectivity);
+                ts_config.capacity_constraints = self.config.capacity_constraints;
+                ts_config.connectivity_constraints = self.config.connectivity_constraints;
+                if let Some(b) = &self.config.time_budget {
+                    ts_config = ts_config.with_budget(b.clone());
+                }
+
+                if self.config.time_strategy == TimeStrategy::Heuristic {
+                    // Heuristic time phase: one IMS attempt per
+                    // (II, slack) level, no enumeration.
+                    let t0 = Instant::now();
+                    let sol = ims_schedule(dfg, ii, &ts_config);
+                    stats.time_phase_seconds += t0.elapsed().as_secs_f64();
+                    if let Some(sol) = sol {
+                        stats.time_solutions += 1;
+                        let t1 = Instant::now();
+                        let (space, steps) =
+                            space_search(dfg, self.cgra, &sol, self.config.mono_step_limit);
+                        stats.space_phase_seconds += t1.elapsed().as_secs_f64();
+                        stats.space_attempts += 1;
+                        stats.mono_steps += steps;
+                        if let SpaceOutcome::Found(map) = space {
+                            return Ok(self.finish(dfg, &sol, map, ii, slack, start, stats));
+                        }
+                    }
+                    continue;
+                }
+
+                let t0 = Instant::now();
+                let mut solver = match TimeSolver::new(dfg, ii, ts_config) {
+                    Ok(s) => s,
+                    Err(TimeSolverError::Dfg(e)) => return Err(MapError::InvalidDfg(e)),
+                    Err(_) => unreachable!("ii and capacity are positive"),
+                };
+                if let Some(flag) = &self.cancel {
+                    solver.set_cancel_flag(Arc::clone(flag));
+                }
+                let mut outcome = solver.solve_outcome();
+                stats.time_phase_seconds += t0.elapsed().as_secs_f64();
+
+                let mut tries = 0usize;
+                loop {
+                    match outcome {
+                        SolveOutcome::Solution(sol) => {
+                            tries += 1;
+                            stats.time_solutions += 1;
+                            let t1 = Instant::now();
+                            let (space, steps) =
+                                space_search(dfg, self.cgra, &sol, self.config.mono_step_limit);
+                            stats.space_phase_seconds += t1.elapsed().as_secs_f64();
+                            stats.space_attempts += 1;
+                            stats.mono_steps += steps;
+                            if let SpaceOutcome::Found(map) = space {
+                                return Ok(self.finish(dfg, &sol, map, ii, slack, start, stats));
+                            }
+                            if tries >= self.config.max_time_solutions {
+                                break;
+                            }
+                            let t2 = Instant::now();
+                            outcome = solver.next_outcome();
+                            stats.time_phase_seconds += t2.elapsed().as_secs_f64();
+                        }
+                        SolveOutcome::Unsat => break,
+                        SolveOutcome::Timeout => return Err(MapError::Timeout { ii }),
+                    }
+                }
+            }
+        }
+        Err(MapError::NoSolution { mii, max_ii })
+    }
+
+    /// Converts a found monomorphism into the final [`Mapping`] and
+    /// closes out the statistics.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        dfg: &Dfg,
+        sol: &TimeSolution,
+        map: Vec<usize>,
+        ii: usize,
+        slack: usize,
+        start: Instant,
+        mut stats: MapStats,
+    ) -> MapResult {
+        let n = self.cgra.num_pes();
+        let placements: Vec<Placement> = dfg
+            .nodes()
+            .map(|v| {
+                let idx = map[v.index()];
+                debug_assert_eq!(idx / n, sol.slot(v));
+                Placement {
+                    pe: cgra_arch::PeId::from_index(idx % n),
+                    slot: idx / n,
+                    time: sol.time(v),
+                }
+            })
+            .collect();
+        stats.achieved_ii = ii;
+        stats.window_slack = slack;
+        stats.total_seconds = start.elapsed().as_secs_f64();
+        let mapping = Mapping::new(dfg.name(), ii, placements);
+        debug_assert_eq!(mapping.validate(dfg, self.cgra), Ok(()));
+        MapResult { mapping, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_dfg::examples::{accumulator, running_example, stream_scale};
+    use cgra_dfg::{suite, DfgBuilder, Operation as Op};
+
+    #[test]
+    fn running_example_maps_at_paper_ii() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let result = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        assert_eq!(result.mapping.ii(), 4, "paper Fig. 2b");
+        result.mapping.validate(&dfg, &cgra).unwrap();
+        assert_eq!(result.stats.mii, 4);
+        assert!(result.stats.time_solutions >= 1);
+    }
+
+    #[test]
+    fn accumulator_maps_at_two() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = accumulator();
+        let result = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        assert_eq!(result.mapping.ii(), 2);
+        result.mapping.validate(&dfg, &cgra).unwrap();
+    }
+
+    #[test]
+    fn stream_scale_maps_on_3x3() {
+        let cgra = Cgra::new(3, 3).unwrap();
+        let dfg = stream_scale();
+        let result = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        result.mapping.validate(&dfg, &cgra).unwrap();
+        assert!(result.mapping.ii() >= result.stats.mii);
+    }
+
+    #[test]
+    fn suite_kernels_map_on_5x5() {
+        let cgra = Cgra::new(5, 5).unwrap();
+        for name in ["susan", "gsm", "bitcount"] {
+            let dfg = suite::generate(name);
+            let result = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+            result.mapping.validate(&dfg, &cgra).unwrap();
+            assert!(
+                result.mapping.ii() <= result.stats.mii + 3,
+                "{name}: ii {} vs mii {}",
+                result.mapping.ii(),
+                result.stats.mii
+            );
+        }
+    }
+
+    fn star4() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let c = b.unary("c", Op::Neg, x);
+        for i in 0..4 {
+            b.unary(format!("k{i}"), Op::Not, c);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn no_solution_when_connectivity_cannot_hold() {
+        // Four same-slot consumers and D_M = 3: with zero slack no II
+        // can fix the singleton windows, so the range exhausts.
+        let cgra = Cgra::new(2, 2).unwrap();
+        let cfg = MapperConfig::new().with_max_ii(6).with_max_window_slack(0);
+        let err = DecoupledMapper::with_config(&cgra, cfg)
+            .map(&star4())
+            .unwrap_err();
+        assert_eq!(err, MapError::NoSolution { mii: 2, max_ii: 6 });
+    }
+
+    #[test]
+    fn slack_rescues_the_star() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = star4();
+        let result = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        result.mapping.validate(&dfg, &cgra).unwrap();
+        assert!(result.stats.window_slack > 0, "needed slack to spread");
+    }
+
+    #[test]
+    fn cancel_flag_times_out() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let mut mapper = DecoupledMapper::new(&cgra);
+        mapper.set_cancel_flag(Arc::new(AtomicBool::new(true)));
+        assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
+    }
+
+    #[test]
+    fn strict_connectivity_still_maps_running_example() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let cfg = MapperConfig::new().with_strict_connectivity(true);
+        let result = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        result.mapping.validate(&dfg, &cgra).unwrap();
+    }
+
+    #[test]
+    fn invalid_dfg_is_reported() {
+        let mut b = DfgBuilder::new();
+        let _ = b.phi("open", 0);
+        let dfg = b.build_unchecked();
+        let cgra = Cgra::new(2, 2).unwrap();
+        assert!(matches!(
+            DecoupledMapper::new(&cgra).map(&dfg),
+            Err(MapError::InvalidDfg(_))
+        ));
+    }
+
+    #[test]
+    fn heuristic_time_strategy_maps_suite_kernels() {
+        use crate::TimeStrategy;
+        let cgra = Cgra::new(4, 4).unwrap();
+        for name in ["susan", "bitcount", "gsm"] {
+            let dfg = suite::generate(name);
+            let cfg = MapperConfig::new().with_time_strategy(TimeStrategy::Heuristic);
+            let result = DecoupledMapper::with_config(&cgra, cfg)
+                .map(&dfg)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            result.mapping.validate(&dfg, &cgra).unwrap();
+            // Heuristic may need a slightly larger II than the exact
+            // search, but not much on a roomy 4x4.
+            assert!(
+                result.mapping.ii() <= result.stats.mii + 3,
+                "{name}: heuristic II {} vs mII {}",
+                result.mapping.ii(),
+                result.stats.mii
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_running_example_matches_smt_ii() {
+        use crate::TimeStrategy;
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let cfg = MapperConfig::new().with_time_strategy(TimeStrategy::Heuristic);
+        let result = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        result.mapping.validate(&dfg, &cgra).unwrap();
+        assert_eq!(result.mapping.ii(), 4, "IMS+mono reaches the paper's II");
+    }
+
+    #[test]
+    fn stats_phases_sum_below_total() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let result = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        let s = result.stats;
+        assert!(s.time_phase_seconds + s.space_phase_seconds <= s.total_seconds + 1e-3);
+        assert_eq!(s.achieved_ii, 4);
+    }
+}

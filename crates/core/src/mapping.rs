@@ -1,0 +1,298 @@
+//! The space-time mapping produced by the mapper, with full validation.
+
+use serde::{Deserialize, Serialize};
+
+use cgra_arch::{Cgra, PeId};
+use cgra_dfg::{Dfg, EdgeKind, NodeId};
+
+use crate::MappingError;
+
+/// Where and when one DFG node executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The processing element.
+    pub pe: PeId,
+    /// The kernel slot (`time mod II`).
+    pub slot: usize,
+    /// The absolute schedule time within the unrolled schedule.
+    pub time: usize,
+}
+
+/// A complete space-time mapping: one [`Placement`] per DFG node, for a
+/// kernel of `II` cycles.
+///
+/// Produced by [`crate::DecoupledMapper`]; check any externally supplied
+/// mapping with [`Mapping::validate`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    dfg_name: String,
+    ii: usize,
+    placements: Vec<Placement>,
+}
+
+impl Mapping {
+    /// Assembles a mapping from parts (used by the mapper and by tests;
+    /// run [`Mapping::validate`] to check it).
+    pub fn new(dfg_name: impl Into<String>, ii: usize, placements: Vec<Placement>) -> Self {
+        Mapping {
+            dfg_name: dfg_name.into(),
+            ii,
+            placements,
+        }
+    }
+
+    /// The name of the DFG this mapping is for.
+    pub fn dfg_name(&self) -> &str {
+        &self.dfg_name
+    }
+
+    /// The iteration interval achieved.
+    pub fn ii(&self) -> usize {
+        self.ii
+    }
+
+    /// The placement of a node.
+    pub fn placement(&self, v: NodeId) -> Placement {
+        self.placements[v.index()]
+    }
+
+    /// The PE of a node.
+    pub fn pe(&self, v: NodeId) -> PeId {
+        self.placements[v.index()].pe
+    }
+
+    /// The kernel slot of a node.
+    pub fn slot(&self, v: NodeId) -> usize {
+        self.placements[v.index()].slot
+    }
+
+    /// The absolute schedule time of a node.
+    pub fn time(&self, v: NodeId) -> usize {
+        self.placements[v.index()].time
+    }
+
+    /// All placements, indexed by node.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The schedule length (largest time + 1): prologue + one kernel.
+    pub fn schedule_length(&self) -> usize {
+        self.placements.iter().map(|p| p.time + 1).max().unwrap_or(0)
+    }
+
+    /// Checks every mapping invariant against the DFG and CGRA:
+    ///
+    /// * mono1 — no two nodes share `(PE, slot)`;
+    /// * mono2 — `slot == time mod II` for every node;
+    /// * mono3 / routing — every dependence's endpoints lie on the same
+    ///   or adjacent PEs (the consumer can read the producer's register
+    ///   file);
+    /// * modulo-schedule timing of every data and loop-carried edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self, dfg: &Dfg, cgra: &Cgra) -> Result<(), MappingError> {
+        if self.placements.len() != dfg.num_nodes() {
+            return Err(MappingError::WrongArity {
+                got: self.placements.len(),
+                expected: dfg.num_nodes(),
+            });
+        }
+        for v in dfg.nodes() {
+            let p = self.placement(v);
+            if p.pe.index() >= cgra.num_pes() {
+                return Err(MappingError::UnknownPe { node: v });
+            }
+            if p.slot != p.time % self.ii {
+                return Err(MappingError::LabelMismatch { node: v });
+            }
+        }
+        // mono1: injectivity over (pe, slot).
+        let mut seen = std::collections::HashMap::new();
+        for v in dfg.nodes() {
+            let p = self.placement(v);
+            if let Some(&other) = seen.get(&(p.pe, p.slot)) {
+                return Err(MappingError::NotInjective { a: other, b: v });
+            }
+            seen.insert((p.pe, p.slot), v);
+        }
+        // Edges: timing + reachability.
+        for e in dfg.edges() {
+            if e.src == e.dst {
+                continue; // own register file, always readable
+            }
+            let ps = self.placement(e.src);
+            let pd = self.placement(e.dst);
+            let ok_time = match e.kind {
+                EdgeKind::Data => pd.time as i64 > ps.time as i64,
+                EdgeKind::LoopCarried { distance } => {
+                    pd.time as i64 >= ps.time as i64 + 1 - (distance as i64) * (self.ii as i64)
+                }
+            };
+            if !ok_time {
+                return Err(MappingError::DependenceViolated {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+            if !cgra.reachable(ps.pe, pd.pe) {
+                return Err(MappingError::Unreachable {
+                    src: e.src,
+                    dst: e.dst,
+                });
+            }
+            // Same-slot edges additionally require distinct, adjacent
+            // PEs — same PE would collide in the kernel.
+            if ps.slot == pd.slot && ps.pe == pd.pe {
+                return Err(MappingError::NotInjective { a: e.src, b: e.dst });
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-PE operation counts (kernel occupancy).
+    pub fn pe_occupancy(&self, cgra: &Cgra) -> Vec<usize> {
+        let mut occ = vec![0usize; cgra.num_pes()];
+        for p in &self.placements {
+            occ[p.pe.index()] += 1;
+        }
+        occ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_dfg::{DfgBuilder, Operation as Op};
+
+    fn tiny() -> (Dfg, Cgra) {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.unary("y", Op::Neg, x);
+        b.output("o", y);
+        (b.build().unwrap(), Cgra::new(2, 2).unwrap())
+    }
+
+    fn place(pe: usize, time: usize, ii: usize) -> Placement {
+        Placement {
+            pe: PeId::from_index(pe),
+            slot: time % ii,
+            time,
+        }
+    }
+
+    #[test]
+    fn valid_chain_mapping() {
+        let (dfg, cgra) = tiny();
+        // x on PE0@0, y on PE1@1, o on PE0@2 (PE0 and PE1 adjacent).
+        let m = Mapping::new("tiny", 3, vec![place(0, 0, 3), place(1, 1, 3), place(0, 2, 3)]);
+        m.validate(&dfg, &cgra).unwrap();
+        assert_eq!(m.schedule_length(), 3);
+        assert_eq!(m.pe_occupancy(&cgra), vec![2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn detects_non_injective() {
+        let (dfg, cgra) = tiny();
+        // x and o both on PE0 slot 0 (times 0 and 3, ii 3).
+        let m = Mapping::new("tiny", 3, vec![place(0, 0, 3), place(1, 1, 3), place(0, 3, 3)]);
+        assert!(matches!(
+            m.validate(&dfg, &cgra),
+            Err(MappingError::NotInjective { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_label_mismatch() {
+        let (dfg, cgra) = tiny();
+        let mut bad = place(1, 1, 3);
+        bad.slot = 2;
+        let m = Mapping::new("tiny", 3, vec![place(0, 0, 3), bad, place(0, 2, 3)]);
+        assert_eq!(
+            m.validate(&dfg, &cgra),
+            Err(MappingError::LabelMismatch {
+                node: NodeId::from_index(1)
+            })
+        );
+    }
+
+    #[test]
+    fn detects_unreachable_pes() {
+        let (dfg, cgra) = tiny();
+        // PE0 and PE3 are diagonal: not adjacent on a 2x2 torus.
+        let m = Mapping::new("tiny", 3, vec![place(0, 0, 3), place(3, 1, 3), place(3, 2, 3)]);
+        assert_eq!(
+            m.validate(&dfg, &cgra),
+            Err(MappingError::Unreachable {
+                src: NodeId::from_index(0),
+                dst: NodeId::from_index(1)
+            })
+        );
+    }
+
+    #[test]
+    fn detects_timing_violation() {
+        let (dfg, cgra) = tiny();
+        let m = Mapping::new("tiny", 3, vec![place(0, 2, 3), place(1, 1, 3), place(1, 2, 3)]);
+        assert!(matches!(
+            m.validate(&dfg, &cgra),
+            Err(MappingError::DependenceViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_wrong_arity() {
+        let (dfg, cgra) = tiny();
+        let m = Mapping::new("tiny", 3, vec![place(0, 0, 3)]);
+        assert!(matches!(
+            m.validate(&dfg, &cgra),
+            Err(MappingError::WrongArity { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unknown_pe() {
+        let (dfg, cgra) = tiny();
+        let m = Mapping::new("tiny", 3, vec![place(9, 0, 3), place(1, 1, 3), place(0, 2, 3)]);
+        assert!(matches!(
+            m.validate(&dfg, &cgra),
+            Err(MappingError::UnknownPe { .. })
+        ));
+    }
+
+    #[test]
+    fn loop_carried_timing_uses_distance() {
+        let mut b = DfgBuilder::new();
+        let p = b.phi("p", 0);
+        let s = b.unary("s", Op::Neg, p);
+        b.loop_carried(s, p, 1);
+        let dfg = b.build().unwrap();
+        let cgra = Cgra::new(2, 2).unwrap();
+        // II = 2: s at time 1, phi at time 0: 0 >= 1 + 1 - 2 holds.
+        let m = Mapping::new("acc", 2, vec![place(0, 0, 2), place(1, 1, 2)]);
+        m.validate(&dfg, &cgra).unwrap();
+        // II = 1 would need 0 >= 1 + 1 - 1 = 1: violated.
+        let m = Mapping::new(
+            "acc",
+            1,
+            vec![
+                Placement { pe: PeId::from_index(0), slot: 0, time: 0 },
+                Placement { pe: PeId::from_index(1), slot: 0, time: 1 },
+            ],
+        );
+        assert!(matches!(
+            m.validate(&dfg, &cgra),
+            Err(MappingError::DependenceViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = Mapping::new("tiny", 3, vec![place(0, 0, 3)]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Mapping = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

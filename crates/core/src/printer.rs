@@ -1,0 +1,112 @@
+//! Human-readable renderings of a [`Mapping`] (paper Fig. 2b).
+
+use std::fmt::Write as _;
+
+use cgra_arch::Cgra;
+use cgra_dfg::Dfg;
+
+use crate::Mapping;
+
+impl Mapping {
+    /// Renders the kernel as a slot × PE table (the steady-state part of
+    /// Fig. 2b): each cell holds the node executing on that PE in that
+    /// kernel slot.
+    pub fn kernel_table(&self, cgra: &Cgra) -> String {
+        let mut grid = vec![vec![String::new(); cgra.num_pes()]; self.ii()];
+        for (i, p) in self.placements().iter().enumerate() {
+            grid[p.slot][p.pe.index()] = format!("n{i}");
+        }
+        let mut out = String::new();
+        let _ = write!(out, "{:>6} |", "slot");
+        for pe in cgra.pes() {
+            let _ = write!(out, " {:>5}", pe.to_string());
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{}", "-".repeat(8 + 6 * cgra.num_pes()));
+        for (slot, row) in grid.iter().enumerate() {
+            let _ = write!(out, "{slot:>6} |");
+            for cell in row {
+                let _ = write!(out, " {:>5}", if cell.is_empty() { "." } else { cell });
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders the full modulo schedule — prologue, kernel, epilogue —
+    /// for `iterations` loop iterations, like Fig. 2b's left side: one
+    /// line per cycle listing `node(iteration)@PE`.
+    pub fn schedule_table(&self, dfg: &Dfg, iterations: usize) -> String {
+        let len = self.schedule_length();
+        let ii = self.ii();
+        let total_cycles = len + ii * iterations.saturating_sub(1);
+        let kernel_start = len.saturating_sub(ii);
+        let kernel_end = total_cycles.saturating_sub(len - ii);
+        let mut out = String::new();
+        for cycle in 0..total_cycles {
+            let mut cells: Vec<String> = Vec::new();
+            for v in dfg.nodes() {
+                let p = self.placement(v);
+                // Node v of iteration k executes at time(v) + k·II.
+                if cycle >= p.time && (cycle - p.time).is_multiple_of(ii) {
+                    let k = (cycle - p.time) / ii;
+                    if k < iterations {
+                        cells.push(format!("n{}({k})@{}", v.index(), p.pe));
+                    }
+                }
+            }
+            let phase = if cycle < kernel_start {
+                "prologue"
+            } else if cycle < kernel_end {
+                "kernel"
+            } else {
+                "epilogue"
+            };
+            let _ = writeln!(out, "T={cycle:<3} {phase:>8} | {}", cells.join(" "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DecoupledMapper;
+    use cgra_arch::Cgra;
+    use cgra_dfg::examples::running_example;
+
+    #[test]
+    fn kernel_table_mentions_every_node_once() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let mapping = DecoupledMapper::new(&cgra).map(&dfg).unwrap().mapping;
+        let table = mapping.kernel_table(&cgra);
+        let cells: Vec<&str> = table.split_whitespace().collect();
+        for v in 0..14 {
+            let name = format!("n{v}");
+            assert_eq!(
+                cells.iter().filter(|&&c| c == name).count(),
+                1,
+                "node {v} appears exactly once"
+            );
+        }
+        // 2x2 CGRA, II=4: 16 cells, 14 nodes, 2 empty.
+        assert_eq!(cells.iter().filter(|&&c| c == ".").count(), 2);
+    }
+
+    #[test]
+    fn schedule_table_phases_cover_iterations() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let mapping = DecoupledMapper::new(&cgra).map(&dfg).unwrap().mapping;
+        let s = mapping.schedule_table(&dfg, 3);
+        assert!(s.contains("prologue"));
+        assert!(s.contains("kernel"));
+        assert!(s.contains("epilogue"));
+        // Every node of iteration 0 appears.
+        for v in 0..14 {
+            assert!(s.contains(&format!("n{v}(0)")), "n{v}(0)");
+        }
+        // And of the last iteration.
+        assert!(s.contains("(2)"));
+    }
+}

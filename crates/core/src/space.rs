@@ -1,0 +1,164 @@
+//! Construction of the monomorphism problem from a time solution
+//! (paper §IV-C): the scheduled DFG becomes the pattern, the MRRG the
+//! target.
+
+use cgra_arch::{Cgra, Mrrg};
+use cgra_dfg::Dfg;
+use cgra_iso::{BitSet, MonoOutcome, Pattern, SearchConfig, Searcher, Target};
+use cgra_sched::TimeSolution;
+
+/// Builds the undirected labelled pattern graph from the DFG and its
+/// time solution: labels are kernel slots (`l_G(v) = T_v mod II`), edge
+/// direction is dropped, self edges vanish (paper §IV-B: "the
+/// directionality of the edges becomes redundant and is removed").
+pub fn build_pattern(dfg: &Dfg, solution: &TimeSolution) -> Pattern {
+    let labels: Vec<u32> = dfg.nodes().map(|v| solution.slot(v) as u32).collect();
+    let edges: Vec<(usize, usize)> = dfg
+        .edges()
+        .iter()
+        .filter(|e| e.src != e.dst)
+        .map(|e| (e.src.index(), e.dst.index()))
+        .collect();
+    Pattern::new(labels, edges)
+}
+
+/// Builds the MRRG as a monomorphism target: vertex `slot · |PEs| + pe`
+/// carries label `slot`; adjacency rows are assembled directly from the
+/// CGRA neighbour masks (same-slot: neighbours; cross-slot: neighbours
+/// plus the PE itself — the register-file-readability relation of
+/// [`Mrrg`]).
+pub fn build_target(cgra: &Cgra, ii: usize) -> Target {
+    let n = cgra.num_pes();
+    let total = n * ii;
+    let labels: Vec<u32> = (0..total).map(|i| (i / n) as u32).collect();
+    let mut rows = Vec::with_capacity(total);
+    for slot in 0..ii {
+        for pe in cgra.pes() {
+            let mut row = BitSet::new(total);
+            for other in 0..ii {
+                let base = other * n;
+                if other == slot {
+                    for q in cgra.neighbors(pe) {
+                        row.insert(base + q.index());
+                    }
+                } else {
+                    for q in cgra.neighbor_mask_with_self(pe).iter() {
+                        row.insert(base + q.index());
+                    }
+                }
+            }
+            rows.push(row);
+        }
+    }
+    Target::from_rows(labels, rows)
+}
+
+/// Outcome of one space-phase attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpaceOutcome {
+    /// `map[v]` is the MRRG vertex index of node `v`.
+    Found(Vec<usize>),
+    /// The search space was exhausted without a monomorphism.
+    Exhausted,
+    /// The step budget ran out.
+    LimitReached,
+}
+
+/// Runs the monomorphism search for one time solution.
+///
+/// Returns the found map along with the number of search steps taken.
+pub fn space_search(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    solution: &TimeSolution,
+    step_limit: u64,
+) -> (SpaceOutcome, u64) {
+    let pattern = build_pattern(dfg, solution);
+    let target = build_target(cgra, solution.ii());
+    let mut searcher = Searcher::with_config(&pattern, &target, SearchConfig::steps(step_limit));
+    let outcome = match searcher.run() {
+        MonoOutcome::Found(map) => SpaceOutcome::Found(map),
+        MonoOutcome::Exhausted => SpaceOutcome::Exhausted,
+        MonoOutcome::LimitReached => SpaceOutcome::LimitReached,
+    };
+    (outcome, searcher.stats().steps)
+}
+
+/// Verifies that target construction agrees with the [`Mrrg`] adjacency
+/// oracle (used by tests; the target is the performance-oriented
+/// materialisation of the same graph).
+pub fn target_matches_mrrg(cgra: &Cgra, ii: usize) -> bool {
+    let target = build_target(cgra, ii);
+    let mrrg = Mrrg::new(cgra, ii);
+    if target.num_vertices() != mrrg.num_vertices() {
+        return false;
+    }
+    for a in 0..target.num_vertices() {
+        let va = mrrg.vertex_at(a);
+        if target.label(a) as usize != mrrg.label(va) {
+            return false;
+        }
+        for b in 0..target.num_vertices() {
+            if target.adjacent(a, b) != mrrg.adjacent(va, mrrg.vertex_at(b)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_arch::Topology;
+    use cgra_dfg::examples::running_example;
+    use cgra_sched::{TimeSolver, TimeSolverConfig};
+
+    #[test]
+    fn target_agrees_with_mrrg_oracle() {
+        for topo in [Topology::Torus, Topology::Mesh] {
+            let cgra = Cgra::with_topology(2, 2, topo).unwrap();
+            assert!(target_matches_mrrg(&cgra, 3), "{topo} 2x2 II=3");
+        }
+        let cgra = Cgra::new(3, 3).unwrap();
+        assert!(target_matches_mrrg(&cgra, 2), "torus 3x3 II=2");
+    }
+
+    #[test]
+    fn pattern_drops_direction_and_self_edges() {
+        let dfg = running_example();
+        let cgra = Cgra::new(2, 2).unwrap();
+        let cfg = TimeSolverConfig::for_cgra(&cgra);
+        let sol = TimeSolver::new(&dfg, 4, cfg).unwrap().solve().unwrap();
+        let p = build_pattern(&dfg, &sol);
+        assert_eq!(p.num_vertices(), 14);
+        // 15 directed edges, no duplicates between the same pair, no
+        // self edges in the running example.
+        assert_eq!(p.num_edges(), 15);
+        for v in dfg.nodes() {
+            assert_eq!(p.label(v.index()) as usize, sol.slot(v));
+        }
+    }
+
+    #[test]
+    fn running_example_space_solution_exists() {
+        // The paper's Fig. 4: a monomorphism exists for the running
+        // example at II = 4 on the 2×2 CGRA.
+        let dfg = running_example();
+        let cgra = Cgra::new(2, 2).unwrap();
+        let cfg = TimeSolverConfig::for_cgra(&cgra);
+        let sol = TimeSolver::new(&dfg, 4, cfg).unwrap().solve().unwrap();
+        let (outcome, steps) = space_search(&dfg, &cgra, &sol, 1_000_000);
+        assert!(matches!(outcome, SpaceOutcome::Found(_)), "{outcome:?}");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn target_sizes() {
+        let cgra = Cgra::new(4, 4).unwrap();
+        let t = build_target(&cgra, 5);
+        assert_eq!(t.num_vertices(), 80);
+        // Uniform torus: same-slot degree 4, cross-slot 5 each.
+        assert_eq!(t.degree(0), 4 + 4 * 5);
+    }
+}

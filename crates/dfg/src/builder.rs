@@ -1,0 +1,217 @@
+//! Fluent construction of DFGs.
+
+use crate::{Dfg, DfgError, EdgeKind, NodeId, Operation};
+
+/// A fluent builder for [`Dfg`]s that validates on [`DfgBuilder::build`].
+///
+/// # Examples
+///
+/// A multiply-accumulate loop body:
+///
+/// ```
+/// use cgra_dfg::{DfgBuilder, Operation};
+///
+/// let mut b = DfgBuilder::named("mac");
+/// let a = b.input("a");
+/// let x = b.input("x");
+/// let acc = b.phi("acc", 0);
+/// let prod = b.binary("prod", Operation::Mul, a, x);
+/// let sum = b.binary("sum", Operation::Add, acc, prod);
+/// b.loop_carried(sum, acc, 1);
+/// b.output("out", sum);
+/// let dfg = b.build()?;
+/// assert_eq!(dfg.num_nodes(), 6);
+/// # Ok::<(), cgra_dfg::DfgError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DfgBuilder {
+    dfg: Dfg,
+    next_input: u32,
+}
+
+impl DfgBuilder {
+    /// Creates a builder for an unnamed graph.
+    pub fn new() -> Self {
+        DfgBuilder {
+            dfg: Dfg::new("unnamed"),
+            next_input: 0,
+        }
+    }
+
+    /// Creates a builder for a graph with a diagnostic name.
+    pub fn named(name: impl Into<String>) -> Self {
+        DfgBuilder {
+            dfg: Dfg::new(name),
+            next_input: 0,
+        }
+    }
+
+    /// Adds a live-in input node with the next free channel index.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        let ch = self.next_input;
+        self.next_input += 1;
+        self.dfg.add_node(Operation::Input(ch), name)
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, name: impl Into<String>, value: i64) -> NodeId {
+        self.dfg.add_node(Operation::Const(value), name)
+    }
+
+    /// Adds a φ node with an initial value; close its loop with
+    /// [`DfgBuilder::loop_carried`].
+    pub fn phi(&mut self, name: impl Into<String>, initial: i64) -> NodeId {
+        self.dfg.add_node(Operation::Phi(initial), name)
+    }
+
+    /// Adds a unary operation node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not unary.
+    pub fn unary(&mut self, name: impl Into<String>, op: Operation, a: NodeId) -> NodeId {
+        assert_eq!(op.arity(), 1, "{op} is not unary");
+        let v = self.dfg.add_node(op, name);
+        self.dfg.add_edge(a, v, 0, EdgeKind::Data);
+        v
+    }
+
+    /// Adds a binary operation node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not binary.
+    pub fn binary(&mut self, name: impl Into<String>, op: Operation, a: NodeId, b: NodeId) -> NodeId {
+        assert_eq!(op.arity(), 2, "{op} is not binary");
+        let v = self.dfg.add_node(op, name);
+        self.dfg.add_edge(a, v, 0, EdgeKind::Data);
+        self.dfg.add_edge(b, v, 1, EdgeKind::Data);
+        v
+    }
+
+    /// Adds a `select(cond, then, else)` node.
+    pub fn select(
+        &mut self,
+        name: impl Into<String>,
+        cond: NodeId,
+        then: NodeId,
+        otherwise: NodeId,
+    ) -> NodeId {
+        let v = self.dfg.add_node(Operation::Select, name);
+        self.dfg.add_edge(cond, v, 0, EdgeKind::Data);
+        self.dfg.add_edge(then, v, 1, EdgeKind::Data);
+        self.dfg.add_edge(otherwise, v, 2, EdgeKind::Data);
+        v
+    }
+
+    /// Adds a memory load from the address produced by `addr`.
+    pub fn load(&mut self, name: impl Into<String>, addr: NodeId) -> NodeId {
+        self.unary_raw(Operation::Load, name, addr)
+    }
+
+    /// Adds a memory store of `value` to `addr`.
+    pub fn store(&mut self, name: impl Into<String>, addr: NodeId, value: NodeId) -> NodeId {
+        let v = self.dfg.add_node(Operation::Store, name);
+        self.dfg.add_edge(addr, v, 0, EdgeKind::Data);
+        self.dfg.add_edge(value, v, 1, EdgeKind::Data);
+        v
+    }
+
+    /// Adds a live-out marker node.
+    pub fn output(&mut self, name: impl Into<String>, value: NodeId) -> NodeId {
+        self.unary_raw(Operation::Output, name, value)
+    }
+
+    fn unary_raw(&mut self, op: Operation, name: impl Into<String>, a: NodeId) -> NodeId {
+        let v = self.dfg.add_node(op, name);
+        self.dfg.add_edge(a, v, 0, EdgeKind::Data);
+        v
+    }
+
+    /// Closes a recurrence: `src`'s value from `distance` iterations ago
+    /// feeds φ node `phi`.
+    pub fn loop_carried(&mut self, src: NodeId, phi: NodeId, distance: u32) {
+        self.dfg
+            .add_edge(src, phi, 0, EdgeKind::LoopCarried { distance });
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.dfg.num_nodes()
+    }
+
+    /// Validates and returns the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DfgError`] invariant violation.
+    pub fn build(self) -> Result<Dfg, DfgError> {
+        self.dfg.validate()?;
+        Ok(self.dfg)
+    }
+
+    /// Returns the graph without validation (for tests that need to
+    /// construct invalid graphs).
+    pub fn build_unchecked(self) -> Dfg {
+        self.dfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operation as Op;
+
+    #[test]
+    fn builder_wires_operands() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let s = b.binary("s", Op::Add, x, y);
+        let n = b.unary("n", Op::Neg, s);
+        b.output("o", n);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn input_channels_increment() {
+        let mut b = DfgBuilder::new();
+        let a = b.input("a");
+        let c = b.input("c");
+        let g = b.build_unchecked();
+        assert_eq!(g.op(a), Op::Input(0));
+        assert_eq!(g.op(c), Op::Input(1));
+    }
+
+    #[test]
+    fn select_and_memory() {
+        let mut b = DfgBuilder::new();
+        let addr = b.input("addr");
+        let v = b.load("v", addr);
+        let c = b.constant("c", 10);
+        let cond = b.binary("cond", Op::Lt, v, c);
+        let sel = b.select("sel", cond, v, c);
+        b.store("st", addr, sel);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_nodes(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not unary")]
+    fn unary_checks_arity() {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        b.unary("bad", Op::Add, x);
+    }
+
+    #[test]
+    fn build_reports_open_phi() {
+        let mut b = DfgBuilder::new();
+        let _ = b.phi("p", 0);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, DfgError::MissingOperand { .. }));
+    }
+}

@@ -1,0 +1,124 @@
+//! Hand-built example DFGs, including the paper's running example.
+
+use crate::{Dfg, DfgBuilder, EdgeKind, Operation as Op};
+
+/// The 14-node running example of the paper (Fig. 2a).
+///
+/// The edge structure is reconstructed from the ASAP/ALAP/MobS schedules
+/// of Table I (which this graph reproduces exactly — see the golden test
+/// in `cgra-sched`) and the dependencies called out in the text: a data
+/// dependency between nodes 2 and 8 (the invalid-time example of
+/// Fig. 2c) and a loop-carried dependency between nodes 7 and 4 (the
+/// invalid-space example), which closes the II-defining recurrence
+/// 4 → 5 → 6 → 7 → 4 with `RecII = 4`.
+///
+/// ```
+/// use cgra_dfg::examples::running_example;
+/// let g = running_example();
+/// assert_eq!(g.num_nodes(), 14);
+/// assert!(g.validate().is_ok());
+/// assert_eq!(g.recurrence_cycles(), vec![(4, 1)]);
+/// ```
+pub fn running_example() -> Dfg {
+    let mut g = Dfg::new("running-example");
+    // Node ids must match the paper's numbering 0..=13.
+    let n0 = g.add_node(Op::Input(0), "in0");
+    let n1 = g.add_node(Op::Input(1), "in1");
+    let n2 = g.add_node(Op::Input(2), "in2");
+    let n3 = g.add_node(Op::Const(3), "c3");
+    let n4 = g.add_node(Op::Phi(1), "phi4");
+    let n5 = g.add_node(Op::Neg, "neg5");
+    let n6 = g.add_node(Op::Add, "add6");
+    let n7 = g.add_node(Op::Mul, "mul7");
+    let n8 = g.add_node(Op::Select, "sel8");
+    let n9 = g.add_node(Op::Not, "not9");
+    let n10 = g.add_node(Op::Store, "st10");
+    let n11 = g.add_node(Op::Load, "ld11");
+    let n12 = g.add_node(Op::Abs, "abs12");
+    let n13 = g.add_node(Op::Output, "out13");
+
+    let d = EdgeKind::Data;
+    g.add_edge(n4, n5, 0, d); //  4 -> 5
+    g.add_edge(n5, n6, 0, d); //  5 -> 6
+    g.add_edge(n3, n6, 1, d); //  3 -> 6
+    g.add_edge(n6, n7, 0, d); //  6 -> 7
+    g.add_edge(n1, n7, 1, d); //  1 -> 7
+    g.add_edge(n6, n8, 0, d); //  6 -> 8
+    g.add_edge(n0, n8, 1, d); //  0 -> 8
+    g.add_edge(n2, n8, 2, d); //  2 -> 8  (invalid-time example pair)
+    g.add_edge(n8, n9, 0, d); //  8 -> 9
+    g.add_edge(n9, n10, 0, d); // 9 -> 10
+    g.add_edge(n7, n10, 1, d); // 7 -> 10
+    g.add_edge(n0, n11, 0, d); // 0 -> 11
+    g.add_edge(n11, n12, 0, d); // 11 -> 12
+    g.add_edge(n12, n13, 0, d); // 12 -> 13
+    // Recurrence: 7 -> 4 (loop-carried, distance 1).
+    g.add_edge(n7, n4, 0, EdgeKind::LoopCarried { distance: 1 });
+
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// A tiny 4-node accumulator (`acc += x`), the smallest interesting
+/// kernel: one φ, one recurrence of length 2.
+pub fn accumulator() -> Dfg {
+    let mut b = DfgBuilder::named("accumulator");
+    let x = b.input("x");
+    let acc = b.phi("acc", 0);
+    let sum = b.binary("sum", Op::Add, acc, x);
+    b.loop_carried(sum, acc, 1);
+    b.output("out", sum);
+    b.build().expect("accumulator example is valid")
+}
+
+/// A 10-node streaming kernel: load, scale, clamp, store, with an index
+/// recurrence — a shape typical of multimedia inner loops.
+pub fn stream_scale() -> Dfg {
+    let mut b = DfgBuilder::named("stream-scale");
+    let i = b.phi("i", 0);
+    let one = b.constant("one", 1);
+    let inext = b.binary("inext", Op::Add, i, one);
+    b.loop_carried(inext, i, 1);
+    let v = b.load("v", i);
+    let k = b.constant("k", 3);
+    let scaled = b.binary("scaled", Op::Mul, v, k);
+    let hi = b.constant("hi", 255);
+    let clamped = b.binary("clamped", Op::Min, scaled, hi);
+    b.store("st", i, clamped);
+    b.build().expect("stream-scale example is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_matches_paper_counts() {
+        let g = running_example();
+        assert_eq!(g.num_nodes(), 14);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn running_example_recurrence_is_four() {
+        let g = running_example();
+        // The 4 -> 5 -> 6 -> 7 -> (lc) 4 cycle gives RecII = 4 (paper
+        // §IV-B: RecII = 4 for the running example).
+        assert_eq!(g.recurrence_cycles(), vec![(4, 1)]);
+    }
+
+    #[test]
+    fn all_examples_validate() {
+        for g in [running_example(), accumulator(), stream_scale()] {
+            assert!(g.validate().is_ok(), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn accumulator_shape() {
+        let g = accumulator();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.recurrence_cycles(), vec![(2, 1)]);
+    }
+}

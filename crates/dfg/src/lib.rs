@@ -1,0 +1,49 @@
+//! # cgra-dfg — data-flow graphs for CGRA mapping
+//!
+//! The source side of the `monomap` mapper: loop-body data-flow graphs
+//! (DFGs) whose nodes are instructions and whose edges are data
+//! dependencies or loop-carried dependencies with an iteration distance
+//! (paper §III-A, Fig. 2a).
+//!
+//! The crate provides:
+//!
+//! * [`Dfg`] — the graph itself, with validation (acyclic data subgraph,
+//!   complete operands, loop-carried edges terminating in [`Operation::Phi`]
+//!   nodes) and Graphviz export,
+//! * [`DfgBuilder`] — a fluent construction API,
+//! * [`examples`] — the paper's 14-node running example (Fig. 2a),
+//! * [`suite`] — seventeen deterministic synthetic kernels mirroring the
+//!   MiBench/Rodinia loops of the paper's evaluation (same node counts,
+//!   same recurrence-constrained minimum II).
+//!
+//! ## Example
+//!
+//! ```
+//! use cgra_dfg::{DfgBuilder, Operation};
+//!
+//! let mut b = DfgBuilder::new();
+//! let x = b.input("x");
+//! let acc = b.phi("acc", 0);
+//! let sum = b.binary("sum", Operation::Add, acc, x);
+//! b.loop_carried(sum, acc, 1);
+//! b.output("out", sum);
+//! let dfg = b.build()?;
+//! assert_eq!(dfg.num_nodes(), 4);
+//! # Ok::<(), cgra_dfg::DfgError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod dot;
+pub mod examples;
+mod graph;
+pub mod metrics;
+mod op;
+pub mod suite;
+
+pub use builder::DfgBuilder;
+pub use graph::{Dfg, DfgError, Edge, EdgeKind, NodeId};
+pub use metrics::DfgMetrics;
+pub use op::Operation;

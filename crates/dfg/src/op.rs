@@ -1,0 +1,259 @@
+//! Instruction operations carried by DFG nodes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The operation computed by a DFG node.
+///
+/// Operand counts are fixed per operation ([`Operation::arity`]); the
+/// pure arithmetic subset can be evaluated directly with
+/// [`Operation::eval_pure`], while memory, input and φ operations need
+/// environment state and are interpreted by the `cgra-sim` crate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Operation {
+    /// A compile-time constant value (no operands).
+    Const(i64),
+    /// A per-iteration live-in value, identified by an input channel
+    /// index (no operands).
+    Input(u32),
+    /// A loop-header φ: takes the initial value on the first iterations
+    /// and the value of its loop-carried operand afterwards. The single
+    /// operand arrives over a loop-carried edge.
+    Phi(i64),
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Two's-complement multiplication.
+    Mul,
+    /// Division rounding toward zero; division by zero yields zero (the
+    /// usual accelerator convention, keeping evaluation total).
+    Div,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 0..64).
+    Shl,
+    /// Arithmetic shift right (shift amount masked to 0..64).
+    Shr,
+    /// Minimum of two values.
+    Min,
+    /// Maximum of two values.
+    Max,
+    /// Signed comparison: 1 if the first operand is less than the
+    /// second, else 0.
+    Lt,
+    /// Equality test: 1 if equal, else 0.
+    Eq,
+    /// Arithmetic negation (one operand).
+    Neg,
+    /// Bitwise complement (one operand).
+    Not,
+    /// Absolute value (one operand).
+    Abs,
+    /// Select: if the first operand is non-zero the second, else the
+    /// third.
+    Select,
+    /// Memory load; the operand is the address.
+    Load,
+    /// Memory store; operands are address and value. Produces the stored
+    /// value so downstream edges remain expressible.
+    Store,
+    /// Marks a loop live-out (one operand, produces it unchanged).
+    Output,
+}
+
+impl Operation {
+    /// The number of operands this operation consumes through DFG edges
+    /// (loop-carried φ operands included).
+    pub fn arity(self) -> usize {
+        use Operation::*;
+        match self {
+            Const(_) | Input(_) => 0,
+            Phi(_) | Neg | Not | Abs | Load | Output => 1,
+            Add | Sub | Mul | Div | And | Or | Xor | Shl | Shr | Min | Max | Lt | Eq | Store => 2,
+            Select => 3,
+        }
+    }
+
+    /// True for operations whose value can be computed from operand
+    /// values alone (everything except memory, inputs and φ).
+    pub fn is_pure(self) -> bool {
+        use Operation::*;
+        !matches!(self, Const(_) | Input(_) | Phi(_) | Load | Store)
+    }
+
+    /// True for operations that touch data memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, Operation::Load | Operation::Store)
+    }
+
+    /// Evaluates a pure operation (plus `Const`) on operand values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation is not pure (other than `Const`) or the
+    /// operand count does not match [`Operation::arity`].
+    pub fn eval_pure(self, operands: &[i64]) -> i64 {
+        use Operation::*;
+        assert_eq!(
+            operands.len(),
+            self.arity(),
+            "operand count mismatch for {self:?}"
+        );
+        match self {
+            Const(v) => v,
+            Add => operands[0].wrapping_add(operands[1]),
+            Sub => operands[0].wrapping_sub(operands[1]),
+            Mul => operands[0].wrapping_mul(operands[1]),
+            Div => {
+                if operands[1] == 0 {
+                    0
+                } else {
+                    operands[0].wrapping_div(operands[1])
+                }
+            }
+            And => operands[0] & operands[1],
+            Or => operands[0] | operands[1],
+            Xor => operands[0] ^ operands[1],
+            Shl => operands[0].wrapping_shl((operands[1] & 63) as u32),
+            Shr => operands[0].wrapping_shr((operands[1] & 63) as u32),
+            Min => operands[0].min(operands[1]),
+            Max => operands[0].max(operands[1]),
+            Lt => i64::from(operands[0] < operands[1]),
+            Eq => i64::from(operands[0] == operands[1]),
+            Neg => operands[0].wrapping_neg(),
+            Not => !operands[0],
+            Abs => operands[0].wrapping_abs(),
+            Select => {
+                if operands[0] != 0 {
+                    operands[1]
+                } else {
+                    operands[2]
+                }
+            }
+            Output => operands[0],
+            Input(_) | Phi(_) | Load | Store => {
+                panic!("{self:?} requires environment state; use the simulator")
+            }
+        }
+    }
+
+    /// A short mnemonic for display.
+    pub fn mnemonic(self) -> &'static str {
+        use Operation::*;
+        match self {
+            Const(_) => "const",
+            Input(_) => "input",
+            Phi(_) => "phi",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Min => "min",
+            Max => "max",
+            Lt => "lt",
+            Eq => "eq",
+            Neg => "neg",
+            Not => "not",
+            Abs => "abs",
+            Select => "select",
+            Load => "load",
+            Store => "store",
+            Output => "output",
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Const(v) => write!(f, "const({v})"),
+            Operation::Input(i) => write!(f, "input({i})"),
+            Operation::Phi(v) => write!(f, "phi({v})"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Operation::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(Const(0).arity(), 0);
+        assert_eq!(Input(0).arity(), 0);
+        assert_eq!(Phi(0).arity(), 1);
+        assert_eq!(Neg.arity(), 1);
+        assert_eq!(Add.arity(), 2);
+        assert_eq!(Store.arity(), 2);
+        assert_eq!(Select.arity(), 3);
+    }
+
+    #[test]
+    fn pure_arithmetic() {
+        assert_eq!(Add.eval_pure(&[2, 3]), 5);
+        assert_eq!(Sub.eval_pure(&[2, 3]), -1);
+        assert_eq!(Mul.eval_pure(&[4, 3]), 12);
+        assert_eq!(Div.eval_pure(&[7, 2]), 3);
+        assert_eq!(Div.eval_pure(&[7, 0]), 0, "division by zero is total");
+        assert_eq!(Xor.eval_pure(&[0b1100, 0b1010]), 0b0110);
+        assert_eq!(Shl.eval_pure(&[1, 4]), 16);
+        assert_eq!(Shr.eval_pure(&[-8, 1]), -4, "arithmetic shift");
+        assert_eq!(Min.eval_pure(&[3, -2]), -2);
+        assert_eq!(Max.eval_pure(&[3, -2]), 3);
+        assert_eq!(Lt.eval_pure(&[1, 2]), 1);
+        assert_eq!(Eq.eval_pure(&[5, 5]), 1);
+        assert_eq!(Neg.eval_pure(&[9]), -9);
+        assert_eq!(Abs.eval_pure(&[-9]), 9);
+        assert_eq!(Select.eval_pure(&[1, 10, 20]), 10);
+        assert_eq!(Select.eval_pure(&[0, 10, 20]), 20);
+        assert_eq!(Output.eval_pure(&[42]), 42);
+        assert_eq!(Const(7).eval_pure(&[]), 7);
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        assert_eq!(Add.eval_pure(&[i64::MAX, 1]), i64::MIN);
+        assert_eq!(Neg.eval_pure(&[i64::MIN]), i64::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "environment state")]
+    fn load_is_not_pure() {
+        Load.eval_pure(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand count mismatch")]
+    fn arity_checked() {
+        Add.eval_pure(&[1]);
+    }
+
+    #[test]
+    fn purity_classification() {
+        assert!(Add.is_pure());
+        assert!(!Load.is_pure());
+        assert!(!Phi(0).is_pure());
+        assert!(Load.is_memory());
+        assert!(Store.is_memory());
+        assert!(!Add.is_memory());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Const(3).to_string(), "const(3)");
+        assert_eq!(Add.to_string(), "add");
+        assert_eq!(Phi(1).to_string(), "phi(1)");
+    }
+}

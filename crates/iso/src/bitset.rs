@@ -1,0 +1,213 @@
+//! A fixed-capacity bit set over dense vertex indices.
+
+use std::fmt;
+
+/// A set of vertex indices backed by a word vector.
+///
+/// The workhorse of the monomorphism search: candidate sets are built by
+/// intersecting neighbourhood rows of the target graph.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every index in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        s.mask_tail();
+        s
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.capacity % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// The exclusive upper bound on indices.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.capacity, "index {i} out of range");
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes an index (no-op when absent).
+    pub fn remove(&mut self, i: usize) {
+        if i < self.capacity {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Copies `other` into `self` (capacities must match).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a set sized to the largest index seen.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().map(|&i| i + 1).max().unwrap_or(0);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// Iterator over members of a [`BitSet`].
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn full_and_algebra() {
+        let mut a = BitSet::full(70);
+        assert_eq!(a.len(), 70);
+        let b: BitSet = [3usize, 68].into_iter().collect();
+        let mut b70 = BitSet::new(70);
+        for i in b.iter() {
+            b70.insert(i);
+        }
+        a.subtract(&b70);
+        assert_eq!(a.len(), 68);
+        a.union_with(&b70);
+        assert_eq!(a.len(), 70);
+        a.intersect_with(&b70);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 68]);
+    }
+
+    #[test]
+    fn copy_from_replaces_contents() {
+        let mut a = BitSet::new(10);
+        a.insert(1);
+        let mut b = BitSet::new(10);
+        b.insert(7);
+        a.copy_from(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut s = BitSet::new(3);
+        s.insert(3);
+    }
+}

@@ -1,0 +1,211 @@
+//! Pattern and target graph representations for the search.
+
+use std::fmt;
+
+use crate::BitSet;
+
+/// The (small) pattern graph: undirected, vertex-labelled.
+///
+/// For the CGRA mapper this is the scheduled DFG with labels
+/// `l_G(v) = T_v mod II`.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    labels: Vec<u32>,
+    adj: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl Pattern {
+    /// Builds a pattern from labels and undirected edges.
+    ///
+    /// Self-loops and duplicate edges are ignored (a self-loop imposes
+    /// no constraint under an injective map into a target whose
+    /// self-relations are implicit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a vertex out of range.
+    pub fn new(labels: Vec<u32>, edges: Vec<(usize, usize)>) -> Self {
+        let n = labels.len();
+        let mut adj = vec![Vec::new(); n];
+        let mut num_edges = 0;
+        for (a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            if a == b || adj[a].contains(&b) {
+                continue;
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+            num_edges += 1;
+        }
+        for row in &mut adj {
+            row.sort_unstable();
+        }
+        Pattern {
+            labels,
+            adj,
+            num_edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The label of a vertex.
+    pub fn label(&self, v: usize) -> u32 {
+        self.labels[v]
+    }
+
+    /// The distinct neighbours of a vertex.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// The degree of a vertex.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+}
+
+/// The (large) target graph: undirected, vertex-labelled, with bit-set
+/// adjacency rows.
+///
+/// For the CGRA mapper this is the MRRG; the `monomap-core` crate builds
+/// the rows directly from the CGRA adjacency masks without enumerating
+/// vertex pairs.
+#[derive(Clone)]
+pub struct Target {
+    labels: Vec<u32>,
+    rows: Vec<BitSet>,
+}
+
+impl fmt::Debug for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Target")
+            .field("num_vertices", &self.labels.len())
+            .finish()
+    }
+}
+
+impl Target {
+    /// Creates a target with the given labels and no edges.
+    pub fn new(labels: Vec<u32>) -> Self {
+        let n = labels.len();
+        Target {
+            labels,
+            rows: vec![BitSet::new(n); n],
+        }
+    }
+
+    /// Creates a target from labels and prebuilt adjacency rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row count or capacities disagree with the label count.
+    /// Symmetry is the caller's responsibility (checked in debug builds).
+    pub fn from_rows(labels: Vec<u32>, rows: Vec<BitSet>) -> Self {
+        let n = labels.len();
+        assert_eq!(rows.len(), n, "one adjacency row per vertex");
+        for row in &rows {
+            assert_eq!(row.capacity(), n, "row capacity must equal vertex count");
+        }
+        #[cfg(debug_assertions)]
+        for a in 0..n {
+            for b in rows[a].iter() {
+                debug_assert!(rows[b].contains(a), "adjacency must be symmetric");
+                debug_assert_ne!(a, b, "self loops are implicit");
+            }
+        }
+        Target { labels, rows }
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range vertices or self-loops.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert_ne!(a, b, "self loops are implicit in the target");
+        self.rows[a].insert(b);
+        self.rows[b].insert(a);
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label of a vertex.
+    pub fn label(&self, v: usize) -> u32 {
+        self.labels[v]
+    }
+
+    /// The adjacency row of a vertex.
+    pub fn row(&self, v: usize) -> &BitSet {
+        &self.rows[v]
+    }
+
+    /// The degree of a vertex.
+    pub fn degree(&self, v: usize) -> usize {
+        self.rows[v].len()
+    }
+
+    /// Adjacency test.
+    pub fn adjacent(&self, a: usize, b: usize) -> bool {
+        self.rows[a].contains(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_dedups_and_sorts() {
+        let p = Pattern::new(vec![0, 0, 1], vec![(0, 1), (1, 0), (1, 1), (1, 2)]);
+        assert_eq!(p.num_edges(), 2);
+        assert_eq!(p.neighbors(1), &[0, 2]);
+        assert_eq!(p.degree(1), 2);
+        assert_eq!(p.label(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pattern_rejects_bad_edge() {
+        let _ = Pattern::new(vec![0], vec![(0, 1)]);
+    }
+
+    #[test]
+    fn target_edges_symmetric() {
+        let mut t = Target::new(vec![0, 1, 2]);
+        t.add_edge(0, 2);
+        assert!(t.adjacent(0, 2));
+        assert!(t.adjacent(2, 0));
+        assert!(!t.adjacent(0, 1));
+        assert_eq!(t.degree(0), 1);
+    }
+
+    #[test]
+    fn target_from_rows() {
+        let mut rows = vec![BitSet::new(2), BitSet::new(2)];
+        rows[0].insert(1);
+        rows[1].insert(0);
+        let t = Target::from_rows(vec![5, 5], rows);
+        assert!(t.adjacent(0, 1));
+        assert_eq!(t.label(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn target_rejects_self_loop() {
+        let mut t = Target::new(vec![0]);
+        t.add_edge(0, 0);
+    }
+}

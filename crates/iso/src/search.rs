@@ -1,0 +1,506 @@
+//! The backtracking monomorphism search.
+
+use crate::{BitSet, Pattern, Target};
+
+/// Limits applied to one search run.
+#[derive(Clone, Debug, Default)]
+pub struct SearchConfig {
+    /// Maximum number of extension attempts (candidate placements tried)
+    /// before giving up with [`MonoOutcome::LimitReached`]. `None` means
+    /// unlimited.
+    pub max_steps: Option<u64>,
+}
+
+impl SearchConfig {
+    /// Unlimited search.
+    pub fn unlimited() -> Self {
+        SearchConfig::default()
+    }
+
+    /// A search budget of `n` extension attempts.
+    pub fn steps(n: u64) -> Self {
+        SearchConfig {
+            max_steps: Some(n),
+        }
+    }
+}
+
+/// Result of a monomorphism search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MonoOutcome {
+    /// A monomorphism was found: `map[u]` is the target vertex of
+    /// pattern vertex `u`.
+    Found(Vec<usize>),
+    /// The full space was explored; no monomorphism exists.
+    Exhausted,
+    /// The step budget ran out first.
+    LimitReached,
+}
+
+impl MonoOutcome {
+    /// Extracts the mapping, if found.
+    pub fn into_map(self) -> Option<Vec<usize>> {
+        match self {
+            MonoOutcome::Found(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Work counters of a search run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MonoStats {
+    /// Candidate placements attempted.
+    pub steps: u64,
+    /// Backtracks taken.
+    pub backtracks: u64,
+    /// Solutions reported (for enumeration runs).
+    pub solutions: u64,
+}
+
+/// A reusable monomorphism searcher over a pattern/target pair.
+pub struct Searcher<'a> {
+    pattern: &'a Pattern,
+    target: &'a Target,
+    config: SearchConfig,
+    /// Matching order of pattern vertices.
+    order: Vec<usize>,
+    /// Base candidate sets (label + degree compatible) per pattern
+    /// vertex.
+    base: Vec<BitSet>,
+    stats: MonoStats,
+}
+
+impl<'a> Searcher<'a> {
+    /// Prepares a search with default (unlimited) configuration.
+    pub fn new(pattern: &'a Pattern, target: &'a Target) -> Self {
+        Searcher::with_config(pattern, target, SearchConfig::unlimited())
+    }
+
+    /// Prepares a search with explicit limits.
+    pub fn with_config(pattern: &'a Pattern, target: &'a Target, config: SearchConfig) -> Self {
+        let np = pattern.num_vertices();
+        let nt = target.num_vertices();
+        // Base candidates: label equality + degree dominance.
+        let mut base = Vec::with_capacity(np);
+        for u in 0..np {
+            let mut s = BitSet::new(nt);
+            for t in 0..nt {
+                if target.label(t) == pattern.label(u) && target.degree(t) >= pattern.degree(u) {
+                    s.insert(t);
+                }
+            }
+            base.push(s);
+        }
+        // Greatest-constraint-first ordering: start at the most
+        // constrained vertex (fewest base candidates, then highest
+        // degree); grow by maximising already-ordered neighbours.
+        let mut order: Vec<usize> = Vec::with_capacity(np);
+        let mut placed = vec![false; np];
+        while order.len() < np {
+            let next = (0..np)
+                .filter(|&u| !placed[u])
+                .min_by_key(|&u| {
+                    let mapped_nbrs = pattern
+                        .neighbors(u)
+                        .iter()
+                        .filter(|&&w| placed[w])
+                        .count();
+                    // More mapped neighbours first, then fewer
+                    // candidates, then higher degree.
+                    (
+                        usize::MAX - mapped_nbrs,
+                        base[u].len(),
+                        usize::MAX - pattern.degree(u),
+                    )
+                })
+                .expect("unplaced vertex exists");
+            placed[next] = true;
+            order.push(next);
+        }
+        Searcher {
+            pattern,
+            target,
+            config,
+            order,
+            base,
+            stats: MonoStats::default(),
+        }
+    }
+
+    /// Counters from the most recent run.
+    pub fn stats(&self) -> MonoStats {
+        self.stats
+    }
+
+    /// Runs the search for the first monomorphism.
+    pub fn run(&mut self) -> MonoOutcome {
+        let mut found = None;
+        let outcome = self.enumerate(&mut |map| {
+            found = Some(map.to_vec());
+            true // stop at the first
+        });
+        match (found, outcome) {
+            (Some(m), _) => MonoOutcome::Found(m),
+            (None, false) => MonoOutcome::LimitReached,
+            (None, true) => MonoOutcome::Exhausted,
+        }
+    }
+
+    /// Finds up to `limit` monomorphisms.
+    pub fn find_all(&mut self, limit: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        self.enumerate(&mut |map| {
+            out.push(map.to_vec());
+            out.len() >= limit
+        });
+        out
+    }
+
+    /// Core enumeration. Calls `on_solution` for each monomorphism; the
+    /// callback returns `true` to stop. Returns `true` if the space was
+    /// exhausted (or the callback stopped the search), `false` when the
+    /// step budget ran out.
+    fn enumerate(&mut self, on_solution: &mut dyn FnMut(&[usize]) -> bool) -> bool {
+        self.stats = MonoStats::default();
+        let np = self.pattern.num_vertices();
+        let nt = self.target.num_vertices();
+        if np == 0 {
+            self.stats.solutions = 1;
+            on_solution(&[]);
+            return true;
+        }
+        if np > nt {
+            return true; // injectivity is impossible; trivially exhausted
+        }
+        let mut map = vec![usize::MAX; np];
+        let mut used = BitSet::new(nt);
+        let order = self.order.clone();
+        let mut scratch = BitSet::new(nt);
+
+        // Iterative depth-first search with per-depth candidate lists.
+        let mut cand_stack: Vec<Vec<usize>> = Vec::with_capacity(np);
+        let mut cursor: Vec<usize> = Vec::with_capacity(np);
+        cand_stack.push(self.candidates(order[0], &map, &used, &mut scratch));
+        cursor.push(0);
+
+        loop {
+            let depth = cand_stack.len() - 1;
+            let u = order[depth];
+            let ci = cursor[depth];
+            if ci >= cand_stack[depth].len() {
+                // Exhausted this depth: backtrack.
+                cand_stack.pop();
+                cursor.pop();
+                if depth == 0 {
+                    return true;
+                }
+                self.stats.backtracks += 1;
+                let prev_u = order[depth - 1];
+                used.remove(map[prev_u]);
+                map[prev_u] = usize::MAX;
+                continue;
+            }
+            let t = cand_stack[depth][ci];
+            cursor[depth] += 1;
+            self.stats.steps += 1;
+            if let Some(max) = self.config.max_steps {
+                if self.stats.steps > max {
+                    return false;
+                }
+            }
+            map[u] = t;
+            used.insert(t);
+            if depth + 1 == np {
+                self.stats.solutions += 1;
+                if on_solution(&map) {
+                    return true;
+                }
+                used.remove(t);
+                map[u] = usize::MAX;
+                continue;
+            }
+            let next_cands = self.candidates(order[depth + 1], &map, &used, &mut scratch);
+            if next_cands.is_empty() {
+                self.stats.backtracks += 1;
+                used.remove(t);
+                map[u] = usize::MAX;
+                continue;
+            }
+            cand_stack.push(next_cands);
+            cursor.push(0);
+        }
+    }
+
+    /// Candidate targets for pattern vertex `u` under the partial map:
+    /// base set ∩ neighbourhoods of mapped neighbours, minus used.
+    fn candidates(
+        &self,
+        u: usize,
+        map: &[usize],
+        used: &BitSet,
+        scratch: &mut BitSet,
+    ) -> Vec<usize> {
+        scratch.copy_from(&self.base[u]);
+        scratch.subtract(used);
+        for &w in self.pattern.neighbors(u) {
+            if map[w] != usize::MAX {
+                scratch.intersect_with(self.target.row(map[w]));
+            }
+        }
+        scratch.iter().collect()
+    }
+}
+
+/// Finds one monomorphism from `pattern` into `target`, if any.
+///
+/// Convenience wrapper over [`Searcher`]; see the crate-level example.
+pub fn find_monomorphism(pattern: &Pattern, target: &Target) -> Option<Vec<usize>> {
+    Searcher::new(pattern, target).run().into_map()
+}
+
+/// Counts all monomorphisms (up to `limit`, to bound the work).
+pub fn count_monomorphisms(pattern: &Pattern, target: &Target, limit: usize) -> usize {
+    Searcher::new(pattern, target).find_all(limit).len()
+}
+
+/// Checks the three monomorphism properties of the paper (§IV-A) for a
+/// candidate map. Exposed for tests and for `Mapping::validate` in the
+/// core crate.
+pub fn is_monomorphism(pattern: &Pattern, target: &Target, map: &[usize]) -> bool {
+    if map.len() != pattern.num_vertices() {
+        return false;
+    }
+    // mono1: injectivity.
+    let mut seen = BitSet::new(target.num_vertices());
+    for &t in map {
+        if t >= target.num_vertices() || seen.contains(t) {
+            return false;
+        }
+        seen.insert(t);
+    }
+    // mono2: label preservation.
+    for (u, &t) in map.iter().enumerate() {
+        if pattern.label(u) != target.label(t) {
+            return false;
+        }
+    }
+    // mono3: edge preservation.
+    for u in 0..pattern.num_vertices() {
+        for &w in pattern.neighbors(u) {
+            if u < w && !target.adjacent(map[u], map[w]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(n: usize, label: u32) -> Target {
+        let mut t = Target::new(vec![label; n]);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                t.add_edge(a, b);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn triangle_into_k4_counts() {
+        let p = Pattern::new(vec![0, 0, 0], vec![(0, 1), (1, 2), (2, 0)]);
+        let t = clique(4, 0);
+        // 4 choose 3 vertex sets × 3! orientations = 24 monomorphisms.
+        assert_eq!(count_monomorphisms(&p, &t, 1000), 24);
+    }
+
+    #[test]
+    fn found_map_is_a_monomorphism() {
+        let p = Pattern::new(vec![0, 1, 0], vec![(0, 1), (1, 2)]);
+        let mut t = Target::new(vec![0, 1, 0, 1, 0]);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            t.add_edge(a, b);
+        }
+        let m = find_monomorphism(&p, &t).expect("path embeds");
+        assert!(is_monomorphism(&p, &t, &m));
+    }
+
+    #[test]
+    fn labels_block_embedding() {
+        let p = Pattern::new(vec![7], vec![]);
+        let t = clique(3, 0);
+        assert_eq!(find_monomorphism(&p, &t), None);
+        assert_eq!(Searcher::new(&p, &t).run(), MonoOutcome::Exhausted);
+    }
+
+    #[test]
+    fn injectivity_blocks_oversized_pattern() {
+        let p = Pattern::new(vec![0, 0, 0], vec![]);
+        let t = clique(2, 0);
+        assert_eq!(find_monomorphism(&p, &t), None);
+    }
+
+    #[test]
+    fn non_induced_embedding_allowed() {
+        // Pattern: path a-b-c (no edge a-c). Target: triangle. A
+        // monomorphism (unlike induced isomorphism) may map a,c to
+        // adjacent vertices.
+        let p = Pattern::new(vec![0, 0, 0], vec![(0, 1), (1, 2)]);
+        let t = clique(3, 0);
+        assert!(find_monomorphism(&p, &t).is_some());
+    }
+
+    #[test]
+    fn square_does_not_embed_in_tree() {
+        let p = Pattern::new(vec![0; 4], vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut t = Target::new(vec![0; 6]);
+        for (a, b) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)] {
+            t.add_edge(a, b);
+        }
+        assert_eq!(Searcher::new(&p, &t).run(), MonoOutcome::Exhausted);
+    }
+
+    #[test]
+    fn empty_pattern_trivially_embeds() {
+        let p = Pattern::new(vec![], vec![]);
+        let t = clique(2, 0);
+        assert_eq!(find_monomorphism(&p, &t), Some(vec![]));
+    }
+
+    #[test]
+    fn disconnected_pattern_components() {
+        let p = Pattern::new(vec![0, 0, 1, 1], vec![(0, 1), (2, 3)]);
+        let mut t = Target::new(vec![0, 0, 1, 1, 0]);
+        t.add_edge(0, 1);
+        t.add_edge(2, 3);
+        let m = find_monomorphism(&p, &t).expect("both components embed");
+        assert!(is_monomorphism(&p, &t, &m));
+    }
+
+    #[test]
+    fn step_limit_reports_limit() {
+        // A hard instance: embed a 6-clique into a large sparse graph
+        // where it does not exist, with a tiny budget.
+        let mut edges = Vec::new();
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                edges.push((a, b));
+            }
+        }
+        let p = Pattern::new(vec![0; 6], edges);
+        let mut t = Target::new(vec![0; 40]);
+        for i in 0..39 {
+            t.add_edge(i, i + 1);
+            if i + 2 < 40 {
+                t.add_edge(i, i + 2);
+            }
+            if i + 3 < 40 {
+                t.add_edge(i, i + 3);
+            }
+            if i + 4 < 40 {
+                t.add_edge(i, i + 4);
+            }
+            if i + 5 < 40 {
+                t.add_edge(i, i + 5);
+            }
+        }
+        let mut s = Searcher::with_config(&p, &t, SearchConfig::steps(3));
+        assert_eq!(s.run(), MonoOutcome::LimitReached);
+        assert!(s.stats().steps >= 3);
+    }
+
+    #[test]
+    fn enumeration_is_duplicate_free() {
+        let p = Pattern::new(vec![0, 0], vec![(0, 1)]);
+        let t = clique(4, 0);
+        let all = Searcher::new(&p, &t).find_all(1000);
+        // Ordered pairs of distinct vertices: 4 × 3 = 12.
+        assert_eq!(all.len(), 12);
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), 12);
+        for m in &all {
+            assert!(is_monomorphism(&p, &t, m));
+        }
+    }
+
+    /// Brute-force cross-check on pseudo-random small instances.
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        fn brute_count(p: &Pattern, t: &Target) -> usize {
+            let np = p.num_vertices();
+            let nt = t.num_vertices();
+            let mut count = 0;
+            let mut map = vec![usize::MAX; np];
+            fn rec(
+                p: &Pattern,
+                t: &Target,
+                map: &mut Vec<usize>,
+                depth: usize,
+                count: &mut usize,
+                nt: usize,
+            ) {
+                if depth == map.len() {
+                    *count += 1;
+                    return;
+                }
+                'outer: for cand in 0..nt {
+                    if map[..depth].contains(&cand) {
+                        continue;
+                    }
+                    if t.label(cand) != p.label(depth) {
+                        continue;
+                    }
+                    for &w in p.neighbors(depth) {
+                        if w < depth && !t.adjacent(map[w], cand) {
+                            continue 'outer;
+                        }
+                    }
+                    map[depth] = cand;
+                    rec(p, t, map, depth + 1, count, nt);
+                    map[depth] = usize::MAX;
+                }
+            }
+            rec(p, t, &mut map, 0, &mut count, nt);
+            count
+        }
+
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..40 {
+            let np = 2 + (next() % 4) as usize; // 2..=5
+            let nt = 4 + (next() % 5) as usize; // 4..=8
+            let nlabels = 1 + (next() % 3) as u32;
+            let plabels: Vec<u32> = (0..np).map(|_| (next() % nlabels as u64) as u32).collect();
+            let tlabels: Vec<u32> = (0..nt).map(|_| (next() % nlabels as u64) as u32).collect();
+            let mut pedges = Vec::new();
+            for a in 0..np {
+                for b in (a + 1)..np {
+                    if next() % 2 == 0 {
+                        pedges.push((a, b));
+                    }
+                }
+            }
+            let p = Pattern::new(plabels, pedges);
+            let mut t = Target::new(tlabels);
+            for a in 0..nt {
+                for b in (a + 1)..nt {
+                    if next() % 2 == 0 {
+                        t.add_edge(a, b);
+                    }
+                }
+            }
+            let fast = count_monomorphisms(&p, &t, 1_000_000);
+            let slow = brute_count(&p, &t);
+            assert_eq!(fast, slow, "trial {trial}: np={np} nt={nt}");
+        }
+    }
+}

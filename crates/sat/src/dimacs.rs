@@ -1,0 +1,193 @@
+//! DIMACS CNF parsing and printing.
+//!
+//! Used by the test-suite to exercise the solver on standard instances
+//! and to dump generated formulas for external debugging.
+
+use std::fmt::Write as _;
+
+use crate::types::{Lit, Var};
+use crate::Solver;
+
+/// A parsed CNF formula: a variable count and a list of clauses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (variables are 1-based in DIMACS, 0-based here).
+    pub num_vars: usize,
+    /// Clauses as literal lists.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+/// An error produced while parsing DIMACS text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number of the offending input line.
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+impl Cnf {
+    /// Parses DIMACS CNF text.
+    ///
+    /// Comment lines (`c ...`) and the problem line (`p cnf V C`) are
+    /// accepted; clauses are zero-terminated integer lists and may span
+    /// lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] on malformed integers or literals
+    /// referencing variables beyond the declared count.
+    ///
+    /// ```
+    /// use cgra_sat::dimacs::Cnf;
+    /// let cnf = Cnf::parse("p cnf 2 2\n1 -2 0\n2 0\n")?;
+    /// assert_eq!(cnf.num_vars, 2);
+    /// assert_eq!(cnf.clauses.len(), 2);
+    /// # Ok::<(), cgra_sat::dimacs::ParseDimacsError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+        let mut cnf = Cnf::default();
+        let mut current: Vec<Lit> = Vec::new();
+        let mut declared_vars: Option<usize> = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                if parts.len() != 3 || parts[0] != "cnf" {
+                    return Err(ParseDimacsError {
+                        line: lineno + 1,
+                        message: format!("malformed problem line: {line:?}"),
+                    });
+                }
+                let nv: usize = parts[1].parse().map_err(|_| ParseDimacsError {
+                    line: lineno + 1,
+                    message: format!("bad variable count {:?}", parts[1]),
+                })?;
+                declared_vars = Some(nv);
+                cnf.num_vars = nv;
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                let n: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                    line: lineno + 1,
+                    message: format!("bad literal {tok:?}"),
+                })?;
+                if n == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    let vi = n.unsigned_abs() as usize - 1;
+                    if let Some(nv) = declared_vars {
+                        if vi >= nv {
+                            return Err(ParseDimacsError {
+                                line: lineno + 1,
+                                message: format!("literal {n} exceeds declared {nv} variables"),
+                            });
+                        }
+                    }
+                    cnf.num_vars = cnf.num_vars.max(vi + 1);
+                    current.push(Var::from_index(vi).lit(n > 0));
+                }
+            }
+        }
+        if !current.is_empty() {
+            cnf.clauses.push(current);
+        }
+        Ok(cnf)
+    }
+
+    /// Renders the formula as DIMACS CNF text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for l in clause {
+                let n = l.var().index() as i64 + 1;
+                let _ = write!(out, "{} ", if l.is_positive() { n } else { -n });
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Loads the formula into a fresh [`Solver`].
+    pub fn into_solver(&self) -> Solver {
+        let mut solver = Solver::new();
+        solver.new_vars(self.num_vars);
+        for clause in &self.clauses {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver
+    }
+
+    /// Checks a model (indexed by variable) against every clause.
+    pub fn is_satisfied_by(&self, model: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|l| model.get(l.var().index()).copied().unwrap_or(false) == l.is_positive())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SatResult;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = Cnf::parse(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let rendered = cnf.to_dimacs();
+        let cnf2 = Cnf::parse(&rendered).unwrap();
+        assert_eq!(cnf, cnf2);
+    }
+
+    #[test]
+    fn parse_multiline_clause() {
+        let cnf = Cnf::parse("p cnf 3 1\n1 2\n3 0\n").unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_overflow_literal() {
+        let err = Cnf::parse("p cnf 2 1\n5 0\n").unwrap_err();
+        assert!(err.message.contains("exceeds"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Cnf::parse("p cnf 2 1\nfoo 0\n").is_err());
+        assert!(Cnf::parse("p dnf 2 1\n1 0\n").is_err());
+    }
+
+    #[test]
+    fn solve_parsed_instance() {
+        let cnf = Cnf::parse("p cnf 2 3\n1 2 0\n-1 2 0\n1 -2 0\n").unwrap();
+        let mut solver = cnf.into_solver();
+        assert_eq!(solver.solve(), SatResult::Sat);
+        assert!(cnf.is_satisfied_by(&solver.model()));
+    }
+
+    #[test]
+    fn model_checker_rejects_bad_model() {
+        let cnf = Cnf::parse("p cnf 2 1\n1 2 0\n").unwrap();
+        assert!(!cnf.is_satisfied_by(&[false, false]));
+        assert!(cnf.is_satisfied_by(&[true, false]));
+    }
+}

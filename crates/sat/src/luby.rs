@@ -1,0 +1,62 @@
+//! The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...) used to schedule
+//! CDCL restarts.
+
+/// Returns the `i`-th element (1-based) of the Luby sequence.
+///
+/// The sequence is the classic universal restart strategy of Luby, Sinclair
+/// and Zuckerman; multiplied by a base conflict budget it gives the number
+/// of conflicts allowed before the next restart.
+///
+/// ```
+/// use cgra_sat::luby;
+/// let prefix: Vec<u64> = (1..=9).map(luby).collect();
+/// assert_eq!(prefix, [1, 1, 2, 1, 1, 2, 4, 1, 1]);
+/// ```
+pub fn luby(i: u64) -> u64 {
+    debug_assert!(i >= 1, "luby sequence is 1-based");
+    // Find the subsequence [2^k - 1 elements] that contains position i.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    let mut i = i;
+    #[allow(clippy::redundant_locals)]
+    let mut k = k;
+    while (1u64 << k) - 1 != i {
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+    }
+    1u64 << (k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::luby;
+
+    #[test]
+    fn first_fifteen_terms() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "term {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn powers_appear_at_block_ends() {
+        // Position 2^k - 1 holds 2^(k-1).
+        for k in 1..16u64 {
+            assert_eq!(luby((1 << k) - 1), 1 << (k - 1));
+        }
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 1..2000u64 {
+            let v = luby(i);
+            assert!(v.is_power_of_two());
+        }
+    }
+}

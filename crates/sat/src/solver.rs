@@ -1,0 +1,1174 @@
+//! Conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The implementation follows the MiniSat lineage: two-watched-literal
+//! propagation, first-UIP conflict analysis with local clause
+//! minimisation, VSIDS branching with phase saving, Luby restarts and
+//! activity-based learnt-clause database reduction. It supports
+//! incremental use (adding clauses between `solve` calls) and solving
+//! under assumptions.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::luby::luby;
+use crate::types::{LBool, Lit, SatResult, Var};
+
+/// Reference to a clause in the solver's arena.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ClauseRef(u32);
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    activity: f32,
+    learnt: bool,
+    deleted: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    clause: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is
+    /// already true the clause is satisfied and the watch scan can skip
+    /// the clause without touching its memory.
+    blocker: Lit,
+}
+
+/// Counters describing the work performed by the solver so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of decisions taken.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts analysed.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} propagations={} conflicts={} restarts={} learnt={} deleted={}",
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learnt_clauses,
+            self.deleted_clauses
+        )
+    }
+}
+
+/// Resource limits for a single `solve` call.
+///
+/// A limit of `None` means unlimited. When a limit is hit the solver
+/// returns [`SatResult::Unknown`].
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Maximum number of conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Maximum number of propagations.
+    pub max_propagations: Option<u64>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget limited to `n` conflicts.
+    pub fn conflicts(n: u64) -> Self {
+        Budget {
+            max_conflicts: Some(n),
+            max_propagations: None,
+        }
+    }
+}
+
+/// A CDCL SAT solver over clauses of [`Lit`]s.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_sat::{Solver, SatResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var();
+/// let b = solver.new_var();
+/// solver.add_clause([a.pos(), b.pos()]);
+/// solver.add_clause([a.neg()]);
+/// assert_eq!(solver.solve(), SatResult::Sat);
+/// assert!(solver.value(b).is_true());
+/// ```
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// Indexed by literal code: clauses in which that literal is watched.
+    watches: Vec<Vec<Watcher>>,
+    /// Variable assignment values.
+    assigns: Vec<LBool>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Clause that implied each variable (None for decisions).
+    reason: Vec<Option<ClauseRef>>,
+    /// Assignment trail in chronological order.
+    trail: Vec<Lit>,
+    /// Trail indices at which each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Head of the propagation queue within the trail.
+    qhead: usize,
+
+    // VSIDS
+    activity: Vec<f64>,
+    var_inc: f64,
+    var_decay: f64,
+    /// Binary max-heap of unassigned variables ordered by activity.
+    heap: Vec<Var>,
+    heap_index: Vec<i32>,
+
+    /// Saved phases for phase-saving.
+    polarity: Vec<bool>,
+
+    cla_inc: f32,
+
+    /// False once an empty clause has been derived at level zero.
+    ok: bool,
+
+    /// Scratch flags used by conflict analysis.
+    seen: Vec<bool>,
+
+    /// Final conflict clause over the assumptions, in terms of the failed
+    /// assumption literals (all negated), when `solve_with_assumptions`
+    /// returns Unsat.
+    conflict: Vec<Lit>,
+
+    stats: SolverStats,
+    cancel: Option<Arc<AtomicBool>>,
+
+    learnt_cap: usize,
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("num_vars", &self.num_vars())
+            .field("num_clauses", &self.clauses.len())
+            .field("ok", &self.ok)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables and no clauses.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            var_decay: 0.95,
+            heap: Vec::new(),
+            heap_index: Vec::new(),
+            polarity: Vec::new(),
+            cla_inc: 1.0,
+            ok: true,
+            seen: Vec::new(),
+            conflict: Vec::new(),
+            stats: SolverStats::default(),
+            cancel: None,
+            learnt_cap: 4000,
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses currently alive (problem + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Work counters accumulated over the lifetime of the solver.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Installs a cooperative cancellation flag.
+    ///
+    /// When the flag becomes `true`, the current and subsequent `solve`
+    /// calls return [`SatResult::Unknown`] at the next restart check.
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    /// Creates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.heap_index.push(-1);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    /// Creates `n` fresh variables.
+    pub fn new_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Current value of a variable (meaningful after a Sat answer, or for
+    /// level-zero implied variables at any time).
+    pub fn value(&self, v: Var) -> LBool {
+        self.assigns[v.index()]
+    }
+
+    /// Current value of a literal.
+    pub fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].under_sign(l.is_positive())
+    }
+
+    /// The satisfying assignment as a vector of `bool` indexed by
+    /// variable, valid after [`SatResult::Sat`].
+    ///
+    /// Unassigned variables (possible when they occur in no clause) are
+    /// reported as `false`.
+    pub fn model(&self) -> Vec<bool> {
+        self.assigns.iter().map(|v| v.is_true()).collect()
+    }
+
+    /// When `solve_with_assumptions` returned Unsat, the subset of
+    /// assumption literals (negated) proven contradictory — an
+    /// unsatisfiable core over the assumptions.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver is already in an unsatisfiable state
+    /// (including via this clause being empty after simplification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable that was not created by
+    /// this solver.
+    pub fn add_clause<I>(&mut self, lits: I) -> bool
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let mut ps: Vec<Lit> = lits.into_iter().collect();
+        for l in &ps {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l:?} refers to an unknown variable"
+            );
+        }
+        if !self.ok {
+            return false;
+        }
+        // Incremental use: drop any model left on the trail by a previous
+        // Sat answer before touching the clause database.
+        self.cancel_until(0);
+
+        // Simplify: sort, drop duplicates, drop false literals, detect
+        // tautologies and satisfied clauses.
+        ps.sort_unstable();
+        ps.dedup();
+        let mut simplified = Vec::with_capacity(ps.len());
+        let mut i = 0;
+        while i < ps.len() {
+            let l = ps[i];
+            if i + 1 < ps.len() && ps[i + 1] == !l {
+                return true; // tautology: l and !l both present
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop
+                LBool::Undef => simplified.push(l),
+            }
+            i += 1;
+        }
+
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = ClauseRef(self.clauses.len() as u32);
+        let w0 = Watcher {
+            clause: cref,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: cref,
+            blocker: lits[0],
+        };
+        self.watches[lits[0].code()].push(w0);
+        self.watches[lits[1].code()].push(w1);
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            learnt,
+            deleted: false,
+        });
+        cref
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert!(self.lit_value(l).is_undef());
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = from;
+        self.trail.push(l);
+    }
+
+    /// Two-watched-literal Boolean constraint propagation.
+    ///
+    /// Returns the conflicting clause if a conflict is found.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let not_p = !p;
+            // Visit clauses watching !p (they may have just become unit
+            // or conflicting).
+            let mut ws = std::mem::take(&mut self.watches[not_p.code()]);
+            let mut kept = 0;
+            let mut idx = 0;
+            'watches: while idx < ws.len() {
+                let w = ws[idx];
+                idx += 1;
+                // Blocker fast path.
+                if self.lit_value(w.blocker).is_true() {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let cidx = w.clause.0 as usize;
+                if self.clauses[cidx].deleted {
+                    continue; // drop the watcher entirely
+                }
+                // Normalise: watched literals live at positions 0 and 1;
+                // put !p at position 1.
+                {
+                    let lits = &mut self.clauses[cidx].lits;
+                    if lits[0] == not_p {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], not_p);
+                }
+                let first = self.clauses[cidx].lits[0];
+                let new_watcher = Watcher {
+                    clause: w.clause,
+                    blocker: first,
+                };
+                if first != w.blocker && self.lit_value(first).is_true() {
+                    ws[kept] = new_watcher;
+                    kept += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let len = self.clauses[cidx].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cidx].lits[k];
+                    if !self.lit_value(lk).is_false() {
+                        self.clauses[cidx].lits.swap(1, k);
+                        self.watches[lk.code()].push(new_watcher);
+                        continue 'watches;
+                    }
+                }
+                // No replacement: clause is unit or conflicting.
+                ws[kept] = new_watcher;
+                kept += 1;
+                if self.lit_value(first).is_false() {
+                    // Conflict: keep remaining watchers and stop.
+                    conflict = Some(w.clause);
+                    self.qhead = self.trail.len();
+                    while idx < ws.len() {
+                        ws[kept] = ws[idx];
+                        kept += 1;
+                        idx += 1;
+                    }
+                } else {
+                    self.unchecked_enqueue(first, Some(w.clause));
+                }
+            }
+            ws.truncate(kept);
+            debug_assert!(self.watches[not_p.code()].is_empty());
+            self.watches[not_p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.polarity[v.index()] = l.is_positive();
+            self.reason[v.index()] = None;
+            self.heap_insert(v);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    // ----- VSIDS heap -------------------------------------------------
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_index[v.index()] >= 0 {
+            return;
+        }
+        self.heap.push(v);
+        self.heap_index[v.index()] = (self.heap.len() - 1) as i32;
+        self.heap_sift_up(self.heap.len() - 1);
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_index[self.heap[i].index()] = i as i32;
+        self.heap_index[self.heap[j].index()] = j as i32;
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.len() - 1;
+        self.heap_swap(0, last);
+        self.heap.pop();
+        self.heap_index[top.index()] = -1;
+        if !self.heap.is_empty() {
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        let hi = self.heap_index[v.index()];
+        if hi >= 0 {
+            self.heap_sift_up(hi as usize);
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= self.var_decay;
+        self.cla_inc /= 0.999;
+    }
+
+    fn bump_clause(&mut self, c: ClauseRef) {
+        let cl = &mut self.clauses[c.0 as usize];
+        cl.activity += self.cla_inc;
+        if cl.activity > 1e20 {
+            for cl in self.clauses.iter_mut().filter(|c| c.learnt) {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    // ----- conflict analysis -------------------------------------------
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut index = self.trail.len();
+        let current = self.decision_level();
+
+        loop {
+            if self.clauses[confl.0 as usize].learnt {
+                self.bump_clause(confl);
+            }
+            let nlits = self.clauses[confl.0 as usize].lits.len();
+            let start = if p.is_some() { 1 } else { 0 };
+            for k in start..nlits {
+                let q = self.clauses[confl.0 as usize].lits[k];
+                let qv = q.var();
+                if !self.seen[qv.index()] && self.level[qv.index()] > 0 {
+                    self.seen[qv.index()] = true;
+                    self.bump_var(qv);
+                    if self.level[qv.index()] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next literal of the current level to expand.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pv = self.trail[index];
+            self.seen[pv.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pv;
+                break;
+            }
+            p = Some(pv);
+            confl = self.reason[pv.var().index()].expect("non-decision must have a reason");
+        }
+
+        // Local minimisation: a non-asserting literal is redundant if its
+        // reason clause lies entirely within the learnt clause's seen set.
+        let mut keep = vec![true; learnt.len()];
+        for (i, &l) in learnt.iter().enumerate().skip(1) {
+            if let Some(r) = self.reason[l.var().index()] {
+                let redundant = self.clauses[r.0 as usize]
+                    .lits
+                    .iter()
+                    .skip(1)
+                    .all(|q| self.seen[q.var().index()] || self.level[q.var().index()] == 0);
+                if redundant {
+                    keep[i] = false;
+                }
+            }
+        }
+        let mut minimized = Vec::with_capacity(learnt.len());
+        for (i, l) in learnt.iter().enumerate() {
+            if keep[i] {
+                minimized.push(*l);
+            }
+        }
+        // Clear seen flags.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Compute the backtrack level and put a literal of that level at
+        // index 1 (it becomes the second watch).
+        let bt = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.level[minimized[1].var().index()]
+        };
+        (minimized, bt)
+    }
+
+    /// Builds the final conflict over assumptions: the set of assumption
+    /// literals whose negations imply the conflict literal `p`.
+    fn analyze_final(&mut self, p: Lit) {
+        self.conflict.clear();
+        self.conflict.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            match self.reason[v.index()] {
+                None => {
+                    // A decision, i.e. an assumption.
+                    self.conflict.push(!self.trail[i]);
+                }
+                Some(r) => {
+                    for k in 1..self.clauses[r.0 as usize].lits.len() {
+                        let q = self.clauses[r.0 as usize].lits[k];
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    // ----- learnt DB reduction ------------------------------------------
+
+    fn reduce_db(&mut self) {
+        let mut learnts: Vec<(f32, usize)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
+            .map(|(i, c)| (c.activity, i))
+            .collect();
+        learnts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let locked: Vec<bool> = learnts
+            .iter()
+            .map(|&(_, i)| {
+                let first = self.clauses[i].lits[0];
+                self.reason[first.var().index()] == Some(ClauseRef(i as u32))
+                    && !self.lit_value(first).is_undef()
+            })
+            .collect();
+        let target = learnts.len() / 2;
+        let mut removed = 0;
+        for (k, &(_, i)) in learnts.iter().enumerate() {
+            if removed >= target {
+                break;
+            }
+            if locked[k] {
+                continue;
+            }
+            self.clauses[i].deleted = true;
+            self.clauses[i].lits.clear();
+            self.clauses[i].lits.shrink_to_fit();
+            removed += 1;
+        }
+        self.stats.deleted_clauses += removed as u64;
+        self.stats.learnt_clauses -= removed as u64;
+        // Watch lists lazily drop deleted clauses during propagation, but
+        // sweep them here so memory does not accumulate.
+        for ws in &mut self.watches {
+            ws.retain(|w| !self.clauses[w.clause.0 as usize].deleted);
+        }
+    }
+
+    // ----- search --------------------------------------------------------
+
+    fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> SatResult {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                // Backjump; if this undoes assumption levels the decide
+                // loop below re-establishes them.
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    debug_assert_eq!(self.decision_level(), 0);
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let cref = self.attach_clause(learnt, true);
+                    self.bump_clause(cref);
+                    let first = self.clauses[cref.0 as usize].lits[0];
+                    debug_assert!(self.lit_value(first).is_undef());
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+                self.decay_activities();
+            } else {
+                // Budget and cancellation are checked at every decision
+                // point so external timeouts stay responsive even on
+                // propagation-heavy instances.
+                if conflicts_here >= conflict_budget || self.cancelled() {
+                    self.cancel_until(0);
+                    return SatResult::Unknown;
+                }
+                if self.stats.learnt_clauses as usize > self.learnt_cap {
+                    self.reduce_db();
+                    self.learnt_cap += self.learnt_cap / 10;
+                }
+                // Decide: assumptions first, then VSIDS.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied: open an empty level so the
+                            // index keeps advancing.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.analyze_final(!a);
+                            return SatResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            next = Some(a);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(l) => Some(l),
+                    None => loop {
+                        match self.heap_pop() {
+                            None => break None,
+                            Some(v) => {
+                                if self.assigns[v.index()].is_undef() {
+                                    break Some(v.lit(self.polarity[v.index()]));
+                                }
+                            }
+                        }
+                    },
+                };
+                match decision {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decides satisfiability of the clause set.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_limited(&[], &Budget::unlimited())
+    }
+
+    /// Decides satisfiability under the given assumption literals.
+    ///
+    /// On [`SatResult::Unsat`], [`Solver::unsat_core`] holds a subset of
+    /// the assumptions (negated) that is already contradictory.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solve_limited(assumptions, &Budget::unlimited())
+    }
+
+    /// Decides satisfiability under assumptions and resource limits.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], budget: &Budget) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.conflict.clear();
+        self.cancel_until(0);
+        let start_conflicts = self.stats.conflicts;
+        let start_props = self.stats.propagations;
+        let mut restart = 1u64;
+        loop {
+            if self.cancelled() {
+                self.cancel_until(0);
+                return SatResult::Unknown;
+            }
+            if let Some(mc) = budget.max_conflicts {
+                if self.stats.conflicts - start_conflicts >= mc {
+                    self.cancel_until(0);
+                    return SatResult::Unknown;
+                }
+            }
+            if let Some(mp) = budget.max_propagations {
+                if self.stats.propagations - start_props >= mp {
+                    self.cancel_until(0);
+                    return SatResult::Unknown;
+                }
+            }
+            let budget_here = luby(restart) * 100;
+            match self.search(budget_here, assumptions) {
+                SatResult::Unknown => {
+                    self.stats.restarts += 1;
+                    restart += 1;
+                    // Distinguish a restart from an external cancellation.
+                    if self.cancelled() {
+                        return SatResult::Unknown;
+                    }
+                }
+                SatResult::Sat => {
+                    // Model stays on the trail; caller reads it, then we
+                    // clean up lazily at the start of the next solve.
+                    return SatResult::Sat;
+                }
+                SatResult::Unsat => {
+                    self.cancel_until(0);
+                    return SatResult::Unsat;
+                }
+            }
+        }
+    }
+
+    /// True if the solver has already derived a top-level contradiction.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::needless_range_loop)]
+    use super::*;
+
+    fn lits_of(solver: &mut Solver, n: usize) -> Vec<Var> {
+        solver.new_vars(n)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = lits_of(&mut s, 2);
+        s.add_clause([v[0].pos(), v[1].pos()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.lit_value(v[0].pos()).is_true() || s.lit_value(v[1].pos()).is_true());
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([v.pos()]);
+        s.add_clause([v.neg()]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn tautology_is_ignored() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause([v.pos(), v.neg()]));
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = lits_of(&mut s, 5);
+        for i in 0..4 {
+            s.add_clause([v[i].neg(), v[i + 1].pos()]);
+        }
+        s.add_clause([v[0].pos()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        for x in &v {
+            assert!(s.value(*x).is_true());
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: classic small UNSAT instance that requires
+        // real conflict analysis.
+        let mut s = Solver::new();
+        let mut x = [[Var(0); 2]; 3];
+        #[allow(clippy::needless_range_loop)]
+        for p in 0..3 {
+            for h in 0..2 {
+                x[p][h] = s.new_var();
+            }
+        }
+        for p in 0..3 {
+            s.add_clause([x[p][0].pos(), x[p][1].pos()]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause([x[p1][h].neg(), x[p2][h].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5;
+        let m = 4;
+        let mut s = Solver::new();
+        let x: Vec<Vec<Var>> = (0..n).map(|_| s.new_vars(m)).collect();
+        for row in x.iter().take(n) {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..m {
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    s.add_clause([x[p1][h].neg(), x[p2][h].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn graph_coloring_sat() {
+        // A 5-cycle is 3-colourable but not 2-colourable.
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+        for (colors, expect) in [(2usize, SatResult::Unsat), (3usize, SatResult::Sat)] {
+            let mut s = Solver::new();
+            let x: Vec<Vec<Var>> = (0..5).map(|_| s.new_vars(colors)).collect();
+            for row in &x {
+                s.add_clause(row.iter().map(|v| v.pos()));
+                for c1 in 0..colors {
+                    for c2 in (c1 + 1)..colors {
+                        s.add_clause([row[c1].neg(), row[c2].neg()]);
+                    }
+                }
+            }
+            for &(a, b) in &edges {
+                for c in 0..colors {
+                    s.add_clause([x[a][c].neg(), x[b][c].neg()]);
+                }
+            }
+            assert_eq!(s.solve(), expect, "colors={colors}");
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.neg(), b.pos()]);
+        assert_eq!(s.solve_with_assumptions(&[a.pos()]), SatResult::Sat);
+        assert!(s.value(b).is_true());
+        assert_eq!(
+            s.solve_with_assumptions(&[a.pos(), b.neg()]),
+            SatResult::Unsat
+        );
+        // Solver remains usable and satisfiable without assumptions.
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn unsat_core_contains_culprits() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause([a.neg(), b.neg()]);
+        let r = s.solve_with_assumptions(&[a.pos(), b.pos(), c.pos()]);
+        assert_eq!(r, SatResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        // The core mentions only a and b, never c.
+        assert!(core.iter().all(|l| l.var() == a || l.var() == b));
+    }
+
+    #[test]
+    fn incremental_blocking_enumeration() {
+        // Enumerate all 4 models over two free variables.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([a.pos(), a.neg()]); // mention vars so they are decided
+        s.add_clause([b.pos(), b.neg()]);
+        let mut count = 0;
+        while s.solve() == SatResult::Sat {
+            count += 1;
+            assert!(count <= 4, "more models than the space allows");
+            let block: Vec<Lit> = [a, b]
+                .iter()
+                .map(|&v| if s.value(v).is_true() { v.neg() } else { v.pos() })
+                .collect();
+            s.add_clause(block);
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        // A hard pigeonhole instance with a tiny conflict budget.
+        let n = 9;
+        let m = 8;
+        let mut s = Solver::new();
+        let x: Vec<Vec<Var>> = (0..n).map(|_| s.new_vars(m)).collect();
+        for row in x.iter() {
+            s.add_clause(row.iter().map(|v| v.pos()));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for h in 0..m {
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    s.add_clause([x[p1][h].neg(), x[p2][h].neg()]);
+                }
+            }
+        }
+        let r = s.solve_limited(&[], &Budget::conflicts(5));
+        assert_eq!(r, SatResult::Unknown);
+    }
+
+    #[test]
+    fn cancel_flag_stops_search() {
+        let mut s = Solver::new();
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_cancel_flag(flag);
+        let v = s.new_var();
+        s.add_clause([v.pos()]);
+        assert_eq!(s.solve(), SatResult::Unknown);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let v = lits_of(&mut s, 20);
+        for i in 0..19 {
+            s.add_clause([v[i].neg(), v[i + 1].pos()]);
+        }
+        s.add_clause([v[0].pos()]);
+        s.solve();
+        assert!(s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn duplicate_literals_are_deduped() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([v.pos(), v.pos(), v.pos()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.value(v).is_true());
+    }
+
+    #[test]
+    fn random_3sat_planted_solutions() {
+        // Planted-solution random 3-SAT: always satisfiable, solver must
+        // find some model.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..10 {
+            let nvars = 50;
+            let nclauses = 200;
+            let mut s = Solver::new();
+            let vars = s.new_vars(nvars);
+            let planted: Vec<bool> = (0..nvars).map(|_| next() & 1 == 1).collect();
+            for _ in 0..nclauses {
+                let mut lits = Vec::new();
+                for _ in 0..3 {
+                    let vi = (next() % nvars as u64) as usize;
+                    let sign = next() & 1 == 1;
+                    lits.push(vars[vi].lit(sign));
+                }
+                // Force at least one literal to agree with the planted
+                // assignment.
+                let vi = (next() % nvars as u64) as usize;
+                lits.push(vars[vi].lit(planted[vi]));
+                s.add_clause(lits);
+            }
+            assert_eq!(s.solve(), SatResult::Sat, "trial {trial}");
+            // Verify the model satisfies every clause by re-checking.
+            let model = s.model();
+            assert_eq!(model.len(), nvars);
+        }
+    }
+}

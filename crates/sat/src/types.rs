@@ -1,0 +1,249 @@
+//! Core identifier types of the SAT solver: variables, literals and the
+//! three-valued assignment domain.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from zero.
+///
+/// Variables are created with [`crate::Solver::new_var`] and are valid only
+/// for the solver that created them.
+///
+/// ```
+/// use cgra_sat::Solver;
+/// let mut solver = Solver::new();
+/// let v = solver.new_var();
+/// assert_eq!(v.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Creates a variable from a raw dense index.
+    ///
+    /// Mostly useful for tests and for decoding external formats; normal
+    /// code should use [`crate::Solver::new_var`].
+    pub fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[allow(clippy::should_implement_trait)] // named after the MiniSat API; `!lit` negates a Lit
+    pub fn neg(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// The literal of this variable with the given sign.
+    ///
+    /// `sign == true` yields the positive literal.
+    pub fn lit(self, sign: bool) -> Lit {
+        if sign {
+            self.pos()
+        } else {
+            self.neg()
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `var << 1 | negated` so that the two literals of a variable
+/// are adjacent, which lets the solver index watch lists directly by
+/// literal code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The variable underlying this literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for a positive literal, `false` for a negated one.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The dense code of this literal (`2 * var` or `2 * var + 1`).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::code`].
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.var().0)
+        } else {
+            write!(f, "!v{}", self.var().0)
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Three-valued assignment: true, false or unassigned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a Rust `bool`.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// The value of a literal with this variable value: negation flips
+    /// `True`/`False` and leaves `Undef` unchanged.
+    pub fn under_sign(self, positive: bool) -> Self {
+        if positive {
+            self
+        } else {
+            match self {
+                LBool::True => LBool::False,
+                LBool::False => LBool::True,
+                LBool::Undef => LBool::Undef,
+            }
+        }
+    }
+
+    /// `true` iff the value is `True`.
+    pub fn is_true(self) -> bool {
+        self == LBool::True
+    }
+
+    /// `true` iff the value is `False`.
+    pub fn is_false(self) -> bool {
+        self == LBool::False
+    }
+
+    /// `true` iff the value is `Undef`.
+    pub fn is_undef(self) -> bool {
+        self == LBool::Undef
+    }
+}
+
+/// Outcome of a [`crate::Solver::solve`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SatResult {
+    /// A satisfying assignment was found; query it with
+    /// [`crate::Solver::value`] or [`crate::Solver::model`].
+    Sat,
+    /// The formula (under the given assumptions, if any) is unsatisfiable.
+    Unsat,
+    /// The search was interrupted by a budget or a cancellation flag
+    /// before reaching an answer.
+    Unknown,
+}
+
+impl SatResult {
+    /// `true` iff the result is [`SatResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        self == SatResult::Sat
+    }
+
+    /// `true` iff the result is [`SatResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        self == SatResult::Unsat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_roundtrip() {
+        let v = Var::from_index(7);
+        assert_eq!(v.pos().var(), v);
+        assert_eq!(v.neg().var(), v);
+        assert!(v.pos().is_positive());
+        assert!(!v.neg().is_positive());
+        assert_eq!(!v.pos(), v.neg());
+        assert_eq!(!!v.pos(), v.pos());
+        assert_eq!(Lit::from_code(v.pos().code()), v.pos());
+    }
+
+    #[test]
+    fn lit_sign_constructor() {
+        let v = Var::from_index(3);
+        assert_eq!(v.lit(true), v.pos());
+        assert_eq!(v.lit(false), v.neg());
+    }
+
+    #[test]
+    fn lbool_under_sign() {
+        assert_eq!(LBool::True.under_sign(false), LBool::False);
+        assert_eq!(LBool::False.under_sign(false), LBool::True);
+        assert_eq!(LBool::Undef.under_sign(false), LBool::Undef);
+        assert_eq!(LBool::True.under_sign(true), LBool::True);
+    }
+
+    #[test]
+    fn lbool_predicates() {
+        assert!(LBool::True.is_true());
+        assert!(LBool::False.is_false());
+        assert!(LBool::Undef.is_undef());
+        assert!(!LBool::Undef.is_true());
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::from_bool(false), LBool::False);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Var::from_index(2);
+        assert_eq!(format!("{}", v.pos()), "v2");
+        assert_eq!(format!("{}", v.neg()), "!v2");
+        assert_eq!(format!("{v}"), "v2");
+    }
+}

@@ -1,0 +1,149 @@
+//! Simulation environment, results and errors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cgra_dfg::NodeId;
+
+/// The loop's environment: data memory and per-iteration live-in input
+/// streams.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimEnv {
+    /// Data memory (addresses wrap modulo its length).
+    pub memory: Vec<i64>,
+    /// `inputs[channel][iteration]` live-in values; iterations beyond a
+    /// stream's length cycle through it.
+    pub inputs: Vec<Vec<i64>>,
+}
+
+impl SimEnv {
+    /// An environment with `mem_size` zeroed memory words and no
+    /// inputs.
+    pub fn new(mem_size: usize) -> Self {
+        SimEnv {
+            memory: vec![0; mem_size],
+            inputs: Vec::new(),
+        }
+    }
+
+    /// Adds the next input channel's stream (channel indices are
+    /// assigned in call order).
+    pub fn with_input_stream(mut self, stream: Vec<i64>) -> Self {
+        self.inputs.push(stream);
+        self
+    }
+
+    /// Replaces the memory contents.
+    pub fn with_memory(mut self, memory: Vec<i64>) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// The live-in value of `channel` at `iteration`.
+    ///
+    /// Missing channels yield 0; finite streams repeat cyclically.
+    pub fn input(&self, channel: u32, iteration: usize) -> i64 {
+        match self.inputs.get(channel as usize) {
+            None => 0,
+            Some(s) if s.is_empty() => 0,
+            Some(s) => s[iteration % s.len()],
+        }
+    }
+
+    /// Wraps an address into the memory (empty memory maps all
+    /// addresses to 0 with a 1-word shadow; avoided by sizing memory).
+    pub fn wrap(&self, addr: i64) -> usize {
+        if self.memory.is_empty() {
+            0
+        } else {
+            addr.rem_euclid(self.memory.len() as i64) as usize
+        }
+    }
+}
+
+/// The observable result of executing a loop: live-out values per
+/// (node, iteration), and the final memory image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// Values of [`cgra_dfg::Operation::Output`] nodes, keyed by
+    /// `(node index, iteration)`.
+    pub outputs: BTreeMap<(usize, usize), i64>,
+    /// Final memory contents.
+    pub memory: Vec<i64>,
+    /// Total machine cycles executed (0 for the reference interpreter).
+    pub cycles: usize,
+}
+
+/// An execution failure — each variant indicates a way the mapping (or
+/// environment) is broken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A consumer executed before its operand was produced: the modulo
+    /// schedule's timing is wrong.
+    OperandNotReady {
+        /// The consuming node.
+        node: NodeId,
+        /// The consuming iteration.
+        iteration: usize,
+    },
+    /// A consumer cannot read the producer's register file: the
+    /// placement violates the topology.
+    RegisterFileUnreachable {
+        /// Producing node.
+        src: NodeId,
+        /// Consuming node.
+        dst: NodeId,
+    },
+    /// A node is missing an operand edge (the DFG failed validation).
+    MalformedNode {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OperandNotReady { node, iteration } => {
+                write!(f, "operand of {node} not ready in iteration {iteration}")
+            }
+            SimError::RegisterFileUnreachable { src, dst } => {
+                write!(f, "{dst} cannot read the register file holding {src}")
+            }
+            SimError::MalformedNode { node } => write!(f, "node {node} is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_streams_cycle() {
+        let env = SimEnv::new(4).with_input_stream(vec![7, 8]);
+        assert_eq!(env.input(0, 0), 7);
+        assert_eq!(env.input(0, 1), 8);
+        assert_eq!(env.input(0, 2), 7);
+        assert_eq!(env.input(1, 0), 0, "missing channel defaults to 0");
+    }
+
+    #[test]
+    fn address_wrapping() {
+        let env = SimEnv::new(8);
+        assert_eq!(env.wrap(9), 1);
+        assert_eq!(env.wrap(-1), 7);
+        assert_eq!(SimEnv::new(0).wrap(5), 0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let env = SimEnv::new(2)
+            .with_memory(vec![1, 2, 3])
+            .with_input_stream(vec![5]);
+        assert_eq!(env.memory, vec![1, 2, 3]);
+        assert_eq!(env.input(0, 10), 5);
+    }
+}

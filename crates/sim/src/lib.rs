@@ -1,0 +1,54 @@
+//! # cgra-sim — functional CGRA simulation of space-time mappings
+//!
+//! End-to-end validation substrate: executes a
+//! [`monomap_core::Mapping`] on the modelled CGRA, cycle by cycle, with
+//! register-file read semantics (a consumer may read a value only from
+//! its own PE's register file or a neighbour's), and compares the
+//! result against a direct iteration-major interpretation of the DFG.
+//! If the mapper produced a wrong schedule or placement, the two
+//! disagree or the machine run fails outright.
+//!
+//! Also computes per-PE register pressure (how many live values a PE's
+//! register file must hold simultaneously under the modulo schedule).
+//!
+//! ## Memory-ordering caveat
+//!
+//! The interpreter executes iterations in order; the mapped machine
+//! executes them overlapped (software pipelining). Unordered memory
+//! accesses that alias across (or within) iterations are racy in both
+//! models, and the DFG carries no memory-dependence edges — so
+//! equivalence is guaranteed only for race-free kernels (disjoint
+//! load/store address ranges, or accesses ordered by data flow). The
+//! equivalence tests construct such environments.
+//!
+//! ## Example
+//!
+//! ```
+//! use cgra_arch::Cgra;
+//! use cgra_dfg::examples::accumulator;
+//! use cgra_sim::{interpret, MachineSimulator, SimEnv};
+//! use monomap_core::DecoupledMapper;
+//!
+//! let cgra = Cgra::new(2, 2)?;
+//! let dfg = accumulator();
+//! let mapping = DecoupledMapper::new(&cgra).map(&dfg)?.mapping;
+//!
+//! let env = SimEnv::new(16).with_input_stream(vec![1, 2, 3, 4]);
+//! let reference = interpret(&dfg, &env, 4)?;
+//! let machine = MachineSimulator::new(&cgra, &dfg, &mapping).run(&env, 4)?;
+//! assert_eq!(reference.outputs, machine.outputs); // 1, 3, 6, 10
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod env;
+mod machine;
+mod pressure;
+mod reference;
+
+pub use env::{ExecRecord, SimEnv, SimError};
+pub use machine::MachineSimulator;
+pub use pressure::register_pressure;
+pub use reference::interpret;

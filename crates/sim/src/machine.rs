@@ -1,0 +1,287 @@
+//! Cycle-accurate functional execution of a mapping on the CGRA.
+
+use std::collections::BTreeMap;
+
+use cgra_arch::Cgra;
+use cgra_dfg::{Dfg, EdgeKind, NodeId, Operation};
+use monomap_core::Mapping;
+
+use crate::{ExecRecord, SimEnv, SimError};
+
+/// Executes a [`Mapping`] on the modelled CGRA.
+///
+/// Each node instance `(v, k)` runs on `mapping.pe(v)` at machine cycle
+/// `mapping.time(v) + k · II` (software pipelining: consecutive
+/// iterations start `II` cycles apart). Every operand read checks that
+///
+/// * the producing instance already executed (schedule timing), and
+/// * the producer's PE register file is readable from the consumer's PE
+///   (same PE or topological neighbour — the paper's architectural
+///   assumption).
+///
+/// Memory operations execute in machine-cycle order (ties broken by
+/// iteration, then data-flow order); see the crate docs for the
+/// race-freedom caveat.
+#[derive(Clone, Debug)]
+pub struct MachineSimulator<'a> {
+    cgra: &'a Cgra,
+    dfg: &'a Dfg,
+    mapping: &'a Mapping,
+}
+
+impl<'a> MachineSimulator<'a> {
+    /// Prepares a simulator for one mapping.
+    pub fn new(cgra: &'a Cgra, dfg: &'a Dfg, mapping: &'a Mapping) -> Self {
+        MachineSimulator { cgra, dfg, mapping }
+    }
+
+    /// Runs `iterations` pipelined iterations.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OperandNotReady`] or
+    /// [`SimError::RegisterFileUnreachable`] pinpoint mapping bugs;
+    /// both are impossible for mappings that pass
+    /// [`Mapping::validate`].
+    pub fn run(&self, env: &SimEnv, iterations: usize) -> Result<ExecRecord, SimError> {
+        let dfg = self.dfg;
+        let n = dfg.num_nodes();
+        let ii = self.mapping.ii();
+        let topo = dfg
+            .topo_order()
+            .map_err(|_| SimError::MalformedNode {
+                node: NodeId::from_index(0),
+            })?;
+        let mut topo_pos = vec![0usize; n];
+        for (i, &v) in topo.iter().enumerate() {
+            topo_pos[v.index()] = i;
+        }
+
+        // Event list: (cycle, iteration, topo position, node).
+        let mut events: Vec<(usize, usize, usize, NodeId)> = Vec::with_capacity(n * iterations);
+        for k in 0..iterations {
+            for v in dfg.nodes() {
+                let cycle = self.mapping.time(v) + k * ii;
+                events.push((cycle, k, topo_pos[v.index()], v));
+            }
+        }
+        events.sort_unstable();
+
+        // values[k][v] with a computed flag.
+        let mut values: Vec<Vec<Option<i64>>> = vec![vec![None; n]; iterations];
+        let mut memory = env.memory.clone();
+        let mut outputs = BTreeMap::new();
+        let mut last_cycle = 0usize;
+
+        for (cycle, k, _, v) in events {
+            last_cycle = cycle;
+            let op = dfg.op(v);
+            let arity = op.arity();
+            let mut operands = vec![None; arity];
+            let mut lc_initial = false;
+            for e in dfg.in_edges(v) {
+                let slot = e.operand as usize;
+                if slot >= arity {
+                    return Err(SimError::MalformedNode { node: v });
+                }
+                let (src_iter, available) = match e.kind {
+                    EdgeKind::Data => (Some(k), true),
+                    EdgeKind::LoopCarried { distance } => {
+                        let d = distance as usize;
+                        if k >= d {
+                            (Some(k - d), true)
+                        } else {
+                            (None, false)
+                        }
+                    }
+                };
+                if !available {
+                    lc_initial = true;
+                    continue;
+                }
+                let src_iter = src_iter.expect("available implies an iteration");
+                // Register-file reachability (the paper's mono3 /
+                // routing validity, checked dynamically).
+                if e.src != e.dst && !self.cgra.reachable(self.mapping.pe(e.src), self.mapping.pe(v)) {
+                    return Err(SimError::RegisterFileUnreachable { src: e.src, dst: v });
+                }
+                // Timing: the producer must have executed already.
+                let val = values[src_iter][e.src.index()].ok_or(SimError::OperandNotReady {
+                    node: v,
+                    iteration: k,
+                })?;
+                // Producer's cycle must be strictly earlier (same-cycle
+                // register reads would need a bypass network).
+                let src_cycle = self.mapping.time(e.src) + src_iter * ii;
+                if src_cycle >= cycle {
+                    return Err(SimError::OperandNotReady {
+                        node: v,
+                        iteration: k,
+                    });
+                }
+                operands[slot] = Some(val);
+            }
+
+            let value = match op {
+                Operation::Const(c) => c,
+                Operation::Input(ch) => env.input(ch, k),
+                Operation::Phi(init) => {
+                    if lc_initial {
+                        init
+                    } else {
+                        operands[0].ok_or(SimError::MalformedNode { node: v })?
+                    }
+                }
+                Operation::Load => {
+                    let addr = operands[0].ok_or(SimError::MalformedNode { node: v })?;
+                    memory[env.wrap(addr)]
+                }
+                Operation::Store => {
+                    let addr = operands[0].ok_or(SimError::MalformedNode { node: v })?;
+                    let val = operands[1].ok_or(SimError::MalformedNode { node: v })?;
+                    memory[env.wrap(addr)] = val;
+                    val
+                }
+                pure => {
+                    let ops: Option<Vec<i64>> = operands.into_iter().collect();
+                    let ops = ops.ok_or(SimError::MalformedNode { node: v })?;
+                    pure.eval_pure(&ops)
+                }
+            };
+            values[k][v.index()] = Some(value);
+            if op == Operation::Output {
+                outputs.insert((v.index(), k), value);
+            }
+        }
+
+        Ok(ExecRecord {
+            outputs,
+            memory,
+            cycles: last_cycle + 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret;
+    use cgra_dfg::examples::{accumulator, running_example, stream_scale};
+    use monomap_core::{DecoupledMapper, Placement};
+
+    fn map_on(cgra: &Cgra, dfg: &Dfg) -> Mapping {
+        DecoupledMapper::new(cgra).map(dfg).unwrap().mapping
+    }
+
+    #[test]
+    fn accumulator_machine_matches_reference() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = accumulator();
+        let mapping = map_on(&cgra, &dfg);
+        let env = SimEnv::new(4).with_input_stream(vec![5, -2, 7, 1, 9]);
+        let reference = interpret(&dfg, &env, 5).unwrap();
+        let machine = MachineSimulator::new(&cgra, &dfg, &mapping)
+            .run(&env, 5)
+            .unwrap();
+        assert_eq!(reference.outputs, machine.outputs);
+        assert_eq!(reference.memory, machine.memory);
+        assert!(machine.cycles >= 5 * mapping.ii());
+    }
+
+    #[test]
+    fn stream_scale_machine_matches_reference() {
+        let cgra = Cgra::new(3, 3).unwrap();
+        let dfg = stream_scale();
+        let mapping = map_on(&cgra, &dfg);
+        let env = SimEnv::new(16).with_memory((0..16).map(|i| i as i64 * 7).collect());
+        let reference = interpret(&dfg, &env, 8).unwrap();
+        let machine = MachineSimulator::new(&cgra, &dfg, &mapping)
+            .run(&env, 8)
+            .unwrap();
+        assert_eq!(reference.outputs, machine.outputs);
+        assert_eq!(reference.memory, machine.memory);
+    }
+
+    #[test]
+    fn running_example_machine_matches_reference() {
+        // Inputs chosen so load addresses (0..16) and store addresses
+        // (wrapped complements, 48..63) never alias — see crate docs.
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let mapping = map_on(&cgra, &dfg);
+        let env = SimEnv::new(64)
+            .with_memory((0..64).map(|i| i as i64).collect())
+            .with_input_stream(vec![3, 7, 11, 15]) // in0: load addrs
+            .with_input_stream(vec![2, 4, 6, 8]) // in1
+            .with_input_stream(vec![1, 5, 9, 13]); // in2
+        let reference = interpret(&dfg, &env, 4).unwrap();
+        let machine = MachineSimulator::new(&cgra, &dfg, &mapping)
+            .run(&env, 4)
+            .unwrap();
+        assert_eq!(reference.outputs, machine.outputs);
+        assert_eq!(reference.memory, machine.memory);
+    }
+
+    #[test]
+    fn corrupted_placement_is_caught() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = accumulator();
+        let good = map_on(&cgra, &dfg);
+        // Move one node to a diagonal (unreachable) PE.
+        let mut placements: Vec<Placement> = good.placements().to_vec();
+        // Node 2 (sum) consumes node 0 (x) and node 1 (phi): put sum on
+        // the PE diagonal from x's.
+        let x_pe = placements[0].pe.index();
+        let diag = match x_pe {
+            0 => 3,
+            3 => 0,
+            1 => 2,
+            _ => 1,
+        };
+        placements[2] = Placement {
+            pe: cgra_arch::PeId::from_index(diag),
+            ..placements[2]
+        };
+        let bad = Mapping::new("bad", good.ii(), placements);
+        let env = SimEnv::new(4).with_input_stream(vec![1, 2]);
+        let err = MachineSimulator::new(&cgra, &dfg, &bad)
+            .run(&env, 2)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::RegisterFileUnreachable { .. } | SimError::OperandNotReady { .. }
+        ));
+    }
+
+    #[test]
+    fn corrupted_timing_is_caught() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = accumulator();
+        let good = map_on(&cgra, &dfg);
+        let mut placements = good.placements().to_vec();
+        // Make the consumer run before its producer.
+        let src_time = placements[0].time;
+        placements[2] = Placement {
+            time: src_time, // same cycle as its operand: not ready
+            slot: src_time % good.ii(),
+            ..placements[2]
+        };
+        let bad = Mapping::new("bad", good.ii(), placements);
+        let env = SimEnv::new(4).with_input_stream(vec![1]);
+        let err = MachineSimulator::new(&cgra, &dfg, &bad)
+            .run(&env, 1)
+            .unwrap_err();
+        assert!(matches!(err, SimError::OperandNotReady { .. }));
+    }
+
+    #[test]
+    fn zero_iterations_is_empty() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = accumulator();
+        let mapping = map_on(&cgra, &dfg);
+        let rec = MachineSimulator::new(&cgra, &dfg, &mapping)
+            .run(&SimEnv::new(4), 0)
+            .unwrap();
+        assert!(rec.outputs.is_empty());
+    }
+}

@@ -1,0 +1,466 @@
+//! Finite-domain integer variables and constraints over the SAT core.
+
+use std::fmt;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use cgra_sat::{Budget, Lit, SatResult, Solver};
+
+use crate::cardinality;
+
+/// Handle to a finite-domain integer variable inside an [`FdSolver`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntVar(u32);
+
+impl IntVar {
+    /// Dense index of this variable inside its solver.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for IntVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+struct IntVarData {
+    domain: Vec<i64>,
+    lits: Vec<Lit>,
+}
+
+/// Sizes of the encoded formula, for reporting and benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FdStats {
+    /// Number of finite-domain integer variables.
+    pub int_vars: usize,
+    /// Number of SAT variables allocated (indicators + auxiliaries).
+    pub sat_vars: usize,
+    /// Number of clauses alive in the SAT core.
+    pub clauses: usize,
+}
+
+/// A finite-domain constraint solver ("mini-SMT") encoding onto CDCL SAT.
+///
+/// See the crate-level documentation for an example. All constraint
+/// methods add clauses immediately (eager encoding); the solver can then
+/// be queried repeatedly and incrementally.
+pub struct FdSolver {
+    sat: Solver,
+    vars: Vec<IntVarData>,
+}
+
+impl fmt::Debug for FdSolver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FdSolver")
+            .field("int_vars", &self.vars.len())
+            .field("sat", &self.sat)
+            .finish()
+    }
+}
+
+impl Default for FdSolver {
+    fn default() -> Self {
+        FdSolver::new()
+    }
+}
+
+impl FdSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        FdSolver {
+            sat: Solver::new(),
+            vars: Vec::new(),
+        }
+    }
+
+    /// Creates an integer variable over the given domain values.
+    ///
+    /// Duplicate values are merged; the domain is sorted. An exactly-one
+    /// constraint over the indicator literals is added immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is empty.
+    pub fn new_int<I>(&mut self, domain: I) -> IntVar
+    where
+        I: IntoIterator<Item = i64>,
+    {
+        let mut values: Vec<i64> = domain.into_iter().collect();
+        values.sort_unstable();
+        values.dedup();
+        assert!(!values.is_empty(), "integer variable needs a non-empty domain");
+        let lits: Vec<Lit> = values.iter().map(|_| self.sat.new_var().pos()).collect();
+        self.sat.add_clause(lits.iter().copied());
+        cardinality::at_most_one(&mut self.sat, &lits);
+        let v = IntVar(self.vars.len() as u32);
+        self.vars.push(IntVarData {
+            domain: values,
+            lits,
+        });
+        v
+    }
+
+    /// Creates a fresh free Boolean literal.
+    pub fn new_bool(&mut self) -> Lit {
+        self.sat.new_var().pos()
+    }
+
+    /// The sorted domain of a variable.
+    pub fn domain(&self, v: IntVar) -> &[i64] {
+        &self.vars[v.index()].domain
+    }
+
+    /// The indicator literal for `v == value`, if `value` is in the
+    /// domain.
+    pub fn eq_lit(&self, v: IntVar, value: i64) -> Option<Lit> {
+        let data = &self.vars[v.index()];
+        data.domain
+            .binary_search(&value)
+            .ok()
+            .map(|i| data.lits[i])
+    }
+
+    /// Indicator literals of `v` paired with their domain values.
+    pub fn indicator_lits(&self, v: IntVar) -> impl Iterator<Item = (i64, Lit)> + '_ {
+        let data = &self.vars[v.index()];
+        data.domain.iter().copied().zip(data.lits.iter().copied())
+    }
+
+    /// Adds a raw clause over Boolean literals.
+    pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        self.sat.add_clause(lits);
+    }
+
+    /// Restricts `v` to domain values satisfying `pred`.
+    pub fn require_unary<F>(&mut self, v: IntVar, pred: F)
+    where
+        F: Fn(i64) -> bool,
+    {
+        let to_forbid: Vec<Lit> = self.vars[v.index()]
+            .domain
+            .iter()
+            .zip(&self.vars[v.index()].lits)
+            .filter(|(val, _)| !pred(**val))
+            .map(|(_, l)| *l)
+            .collect();
+        for l in to_forbid {
+            self.sat.add_clause([!l]);
+        }
+    }
+
+    /// Requires the relation `pred(a, b)` to hold between the values of
+    /// `a` and `b`, by forbidding every violating value pair.
+    ///
+    /// Complexity is `|dom(a)| · |dom(b)|` binary clauses in the worst
+    /// case — intended for the small schedule-window domains of the CGRA
+    /// time formulation.
+    pub fn require_binary<F>(&mut self, a: IntVar, b: IntVar, pred: F)
+    where
+        F: Fn(i64, i64) -> bool,
+    {
+        let mut forbidden = Vec::new();
+        {
+            let da = &self.vars[a.index()];
+            let db = &self.vars[b.index()];
+            for (ia, &va) in da.domain.iter().enumerate() {
+                for (ib, &vb) in db.domain.iter().enumerate() {
+                    if !pred(va, vb) {
+                        forbidden.push((da.lits[ia], db.lits[ib]));
+                    }
+                }
+            }
+        }
+        for (la, lb) in forbidden {
+            self.sat.add_clause([!la, !lb]);
+        }
+    }
+
+    /// Requires `pred(a, b)` to hold whenever `guard` is true.
+    pub fn require_binary_if<F>(&mut self, guard: Lit, a: IntVar, b: IntVar, pred: F)
+    where
+        F: Fn(i64, i64) -> bool,
+    {
+        let mut forbidden = Vec::new();
+        {
+            let da = &self.vars[a.index()];
+            let db = &self.vars[b.index()];
+            for (ia, &va) in da.domain.iter().enumerate() {
+                for (ib, &vb) in db.domain.iter().enumerate() {
+                    if !pred(va, vb) {
+                        forbidden.push((da.lits[ia], db.lits[ib]));
+                    }
+                }
+            }
+        }
+        for (la, lb) in forbidden {
+            self.sat.add_clause([!guard, !la, !lb]);
+        }
+    }
+
+    /// Returns a literal defined (via Tseitin) to be the disjunction of
+    /// `lits`.
+    pub fn or_lit(&mut self, lits: &[Lit]) -> Lit {
+        if lits.len() == 1 {
+            return lits[0];
+        }
+        let y = self.sat.new_var().pos();
+        for &l in lits {
+            self.sat.add_clause([!l, y]);
+        }
+        let mut long = Vec::with_capacity(lits.len() + 1);
+        long.push(!y);
+        long.extend_from_slice(lits);
+        self.sat.add_clause(long);
+        y
+    }
+
+    /// Returns a literal defined (via Tseitin) to be the conjunction of
+    /// `lits`.
+    pub fn and_lit(&mut self, lits: &[Lit]) -> Lit {
+        if lits.len() == 1 {
+            return lits[0];
+        }
+        let y = self.sat.new_var().pos();
+        for &l in lits {
+            self.sat.add_clause([!y, l]);
+        }
+        let mut long = Vec::with_capacity(lits.len() + 1);
+        long.push(y);
+        long.extend(lits.iter().map(|&l| !l));
+        self.sat.add_clause(long);
+        y
+    }
+
+    /// At most `k` of `lits` may be true.
+    pub fn at_most_k(&mut self, lits: &[Lit], k: usize) {
+        cardinality::at_most_k(&mut self.sat, lits, k);
+    }
+
+    /// At least `k` of `lits` must be true.
+    pub fn at_least_k(&mut self, lits: &[Lit], k: usize) {
+        cardinality::at_least_k(&mut self.sat, lits, k);
+    }
+
+    /// Exactly `k` of `lits` must be true.
+    pub fn exactly_k(&mut self, lits: &[Lit], k: usize) {
+        cardinality::exactly_k(&mut self.sat, lits, k);
+    }
+
+    /// Decides the accumulated constraints.
+    pub fn solve(&mut self) -> SatResult {
+        self.sat.solve()
+    }
+
+    /// Decides under a resource budget; returns
+    /// [`SatResult::Unknown`](cgra_sat::SatResult::Unknown) when exhausted.
+    pub fn solve_limited(&mut self, budget: &Budget) -> SatResult {
+        self.sat.solve_limited(&[], budget)
+    }
+
+    /// Decides under assumption literals.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.sat.solve_with_assumptions(assumptions)
+    }
+
+    /// Installs a cooperative cancellation flag (see
+    /// [`cgra_sat::Solver::set_cancel_flag`]).
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.sat.set_cancel_flag(flag);
+    }
+
+    /// The value of `v` in the current model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last `solve` did not return Sat, or if the model is
+    /// no longer current (e.g. clauses were added since).
+    pub fn value(&self, v: IntVar) -> i64 {
+        let data = &self.vars[v.index()];
+        for (i, &l) in data.lits.iter().enumerate() {
+            if self.sat.lit_value(l).is_true() {
+                return data.domain[i];
+            }
+        }
+        panic!("no model value for {v:?}: call solve() first");
+    }
+
+    /// The truth value of a Boolean literal in the current model.
+    pub fn bool_value(&self, l: Lit) -> bool {
+        self.sat.lit_value(l).is_true()
+    }
+
+    /// Adds a blocking clause excluding the current assignment of `vars`,
+    /// enabling solution enumeration over that projection.
+    ///
+    /// Must be called while a model is current; reads the model before
+    /// modifying the clause database.
+    pub fn block_current(&mut self, vars: &[IntVar]) {
+        let clause: Vec<Lit> = vars
+            .iter()
+            .map(|&v| {
+                let val = self.value(v);
+                !self.eq_lit(v, val).expect("model value is in the domain")
+            })
+            .collect();
+        self.sat.add_clause(clause);
+    }
+
+    /// Sizes of the current encoding.
+    pub fn stats(&self) -> FdStats {
+        FdStats {
+            int_vars: self.vars.len(),
+            sat_vars: self.sat.num_vars(),
+            clauses: self.sat.num_clauses(),
+        }
+    }
+
+    /// Borrows the underlying SAT solver (for advanced encodings).
+    pub fn sat_mut(&mut self) -> &mut Solver {
+        &mut self.sat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_value_domain() {
+        let mut fd = FdSolver::new();
+        let x = fd.new_int([7]);
+        assert_eq!(fd.solve(), SatResult::Sat);
+        assert_eq!(fd.value(x), 7);
+    }
+
+    #[test]
+    fn domains_are_sorted_and_deduped() {
+        let mut fd = FdSolver::new();
+        let x = fd.new_int([3, 1, 2, 3, 1]);
+        assert_eq!(fd.domain(x), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn empty_domain_panics() {
+        let mut fd = FdSolver::new();
+        let _ = fd.new_int([]);
+    }
+
+    #[test]
+    fn unary_constraint_prunes() {
+        let mut fd = FdSolver::new();
+        let x = fd.new_int(0..10);
+        fd.require_unary(x, |v| v % 2 == 0 && v > 5);
+        assert_eq!(fd.solve(), SatResult::Sat);
+        let v = fd.value(x);
+        assert!(v % 2 == 0 && v > 5);
+    }
+
+    #[test]
+    fn unsat_unary() {
+        let mut fd = FdSolver::new();
+        let x = fd.new_int(0..5);
+        fd.require_unary(x, |v| v > 10);
+        assert_eq!(fd.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn binary_ordering_chain() {
+        // x0 < x1 < x2 < x3 over 0..4 forces the identity assignment.
+        let mut fd = FdSolver::new();
+        let xs: Vec<IntVar> = (0..4).map(|_| fd.new_int(0..4)).collect();
+        for w in xs.windows(2) {
+            fd.require_binary(w[0], w[1], |a, b| a < b);
+        }
+        assert_eq!(fd.solve(), FdResultAlias::Sat);
+        for (i, &x) in xs.iter().enumerate() {
+            assert_eq!(fd.value(x), i as i64);
+        }
+    }
+
+    // Local alias to exercise the public re-export path.
+    use cgra_sat::SatResult as FdResultAlias;
+
+    #[test]
+    fn guarded_binary_constraint() {
+        let mut fd = FdSolver::new();
+        let g = fd.new_bool();
+        let x = fd.new_int(0..3);
+        let y = fd.new_int(0..3);
+        fd.require_binary_if(g, x, y, |a, b| a == b);
+        fd.require_binary(x, y, |a, b| a != b || a == 2);
+        // With the guard on, x == y == 2 is the only option.
+        fd.add_clause([g]);
+        assert_eq!(fd.solve(), SatResult::Sat);
+        assert_eq!(fd.value(x), 2);
+        assert_eq!(fd.value(y), 2);
+    }
+
+    #[test]
+    fn enumeration_counts_solutions() {
+        // x + y == 3 over 0..=3 has exactly 4 solutions.
+        let mut fd = FdSolver::new();
+        let x = fd.new_int(0..=3);
+        let y = fd.new_int(0..=3);
+        fd.require_binary(x, y, |a, b| a + b == 3);
+        let mut n = 0;
+        while fd.solve() == SatResult::Sat {
+            n += 1;
+            assert!(n <= 4, "too many solutions");
+            fd.block_current(&[x, y]);
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn or_and_lits() {
+        let mut fd = FdSolver::new();
+        let x = fd.new_int([0, 1]);
+        let y = fd.new_int([0, 1]);
+        let x1 = fd.eq_lit(x, 1).unwrap();
+        let y1 = fd.eq_lit(y, 1).unwrap();
+        let both = fd.and_lit(&[x1, y1]);
+        let either = fd.or_lit(&[x1, y1]);
+        fd.add_clause([either]);
+        fd.add_clause([!both]);
+        assert_eq!(fd.solve(), SatResult::Sat);
+        assert_ne!(fd.value(x), fd.value(y));
+    }
+
+    #[test]
+    fn cardinality_over_indicators() {
+        // Five variables over 0..3; at most 2 may take the value 0.
+        let mut fd = FdSolver::new();
+        let xs: Vec<IntVar> = (0..5).map(|_| fd.new_int(0..3)).collect();
+        let zeros: Vec<Lit> = xs.iter().map(|&x| fd.eq_lit(x, 0).unwrap()).collect();
+        fd.at_most_k(&zeros, 2);
+        // Force three of them to 0 => unsat.
+        for &x in xs.iter().take(3) {
+            fd.require_unary(x, |v| v == 0);
+        }
+        assert_eq!(fd.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn eq_lit_for_out_of_domain_value() {
+        let mut fd = FdSolver::new();
+        let x = fd.new_int([1, 3, 5]);
+        assert!(fd.eq_lit(x, 2).is_none());
+        assert!(fd.eq_lit(x, 3).is_some());
+    }
+
+    #[test]
+    fn stats_report_sizes() {
+        let mut fd = FdSolver::new();
+        let _ = fd.new_int(0..8);
+        let s = fd.stats();
+        assert_eq!(s.int_vars, 1);
+        assert!(s.sat_vars >= 8);
+        assert!(s.clauses > 0);
+    }
+}

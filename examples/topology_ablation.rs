@@ -1,0 +1,42 @@
+//! Topology ablation: the same kernels mapped onto torus, plain mesh
+//! and 8-neighbour (diagonal) grids.
+//!
+//! The paper's uniform connectivity degree (`D_M = 5` on 3×3+) holds
+//! on a torus; a plain mesh has weaker corners, so the conservative
+//! degree bound drops to 3 and some kernels need a higher II or more
+//! window slack. A diagonal grid (`D_M = 4+…`) goes the other way.
+//!
+//! Run with: `cargo run --release --example topology_ablation`
+
+use monomap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernels = ["bitcount", "susan", "sha1", "gsm", "fft", "lud"];
+    println!(
+        "{:<12} | {:>14} | {:>14} | {:>14}",
+        "benchmark", "torus (II/DM)", "mesh (II/DM)", "diagonal (II/DM)"
+    );
+    println!("{}", "-".repeat(66));
+    for name in kernels {
+        let dfg = suite::generate(name);
+        let mut row = format!("{name:<12} |");
+        for topo in [Topology::Torus, Topology::Mesh, Topology::Diagonal] {
+            let cgra = Cgra::with_topology(4, 4, topo)?;
+            let cell = match DecoupledMapper::new(&cgra).map(&dfg) {
+                Ok(r) => {
+                    r.mapping.validate(&dfg, &cgra)?;
+                    format!("{:>9}/{:<4}", r.mapping.ii(), cgra.connectivity_degree())
+                }
+                Err(_) => format!("{:>9}/{:<4}", "-", cgra.connectivity_degree()),
+            };
+            row.push_str(&format!(" {cell} |"));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nThe torus is the paper-faithful default (uniform degree; see DESIGN.md §1).\n\
+         On the mesh the conservative degree bound (min degree + 1) keeps the\n\
+         monomorphism-existence argument sound at the cost of occasional II/slack."
+    );
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Cross-validation between the independent implementations: the
+//! decoupled mapper, the coupled SAT baseline, the annealer and the
+//! two simulators must all agree with each other.
+
+use monomap::prelude::*;
+
+/// Exact mappers must achieve the same II (both are complete per
+/// (II, slack) level and search IIs in ascending order).
+#[test]
+fn decoupled_and_coupled_agree_on_ii() {
+    let cgra = Cgra::new(3, 3).unwrap();
+    for dfg in [accumulator(), stream_scale(), running_example()] {
+        let mono = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        let coupled = CoupledMapper::new(&cgra).map(&dfg).unwrap();
+        assert_eq!(
+            mono.mapping.ii(),
+            coupled.mapping.ii(),
+            "{}: exact mappers disagree on II",
+            dfg.name()
+        );
+    }
+}
+
+#[test]
+fn decoupled_and_coupled_agree_on_small_suite_kernels() {
+    let cgra = Cgra::new(2, 2).unwrap();
+    for name in ["bitcount", "susan", "sha1"] {
+        let dfg = suite::generate(name);
+        let mono = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        let coupled = CoupledMapper::new(&cgra).map(&dfg).unwrap();
+        assert_eq!(mono.mapping.ii(), coupled.mapping.ii(), "{name}");
+        mono.mapping.validate(&dfg, &cgra).unwrap();
+        coupled.mapping.validate(&dfg, &cgra).unwrap();
+    }
+}
+
+/// The annealer is heuristic: it may use a higher II but never a lower
+/// one, and its mappings must pass the same validator.
+#[test]
+fn annealer_is_sound_if_not_optimal() {
+    let cgra = Cgra::new(3, 3).unwrap();
+    for dfg in [accumulator(), stream_scale()] {
+        let exact = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        let sa = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
+        sa.mapping.validate(&dfg, &cgra).unwrap();
+        assert!(
+            sa.mapping.ii() >= exact.mapping.ii(),
+            "{}: annealer beat the exact mapper",
+            dfg.name()
+        );
+    }
+}
+
+/// Every mapper's output executes identically on the machine
+/// simulator.
+#[test]
+fn all_mappers_execute_identically() {
+    let cgra = Cgra::new(3, 3).unwrap();
+    let dfg = accumulator();
+    let env = SimEnv::new(8).with_input_stream(vec![4, -1, 3, 9, 2]);
+    let reference = interpret(&dfg, &env, 5).unwrap();
+
+    let mono = DecoupledMapper::new(&cgra).map(&dfg).unwrap().mapping;
+    let coupled = CoupledMapper::new(&cgra).map(&dfg).unwrap().mapping;
+    let sa = AnnealingMapper::new(&cgra).map(&dfg).unwrap().mapping;
+    for (tag, mapping) in [("mono", &mono), ("coupled", &coupled), ("sa", &sa)] {
+        let rec = MachineSimulator::new(&cgra, &dfg, mapping)
+            .run(&env, 5)
+            .unwrap_or_else(|e| panic!("{tag}: {e}"));
+        assert_eq!(rec.outputs, reference.outputs, "{tag}");
+        assert_eq!(rec.memory, reference.memory, "{tag}");
+    }
+}
+
+/// The suite kernels execute on the machine simulator without timing
+/// or reachability faults (memory contents may legitimately differ
+/// from the iteration-major reference when unordered accesses alias;
+/// see cgra-sim docs).
+#[test]
+fn suite_mappings_execute_without_faults() {
+    let cgra = Cgra::new(5, 5).unwrap();
+    for name in ["susan", "gsm", "crc32", "lud"] {
+        let dfg = suite::generate(name);
+        let mapping = DecoupledMapper::new(&cgra).map(&dfg).unwrap().mapping;
+        let env = SimEnv::new(256)
+            .with_memory((0..256).map(|i| i * 3).collect())
+            .with_input_stream((0..16).collect())
+            .with_input_stream((16..32).collect())
+            .with_input_stream((5..21).collect())
+            .with_input_stream((7..23).collect());
+        let rec = MachineSimulator::new(&cgra, &dfg, &mapping)
+            .run(&env, 6)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(rec.cycles >= 6 * mapping.ii(), "{name}");
+    }
+}
+
+/// Register pressure stays finite and mostly within the modelled
+/// register file for the suite on 5×5.
+#[test]
+fn register_pressure_is_reported() {
+    let cgra = Cgra::new(5, 5).unwrap();
+    for name in ["fft", "sha2"] {
+        let dfg = suite::generate(name);
+        let mapping = DecoupledMapper::new(&cgra).map(&dfg).unwrap().mapping;
+        let pressure = register_pressure(&dfg, &mapping, &cgra, 8);
+        assert_eq!(pressure.len(), 25);
+        let max = pressure.iter().copied().max().unwrap();
+        assert!(max > 0 && max < 32, "{name}: implausible pressure {max}");
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end mapping of the full 17-kernel suite — the workload grid
+//! of the paper's Table III — with validation of every mapping.
+
+use monomap::prelude::*;
+
+fn map_and_validate(name: &str, size: usize) -> (usize, usize) {
+    let dfg = suite::generate(name);
+    let cgra = Cgra::new(size, size).unwrap();
+    let mii = min_ii(&dfg, &cgra);
+    let result = DecoupledMapper::new(&cgra)
+        .map(&dfg)
+        .unwrap_or_else(|e| panic!("{name} on {size}x{size}: {e}"));
+    result
+        .mapping
+        .validate(&dfg, &cgra)
+        .unwrap_or_else(|e| panic!("{name} on {size}x{size}: invalid mapping: {e}"));
+    (result.mapping.ii(), mii)
+}
+
+#[test]
+fn all_kernels_map_on_2x2() {
+    for name in suite::names() {
+        let (ii, mii) = map_and_validate(name, 2);
+        assert!(ii >= mii, "{name}: II {ii} below lower bound {mii}");
+        // The paper achieves mII or close to it on 2×2; allow the same
+        // escalation margin it reports (aes: 16 vs mII 14, crc32: 11
+        // vs 8).
+        assert!(ii <= mii + 4, "{name}: II {ii} too far above mII {mii}");
+    }
+}
+
+#[test]
+fn all_kernels_map_on_5x5() {
+    for name in suite::names() {
+        let (ii, mii) = map_and_validate(name, 5);
+        assert!(ii >= mii, "{name}");
+        assert!(ii <= mii + 4, "{name}: II {ii} vs mII {mii}");
+    }
+}
+
+#[test]
+fn large_cgra_subset_maps_fast() {
+    // The decoupled mapper's selling point: 10×10 and 20×20 stay
+    // cheap. A subset keeps test time bounded; the full grid is the
+    // table3 binary.
+    let t0 = std::time::Instant::now();
+    for name in ["susan", "bitcount", "gsm", "fft", "nw"] {
+        for size in [10usize, 20] {
+            let (ii, mii) = map_and_validate(name, size);
+            assert!(ii >= mii, "{name} {size}");
+        }
+    }
+    assert!(
+        t0.elapsed().as_secs() < 120,
+        "large-CGRA mapping should be fast (took {:?})",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn mapped_ii_never_below_rec_ii() {
+    for name in suite::names() {
+        let dfg = suite::generate(name);
+        let cgra = Cgra::new(5, 5).unwrap();
+        let result = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        assert!(result.mapping.ii() >= rec_ii(&dfg), "{name}");
+    }
+}
+
+#[test]
+#[ignore = "full 10x10/20x20 grid; run explicitly or via the table3 binary"]
+fn all_kernels_map_on_large_cgras() {
+    for name in suite::names() {
+        for size in [10usize, 20] {
+            let (ii, mii) = map_and_validate(name, size);
+            assert!(ii >= mii, "{name} {size}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based end-to-end tests: randomly generated loop kernels
+//! must map (or fail cleanly), and every produced mapping must satisfy
+//! all invariants and execute correctly.
+
+use proptest::prelude::*;
+
+use monomap::prelude::*;
+
+/// Strategy: a random valid loop DFG of 3..=18 nodes built from a
+/// random instruction tape, always containing at least one recurrence.
+fn arb_dfg() -> impl Strategy<Value = Dfg> {
+    (
+        2usize..6,               // recurrence length
+        proptest::collection::vec(0u8..8, 0..14), // instruction tape
+        any::<u64>(),            // value seed
+    )
+        .prop_map(|(rec_len, tape, seed)| {
+            let mut b = DfgBuilder::named("prop");
+            let mut pool: Vec<NodeId> = Vec::new();
+            let x = b.input("x");
+            pool.push(x);
+            // Recurrence core.
+            let phi = b.phi("phi", (seed % 100) as i64);
+            pool.push(phi);
+            let mut cur = phi;
+            for i in 1..rec_len {
+                cur = b.unary(format!("r{i}"), Operation::Neg, cur);
+                pool.push(cur);
+            }
+            b.loop_carried(cur, phi, 1);
+            // Random tape of additional structure.
+            let mut s = seed;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for (i, op) in tape.iter().enumerate() {
+                let pick = |n: u64, pool: &[NodeId]| pool[(n % pool.len() as u64) as usize];
+                let a = pick(next(), &pool);
+                let c = pick(next(), &pool);
+                let v = match op {
+                    0 => b.binary(format!("t{i}"), Operation::Add, a, c),
+                    1 => b.binary(format!("t{i}"), Operation::Xor, a, c),
+                    2 => b.unary(format!("t{i}"), Operation::Not, a),
+                    3 => b.binary(format!("t{i}"), Operation::Mul, a, c),
+                    4 => b.load(format!("t{i}"), a),
+                    5 => b.binary(format!("t{i}"), Operation::Min, a, c),
+                    6 => b.constant(format!("t{i}"), (next() % 64) as i64),
+                    _ => b.output(format!("t{i}"), a),
+                };
+                pool.push(v);
+            }
+            b.build().expect("constructed kernels are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random kernel that maps produces a mapping satisfying every
+    /// invariant, at an II no lower than the bound.
+    #[test]
+    fn random_kernels_map_validly(dfg in arb_dfg()) {
+        let cgra = Cgra::new(3, 3).unwrap();
+        let mii = min_ii(&dfg, &cgra);
+        match DecoupledMapper::new(&cgra).map(&dfg) {
+            Ok(result) => {
+                prop_assert!(result.mapping.validate(&dfg, &cgra).is_ok());
+                prop_assert!(result.mapping.ii() >= mii);
+            }
+            Err(e) => {
+                // Only clean, explainable failures are acceptable.
+                prop_assert!(matches!(
+                    e,
+                    monomap::core::MapError::NoSolution { .. }
+                ), "unexpected failure: {e}");
+            }
+        }
+    }
+
+    /// The paper's §IV-D claims a monomorphism exists for every
+    /// constrained time solution. Its proof is a *local* counting
+    /// argument, and this very property test found rare random kernels
+    /// (several nodes of degree > D_M interacting) where the first time
+    /// solution admits no embedding — see EXPERIMENTS.md. The property
+    /// that actually holds, and that the mapper relies on, is: some
+    /// enumerated time solution embeds, so the decoupled pipeline with
+    /// its fall-back always succeeds. The first solution embeds in the
+    /// overwhelming majority of cases (the suite never needs fall-back).
+    #[test]
+    fn time_solutions_admit_space_solutions_with_enumeration(dfg in arb_dfg()) {
+        use monomap::core::{build_pattern, build_target};
+        use monomap::sched::SolveOutcome;
+        let cgra = Cgra::new(3, 3).unwrap();
+        let mii = min_ii(&dfg, &cgra);
+        'outer: for ii in mii..mii + 4 {
+            let cfg = TimeSolverConfig::for_cgra(&cgra).with_window_slack(1);
+            let Ok(mut solver) = TimeSolver::new(&dfg, ii, cfg) else { continue };
+            let target = build_target(&cgra, ii);
+            let mut outcome = solver.solve_outcome();
+            let mut tries = 0;
+            while let SolveOutcome::Solution(sol) = outcome {
+                let pattern = build_pattern(&dfg, &sol);
+                if monomap::iso::find_monomorphism(&pattern, &target).is_some() {
+                    break 'outer; // pipeline succeeds at this II
+                }
+                tries += 1;
+                if tries >= 24 {
+                    continue 'outer; // escalate II like the mapper does
+                }
+                outcome = solver.next_outcome();
+            }
+        }
+        // Cross-check: the full mapper (same fall-backs plus slack and
+        // II escalation) must map the kernel.
+        let result = monomap::core::DecoupledMapper::new(&cgra).map(&dfg);
+        prop_assert!(result.is_ok(), "mapper failed: {:?}", result.err());
+    }
+
+    /// Mapped execution matches the reference interpreter on memoryless
+    /// kernels (no aliasing concerns by construction).
+    #[test]
+    fn mapped_execution_matches_reference(
+        rec_len in 2usize..5,
+        adds in 0usize..6,
+        inputs in proptest::collection::vec(-100i64..100, 4..8),
+    ) {
+        let mut b = DfgBuilder::named("pure");
+        let x = b.input("x");
+        let phi = b.phi("phi", 1);
+        let mut cur = phi;
+        for i in 1..rec_len {
+            cur = b.unary(format!("r{i}"), Operation::Neg, cur);
+        }
+        b.loop_carried(cur, phi, 1);
+        let mut acc = x;
+        for i in 0..adds {
+            acc = b.binary(format!("a{i}"), Operation::Add, acc, cur);
+        }
+        let out = b.output("o", acc);
+        let dfg = b.build().unwrap();
+
+        let cgra = Cgra::new(3, 3).unwrap();
+        let mapping = DecoupledMapper::new(&cgra).map(&dfg).unwrap().mapping;
+        let iterations = inputs.len();
+        let env = SimEnv::new(4).with_input_stream(inputs);
+        let reference = interpret(&dfg, &env, iterations).unwrap();
+        let machine = MachineSimulator::new(&cgra, &dfg, &mapping)
+            .run(&env, iterations)
+            .unwrap();
+        prop_assert_eq!(&reference.outputs, &machine.outputs);
+        prop_assert!(machine.outputs.contains_key(&(out.index(), 0)));
+    }
+
+    /// The kernel table always contains every node exactly once.
+    #[test]
+    fn kernel_table_is_a_permutation(dfg in arb_dfg()) {
+        let cgra = Cgra::new(4, 4).unwrap();
+        if let Ok(result) = DecoupledMapper::new(&cgra).map(&dfg) {
+            let table = result.mapping.kernel_table(&cgra);
+            let cells: Vec<&str> = table.split_whitespace().collect();
+            for v in 0..dfg.num_nodes() {
+                let name = format!("n{v}");
+                prop_assert_eq!(cells.iter().filter(|&&c| c == name).count(), 1);
+            }
+        }
+    }
+}
