@@ -1,182 +1,31 @@
-//! A fixed-capacity bit set over PE indices.
+//! The PE set: a typed view over the workspace-wide dense bit set.
 //!
 //! Used as the adjacency representation of the CGRA and as the candidate
 //! set representation inside the monomorphism-driven space search, where
 //! intersecting neighbourhoods must be cheap (a 20×20 CGRA has 400 PEs,
 //! i.e. about seven words).
+//!
+//! The word-vector implementation lives in [`cgra_base::DenseBitSet`];
+//! this module only binds it to [`PeId`] so PE sets cannot be confused
+//! with other index domains.
 
-use std::fmt;
+use cgra_base::{DenseIndex, IndexSet};
 
 use crate::PeId;
 
-/// A set of PEs backed by a word vector.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
-pub struct PeSet {
-    words: Vec<u64>,
-    capacity: usize,
-}
-
-impl PeSet {
-    /// Creates an empty set able to hold PEs `0..capacity`.
-    pub fn new(capacity: usize) -> Self {
-        PeSet {
-            words: vec![0; capacity.div_ceil(64)],
-            capacity,
-        }
+impl DenseIndex for PeId {
+    fn from_index(index: usize) -> Self {
+        PeId::from_index(index)
     }
 
-    /// Creates a set containing every PE in `0..capacity`.
-    pub fn full(capacity: usize) -> Self {
-        let mut s = PeSet::new(capacity);
-        for w in &mut s.words {
-            *w = !0;
-        }
-        s.mask_tail();
-        s
-    }
-
-    fn mask_tail(&mut self) {
-        let tail = self.capacity % 64;
-        if tail != 0 {
-            if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << tail) - 1;
-            }
-        }
-    }
-
-    /// The capacity (exclusive upper bound on PE indices).
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Inserts a PE.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the PE index is out of range.
-    pub fn insert(&mut self, pe: PeId) {
-        let i = pe.index();
-        assert!(i < self.capacity, "PE index {i} out of range");
-        self.words[i / 64] |= 1 << (i % 64);
-    }
-
-    /// Removes a PE (no-op if absent).
-    pub fn remove(&mut self, pe: PeId) {
-        let i = pe.index();
-        if i < self.capacity {
-            self.words[i / 64] &= !(1 << (i % 64));
-        }
-    }
-
-    /// Membership test.
-    pub fn contains(&self, pe: PeId) -> bool {
-        let i = pe.index();
-        i < self.capacity && self.words[i / 64] >> (i % 64) & 1 == 1
-    }
-
-    /// Number of PEs in the set.
-    pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    /// True when no PE is present.
-    pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
-    }
-
-    /// In-place intersection with `other`.
-    pub fn intersect_with(&mut self, other: &PeSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
-    }
-
-    /// In-place union with `other`.
-    pub fn union_with(&mut self, other: &PeSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
-    }
-
-    /// In-place difference (`self \ other`).
-    pub fn subtract(&mut self, other: &PeSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
-    }
-
-    /// Iterates over the members in increasing index order.
-    pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            set: self,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+    fn index(self) -> usize {
+        PeId::index(self)
     }
 }
 
-impl fmt::Debug for PeSet {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.iter()).finish()
-    }
-}
-
-impl FromIterator<PeId> for PeSet {
-    /// Collects PEs into a set sized to the largest index seen.
-    fn from_iter<T: IntoIterator<Item = PeId>>(iter: T) -> Self {
-        let pes: Vec<PeId> = iter.into_iter().collect();
-        let cap = pes.iter().map(|p| p.index() + 1).max().unwrap_or(0);
-        let mut s = PeSet::new(cap);
-        for pe in pes {
-            s.insert(pe);
-        }
-        s
-    }
-}
-
-impl Extend<PeId> for PeSet {
-    fn extend<T: IntoIterator<Item = PeId>>(&mut self, iter: T) {
-        for pe in iter {
-            self.insert(pe);
-        }
-    }
-}
-
-impl<'a> IntoIterator for &'a PeSet {
-    type Item = PeId;
-    type IntoIter = Iter<'a>;
-
-    fn into_iter(self) -> Iter<'a> {
-        self.iter()
-    }
-}
-
-/// Iterator over the members of a [`PeSet`].
-#[derive(Clone, Debug)]
-pub struct Iter<'a> {
-    set: &'a PeSet,
-    word_idx: usize,
-    current: u64,
-}
-
-impl Iterator for Iter<'_> {
-    type Item = PeId;
-
-    fn next(&mut self) -> Option<PeId> {
-        loop {
-            if self.current != 0 {
-                let bit = self.current.trailing_zeros() as usize;
-                self.current &= self.current - 1;
-                return Some(PeId::from_index(self.word_idx * 64 + bit));
-            }
-            self.word_idx += 1;
-            if self.word_idx >= self.set.words.len() {
-                return None;
-            }
-            self.current = self.set.words[self.word_idx];
-        }
-    }
-}
+/// A set of PEs backed by a word vector ([`cgra_base::DenseBitSet`]
+/// with [`PeId`]-typed indices).
+pub type PeSet = IndexSet<PeId>;
 
 #[cfg(test)]
 mod tests {

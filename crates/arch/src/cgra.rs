@@ -24,7 +24,10 @@ impl fmt::Display for ArchError {
         match self {
             ArchError::EmptyGrid => write!(f, "CGRA grid must have at least one row and column"),
             ArchError::TooLarge { requested } => {
-                write!(f, "CGRA grid of {requested} PEs exceeds the supported 65536")
+                write!(
+                    f,
+                    "CGRA grid of {requested} PEs exceeds the supported 65536"
+                )
             }
         }
     }
@@ -209,7 +212,10 @@ impl Cgra {
     ///
     /// Panics if the coordinates are out of range.
     pub fn pe(&self, row: usize, col: usize) -> PeId {
-        assert!(row < self.rows && col < self.cols, "PE ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "PE ({row},{col}) out of range"
+        );
         PeId::from_index(row * self.cols + col)
     }
 

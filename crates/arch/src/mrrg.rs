@@ -96,7 +96,11 @@ impl<'a> Mrrg<'a> {
     ///
     /// Panics if `slot >= II`.
     pub fn vertex(&self, slot: usize, pe: PeId) -> MrrgVertex {
-        assert!(slot < self.ii, "slot {slot} out of range for II={}", self.ii);
+        assert!(
+            slot < self.ii,
+            "slot {slot} out of range for II={}",
+            self.ii
+        );
         MrrgVertex { slot, pe }
     }
 

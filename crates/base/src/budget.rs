@@ -1,0 +1,52 @@
+//! Resource budgets for interruptible searches.
+
+/// Resource limits for a single solver or search invocation.
+///
+/// A limit of `None` means unlimited. When a limit is hit, the consumer
+/// stops early and reports an indeterminate outcome (the SAT core
+/// returns its `Unknown` result).
+///
+/// Shared by the CDCL SAT core (`cgra-sat`), the finite-domain layer
+/// (`cgra-smt`), the time solver (`cgra-sched`) and the coupled baseline
+/// (`cgra-baseline`).
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Maximum number of conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Maximum number of propagations.
+    pub max_propagations: Option<u64>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget limited to `n` conflicts.
+    pub fn conflicts(n: u64) -> Self {
+        Budget {
+            max_conflicts: Some(n),
+            max_propagations: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_has_no_caps() {
+        let b = Budget::unlimited();
+        assert_eq!(b.max_conflicts, None);
+        assert_eq!(b.max_propagations, None);
+    }
+
+    #[test]
+    fn conflicts_sets_only_conflicts() {
+        let b = Budget::conflicts(42);
+        assert_eq!(b.max_conflicts, Some(42));
+        assert_eq!(b.max_propagations, None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Cooperative cancellation.
+//!
+//! Every long-running search in the workspace (the CDCL core, the
+//! decoupled mapper, the coupled baseline, the bench harness watchdog)
+//! shares one cancellation idiom: an `Arc<AtomicBool>` raised by a
+//! controller and polled at cheap points inside the search.
+//! [`CancelFlag`] packages that idiom so each crate stops re-deriving
+//! the atomic-ordering details.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cooperative cancellation flag.
+///
+/// Cloning the flag (or handing out [`CancelFlag::arc`]) shares the same
+/// underlying signal: raising any handle cancels all of them. Public
+/// solver APIs keep accepting a raw `Arc<AtomicBool>`; this type is the
+/// common implementation behind them.
+///
+/// # Examples
+///
+/// ```
+/// use cgra_base::CancelFlag;
+///
+/// let flag = CancelFlag::new();
+/// let worker = flag.clone();
+/// assert!(!worker.is_cancelled());
+/// flag.cancel();
+/// assert!(worker.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelFlag {
+    /// A fresh, un-raised flag.
+    pub fn new() -> Self {
+        CancelFlag::default()
+    }
+
+    /// Wraps an existing shared atomic (the representation solver APIs
+    /// accept), sharing its signal.
+    pub fn from_arc(flag: Arc<AtomicBool>) -> Self {
+        CancelFlag { flag }
+    }
+
+    /// A clone of the underlying shared atomic, for handing to APIs
+    /// that take `Arc<AtomicBool>`.
+    pub fn arc(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.flag)
+    }
+
+    /// Raises the flag; every handle sharing it observes the
+    /// cancellation at its next poll.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Polls the flag.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+impl From<Arc<AtomicBool>> for CancelFlag {
+    fn from(flag: Arc<AtomicBool>) -> Self {
+        CancelFlag::from_arc(flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let a = CancelFlag::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn from_arc_shares_the_signal() {
+        let raw = Arc::new(AtomicBool::new(false));
+        let flag = CancelFlag::from_arc(Arc::clone(&raw));
+        raw.store(true, Ordering::Relaxed);
+        assert!(flag.is_cancelled());
+    }
+
+    #[test]
+    fn arc_accessor_round_trips() {
+        let flag = CancelFlag::new();
+        let raw = flag.arc();
+        flag.cancel();
+        assert!(raw.load(Ordering::Relaxed));
+    }
+}

@@ -1,0 +1,26 @@
+//! # cgra-base — shared substrate of the monomap workspace
+//!
+//! The zero-dependency foundation under every other crate:
+//!
+//! * [`DenseBitSet`] — the single word-backed bit set used by both hot
+//!   halves of the mapper (neighbourhood intersection in `cgra-iso`,
+//!   adjacency masks in `cgra-arch`), with [`IndexSet`] as its
+//!   zero-cost typed-index wrapper and [`DenseIndex`] as the id trait;
+//! * [`Budget`] — conflict/propagation limits shared by the SAT core,
+//!   the finite-domain layer and the solvers built on them;
+//! * [`CancelFlag`] — the cooperative `Arc<AtomicBool>` cancellation
+//!   idiom used by the mappers and the bench harness watchdog.
+//!
+//! Keeping these here means performance work on the bitset loops and
+//! semantics changes to search control happen in exactly one place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+mod budget;
+mod cancel;
+
+pub use bitset::{DenseBitSet, DenseIndex, IndexSet};
+pub use budget::Budget;
+pub use cancel::CancelFlag;

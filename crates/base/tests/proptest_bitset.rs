@@ -1,0 +1,143 @@
+//! Property-based model checking of [`DenseBitSet`] against
+//! `HashSet<usize>`: random op sequences over insert / remove / union /
+//! intersect / difference / copy must leave the bit set observably
+//! identical to the reference model, across capacities that exercise
+//! the tail-word masking edge cases (0, 1, 63, 64, 65 and beyond).
+
+use std::collections::HashSet;
+
+use cgra_base::DenseBitSet;
+use proptest::prelude::*;
+
+/// Capacities hitting the word-boundary edge cases plus multi-word
+/// sizes.
+const CAPS: [usize; 8] = [0, 1, 63, 64, 65, 100, 128, 193];
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    InsertA(usize),
+    RemoveA(usize),
+    InsertB(usize),
+    RemoveB(usize),
+    Intersect,
+    Union,
+    Subtract,
+    CopyBFromA,
+    ClearA,
+}
+
+fn arb_ops() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    (
+        0usize..CAPS.len(),
+        proptest::collection::vec((0u8..9, 0usize..200), 0..80),
+    )
+        .prop_map(|(cap_idx, raw)| {
+            let cap = CAPS[cap_idx];
+            let ops = raw
+                .into_iter()
+                .filter_map(|(kind, v)| {
+                    // Inserts need an in-range index; removes may go out
+                    // of range on purpose (documented no-op).
+                    let in_range = if cap == 0 { None } else { Some(v % cap) };
+                    Some(match kind {
+                        0 => Op::InsertA(in_range?),
+                        1 => Op::RemoveA(v),
+                        2 => Op::InsertB(in_range?),
+                        3 => Op::RemoveB(v),
+                        4 => Op::Intersect,
+                        5 => Op::Union,
+                        6 => Op::Subtract,
+                        7 => Op::CopyBFromA,
+                        _ => Op::ClearA,
+                    })
+                })
+                .collect();
+            (cap, ops)
+        })
+}
+
+/// Asserts every observable of `set` matches the model.
+fn check_matches(
+    set: &DenseBitSet,
+    model: &HashSet<usize>,
+    cap: usize,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(set.len(), model.len());
+    prop_assert_eq!(set.is_empty(), model.is_empty());
+    prop_assert_eq!(set.capacity(), cap);
+    let mut expected: Vec<usize> = model.iter().copied().collect();
+    expected.sort_unstable();
+    let got: Vec<usize> = set.iter().collect();
+    prop_assert_eq!(&got, &expected, "iteration mismatch at capacity {}", cap);
+    // Membership agrees in and beyond the capacity.
+    for i in 0..cap + 70 {
+        prop_assert_eq!(
+            set.contains(i),
+            model.contains(&i),
+            "contains({}) at capacity {}",
+            i,
+            cap
+        );
+    }
+    // No bit beyond the capacity may ever leak into the words.
+    for (w, &word) in set.words().iter().enumerate() {
+        for bit in 0..64 {
+            if word >> bit & 1 == 1 {
+                prop_assert!(
+                    w * 64 + bit < cap,
+                    "stray tail bit {} at capacity {}",
+                    w * 64 + bit,
+                    cap
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn op_sequences_match_hashset_model((cap, ops) in arb_ops()) {
+        let mut a = DenseBitSet::new(cap);
+        let mut b = DenseBitSet::new(cap);
+        let mut ma: HashSet<usize> = HashSet::new();
+        let mut mb: HashSet<usize> = HashSet::new();
+        for op in ops {
+            match op {
+                Op::InsertA(v) => { a.insert(v); ma.insert(v); }
+                Op::RemoveA(v) => { a.remove(v); ma.remove(&v); }
+                Op::InsertB(v) => { b.insert(v); mb.insert(v); }
+                Op::RemoveB(v) => { b.remove(v); mb.remove(&v); }
+                Op::Intersect => { a.intersect_with(&b); ma.retain(|v| mb.contains(v)); }
+                Op::Union => { a.union_with(&b); ma.extend(mb.iter().copied()); }
+                Op::Subtract => { a.subtract(&b); ma.retain(|v| !mb.contains(v)); }
+                Op::CopyBFromA => { b.copy_from(&a); mb = ma.clone(); }
+                Op::ClearA => { a.clear(); ma.clear(); }
+            }
+            check_matches(&a, &ma, cap)?;
+            check_matches(&b, &mb, cap)?;
+        }
+    }
+
+    #[test]
+    fn full_matches_universe_model(cap_idx in 0usize..CAPS.len()) {
+        let cap = CAPS[cap_idx];
+        let full = DenseBitSet::full(cap);
+        let model: HashSet<usize> = (0..cap).collect();
+        check_matches(&full, &model, cap)?;
+        // Unioning anything into the universe is a no-op.
+        let mut u = full.clone();
+        u.union_with(&DenseBitSet::full(cap));
+        prop_assert_eq!(&u, &full);
+    }
+
+    #[test]
+    fn from_iterator_agrees_with_insertion(raw in proptest::collection::vec(0usize..190, 0..40)) {
+        let collected: DenseBitSet = raw.iter().copied().collect();
+        let model: HashSet<usize> = raw.iter().copied().collect();
+        let expected_cap = raw.iter().map(|&v| v + 1).max().unwrap_or(0);
+        check_matches(&collected, &model, expected_cap)?;
+    }
+}

@@ -120,12 +120,7 @@ impl<'a> AnnealingMapper<'a> {
         let npes = self.cgra.num_pes();
         // State: (time index into times[v], pe index) per node.
         let mut state: Vec<(usize, usize)> = (0..n)
-            .map(|v| {
-                (
-                    rng.gen_range(0..times[v].len()),
-                    rng.gen_range(0..npes),
-                )
-            })
+            .map(|v| (rng.gen_range(0..times[v].len()), rng.gen_range(0..npes)))
             .collect();
         let mut cost = self.cost(dfg, ii, times, &state);
         let mut temp = self.config.initial_temp;
@@ -167,7 +162,10 @@ impl<'a> AnnealingMapper<'a> {
             let slot = times[v][ti] % ii;
             *seen.entry((slot, p)).or_insert(0usize) += 1;
         }
-        cost += seen.values().map(|&c| c.saturating_sub(1) * 2).sum::<usize>();
+        cost += seen
+            .values()
+            .map(|&c| c.saturating_sub(1) * 2)
+            .sum::<usize>();
         // Edges.
         for e in dfg.edges() {
             if e.src == e.dst {

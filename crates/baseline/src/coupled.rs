@@ -18,15 +18,17 @@
 //! formulation, by contrast, references the CGRA only through two
 //! scalar constants.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Instant;
 
+use cgra_base::CancelFlag;
+
 use cgra_arch::{Cgra, PeId};
 use cgra_dfg::{Dfg, EdgeKind};
+use cgra_sat::{SatResult, Solver};
 use cgra_sched::{min_ii, Kms, Mobility};
 use cgra_smt::{at_most_one, Budget, Lit};
-use cgra_sat::{SatResult, Solver};
 use monomap_core::{MapError, Mapping, Placement};
 
 /// Configuration of the coupled mapper.
@@ -82,7 +84,7 @@ pub struct BaselineStats {
 pub struct CoupledMapper<'a> {
     cgra: &'a Cgra,
     config: CoupledConfig,
-    cancel: Option<Arc<AtomicBool>>,
+    cancel: Option<CancelFlag>,
 }
 
 impl<'a> CoupledMapper<'a> {
@@ -106,13 +108,11 @@ impl<'a> CoupledMapper<'a> {
 
     /// Installs a cooperative cancellation flag.
     pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
-        self.cancel = Some(flag);
+        self.cancel = Some(CancelFlag::from_arc(flag));
     }
 
     fn cancelled(&self) -> bool {
-        self.cancel
-            .as_ref()
-            .is_some_and(|f| f.load(Ordering::Relaxed))
+        self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
     }
 
     /// Maps `dfg` onto the CGRA by joint space-time SAT search.
@@ -164,7 +164,7 @@ impl<'a> CoupledMapper<'a> {
         let npes = self.cgra.num_pes();
         let mut solver = Solver::new();
         if let Some(flag) = &self.cancel {
-            solver.set_cancel_flag(Arc::clone(flag));
+            solver.set_cancel_flag(flag.arc());
         }
 
         // x[v][ti][p]: node v at candidate time index ti on PE p.

@@ -206,8 +206,18 @@ fn annealing(timeout: f64) {
     );
     for name in ["bitcount", "susan", "sha1", "fft", "basicmath", "gsm"] {
         let dfg = suite::generate(name);
-        let mono = run_cell(&dfg, 4, MapperKind::Monomorphism, Duration::from_secs_f64(timeout));
-        let sa = run_cell(&dfg, 4, MapperKind::Annealing, Duration::from_secs_f64(timeout));
+        let mono = run_cell(
+            &dfg,
+            4,
+            MapperKind::Monomorphism,
+            Duration::from_secs_f64(timeout),
+        );
+        let sa = run_cell(
+            &dfg,
+            4,
+            MapperKind::Annealing,
+            Duration::from_secs_f64(timeout),
+        );
         let show = |c: &monomap_bench::CellResult| {
             (
                 c.ii().map_or("-".to_string(), |i| i.to_string()),

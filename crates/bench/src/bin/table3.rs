@@ -13,8 +13,8 @@
 use std::time::Duration;
 
 use cgra_dfg::suite;
-use monomap_bench::{run_cell, CellResult, MapperKind};
 use monomap_bench as bench_lib;
+use monomap_bench::{run_cell, CellResult, MapperKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,17 +58,17 @@ fn main() {
             for kind in [MapperKind::Monomorphism, MapperKind::SatMapIt] {
                 eprintln!("running {:>14} {}x{} {:?}...", dfg.name(), size, size, kind);
                 let cell = run_cell(dfg, size, kind, Duration::from_secs_f64(timeout));
-                eprintln!(
-                    "    -> {:?} in {:.2}s",
-                    cell.outcome, cell.total_seconds
-                );
+                eprintln!("    -> {:?} in {:.2}s", cell.outcome, cell.total_seconds);
                 cells.push(cell);
             }
         }
     }
 
     for &size in &sizes {
-        println!("{}", bench_lib::report::render_size_table(size, &cells, timeout));
+        println!(
+            "{}",
+            bench_lib::report::render_size_table(size, &cells, timeout)
+        );
     }
 
     // Paper-style headline: average speedup per size (CTR mean over
@@ -97,11 +97,8 @@ fn main() {
             println!("{size:>3}x{size:<3}: no rows where both mappers finished");
             continue;
         }
-        let avg_ctr: f64 = rows
-            .iter()
-            .map(|(m, s)| s / m.max(1e-9))
-            .sum::<f64>()
-            / rows.len() as f64;
+        let avg_ctr: f64 =
+            rows.iter().map(|(m, s)| s / m.max(1e-9)).sum::<f64>() / rows.len() as f64;
         println!(
             "{size:>3}x{size:<3}: {avg_ctr:>10.2}x over {} benchmarks",
             rows.len()
@@ -117,11 +114,17 @@ fn main() {
         for dfg in &dfgs {
             let m = cells
                 .iter()
-                .find(|c| c.size == size && c.benchmark == dfg.name() && c.mapper == MapperKind::Monomorphism)
+                .find(|c| {
+                    c.size == size
+                        && c.benchmark == dfg.name()
+                        && c.mapper == MapperKind::Monomorphism
+                })
                 .and_then(|c| c.ii());
             let s = cells
                 .iter()
-                .find(|c| c.size == size && c.benchmark == dfg.name() && c.mapper == MapperKind::SatMapIt)
+                .find(|c| {
+                    c.size == size && c.benchmark == dfg.name() && c.mapper == MapperKind::SatMapIt
+                })
                 .and_then(|c| c.ii());
             match (m, s) {
                 (Some(a), Some(b)) if a == b => same += 1,

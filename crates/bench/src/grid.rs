@@ -1,11 +1,10 @@
 //! One experiment cell: (benchmark, CGRA size, mapper) under a
 //! wall-clock timeout.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cgra_base::CancelFlag;
 use serde::{Deserialize, Serialize};
 
 use cgra_arch::Cgra;
@@ -97,12 +96,12 @@ impl CellResult {
 pub fn run_cell(dfg: &Dfg, size: usize, kind: MapperKind, timeout: Duration) -> CellResult {
     let cgra = Cgra::new(size, size).expect("valid grid size");
     let mii = min_ii(dfg, &cgra);
-    let flag = Arc::new(AtomicBool::new(false));
+    let flag = CancelFlag::new();
     let started = Instant::now();
 
     let (outcome, time_phase, space_phase) = std::thread::scope(|scope| {
         let (tx, rx) = mpsc::channel();
-        let worker_flag = Arc::clone(&flag);
+        let worker_flag = flag.arc();
         let cgra_ref = &cgra;
         scope.spawn(move || {
             let result = match kind {
@@ -141,7 +140,7 @@ pub fn run_cell(dfg: &Dfg, size: usize, kind: MapperKind, timeout: Duration) -> 
         match rx.recv_timeout(timeout) {
             Ok(r) => r,
             Err(_) => {
-                flag.store(true, Ordering::Relaxed);
+                flag.cancel();
                 // The worker notices the flag and reports a timeout; the
                 // scope join below waits for it.
                 match rx.recv() {

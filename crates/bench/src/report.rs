@@ -21,7 +21,17 @@ pub fn render_size_table(size: usize, cells: &[CellResult], timeout_secs: f64) -
     let _ = writeln!(
         out,
         "{:<16}{:>6} | {:>9} {:>8} {:>8} | {:>9} | {:>9} {:>9} | {:>5} {:>5} {:>4}",
-        "benchmark", "nodes", "mono[s]", "time[s]", "space[s]", "satmap[s]", "dT[s]", "CTR", "IIm", "IIs", "mII"
+        "benchmark",
+        "nodes",
+        "mono[s]",
+        "time[s]",
+        "space[s]",
+        "satmap[s]",
+        "dT[s]",
+        "CTR",
+        "IIm",
+        "IIs",
+        "mII"
     );
     let _ = writeln!(out, "{}", "-".repeat(118));
 
@@ -42,9 +52,9 @@ pub fn render_size_table(size: usize, cells: &[CellResult], timeout_secs: f64) -
     let mut counted = 0usize;
 
     for name in benches {
-        let mono = cells
-            .iter()
-            .find(|c| c.size == size && c.benchmark == name && c.mapper == MapperKind::Monomorphism);
+        let mono = cells.iter().find(|c| {
+            c.size == size && c.benchmark == name && c.mapper == MapperKind::Monomorphism
+        });
         let sat = cells
             .iter()
             .find(|c| c.size == size && c.benchmark == name && c.mapper == MapperKind::SatMapIt);
@@ -87,8 +97,16 @@ pub fn render_size_table(size: usize, cells: &[CellResult], timeout_secs: f64) -
             mono.time_phase_seconds,
             mono.space_phase_seconds,
             fmt_time(sat),
-            if dt.is_nan() { "-".into() } else { format!("{dt:.2}") },
-            if ctr.is_nan() { "-".into() } else { format!("{ctr:.2}") },
+            if dt.is_nan() {
+                "-".into()
+            } else {
+                format!("{dt:.2}")
+            },
+            if ctr.is_nan() {
+                "-".into()
+            } else {
+                format!("{ctr:.2}")
+            },
             fmt_ii(mono),
             fmt_ii(sat),
             mono.mii

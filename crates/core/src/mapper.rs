@@ -1,14 +1,15 @@
 //! The decoupled space/time mapper (paper §IV).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Instant;
+
+use cgra_base::CancelFlag;
 
 use cgra_arch::Cgra;
 use cgra_dfg::Dfg;
 use cgra_sched::{
-    ims_schedule, min_ii, SolveOutcome, TimeSolution, TimeSolver, TimeSolverConfig,
-    TimeSolverError,
+    ims_schedule, min_ii, SolveOutcome, TimeSolution, TimeSolver, TimeSolverConfig, TimeSolverError,
 };
 
 use crate::config::TimeStrategy;
@@ -62,7 +63,7 @@ pub struct MapStats {
 pub struct DecoupledMapper<'a> {
     cgra: &'a Cgra,
     config: MapperConfig,
-    cancel: Option<Arc<AtomicBool>>,
+    cancel: Option<CancelFlag>,
 }
 
 impl<'a> DecoupledMapper<'a> {
@@ -93,13 +94,11 @@ impl<'a> DecoupledMapper<'a> {
     /// Installs a cooperative cancellation flag checked between solver
     /// calls and inside the SAT core.
     pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
-        self.cancel = Some(flag);
+        self.cancel = Some(CancelFlag::from_arc(flag));
     }
 
     fn cancelled(&self) -> bool {
-        self.cancel
-            .as_ref()
-            .is_some_and(|f| f.load(Ordering::Relaxed))
+        self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
     }
 
     /// Maps `dfg` onto the CGRA.
@@ -167,7 +166,7 @@ impl<'a> DecoupledMapper<'a> {
                     Err(_) => unreachable!("ii and capacity are positive"),
                 };
                 if let Some(flag) = &self.cancel {
-                    solver.set_cancel_flag(Arc::clone(flag));
+                    solver.set_cancel_flag(flag.arc());
                 }
                 let mut outcome = solver.solve_outcome();
                 stats.time_phase_seconds += t0.elapsed().as_secs_f64();

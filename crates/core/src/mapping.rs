@@ -78,7 +78,11 @@ impl Mapping {
 
     /// The schedule length (largest time + 1): prologue + one kernel.
     pub fn schedule_length(&self) -> usize {
-        self.placements.iter().map(|p| p.time + 1).max().unwrap_or(0)
+        self.placements
+            .iter()
+            .map(|p| p.time + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks every mapping invariant against the DFG and CGRA:
@@ -187,7 +191,11 @@ mod tests {
     fn valid_chain_mapping() {
         let (dfg, cgra) = tiny();
         // x on PE0@0, y on PE1@1, o on PE0@2 (PE0 and PE1 adjacent).
-        let m = Mapping::new("tiny", 3, vec![place(0, 0, 3), place(1, 1, 3), place(0, 2, 3)]);
+        let m = Mapping::new(
+            "tiny",
+            3,
+            vec![place(0, 0, 3), place(1, 1, 3), place(0, 2, 3)],
+        );
         m.validate(&dfg, &cgra).unwrap();
         assert_eq!(m.schedule_length(), 3);
         assert_eq!(m.pe_occupancy(&cgra), vec![2, 1, 0, 0]);
@@ -197,7 +205,11 @@ mod tests {
     fn detects_non_injective() {
         let (dfg, cgra) = tiny();
         // x and o both on PE0 slot 0 (times 0 and 3, ii 3).
-        let m = Mapping::new("tiny", 3, vec![place(0, 0, 3), place(1, 1, 3), place(0, 3, 3)]);
+        let m = Mapping::new(
+            "tiny",
+            3,
+            vec![place(0, 0, 3), place(1, 1, 3), place(0, 3, 3)],
+        );
         assert!(matches!(
             m.validate(&dfg, &cgra),
             Err(MappingError::NotInjective { .. })
@@ -222,7 +234,11 @@ mod tests {
     fn detects_unreachable_pes() {
         let (dfg, cgra) = tiny();
         // PE0 and PE3 are diagonal: not adjacent on a 2x2 torus.
-        let m = Mapping::new("tiny", 3, vec![place(0, 0, 3), place(3, 1, 3), place(3, 2, 3)]);
+        let m = Mapping::new(
+            "tiny",
+            3,
+            vec![place(0, 0, 3), place(3, 1, 3), place(3, 2, 3)],
+        );
         assert_eq!(
             m.validate(&dfg, &cgra),
             Err(MappingError::Unreachable {
@@ -235,7 +251,11 @@ mod tests {
     #[test]
     fn detects_timing_violation() {
         let (dfg, cgra) = tiny();
-        let m = Mapping::new("tiny", 3, vec![place(0, 2, 3), place(1, 1, 3), place(1, 2, 3)]);
+        let m = Mapping::new(
+            "tiny",
+            3,
+            vec![place(0, 2, 3), place(1, 1, 3), place(1, 2, 3)],
+        );
         assert!(matches!(
             m.validate(&dfg, &cgra),
             Err(MappingError::DependenceViolated { .. })
@@ -255,7 +275,11 @@ mod tests {
     #[test]
     fn detects_unknown_pe() {
         let (dfg, cgra) = tiny();
-        let m = Mapping::new("tiny", 3, vec![place(9, 0, 3), place(1, 1, 3), place(0, 2, 3)]);
+        let m = Mapping::new(
+            "tiny",
+            3,
+            vec![place(9, 0, 3), place(1, 1, 3), place(0, 2, 3)],
+        );
         assert!(matches!(
             m.validate(&dfg, &cgra),
             Err(MappingError::UnknownPe { .. })
@@ -278,8 +302,16 @@ mod tests {
             "acc",
             1,
             vec![
-                Placement { pe: PeId::from_index(0), slot: 0, time: 0 },
-                Placement { pe: PeId::from_index(1), slot: 0, time: 1 },
+                Placement {
+                    pe: PeId::from_index(0),
+                    slot: 0,
+                    time: 0,
+                },
+                Placement {
+                    pe: PeId::from_index(1),
+                    slot: 0,
+                    time: 1,
+                },
             ],
         );
         assert!(matches!(

@@ -81,7 +81,13 @@ impl DfgBuilder {
     /// # Panics
     ///
     /// Panics if `op` is not binary.
-    pub fn binary(&mut self, name: impl Into<String>, op: Operation, a: NodeId, b: NodeId) -> NodeId {
+    pub fn binary(
+        &mut self,
+        name: impl Into<String>,
+        op: Operation,
+        a: NodeId,
+        b: NodeId,
+    ) -> NodeId {
         assert_eq!(op.arity(), 2, "{op} is not binary");
         let v = self.dfg.add_node(op, name);
         self.dfg.add_edge(a, v, 0, EdgeKind::Data);

@@ -52,7 +52,7 @@ pub fn running_example() -> Dfg {
     g.add_edge(n0, n11, 0, d); // 0 -> 11
     g.add_edge(n11, n12, 0, d); // 11 -> 12
     g.add_edge(n12, n13, 0, d); // 12 -> 13
-    // Recurrence: 7 -> 4 (loop-carried, distance 1).
+                                // Recurrence: 7 -> 4 (loop-carried, distance 1).
     g.add_edge(n7, n4, 0, EdgeKind::LoopCarried { distance: 1 });
 
     debug_assert!(g.validate().is_ok());

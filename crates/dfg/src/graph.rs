@@ -312,10 +312,7 @@ impl Dfg {
                 indeg[e.dst.index()] += 1;
             }
         }
-        let mut queue: Vec<NodeId> = self
-            .nodes()
-            .filter(|v| indeg[v.index()] == 0)
-            .collect();
+        let mut queue: Vec<NodeId> = self.nodes().filter(|v| indeg[v.index()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {

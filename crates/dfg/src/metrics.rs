@@ -33,7 +33,9 @@ impl DfgMetrics {
     ///
     /// Panics if the data subgraph is cyclic (validate first).
     pub fn of(dfg: &Dfg) -> DfgMetrics {
-        let order = dfg.topo_order().expect("metrics need an acyclic data subgraph");
+        let order = dfg
+            .topo_order()
+            .expect("metrics need an acyclic data subgraph");
         let mut level = vec![0usize; dfg.num_nodes()];
         for &v in &order {
             for e in dfg.out_edges(v).filter(|e| e.kind == EdgeKind::Data) {

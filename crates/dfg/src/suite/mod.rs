@@ -50,23 +50,125 @@ const COMPARE: &[Op] = &[Op::Lt, Op::Eq, Op::Min, Op::Max, Op::Sub];
 /// `recii` is derived from the paper's `mII` columns at CGRA sizes where
 /// `ResII = 1` (see module docs).
 pub const SPECS: [BenchSpec; 17] = [
-    BenchSpec { name: "aes", nodes: 23, recii: 14, palette: BITWISE, seed: 0xae5_0001 },
-    BenchSpec { name: "backprop", nodes: 34, recii: 5, palette: MULADD, seed: 0xbac_0002 },
-    BenchSpec { name: "basicmath", nodes: 21, recii: 7, palette: ARITH, seed: 0xba5_0003 },
-    BenchSpec { name: "bitcount", nodes: 7, recii: 3, palette: BITWISE, seed: 0xb17_0004 },
-    BenchSpec { name: "cfd", nodes: 51, recii: 2, palette: MULADD, seed: 0xcfd_0005 },
-    BenchSpec { name: "crc32", nodes: 24, recii: 8, palette: BITWISE, seed: 0xc3c_0006 },
-    BenchSpec { name: "fft", nodes: 20, recii: 7, palette: MULADD, seed: 0xff7_0007 },
-    BenchSpec { name: "gsm", nodes: 24, recii: 4, palette: MIXED, seed: 0x65e_0008 },
-    BenchSpec { name: "heartwall", nodes: 35, recii: 3, palette: COMPARE, seed: 0x4ea_0009 },
-    BenchSpec { name: "hotspot3D", nodes: 57, recii: 2, palette: MULADD, seed: 0x407_000a },
-    BenchSpec { name: "lud", nodes: 26, recii: 3, palette: MULADD, seed: 0x1bd_000b },
-    BenchSpec { name: "nw", nodes: 33, recii: 2, palette: COMPARE, seed: 0x0a6_000c },
-    BenchSpec { name: "particlefilter", nodes: 38, recii: 9, palette: MIXED, seed: 0xbf1_000d },
-    BenchSpec { name: "sha1", nodes: 21, recii: 2, palette: BITWISE, seed: 0x5a1_000e },
-    BenchSpec { name: "sha2", nodes: 25, recii: 7, palette: BITWISE, seed: 0x5a2_000f },
-    BenchSpec { name: "stringsearch", nodes: 28, recii: 3, palette: COMPARE, seed: 0x575_0010 },
-    BenchSpec { name: "susan", nodes: 21, recii: 2, palette: MIXED, seed: 0x5b5_0011 },
+    BenchSpec {
+        name: "aes",
+        nodes: 23,
+        recii: 14,
+        palette: BITWISE,
+        seed: 0xae5_0001,
+    },
+    BenchSpec {
+        name: "backprop",
+        nodes: 34,
+        recii: 5,
+        palette: MULADD,
+        seed: 0xbac_0002,
+    },
+    BenchSpec {
+        name: "basicmath",
+        nodes: 21,
+        recii: 7,
+        palette: ARITH,
+        seed: 0xba5_0003,
+    },
+    BenchSpec {
+        name: "bitcount",
+        nodes: 7,
+        recii: 3,
+        palette: BITWISE,
+        seed: 0xb17_0004,
+    },
+    BenchSpec {
+        name: "cfd",
+        nodes: 51,
+        recii: 2,
+        palette: MULADD,
+        seed: 0xcfd_0005,
+    },
+    BenchSpec {
+        name: "crc32",
+        nodes: 24,
+        recii: 8,
+        palette: BITWISE,
+        seed: 0xc3c_0006,
+    },
+    BenchSpec {
+        name: "fft",
+        nodes: 20,
+        recii: 7,
+        palette: MULADD,
+        seed: 0xff7_0007,
+    },
+    BenchSpec {
+        name: "gsm",
+        nodes: 24,
+        recii: 4,
+        palette: MIXED,
+        seed: 0x65e_0008,
+    },
+    BenchSpec {
+        name: "heartwall",
+        nodes: 35,
+        recii: 3,
+        palette: COMPARE,
+        seed: 0x4ea_0009,
+    },
+    BenchSpec {
+        name: "hotspot3D",
+        nodes: 57,
+        recii: 2,
+        palette: MULADD,
+        seed: 0x407_000a,
+    },
+    BenchSpec {
+        name: "lud",
+        nodes: 26,
+        recii: 3,
+        palette: MULADD,
+        seed: 0x1bd_000b,
+    },
+    BenchSpec {
+        name: "nw",
+        nodes: 33,
+        recii: 2,
+        palette: COMPARE,
+        seed: 0x0a6_000c,
+    },
+    BenchSpec {
+        name: "particlefilter",
+        nodes: 38,
+        recii: 9,
+        palette: MIXED,
+        seed: 0xbf1_000d,
+    },
+    BenchSpec {
+        name: "sha1",
+        nodes: 21,
+        recii: 2,
+        palette: BITWISE,
+        seed: 0x5a1_000e,
+    },
+    BenchSpec {
+        name: "sha2",
+        nodes: 25,
+        recii: 7,
+        palette: BITWISE,
+        seed: 0x5a2_000f,
+    },
+    BenchSpec {
+        name: "stringsearch",
+        nodes: 28,
+        recii: 3,
+        palette: COMPARE,
+        seed: 0x575_0010,
+    },
+    BenchSpec {
+        name: "susan",
+        nodes: 21,
+        recii: 2,
+        palette: MIXED,
+        seed: 0x5b5_0011,
+    },
 ];
 
 /// Names of all suite benchmarks, in Table III order.

@@ -1,164 +1,13 @@
-//! A fixed-capacity bit set over dense vertex indices.
+//! The candidate-set bit set of the monomorphism search.
+//!
+//! Candidate sets are built by intersecting neighbourhood rows of the
+//! target graph; the word-vector implementation is the workspace-wide
+//! [`cgra_base::DenseBitSet`], re-exported here under the crate's
+//! historical name.
 
-use std::fmt;
-
-/// A set of vertex indices backed by a word vector.
-///
-/// The workhorse of the monomorphism search: candidate sets are built by
-/// intersecting neighbourhood rows of the target graph.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
-pub struct BitSet {
-    words: Vec<u64>,
-    capacity: usize,
-}
-
-impl BitSet {
-    /// Creates an empty set over indices `0..capacity`.
-    pub fn new(capacity: usize) -> Self {
-        BitSet {
-            words: vec![0; capacity.div_ceil(64)],
-            capacity,
-        }
-    }
-
-    /// Creates a set containing every index in `0..capacity`.
-    pub fn full(capacity: usize) -> Self {
-        let mut s = BitSet::new(capacity);
-        for w in &mut s.words {
-            *w = !0;
-        }
-        s.mask_tail();
-        s
-    }
-
-    fn mask_tail(&mut self) {
-        let tail = self.capacity % 64;
-        if tail != 0 {
-            if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << tail) - 1;
-            }
-        }
-    }
-
-    /// The exclusive upper bound on indices.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Inserts an index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the index is out of range.
-    pub fn insert(&mut self, i: usize) {
-        assert!(i < self.capacity, "index {i} out of range");
-        self.words[i / 64] |= 1 << (i % 64);
-    }
-
-    /// Removes an index (no-op when absent).
-    pub fn remove(&mut self, i: usize) {
-        if i < self.capacity {
-            self.words[i / 64] &= !(1 << (i % 64));
-        }
-    }
-
-    /// Membership test.
-    pub fn contains(&self, i: usize) -> bool {
-        i < self.capacity && self.words[i / 64] >> (i % 64) & 1 == 1
-    }
-
-    /// Number of members.
-    pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    /// True when empty.
-    pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
-    }
-
-    /// In-place intersection.
-    pub fn intersect_with(&mut self, other: &BitSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
-    }
-
-    /// In-place union.
-    pub fn union_with(&mut self, other: &BitSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
-    }
-
-    /// In-place difference.
-    pub fn subtract(&mut self, other: &BitSet) {
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
-    }
-
-    /// Copies `other` into `self` (capacities must match).
-    pub fn copy_from(&mut self, other: &BitSet) {
-        debug_assert_eq!(self.capacity, other.capacity);
-        self.words.copy_from_slice(&other.words);
-    }
-
-    /// Iterates over members in ascending order.
-    pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            set: self,
-            word_idx: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
-    }
-}
-
-impl fmt::Debug for BitSet {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.iter()).finish()
-    }
-}
-
-impl FromIterator<usize> for BitSet {
-    /// Collects indices into a set sized to the largest index seen.
-    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
-        let items: Vec<usize> = iter.into_iter().collect();
-        let cap = items.iter().map(|&i| i + 1).max().unwrap_or(0);
-        let mut s = BitSet::new(cap);
-        for i in items {
-            s.insert(i);
-        }
-        s
-    }
-}
-
-/// Iterator over members of a [`BitSet`].
-#[derive(Clone, Debug)]
-pub struct Iter<'a> {
-    set: &'a BitSet,
-    word_idx: usize,
-    current: u64,
-}
-
-impl Iterator for Iter<'_> {
-    type Item = usize;
-
-    fn next(&mut self) -> Option<usize> {
-        loop {
-            if self.current != 0 {
-                let bit = self.current.trailing_zeros() as usize;
-                self.current &= self.current - 1;
-                return Some(self.word_idx * 64 + bit);
-            }
-            self.word_idx += 1;
-            if self.word_idx >= self.set.words.len() {
-                return None;
-            }
-            self.current = self.set.words[self.word_idx];
-        }
-    }
-}
+/// A set of vertex indices backed by a word vector
+/// (re-export of [`cgra_base::DenseBitSet`]).
+pub use cgra_base::DenseBitSet as BitSet;
 
 #[cfg(test)]
 mod tests {

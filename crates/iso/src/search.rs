@@ -19,9 +19,7 @@ impl SearchConfig {
 
     /// A search budget of `n` extension attempts.
     pub fn steps(n: u64) -> Self {
-        SearchConfig {
-            max_steps: Some(n),
-        }
+        SearchConfig { max_steps: Some(n) }
     }
 }
 
@@ -101,11 +99,7 @@ impl<'a> Searcher<'a> {
             let next = (0..np)
                 .filter(|&u| !placed[u])
                 .min_by_key(|&u| {
-                    let mapped_nbrs = pattern
-                        .neighbors(u)
-                        .iter()
-                        .filter(|&&w| placed[w])
-                        .count();
+                    let mapped_nbrs = pattern.neighbors(u).iter().filter(|&&w| placed[w]).count();
                     // More mapped neighbours first, then fewer
                     // candidates, then higher degree.
                     (

@@ -39,6 +39,7 @@ mod luby;
 mod solver;
 mod types;
 
+pub use cgra_base::Budget;
 pub use luby::luby;
-pub use solver::{Budget, Solver, SolverStats};
+pub use solver::{Solver, SolverStats};
 pub use types::{LBool, Lit, SatResult, Var};

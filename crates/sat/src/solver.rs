@@ -8,8 +8,10 @@
 //! under assumptions.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+
+use cgra_base::{Budget, CancelFlag};
 
 use crate::luby::luby;
 use crate::types::{LBool, Lit, SatResult, Var};
@@ -67,34 +69,11 @@ impl fmt::Display for SolverStats {
     }
 }
 
-/// Resource limits for a single `solve` call.
-///
-/// A limit of `None` means unlimited. When a limit is hit the solver
-/// returns [`SatResult::Unknown`].
-#[derive(Clone, Debug, Default)]
-pub struct Budget {
-    /// Maximum number of conflicts.
-    pub max_conflicts: Option<u64>,
-    /// Maximum number of propagations.
-    pub max_propagations: Option<u64>,
-}
-
-impl Budget {
-    /// An unlimited budget.
-    pub fn unlimited() -> Self {
-        Budget::default()
-    }
-
-    /// A budget limited to `n` conflicts.
-    pub fn conflicts(n: u64) -> Self {
-        Budget {
-            max_conflicts: Some(n),
-            max_propagations: None,
-        }
-    }
-}
-
 /// A CDCL SAT solver over clauses of [`Lit`]s.
+///
+/// Resource limits for a single `solve_limited` call come from the
+/// workspace-wide [`Budget`]; when a limit is hit the solver returns
+/// [`SatResult::Unknown`].
 ///
 /// # Examples
 ///
@@ -151,7 +130,7 @@ pub struct Solver {
     conflict: Vec<Lit>,
 
     stats: SolverStats,
-    cancel: Option<Arc<AtomicBool>>,
+    cancel: Option<CancelFlag>,
 
     learnt_cap: usize,
 }
@@ -221,7 +200,7 @@ impl Solver {
     /// When the flag becomes `true`, the current and subsequent `solve`
     /// calls return [`SatResult::Unknown`] at the next restart check.
     pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
-        self.cancel = Some(flag);
+        self.cancel = Some(CancelFlag::from_arc(flag));
     }
 
     /// Creates a fresh variable and returns it.
@@ -743,9 +722,7 @@ impl Solver {
     // ----- search --------------------------------------------------------
 
     fn cancelled(&self) -> bool {
-        self.cancel
-            .as_ref()
-            .is_some_and(|f| f.load(Ordering::Relaxed))
+        self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
     }
 
     fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> SatResult {
@@ -1075,7 +1052,13 @@ mod tests {
             assert!(count <= 4, "more models than the space allows");
             let block: Vec<Lit> = [a, b]
                 .iter()
-                .map(|&v| if s.value(v).is_true() { v.neg() } else { v.pos() })
+                .map(|&v| {
+                    if s.value(v).is_true() {
+                        v.neg()
+                    } else {
+                        v.pos()
+                    }
+                })
                 .collect();
             s.add_clause(block);
         }

@@ -193,12 +193,12 @@ fn admissible(
                 .filter(|&&w| w.index() != v && time[w.index()].map(|x| x % ii) == Some(slot))
                 .count()
                 + 1;
-            let bound = if config.strict_connectivity && time[u.index()].map(|x| x % ii) == Some(slot)
-            {
-                config.degree - 1
-            } else {
-                config.degree
-            };
+            let bound =
+                if config.strict_connectivity && time[u.index()].map(|x| x % ii) == Some(slot) {
+                    config.degree - 1
+                } else {
+                    config.degree
+                };
             if count > bound {
                 return false;
             }

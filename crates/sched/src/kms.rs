@@ -171,12 +171,31 @@ mod tests {
         // Slot 0 = times {0, 4}: MobS(0) at iteration 0, MobS(4) at 1.
         assert_eq!(
             row_pairs(&kms, 0),
-            vec![(0, 0), (1, 0), (2, 0), (3, 0), (4, 0), (7, 1), (9, 1), (12, 1), (13, 1)]
+            vec![
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (4, 0),
+                (7, 1),
+                (9, 1),
+                (12, 1),
+                (13, 1)
+            ]
         );
         // Slot 1 = times {1, 5}.
         assert_eq!(
             row_pairs(&kms, 1),
-            vec![(0, 0), (1, 0), (2, 0), (3, 0), (5, 0), (10, 1), (11, 0), (13, 1)]
+            vec![
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (5, 0),
+                (10, 1),
+                (11, 0),
+                (13, 1)
+            ]
         );
         // Slot 2 = time {2} only.
         assert_eq!(

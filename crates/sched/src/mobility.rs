@@ -86,7 +86,11 @@ impl Mobility {
     /// (ASAP, ALAP) and eligible there (MobS).
     pub fn to_table_string(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{:>4} | {:<20} | {:<20} | MobS", "Time", "ASAP", "ALAP");
+        let _ = writeln!(
+            out,
+            "{:>4} | {:<20} | {:<20} | MobS",
+            "Time", "ASAP", "ALAP"
+        );
         for t in 0..self.length {
             let fmt = |ids: Vec<usize>| {
                 ids.iter()
@@ -94,8 +98,12 @@ impl Mobility {
                     .collect::<Vec<_>>()
                     .join(" ")
             };
-            let asap_row: Vec<usize> = (0..self.asap.len()).filter(|&i| self.asap[i] == t).collect();
-            let alap_row: Vec<usize> = (0..self.alap.len()).filter(|&i| self.alap[i] == t).collect();
+            let asap_row: Vec<usize> = (0..self.asap.len())
+                .filter(|&i| self.asap[i] == t)
+                .collect();
+            let alap_row: Vec<usize> = (0..self.alap.len())
+                .filter(|&i| self.alap[i] == t)
+                .collect();
             let mob_row: Vec<usize> = self.eligible_at(t).iter().map(|v| v.index()).collect();
             let _ = writeln!(
                 out,
@@ -137,8 +145,14 @@ mod tests {
             &[10],
         ];
         // ALAP rows of Table I.
-        let alap_expected: [&[usize]; 6] =
-            [&[4], &[3, 5], &[0, 2, 6], &[1, 8, 11], &[7, 9, 12], &[10, 13]];
+        let alap_expected: [&[usize]; 6] = [
+            &[4],
+            &[3, 5],
+            &[0, 2, 6],
+            &[1, 8, 11],
+            &[7, 9, 12],
+            &[10, 13],
+        ];
         // MobS rows of Table I.
         let mobs_expected: [&[usize]; 6] = [
             &[0, 1, 2, 3, 4],

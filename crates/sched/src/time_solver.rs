@@ -491,11 +491,12 @@ impl<'a> TimeSolver<'a> {
             FdResult::Sat => {
                 self.have_model = true;
                 self.stats.solutions += 1;
-                let times: Vec<usize> = self.vars.iter().map(|&v| self.fd.value(v) as usize).collect();
-                SolveOutcome::Solution(TimeSolution {
-                    ii: self.ii,
-                    times,
-                })
+                let times: Vec<usize> = self
+                    .vars
+                    .iter()
+                    .map(|&v| self.fd.value(v) as usize)
+                    .collect();
+                SolveOutcome::Solution(TimeSolution { ii: self.ii, times })
             }
             FdResult::Unsat => SolveOutcome::Unsat,
             FdResult::Unknown => SolveOutcome::Timeout,

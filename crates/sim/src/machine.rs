@@ -47,11 +47,9 @@ impl<'a> MachineSimulator<'a> {
         let dfg = self.dfg;
         let n = dfg.num_nodes();
         let ii = self.mapping.ii();
-        let topo = dfg
-            .topo_order()
-            .map_err(|_| SimError::MalformedNode {
-                node: NodeId::from_index(0),
-            })?;
+        let topo = dfg.topo_order().map_err(|_| SimError::MalformedNode {
+            node: NodeId::from_index(0),
+        })?;
         let mut topo_pos = vec![0usize; n];
         for (i, &v) in topo.iter().enumerate() {
             topo_pos[v.index()] = i;
@@ -102,7 +100,11 @@ impl<'a> MachineSimulator<'a> {
                 let src_iter = src_iter.expect("available implies an iteration");
                 // Register-file reachability (the paper's mono3 /
                 // routing validity, checked dynamically).
-                if e.src != e.dst && !self.cgra.reachable(self.mapping.pe(e.src), self.mapping.pe(v)) {
+                if e.src != e.dst
+                    && !self
+                        .cgra
+                        .reachable(self.mapping.pe(e.src), self.mapping.pe(v))
+                {
                     return Err(SimError::RegisterFileUnreachable { src: e.src, dst: v });
                 }
                 // Timing: the producer must have executed already.

@@ -18,7 +18,12 @@ use monomap_core::Mapping;
 /// The returned vector is indexed by PE; compare against
 /// [`Cgra::register_file_size`] to detect spills the paper's model
 /// would need.
-pub fn register_pressure(dfg: &Dfg, mapping: &Mapping, cgra: &Cgra, iterations: usize) -> Vec<usize> {
+pub fn register_pressure(
+    dfg: &Dfg,
+    mapping: &Mapping,
+    cgra: &Cgra,
+    iterations: usize,
+) -> Vec<usize> {
     let ii = mapping.ii();
     let mut events: Vec<Vec<(usize, i64)>> = vec![Vec::new(); cgra.num_pes()]; // (cycle, +1/-1)
     for v in dfg.nodes() {

@@ -15,11 +15,9 @@ use crate::{ExecRecord, SimEnv, SimError};
 /// Returns [`SimError::MalformedNode`] if a node's operands are not
 /// fully wired (pre-empted by [`Dfg::validate`]).
 pub fn interpret(dfg: &Dfg, env: &SimEnv, iterations: usize) -> Result<ExecRecord, SimError> {
-    let order = dfg
-        .topo_order()
-        .map_err(|_| SimError::MalformedNode {
-            node: NodeId::from_index(0),
-        })?;
+    let order = dfg.topo_order().map_err(|_| SimError::MalformedNode {
+        node: NodeId::from_index(0),
+    })?;
     let n = dfg.num_nodes();
     let mut memory = env.memory.clone();
     let mut values: Vec<Vec<i64>> = Vec::with_capacity(iterations);

@@ -111,7 +111,13 @@ mod tests {
             counts.insert(count);
             let block: Vec<_> = vars
                 .iter()
-                .map(|&v| if solver.value(v).is_true() { v.neg() } else { v.pos() })
+                .map(|&v| {
+                    if solver.value(v).is_true() {
+                        v.neg()
+                    } else {
+                        v.pos()
+                    }
+                })
                 .collect();
             solver.add_clause(block);
         }
@@ -203,7 +209,10 @@ mod tests {
         let (mut s, vars) = fresh(5);
         let lits: Vec<Lit> = vars.iter().map(|v| v.pos()).collect();
         at_most_k(&mut s, &lits, 2);
-        assert_eq!(s.solve_with_assumptions(&[lits[0], lits[2]]), SatResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[lits[0], lits[2]]),
+            SatResult::Sat
+        );
         assert!(s.lit_value(lits[1]).is_false());
         assert!(s.lit_value(lits[3]).is_false());
         assert!(s.lit_value(lits[4]).is_false());

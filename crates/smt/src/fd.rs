@@ -90,7 +90,10 @@ impl FdSolver {
         let mut values: Vec<i64> = domain.into_iter().collect();
         values.sort_unstable();
         values.dedup();
-        assert!(!values.is_empty(), "integer variable needs a non-empty domain");
+        assert!(
+            !values.is_empty(),
+            "integer variable needs a non-empty domain"
+        );
         let lits: Vec<Lit> = values.iter().map(|_| self.sat.new_var().pos()).collect();
         self.sat.add_clause(lits.iter().copied());
         cardinality::at_most_one(&mut self.sat, &lits);
@@ -116,10 +119,7 @@ impl FdSolver {
     /// domain.
     pub fn eq_lit(&self, v: IntVar, value: i64) -> Option<Lit> {
         let data = &self.vars[v.index()];
-        data.domain
-            .binary_search(&value)
-            .ok()
-            .map(|i| data.lits[i])
+        data.domain.binary_search(&value).ok().map(|i| data.lits[i])
     }
 
     /// Indicator literals of `v` paired with their domain values.

@@ -64,7 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let pressure = register_pressure(&dfg, mapping, &cgra, 4);
-    println!("per-PE register pressure: {pressure:?} (register file size {})",
-        cgra.register_file_size());
+    println!(
+        "per-PE register pressure: {pressure:?} (register file size {})",
+        cgra.register_file_size()
+    );
     Ok(())
 }

@@ -7,6 +7,7 @@
 //!
 //! | crate | role |
 //! |-------|------|
+//! | [`base`](cgra_base) | shared substrate: the dense bit set, search budgets, cancellation |
 //! | [`arch`](cgra_arch) | CGRA model (PE grid, topologies, register files) and the MRRG |
 //! | [`dfg`](cgra_dfg) | data-flow graphs, builders, the 17-kernel benchmark suite |
 //! | [`sat`](cgra_sat) | CDCL SAT solver (the decision engine standing in for Z3) |
@@ -38,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub use cgra_arch as arch;
+pub use cgra_base as base;
 pub use cgra_baseline as baseline;
 pub use cgra_dfg as dfg;
 pub use cgra_iso as iso;

@@ -10,9 +10,9 @@ use monomap::prelude::*;
 /// random instruction tape, always containing at least one recurrence.
 fn arb_dfg() -> impl Strategy<Value = Dfg> {
     (
-        2usize..6,               // recurrence length
+        2usize..6,                                // recurrence length
         proptest::collection::vec(0u8..8, 0..14), // instruction tape
-        any::<u64>(),            // value seed
+        any::<u64>(),                             // value seed
     )
         .prop_map(|(rec_len, tape, seed)| {
             let mut b = DfgBuilder::named("prop");

@@ -1,9 +1,9 @@
 //! End-to-end reproduction of every artifact the paper derives from
 //! its running example (Fig. 2, Tables I and II, Fig. 4).
 
-use monomap::prelude::*;
 use monomap::core::{build_pattern, build_target};
 use monomap::iso::is_monomorphism;
+use monomap::prelude::*;
 
 #[test]
 fn figure2a_structure() {

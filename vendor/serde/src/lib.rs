@@ -1,0 +1,37 @@
+//! Vendored, offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! workspace vendors a minimal serialization framework under the same
+//! crate name, covering exactly the surface the workspace uses:
+//! `#[derive(Serialize, Deserialize)]` on plain structs and enums
+//! (including the `#[serde(try_from = "...", into = "...")]` container
+//! attributes) and JSON round-tripping through the sibling `serde_json`
+//! stub.
+//!
+//! The data model is a single self-describing [`Value`] tree; the
+//! derive macros (from the vendored `serde_derive`) generate
+//! [`Serialize::to_value`] / [`Deserialize::from_value`] impls that
+//! mirror serde's externally-tagged defaults, so the JSON produced is
+//! shaped like what real serde would emit for these types.
+
+mod impls;
+mod value;
+
+pub mod de;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// A type that can be converted into the self-describing [`Value`]
+/// data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the self-describing [`Value`]
+/// data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}

@@ -1,0 +1,510 @@
+//! Vendored, offline stand-in for the `serde_derive` crate.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes the workspace actually uses, without `syn`/`quote` (neither is
+//! available offline): plain structs with named fields, tuple structs,
+//! unit structs, and enums with unit / tuple / struct variants — all
+//! without generics — plus the `#[serde(try_from = "...", into = "...")]`
+//! container attributes.
+//!
+//! The generated impls target the traits of the vendored `serde` stub
+//! (`Serialize::to_value` / `Deserialize::from_value`), mirroring real
+//! serde's externally-tagged defaults: structs become maps, newtype
+//! structs are transparent, unit enum variants become strings, and
+//! payload variants become single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Container {
+    name: String,
+    try_from: Option<String>,
+    into: Option<String>,
+    data: Data,
+}
+
+enum Data {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (vendored stub semantics).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c)
+        .parse()
+        .expect("vendored serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (vendored stub semantics).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c)
+        .parse()
+        .expect("vendored serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut toks: Toks = input.into_iter().peekable();
+    let (try_from, into) = parse_outer_attrs(&mut toks);
+    skip_visibility(&mut toks);
+    let kw = expect_any_ident(&mut toks);
+    let name = expect_any_ident(&mut toks);
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types (on `{name}`)");
+        }
+    }
+    let data = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Unit,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("vendored serde_derive supports struct/enum only, got `{other}`"),
+    };
+    Container {
+        name,
+        try_from,
+        into,
+        data,
+    }
+}
+
+/// Consumes leading outer attributes, extracting `#[serde(...)]`
+/// container settings.
+fn parse_outer_attrs(toks: &mut Toks) -> (Option<String>, Option<String>) {
+    let mut try_from = None;
+    let mut into = None;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                let Some(TokenTree::Group(g)) = toks.next() else {
+                    panic!("expected attribute body after `#`");
+                };
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            parse_serde_attr_args(args.stream(), &mut try_from, &mut into);
+                        }
+                    }
+                }
+            }
+            _ => return (try_from, into),
+        }
+    }
+}
+
+/// Parses `key = "value"` pairs inside `#[serde(...)]`.
+fn parse_serde_attr_args(
+    stream: TokenStream,
+    try_from: &mut Option<String>,
+    into: &mut Option<String>,
+) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let TokenTree::Ident(key) = &toks[i] else {
+            panic!("unsupported #[serde(...)] syntax at {:?}", toks[i]);
+        };
+        let key = key.to_string();
+        match (toks.get(i + 1), toks.get(i + 2)) {
+            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+                let raw = lit.to_string();
+                let value = raw.trim_matches('"').to_string();
+                match key.as_str() {
+                    "try_from" => *try_from = Some(value),
+                    "into" => *into = Some(value),
+                    other => panic!("unsupported #[serde({other} = ...)] attribute"),
+                }
+                i += 3;
+            }
+            _ => panic!("unsupported #[serde({key})] attribute"),
+        }
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn skip_visibility(toks: &mut Toks) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_any_ident(toks: &mut Toks) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips any attributes at the current position (field/variant attrs
+/// like doc comments or `#[default]`). Field/variant-level
+/// `#[serde(...)]` attributes are not implemented, so reject them
+/// loudly rather than silently emitting code that ignores them.
+fn skip_inner_attrs(toks: &mut Toks) {
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        if let Some(TokenTree::Group(g)) = toks.next() {
+            if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+                assert!(
+                    id.to_string() != "serde",
+                    "vendored serde_derive does not support field/variant #[serde(...)] attributes"
+                );
+            }
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields, returning the field names.
+/// Commas nested in angle brackets or token groups do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_inner_attrs(&mut toks);
+        if toks.peek().is_none() {
+            return fields;
+        }
+        skip_visibility(&mut toks);
+        fields.push(expect_any_ident(&mut toks));
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Counts tuple-struct / tuple-variant fields.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_inner_attrs(&mut toks);
+        if toks.peek().is_none() {
+            return variants;
+        }
+        let name = expect_any_ident(&mut toks);
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                toks.next();
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                toks.next();
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(clippy::all, clippy::pedantic)]\n";
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(into_ty) = &c.into {
+        format!(
+            "let __proxy: {into_ty} = \
+             ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &c.data {
+            Data::Named(fields) => {
+                let mut s = String::from(
+                    "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    s.push_str(&format!(
+                        "__m.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Map(__m)");
+                s
+            }
+            Data::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Data::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            }
+            Data::Unit => "::serde::Value::Null".to_string(),
+            Data::Enum(variants) => {
+                let mut s = String::from("match self {\n");
+                for v in variants {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => s.push_str(&format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            s.push_str(&format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                                binds.join(", ")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let mut payload = String::from(
+                                "{ let mut __vm: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = ::std::vec::Vec::new();\n",
+                            );
+                            for f in fields {
+                                payload.push_str(&format!(
+                                    "__vm.push((::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f})));\n"
+                                ));
+                            }
+                            payload.push_str("::serde::Value::Map(__vm) }");
+                            s.push_str(&format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {payload})]),\n"
+                            ));
+                        }
+                    }
+                }
+                s.push('}');
+                s
+            }
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(try_from_ty) = &c.try_from {
+        format!(
+            "let __proxy: {try_from_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::core::convert::TryFrom::try_from(__proxy)\
+             .map_err(|__e| ::serde::de::Error::custom(::std::format!(\"{{__e}}\")))"
+        )
+    } else {
+        match &c.data {
+            Data::Named(fields) => {
+                let mut s = format!(
+                    "let __m = __v.as_map().ok_or_else(|| \
+                     ::serde::de::Error::expected(\"map for struct {name}\", __v))?;\n\
+                     ::core::result::Result::Ok({name} {{\n"
+                );
+                for f in fields {
+                    s.push_str(&format!("{f}: ::serde::de::field(__m, \"{f}\")?,\n"));
+                }
+                s.push_str("})");
+                s
+            }
+            Data::Tuple(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Data::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__e{i}")).collect();
+                let reads: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Deserialize::from_value({b})?"))
+                    .collect();
+                format!(
+                    "match __v.as_seq() {{\n\
+                     ::core::option::Option::Some([{}]) => \
+                     ::core::result::Result::Ok({name}({})),\n\
+                     _ => ::core::result::Result::Err(::serde::de::Error::expected(\
+                     \"{n}-element sequence for {name}\", __v)),\n}}",
+                    binds.join(", "),
+                    reads.join(", ")
+                )
+            }
+            Data::Unit => format!(
+                "match __v {{\n\
+                 ::serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+                 _ => ::core::result::Result::Err(::serde::de::Error::expected(\
+                 \"null for unit struct {name}\", __v)),\n}}"
+            ),
+            Data::Enum(variants) => gen_enum_deserialize(name, variants),
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+            )),
+            VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                 ::serde::Deserialize::from_value(__inner)?)),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__e{i}")).collect();
+                let reads: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Deserialize::from_value({b})?"))
+                    .collect();
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => match __inner.as_seq() {{\n\
+                     ::core::option::Option::Some([{}]) => \
+                     ::core::result::Result::Ok({name}::{vn}({})),\n\
+                     _ => ::core::result::Result::Err(::serde::de::Error::expected(\
+                     \"{n}-element sequence for {name}::{vn}\", __inner)),\n}},\n",
+                    binds.join(", "),
+                    reads.join(", ")
+                ));
+            }
+            VariantKind::Named(fields) => {
+                let mut reads = String::new();
+                for f in fields {
+                    reads.push_str(&format!("{f}: ::serde::de::field(__vm, \"{f}\")?,\n"));
+                }
+                payload_arms.push_str(&format!(
+                    "\"{vn}\" => {{\nlet __vm = __inner.as_map().ok_or_else(|| \
+                     ::serde::de::Error::expected(\"map for {name}::{vn}\", __inner))?;\n\
+                     ::core::result::Result::Ok({name}::{vn} {{ {reads} }})\n}},\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+         ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __inner) = &__entries[0];\n\
+         match __tag.as_str() {{\n\
+         {payload_arms}\
+         __other => ::core::result::Result::Err(::serde::de::Error::custom(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+         _ => ::core::result::Result::Err(::serde::de::Error::expected(\
+         \"string or single-entry map for enum {name}\", __v)),\n}}"
+    )
+}
