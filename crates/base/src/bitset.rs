@@ -149,6 +149,30 @@ impl DenseBitSet {
         self.words.copy_from_slice(&other.words);
     }
 
+    /// The smallest member at or after `from`, if any.
+    ///
+    /// Together with a cursor this supports allocation-free iteration
+    /// over a set that may be mutated between calls (the monomorphism
+    /// engine's domain stack): `next_member(cursor)` then advance the
+    /// cursor past the returned index.
+    pub fn next_member(&self, from: usize) -> Option<usize> {
+        if from >= self.capacity {
+            return None;
+        }
+        let mut wi = from / 64;
+        let mut word = self.words[wi] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(wi * 64 + word.trailing_zeros() as usize);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            word = self.words[wi];
+        }
+    }
+
     /// Iterates over members in ascending order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {
@@ -499,6 +523,27 @@ mod tests {
     fn out_of_range_insert_panics() {
         let mut s = DenseBitSet::new(3);
         s.insert(3);
+    }
+
+    #[test]
+    fn next_member_scans_from_cursor() {
+        let s: DenseBitSet = [0usize, 5, 63, 64, 129].iter().copied().collect();
+        assert_eq!(s.next_member(0), Some(0));
+        assert_eq!(s.next_member(1), Some(5));
+        assert_eq!(s.next_member(6), Some(63));
+        assert_eq!(s.next_member(64), Some(64));
+        assert_eq!(s.next_member(65), Some(129));
+        assert_eq!(s.next_member(130), None);
+        assert_eq!(s.next_member(10_000), None);
+        // Cursor-style walk visits exactly the members, in order.
+        let mut cursor = 0;
+        let mut seen = Vec::new();
+        while let Some(i) = s.next_member(cursor) {
+            seen.push(i);
+            cursor = i + 1;
+        }
+        assert_eq!(seen, s.iter().collect::<Vec<_>>());
+        assert_eq!(DenseBitSet::new(0).next_member(0), None);
     }
 
     #[test]

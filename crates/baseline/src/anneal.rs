@@ -4,12 +4,15 @@
 //! included as the classic point of comparison for the ablation
 //! benches.
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use cgra_arch::{Cgra, PeId};
+use cgra_base::CancelFlag;
 use cgra_dfg::{Dfg, EdgeKind};
 use cgra_sched::{min_ii, Kms, Mobility};
 use monomap_core::{MapError, Mapping, Placement};
@@ -57,6 +60,7 @@ impl Default for AnnealingConfig {
 pub struct AnnealingMapper<'a> {
     cgra: &'a Cgra,
     config: AnnealingConfig,
+    cancel: Option<CancelFlag>,
 }
 
 impl<'a> AnnealingMapper<'a> {
@@ -65,12 +69,29 @@ impl<'a> AnnealingMapper<'a> {
         AnnealingMapper {
             cgra,
             config: AnnealingConfig::default(),
+            cancel: None,
         }
     }
 
     /// An annealer with explicit parameters.
     pub fn with_config(cgra: &'a Cgra, config: AnnealingConfig) -> Self {
-        AnnealingMapper { cgra, config }
+        AnnealingMapper {
+            cgra,
+            config,
+            cancel: None,
+        }
+    }
+
+    /// Installs a cooperative cancellation flag, polled once per
+    /// temperature step inside the annealing loop (the same idiom as
+    /// the exact mappers, so a bench watchdog can always release an
+    /// annealing cell).
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(CancelFlag::from_arc(flag));
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
     }
 
     /// Maps `dfg`, escalating the II when annealing cannot reach zero
@@ -78,9 +99,9 @@ impl<'a> AnnealingMapper<'a> {
     ///
     /// # Errors
     ///
-    /// [`MapError::InvalidDfg`] or [`MapError::NoSolution`]; the
-    /// annealer never reports timeouts (its work is bounded by the
-    /// schedule parameters).
+    /// [`MapError::InvalidDfg`] or [`MapError::NoSolution`]; with a
+    /// cancellation flag installed a raised flag surfaces as
+    /// [`MapError::Timeout`].
     pub fn map(&self, dfg: &Dfg) -> Result<BaselineResult, MapError> {
         dfg.validate()?;
         let start = Instant::now();
@@ -98,6 +119,9 @@ impl<'a> AnnealingMapper<'a> {
             let kms = Kms::with_slack(&mobility, ii, self.config.window_slack);
             let times: Vec<Vec<usize>> = dfg.nodes().map(|v| kms.times_of(v)).collect();
             for _ in 0..self.config.restarts {
+                if self.cancelled() {
+                    return Err(MapError::Timeout { ii });
+                }
                 if let Some(mapping) = self.anneal_once(dfg, ii, &times, &mut rng) {
                     stats.achieved_ii = ii;
                     stats.total_seconds = start.elapsed().as_secs_f64();
@@ -105,6 +129,9 @@ impl<'a> AnnealingMapper<'a> {
                     return Ok(BaselineResult { mapping, stats });
                 }
             }
+        }
+        if self.cancelled() {
+            return Err(MapError::Timeout { ii: max_ii });
         }
         Err(MapError::NoSolution { mii, max_ii })
     }
@@ -125,6 +152,11 @@ impl<'a> AnnealingMapper<'a> {
         let mut cost = self.cost(dfg, ii, times, &state);
         let mut temp = self.config.initial_temp;
         for _ in 0..self.config.temp_steps {
+            // Cancellation point: one poll per temperature step bounds
+            // the reaction latency to `moves_per_temp` cost evaluations.
+            if self.cancelled() {
+                return None;
+            }
             for _ in 0..self.config.moves_per_temp {
                 if cost == 0 {
                     return Some(self.to_mapping(dfg, ii, times, &state));
@@ -252,6 +284,63 @@ mod tests {
         let a = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
         let b = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
         assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn cancel_flag_times_out_annealer() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let cgra = Cgra::new(3, 3).unwrap();
+        let dfg = running_example();
+        let mut mapper = AnnealingMapper::new(&cgra);
+        mapper.set_cancel_flag(Arc::new(AtomicBool::new(true)));
+        assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
+    }
+
+    #[test]
+    fn cancel_mid_anneal_returns_within_bounded_delay() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+        // A hopeless instance (a chain that needs neighbours, on a
+        // neighbourless 1×1 CGRA) with a huge move budget: uncancelled,
+        // the annealer would grind through every II escalation;
+        // cancelled at 50 ms it must return promptly.
+        let mut b = cgra_dfg::DfgBuilder::new();
+        let x = b.input("x");
+        let mut cur = x;
+        for i in 0..10 {
+            cur = b.unary(format!("u{i}"), cgra_dfg::Operation::Neg, cur);
+        }
+        let dfg = b.build().unwrap();
+        let cgra = Cgra::new(1, 1).unwrap();
+        let cfg = AnnealingConfig {
+            moves_per_temp: 10_000,
+            temp_steps: 10_000,
+            restarts: 8,
+            ..AnnealingConfig::default()
+        };
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut mapper = AnnealingMapper::with_config(&cgra, cfg);
+        mapper.set_cancel_flag(Arc::clone(&flag));
+        let started = Instant::now();
+        let result = std::thread::scope(|scope| {
+            let watchdog = Arc::clone(&flag);
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                watchdog.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+            mapper.map(&dfg)
+        });
+        assert!(
+            matches!(result, Err(MapError::Timeout { .. })),
+            "{result:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "cancelled anneal must return promptly, took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Criterion benchmarks for the reworked space phase.
+//!
+//! * `target_reuse` — the tentpole amortisation: at a fixed II on the
+//!   5×5 CGRA, running the monomorphism search over several enumerated
+//!   time solutions with a per-attempt `build_target` rebuild (the old
+//!   `space_search` behaviour) vs one [`SpaceEngine`] whose cached
+//!   target every attempt shares. The engine variant constructs the
+//!   target exactly once per batch.
+//! * `portfolio` — end-to-end mapping of the 5×5 suite kernels with the
+//!   serial path vs the racing portfolio; the achieved II is asserted
+//!   identical.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgra_arch::Cgra;
+use cgra_dfg::suite;
+use cgra_sched::{TimeSolution, TimeSolver, TimeSolverConfig};
+use monomap_core::{space_search, DecoupledMapper, MapperConfig, SpaceEngine, SpaceOutcome};
+
+const KERNELS: [&str; 3] = ["susan", "gsm", "bitcount"];
+const ATTEMPTS: usize = 8;
+
+/// Enumerates up to `ATTEMPTS` schedules of `name` at its smallest
+/// feasible II on the 5×5 CGRA (widening the window slack until the
+/// level is feasible).
+fn schedules(cgra: &Cgra, name: &str) -> (cgra_dfg::Dfg, Vec<TimeSolution>) {
+    let dfg = suite::generate(name);
+    let mii = cgra_sched::min_ii(&dfg, cgra);
+    for ii in mii..mii + 8 {
+        for slack in 0..=2 {
+            let cfg = TimeSolverConfig::for_cgra(cgra).with_window_slack(slack);
+            let mut solver = TimeSolver::new(&dfg, ii, cfg).expect("valid suite kernel");
+            let (sols, _) = solver.enumerate_solutions(ATTEMPTS);
+            if !sols.is_empty() {
+                return (dfg, sols);
+            }
+        }
+    }
+    panic!("{name} has no schedule near mII on 5x5");
+}
+
+fn bench_target_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("target_reuse");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let cgra = Cgra::new(5, 5).unwrap();
+    for name in KERNELS {
+        let (dfg, sols) = schedules(&cgra, name);
+        // Old shape: every attempt rebuilds the full MRRG target.
+        g.bench_with_input(
+            BenchmarkId::new("rebuild_per_attempt", name),
+            &sols,
+            |b, sols| {
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for sol in sols {
+                        let (outcome, _) = space_search(&dfg, &cgra, sol, 2_000_000, None);
+                        if matches!(outcome, SpaceOutcome::Found(_)) {
+                            found += 1;
+                        }
+                    }
+                    found
+                })
+            },
+        );
+        // New shape: one engine per batch; the target is built once and
+        // shared by all attempts at this II.
+        g.bench_with_input(
+            BenchmarkId::new("engine_amortised", name),
+            &sols,
+            |b, sols| {
+                b.iter(|| {
+                    let mut engine = SpaceEngine::new(&cgra);
+                    let mut found = 0usize;
+                    for sol in sols {
+                        let (outcome, _) = engine.search(&dfg, sol, 2_000_000, None);
+                        if matches!(outcome, SpaceOutcome::Found(_)) {
+                            found += 1;
+                        }
+                    }
+                    assert_eq!(engine.target_builds(), 1, "one build per batch");
+                    found
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_portfolio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("portfolio");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let cgra = Cgra::new(5, 5).unwrap();
+    for name in KERNELS {
+        let dfg = suite::generate(name);
+        let serial_ii = DecoupledMapper::new(&cgra)
+            .map(&dfg)
+            .expect("suite kernel maps")
+            .mapping
+            .ii();
+        g.bench_with_input(BenchmarkId::new("serial", name), &dfg, |b, dfg| {
+            b.iter(|| {
+                let r = DecoupledMapper::new(&cgra).map(dfg).unwrap();
+                assert_eq!(r.mapping.ii(), serial_ii);
+                r.mapping.ii()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("race4", name), &dfg, |b, dfg| {
+            b.iter(|| {
+                let cfg = MapperConfig::new().with_space_parallelism(4);
+                let r = DecoupledMapper::with_config(&cgra, cfg).map(dfg).unwrap();
+                assert_eq!(r.mapping.ii(), serial_ii, "portfolio II matches serial");
+                r.mapping.ii()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_target_reuse, bench_portfolio);
+criterion_main!(benches);

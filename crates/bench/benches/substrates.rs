@@ -95,7 +95,7 @@ fn bench_monomorphism(c: &mut Criterion) {
             &size,
             |b, _| {
                 b.iter(|| {
-                    let (outcome, _) = space_search(&dfg, &cgra, &sol, 10_000_000);
+                    let (outcome, _) = space_search(&dfg, &cgra, &sol, 10_000_000, None);
                     outcome
                 })
             },

@@ -105,11 +105,12 @@ fn constraint_families() {
                     };
                     match solver.solve_outcome() {
                         SolveOutcome::Solution(sol) => {
-                            let (space, _) = space_search(&dfg, &cgra, &sol, 2_000_000);
+                            let (space, _) = space_search(&dfg, &cgra, &sol, 2_000_000, None);
                             return match space {
                                 SpaceOutcome::Found(_) => "yes",
                                 SpaceOutcome::Exhausted => "no",
                                 SpaceOutcome::LimitReached => "limit",
+                                SpaceOutcome::Cancelled => "timeout",
                             };
                         }
                         SolveOutcome::Unsat => continue,

@@ -92,7 +92,8 @@ impl CellResult {
 /// The mapper runs on a worker thread with a cooperative cancellation
 /// flag; when the timeout fires the flag is raised and the worker
 /// returns at its next cancellation point (SAT decisions, solver
-/// boundaries, encoding loops), so cells never wedge the harness.
+/// boundaries, monomorphism DFS steps, annealing temperature steps), so
+/// cells never wedge the harness — every mapper kind observes the flag.
 pub fn run_cell(dfg: &Dfg, size: usize, kind: MapperKind, timeout: Duration) -> CellResult {
     let cgra = Cgra::new(size, size).expect("valid grid size");
     let mii = min_ii(dfg, &cgra);
@@ -128,9 +129,11 @@ pub fn run_cell(dfg: &Dfg, size: usize, kind: MapperKind, timeout: Duration) -> 
                     }
                 }
                 MapperKind::Annealing => {
-                    let mapper = AnnealingMapper::new(cgra_ref);
+                    let mut mapper = AnnealingMapper::new(cgra_ref);
+                    mapper.set_cancel_flag(worker_flag);
                     match mapper.map(dfg) {
                         Ok(r) => (CellOutcome::Mapped { ii: r.mapping.ii() }, 0.0, 0.0),
+                        Err(MapError::Timeout { .. }) => (CellOutcome::Timeout, 0.0, 0.0),
                         Err(_) => (CellOutcome::NoSolution, 0.0, 0.0),
                     }
                 }
@@ -197,5 +200,35 @@ mod tests {
         let dfg = cgra_dfg::examples::accumulator();
         let r = run_cell(&dfg, 3, MapperKind::Annealing, Duration::from_secs(30));
         assert!(matches!(r.outcome, CellOutcome::Mapped { .. }));
+    }
+
+    #[test]
+    fn annealing_cell_times_out_when_squeezed() {
+        // Regression: the watchdog used to block forever in `rx.recv()`
+        // because the annealing worker had no cancellation point. A
+        // hard cell with a millisecond budget must now report Timeout.
+        let dfg = suite::generate("hotspot3D");
+        let r = run_cell(&dfg, 10, MapperKind::Annealing, Duration::from_millis(20));
+        assert!(
+            r.timed_out() || r.ii().is_some(),
+            "cell must resolve, got {:?}",
+            r.outcome
+        );
+        assert!(r.total_seconds < 30.0, "watchdog released the harness");
+    }
+
+    #[test]
+    fn mono_portfolio_cell_matches_serial_ii() {
+        use monomap_core::MapperConfig;
+        // Not a run_cell path (run_cell always uses defaults), but the
+        // same suite kernel: portfolio mode must reach the same II.
+        let dfg = suite::generate("susan");
+        let cgra = Cgra::new(5, 5).expect("valid grid");
+        let serial = DecoupledMapper::new(&cgra).map(&dfg).expect("maps");
+        let portfolio =
+            DecoupledMapper::with_config(&cgra, MapperConfig::new().with_space_parallelism(4))
+                .map(&dfg)
+                .expect("maps in portfolio mode");
+        assert_eq!(serial.mapping.ii(), portfolio.mapping.ii());
     }
 }

@@ -48,6 +48,19 @@ pub struct MapperConfig {
     pub time_budget: Option<Budget>,
     /// Which algorithm produces time solutions.
     pub time_strategy: TimeStrategy,
+    /// Worker threads racing monomorphism searches over the time
+    /// solutions of one `(II, slack)` level (portfolio mode).
+    ///
+    /// `1` (the default) is the fully deterministic serial path:
+    /// solutions are tried in enumeration order and results are
+    /// byte-identical run to run. Values above 1 pull schedules from
+    /// the SMT enumerator in batches of this size (up to
+    /// [`MapperConfig::max_time_solutions`] in total) and race each
+    /// batch's space searches across that many threads; the first
+    /// success cancels the rest. The achieved II is unaffected (every
+    /// raced schedule shares the level's II) — only which of the
+    /// equally-good placements wins may vary.
+    pub space_parallelism: usize,
 }
 
 impl Default for MapperConfig {
@@ -62,6 +75,7 @@ impl Default for MapperConfig {
             strict_connectivity: false,
             time_budget: None,
             time_strategy: TimeStrategy::Smt,
+            space_parallelism: 1,
         }
     }
 }
@@ -73,6 +87,11 @@ impl MapperConfig {
     }
 
     /// Caps the II search range.
+    ///
+    /// A cap below the instance's lower bound `mII` is a contract
+    /// violation: [`crate::DecoupledMapper::map`] returns
+    /// [`crate::MapError::NoSolution`] immediately (no II is searched)
+    /// rather than silently widening the cap.
     pub fn with_max_ii(mut self, max_ii: usize) -> Self {
         self.max_ii = Some(max_ii);
         self
@@ -113,6 +132,19 @@ impl MapperConfig {
         self.time_strategy = strategy;
         self
     }
+
+    /// Sets the space-phase portfolio width (worker threads racing the
+    /// monomorphism searches of one `(II, slack)` level); `1` keeps the
+    /// deterministic serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_space_parallelism(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "space_parallelism must be at least 1");
+        self.space_parallelism = workers;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +158,19 @@ mod tests {
         assert!(c.connectivity_constraints);
         assert!(!c.strict_connectivity);
         assert_eq!(c.max_ii, None);
+        assert_eq!(c.space_parallelism, 1, "serial (deterministic) default");
+    }
+
+    #[test]
+    fn space_parallelism_builder() {
+        let c = MapperConfig::new().with_space_parallelism(4);
+        assert_eq!(c.space_parallelism, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_space_parallelism_rejected() {
+        let _ = MapperConfig::new().with_space_parallelism(0);
     }
 
     #[test]

@@ -1,20 +1,26 @@
 //! The decoupled space/time mapper (paper §IV).
 
-use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use cgra_base::CancelFlag;
 
 use cgra_arch::Cgra;
 use cgra_dfg::Dfg;
+use cgra_iso::{MonoOutcome, SearchConfig, Searcher};
 use cgra_sched::{
-    ims_schedule, min_ii, SolveOutcome, TimeSolution, TimeSolver, TimeSolverConfig, TimeSolverError,
+    ims_schedule, min_ii, EnumerationEnd, SolveOutcome, TimeSolution, TimeSolver, TimeSolverConfig,
+    TimeSolverError,
 };
 
 use crate::config::TimeStrategy;
-use crate::space::{space_search, SpaceOutcome};
+use crate::space::{build_pattern, SpaceEngine, SpaceOutcome};
 use crate::{MapError, MapperConfig, Mapping, Placement};
+
+/// How often the portfolio supervisor polls for user cancellation while
+/// worker threads race their monomorphism searches.
+const PORTFOLIO_POLL: Duration = Duration::from_millis(2);
 
 /// A successful mapping together with search statistics.
 #[derive(Clone, Debug)]
@@ -41,7 +47,9 @@ pub struct MapStats {
     /// Wall-clock spent in the SMT time search.
     pub time_phase_seconds: f64,
     /// Wall-clock spent in monomorphism search (including MRRG
-    /// construction).
+    /// construction). In portfolio mode this is the elapsed wall-clock
+    /// of the races — the Table III phase semantics — not the summed
+    /// search time of the parallel workers.
     pub space_phase_seconds: f64,
     /// Time solutions produced by the SMT layer.
     pub time_solutions: usize,
@@ -106,25 +114,45 @@ impl<'a> DecoupledMapper<'a> {
     /// Searches II values from `mII` upward; for each II tries window
     /// slacks `0..=max_window_slack`, and for each time solution runs
     /// the monomorphism search, enumerating alternative schedules when
-    /// the space phase fails (paper §IV-D guarantees this is rare).
+    /// the space phase fails (paper §IV-D guarantees this is rare). The
+    /// MRRG target is built once per II by a [`SpaceEngine`] and shared
+    /// by every slack level and time solution at that II.
+    ///
+    /// With [`MapperConfig::space_parallelism`] above 1, each
+    /// `(II, slack)` level pulls up to
+    /// [`MapperConfig::max_time_solutions`] schedules from the SMT
+    /// enumerator and races their monomorphism searches across worker
+    /// threads; the first success cancels the rest.
     ///
     /// # Errors
     ///
     /// [`MapError::InvalidDfg`] for malformed graphs,
-    /// [`MapError::NoSolution`] when the II range is exhausted, and
-    /// [`MapError::Timeout`] when interrupted.
+    /// [`MapError::NoSolution`] when the II range is exhausted — or
+    /// immediately when [`MapperConfig::max_ii`] is below `mII` (the cap
+    /// is a contract, never silently widened), and
+    /// [`MapError::Timeout`] when cancelled. A per-solve
+    /// [`MapperConfig::time_budget`] running out at one `(II, slack)`
+    /// level is *not* a timeout: the search escalates to the next level.
     pub fn map(&self, dfg: &Dfg) -> Result<MapResult, MapError> {
         dfg.validate()?;
         let start = Instant::now();
         let mii = min_ii(dfg, self.cgra);
-        let max_ii = self.config.max_ii.unwrap_or(mii + 16).max(mii);
+        if let Some(cap) = self.config.max_ii {
+            if cap < mii {
+                return Err(MapError::NoSolution { mii, max_ii: cap });
+            }
+        }
+        let max_ii = self.config.max_ii.unwrap_or(mii + 16);
         let mut stats = MapStats {
             mii,
             ..MapStats::default()
         };
+        let mut engine = SpaceEngine::new(self.cgra);
 
         for ii in mii..=max_ii {
             stats.iis_tried += 1;
+            // Targets for earlier IIs are never revisited.
+            engine.retain_ii(ii);
             for slack in 0..=self.config.max_window_slack {
                 if self.cancelled() {
                     return Err(MapError::Timeout { ii });
@@ -140,66 +168,271 @@ impl<'a> DecoupledMapper<'a> {
 
                 if self.config.time_strategy == TimeStrategy::Heuristic {
                     // Heuristic time phase: one IMS attempt per
-                    // (II, slack) level, no enumeration.
+                    // (II, slack) level, no enumeration (and nothing to
+                    // race in portfolio mode).
                     let t0 = Instant::now();
                     let sol = ims_schedule(dfg, ii, &ts_config);
                     stats.time_phase_seconds += t0.elapsed().as_secs_f64();
                     if let Some(sol) = sol {
                         stats.time_solutions += 1;
                         let t1 = Instant::now();
-                        let (space, steps) =
-                            space_search(dfg, self.cgra, &sol, self.config.mono_step_limit);
+                        let (space, steps) = engine.search(
+                            dfg,
+                            &sol,
+                            self.config.mono_step_limit,
+                            self.cancel.as_ref(),
+                        );
                         stats.space_phase_seconds += t1.elapsed().as_secs_f64();
                         stats.space_attempts += 1;
                         stats.mono_steps += steps;
-                        if let SpaceOutcome::Found(map) = space {
-                            return Ok(self.finish(dfg, &sol, map, ii, slack, start, stats));
+                        match space {
+                            SpaceOutcome::Found(map) => {
+                                return Ok(self.finish(dfg, &sol, map, ii, slack, start, stats));
+                            }
+                            SpaceOutcome::Cancelled => return Err(MapError::Timeout { ii }),
+                            SpaceOutcome::Exhausted | SpaceOutcome::LimitReached => {}
                         }
                     }
                     continue;
                 }
 
-                let t0 = Instant::now();
-                let mut solver = match TimeSolver::new(dfg, ii, ts_config) {
-                    Ok(s) => s,
-                    Err(TimeSolverError::Dfg(e)) => return Err(MapError::InvalidDfg(e)),
-                    Err(_) => unreachable!("ii and capacity are positive"),
+                let found = if self.config.space_parallelism > 1 {
+                    self.portfolio_level(dfg, ii, ts_config, &mut engine, &mut stats)?
+                } else {
+                    self.serial_level(dfg, ii, ts_config, &mut engine, &mut stats)?
                 };
-                if let Some(flag) = &self.cancel {
-                    solver.set_cancel_flag(flag.arc());
-                }
-                let mut outcome = solver.solve_outcome();
-                stats.time_phase_seconds += t0.elapsed().as_secs_f64();
-
-                let mut tries = 0usize;
-                loop {
-                    match outcome {
-                        SolveOutcome::Solution(sol) => {
-                            tries += 1;
-                            stats.time_solutions += 1;
-                            let t1 = Instant::now();
-                            let (space, steps) =
-                                space_search(dfg, self.cgra, &sol, self.config.mono_step_limit);
-                            stats.space_phase_seconds += t1.elapsed().as_secs_f64();
-                            stats.space_attempts += 1;
-                            stats.mono_steps += steps;
-                            if let SpaceOutcome::Found(map) = space {
-                                return Ok(self.finish(dfg, &sol, map, ii, slack, start, stats));
-                            }
-                            if tries >= self.config.max_time_solutions {
-                                break;
-                            }
-                            let t2 = Instant::now();
-                            outcome = solver.next_outcome();
-                            stats.time_phase_seconds += t2.elapsed().as_secs_f64();
-                        }
-                        SolveOutcome::Unsat => break,
-                        SolveOutcome::Timeout => return Err(MapError::Timeout { ii }),
-                    }
+                if let Some((sol, map)) = found {
+                    return Ok(self.finish(dfg, &sol, map, ii, slack, start, stats));
                 }
             }
         }
         Err(MapError::NoSolution { mii, max_ii })
+    }
+
+    /// Builds the time solver for one `(II, slack)` level, with the
+    /// user's cancellation flag installed.
+    fn level_solver<'d>(
+        &self,
+        dfg: &'d Dfg,
+        ii: usize,
+        ts_config: TimeSolverConfig,
+    ) -> Result<TimeSolver<'d>, MapError> {
+        let mut solver = match TimeSolver::new(dfg, ii, ts_config) {
+            Ok(s) => s,
+            Err(TimeSolverError::Dfg(e)) => return Err(MapError::InvalidDfg(e)),
+            Err(_) => unreachable!("ii and capacity are positive"),
+        };
+        if let Some(flag) = &self.cancel {
+            solver.set_cancel_flag(flag.arc());
+        }
+        Ok(solver)
+    }
+
+    /// The serial (deterministic) `(II, slack)` level: interleaves SMT
+    /// enumeration with one monomorphism search per schedule, exactly in
+    /// enumeration order.
+    ///
+    /// Returns the winning `(schedule, monomorphism)` if any; `None`
+    /// means the level is exhausted (including a per-solve budget
+    /// running out) and the caller escalates.
+    fn serial_level(
+        &self,
+        dfg: &Dfg,
+        ii: usize,
+        ts_config: TimeSolverConfig,
+        engine: &mut SpaceEngine<'_>,
+        stats: &mut MapStats,
+    ) -> Result<Option<(TimeSolution, Vec<usize>)>, MapError> {
+        let t0 = Instant::now();
+        let mut solver = self.level_solver(dfg, ii, ts_config)?;
+        let mut outcome = solver.solve_outcome();
+        stats.time_phase_seconds += t0.elapsed().as_secs_f64();
+
+        let mut tries = 0usize;
+        loop {
+            match outcome {
+                SolveOutcome::Solution(sol) => {
+                    tries += 1;
+                    stats.time_solutions += 1;
+                    let t1 = Instant::now();
+                    let (space, steps) =
+                        engine.search(dfg, &sol, self.config.mono_step_limit, self.cancel.as_ref());
+                    stats.space_phase_seconds += t1.elapsed().as_secs_f64();
+                    stats.space_attempts += 1;
+                    stats.mono_steps += steps;
+                    match space {
+                        SpaceOutcome::Found(map) => return Ok(Some((sol, map))),
+                        SpaceOutcome::Cancelled => return Err(MapError::Timeout { ii }),
+                        SpaceOutcome::Exhausted | SpaceOutcome::LimitReached => {}
+                    }
+                    if tries >= self.config.max_time_solutions {
+                        return Ok(None);
+                    }
+                    let t2 = Instant::now();
+                    outcome = solver.next_outcome();
+                    stats.time_phase_seconds += t2.elapsed().as_secs_f64();
+                }
+                SolveOutcome::Unsat => return Ok(None),
+                SolveOutcome::Timeout => {
+                    // User cancellation aborts the whole search; a
+                    // per-solve budget running out only ends this level.
+                    if self.cancelled() {
+                        return Err(MapError::Timeout { ii });
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// The portfolio `(II, slack)` level: pulls up to
+    /// [`MapperConfig::max_time_solutions`] schedules, then races their
+    /// monomorphism searches across
+    /// [`MapperConfig::space_parallelism`] scoped worker threads against
+    /// the II's shared cached target. The first success raises a race
+    /// flag that cancels the remaining searches; a supervisor loop
+    /// forwards user cancellation into the race.
+    /// Schedules are pulled in batches of `space_parallelism` rather
+    /// than all `max_time_solutions` up front: the common case (the
+    /// first schedule embeds, per the paper's §IV-D argument) then pays
+    /// for one small batch of SMT solves, not the whole enumeration cap.
+    fn portfolio_level(
+        &self,
+        dfg: &Dfg,
+        ii: usize,
+        ts_config: TimeSolverConfig,
+        engine: &mut SpaceEngine<'_>,
+        stats: &mut MapStats,
+    ) -> Result<Option<(TimeSolution, Vec<usize>)>, MapError> {
+        let mut solver = self.level_solver(dfg, ii, ts_config)?;
+        let mut remaining = self.config.max_time_solutions;
+        loop {
+            if self.cancelled() {
+                return Err(MapError::Timeout { ii });
+            }
+            let batch_cap = self.config.space_parallelism.min(remaining);
+            if batch_cap == 0 {
+                return Ok(None);
+            }
+            let t0 = Instant::now();
+            let (solutions, batch_end) = solver.enumerate_solutions(batch_cap);
+            stats.time_phase_seconds += t0.elapsed().as_secs_f64();
+            stats.time_solutions += solutions.len();
+            remaining -= solutions.len();
+
+            if !solutions.is_empty() {
+                let t1 = Instant::now();
+                // Built only once a schedule exists (Unsat levels never
+                // pay for target construction); cache hit after the
+                // first batch.
+                let target = engine.target(ii);
+                let winner = self.race_batch(dfg, &target, &solutions, stats);
+                // Wall-clock of the race (the Table III phase
+                // semantics), not the sum over parallel workers.
+                stats.space_phase_seconds += t1.elapsed().as_secs_f64();
+                if let Some((idx, map)) = winner {
+                    return Ok(Some((solutions[idx].clone(), map)));
+                }
+                if self.cancelled() {
+                    return Err(MapError::Timeout { ii });
+                }
+            }
+            match batch_end {
+                EnumerationEnd::CapReached => continue,
+                EnumerationEnd::Unsat => return Ok(None),
+                EnumerationEnd::Timeout => {
+                    // The flag may have been raised while the SMT solve
+                    // was blocked: user cancellation aborts, a per-solve
+                    // budget running out ends only this level and the
+                    // caller escalates.
+                    if self.cancelled() {
+                        return Err(MapError::Timeout { ii });
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Races the monomorphism searches of one batch of schedules across
+    /// scoped worker threads sharing `target`. The first success raises
+    /// a race flag that cancels the remaining searches; the supervisor
+    /// loop wakes on worker completion and forwards user cancellation
+    /// into the race between wake-ups.
+    ///
+    /// Returns the winning `(index into solutions, monomorphism)`,
+    /// preferring the earliest schedule when several workers win.
+    fn race_batch(
+        &self,
+        dfg: &Dfg,
+        target: &Arc<cgra_iso::Target>,
+        solutions: &[TimeSolution],
+        stats: &mut MapStats,
+    ) -> Option<(usize, Vec<usize>)> {
+        let race = CancelFlag::new();
+        let next = AtomicUsize::new(0);
+        let dispatched = AtomicUsize::new(0);
+        let total_steps = AtomicU64::new(0);
+        let best: Mutex<Option<(usize, Vec<usize>)>> = Mutex::new(None);
+        let workers = self.config.space_parallelism.min(solutions.len());
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let done = done_tx.clone();
+                let race = race.clone();
+                let target = Arc::clone(target);
+                let next = &next;
+                let dispatched = &dispatched;
+                let total_steps = &total_steps;
+                let best = &best;
+                scope.spawn(move || {
+                    loop {
+                        if race.is_cancelled() {
+                            break;
+                        }
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= solutions.len() {
+                            break;
+                        }
+                        dispatched.fetch_add(1, Ordering::Relaxed);
+                        let sol = &solutions[idx];
+                        let pattern = build_pattern(dfg, sol);
+                        let config = SearchConfig::steps(self.config.mono_step_limit)
+                            .with_cancel_flag(race.clone());
+                        let mut searcher = Searcher::with_config(&pattern, &target, config);
+                        let outcome = searcher.run();
+                        total_steps.fetch_add(searcher.stats().steps, Ordering::Relaxed);
+                        if let MonoOutcome::Found(map) = outcome {
+                            let mut w = best.lock().expect("winner lock");
+                            // Keep the earliest schedule's win for
+                            // run-to-run stability.
+                            if w.as_ref().is_none_or(|(b, _)| idx < *b) {
+                                *w = Some((idx, map));
+                            }
+                            drop(w);
+                            race.cancel(); // first win cancels the rest
+                        }
+                    }
+                    let _ = done.send(());
+                });
+            }
+            drop(done_tx);
+            let mut running = workers;
+            while running > 0 {
+                match done_rx.recv_timeout(PORTFOLIO_POLL) {
+                    Ok(()) => running -= 1,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        if self.cancelled() {
+                            race.cancel();
+                        }
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+        stats.space_attempts += dispatched.load(Ordering::Relaxed);
+        stats.mono_steps += total_steps.load(Ordering::Relaxed);
+        best.into_inner().expect("winner lock")
     }
 
     /// Converts a found monomorphism into the final [`Mapping`] and
@@ -326,6 +559,141 @@ mod tests {
         let mut mapper = DecoupledMapper::new(&cgra);
         mapper.set_cancel_flag(Arc::new(AtomicBool::new(true)));
         assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
+    }
+
+    #[test]
+    fn cancel_flag_times_out_portfolio() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let cfg = MapperConfig::new().with_space_parallelism(3);
+        let mut mapper = DecoupledMapper::with_config(&cgra, cfg);
+        mapper.set_cancel_flag(Arc::new(AtomicBool::new(true)));
+        assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
+    }
+
+    #[test]
+    fn cancel_mid_map_portfolio_reports_timeout_not_no_solution() {
+        // Regression: a flag raised while the portfolio level was
+        // blocked inside the SMT enumeration used to fall through as
+        // level exhaustion and could surface as NoSolution. Cancel a
+        // long-running portfolio map mid-flight: the error must be
+        // Timeout, and the return prompt.
+        let cgra = Cgra::new(5, 5).unwrap();
+        let dfg = suite::generate("hotspot3D"); // the slow suite kernel
+        let cfg = MapperConfig::new().with_space_parallelism(3);
+        let mut mapper = DecoupledMapper::with_config(&cgra, cfg);
+        let flag = Arc::new(AtomicBool::new(false));
+        mapper.set_cancel_flag(Arc::clone(&flag));
+        let started = std::time::Instant::now();
+        let result = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                flag.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+            mapper.map(&dfg)
+        });
+        assert!(
+            matches!(result, Err(MapError::Timeout { .. })),
+            "{result:?}"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(30),
+            "cancelled portfolio map must return promptly, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn max_ii_below_mii_is_rejected_immediately() {
+        // Regression: the cap used to be silently clamped up to mII and
+        // one II was searched anyway.
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example(); // mII = 4
+        let cfg = MapperConfig::new().with_max_ii(2);
+        let started = std::time::Instant::now();
+        let err = DecoupledMapper::with_config(&cgra, cfg)
+            .map(&dfg)
+            .unwrap_err();
+        assert_eq!(err, MapError::NoSolution { mii: 4, max_ii: 2 });
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "no II may be searched"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_escalates_instead_of_aborting() {
+        // Regression: a per-solve budget running out used to surface as
+        // MapError::Timeout from the first (II, slack) level. With a
+        // budget too small for any level, every level must now be
+        // tried and the final error is NoSolution over the full range.
+        use cgra_smt::Budget;
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let cfg = MapperConfig::new().with_max_ii(6).with_time_budget(Budget {
+            max_conflicts: Some(0),
+            max_propagations: Some(0),
+        });
+        let err = DecoupledMapper::with_config(&cgra, cfg)
+            .map(&dfg)
+            .unwrap_err();
+        assert_eq!(err, MapError::NoSolution { mii: 4, max_ii: 6 });
+    }
+
+    #[test]
+    fn generous_budget_still_maps() {
+        // The budget-exhaustion escalation must not break solvable
+        // levels: with a roomy budget the result is unchanged.
+        use cgra_smt::Budget;
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let cfg = MapperConfig::new().with_time_budget(Budget::conflicts(1_000_000));
+        let result = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        assert_eq!(result.mapping.ii(), 4);
+    }
+
+    #[test]
+    fn serial_mappings_are_byte_identical_across_runs() {
+        // The deterministic default (space_parallelism = 1): repeated
+        // runs produce byte-for-byte identical mappings.
+        let cgra = Cgra::new(5, 5).unwrap();
+        for name in ["susan", "gsm", "bitcount"] {
+            let dfg = suite::generate(name);
+            let a = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+            let b = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+            let ja = serde_json::to_string(&a.mapping).unwrap();
+            let jb = serde_json::to_string(&b.mapping).unwrap();
+            assert_eq!(ja, jb, "{name}: serial path must be deterministic");
+        }
+    }
+
+    #[test]
+    fn portfolio_maps_suite_at_serial_ii() {
+        let cgra = Cgra::new(5, 5).unwrap();
+        for name in ["susan", "gsm", "bitcount"] {
+            let dfg = suite::generate(name);
+            let serial = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+            let cfg = MapperConfig::new().with_space_parallelism(4);
+            let portfolio = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+            portfolio.mapping.validate(&dfg, &cgra).unwrap();
+            assert_eq!(
+                serial.mapping.ii(),
+                portfolio.mapping.ii(),
+                "{name}: portfolio must achieve the serial II"
+            );
+        }
+    }
+
+    #[test]
+    fn portfolio_running_example_reaches_paper_ii() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let cfg = MapperConfig::new().with_space_parallelism(2);
+        let result = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        assert_eq!(result.mapping.ii(), 4);
+        result.mapping.validate(&dfg, &cgra).unwrap();
+        assert!(result.stats.space_attempts >= 1);
+        assert!(result.stats.mono_steps >= 1);
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Construction of the monomorphism problem from a time solution
 //! (paper §IV-C): the scheduled DFG becomes the pattern, the MRRG the
-//! target.
+//! target — plus the [`SpaceEngine`] that amortises target construction
+//! across attempts.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use cgra_arch::{Cgra, Mrrg};
+use cgra_base::CancelFlag;
 use cgra_dfg::Dfg;
 use cgra_iso::{BitSet, MonoOutcome, Pattern, SearchConfig, Searcher, Target};
 use cgra_sched::TimeSolution;
@@ -62,26 +67,117 @@ pub enum SpaceOutcome {
     Exhausted,
     /// The step budget ran out.
     LimitReached,
+    /// The cancellation flag interrupted the search.
+    Cancelled,
+}
+
+impl From<MonoOutcome> for SpaceOutcome {
+    fn from(o: MonoOutcome) -> Self {
+        match o {
+            MonoOutcome::Found(map) => SpaceOutcome::Found(map),
+            MonoOutcome::Exhausted => SpaceOutcome::Exhausted,
+            MonoOutcome::LimitReached => SpaceOutcome::LimitReached,
+            MonoOutcome::Cancelled => SpaceOutcome::Cancelled,
+        }
+    }
+}
+
+/// The reusable space-phase engine.
+///
+/// The paper's headline claim is that decoupling makes the space phase
+/// cheap; rebuilding the MRRG [`Target`] for every attempt worked
+/// against that — at II `k` on an `n`-PE CGRA each rebuild allocates
+/// `n·k` bit rows of `n·k` bits. The engine caches the target per II
+/// (the target depends only on the CGRA and the II, never on the time
+/// solution or slack level), so all slack levels and all enumerated
+/// time solutions at one II share a single construction.
+///
+/// Targets are handed out as [`Arc`]s: the portfolio mapper shares one
+/// target across its worker threads without copying.
+pub struct SpaceEngine<'a> {
+    cgra: &'a Cgra,
+    targets: HashMap<usize, Arc<Target>>,
+    /// Targets constructed (cache misses) — observable amortisation.
+    builds: usize,
+}
+
+impl<'a> SpaceEngine<'a> {
+    /// An engine for `cgra` with an empty target cache.
+    pub fn new(cgra: &'a Cgra) -> Self {
+        SpaceEngine {
+            cgra,
+            targets: HashMap::new(),
+            builds: 0,
+        }
+    }
+
+    /// The CGRA this engine builds targets for.
+    pub fn cgra(&self) -> &Cgra {
+        self.cgra
+    }
+
+    /// Number of targets constructed so far (cache misses).
+    pub fn target_builds(&self) -> usize {
+        self.builds
+    }
+
+    /// The monomorphism target for iteration interval `ii`, built on
+    /// first use and cached for every later attempt at the same II.
+    pub fn target(&mut self, ii: usize) -> Arc<Target> {
+        if let Some(t) = self.targets.get(&ii) {
+            return Arc::clone(t);
+        }
+        self.builds += 1;
+        let t = Arc::new(build_target(self.cgra, ii));
+        self.targets.insert(ii, Arc::clone(&t));
+        t
+    }
+
+    /// Drops cached targets for IIs other than `ii` (the mapper calls
+    /// this when it escalates the II: earlier targets are never needed
+    /// again, and large-CGRA rows are not free to keep).
+    pub fn retain_ii(&mut self, ii: usize) {
+        self.targets.retain(|&k, _| k == ii);
+    }
+
+    /// Runs the monomorphism search for one time solution against the
+    /// cached target, with a step budget and an optional cancellation
+    /// flag polled inside the DFS.
+    ///
+    /// Returns the outcome along with the number of search steps taken.
+    pub fn search(
+        &mut self,
+        dfg: &Dfg,
+        solution: &TimeSolution,
+        step_limit: u64,
+        cancel: Option<&CancelFlag>,
+    ) -> (SpaceOutcome, u64) {
+        let target = self.target(solution.ii());
+        let pattern = build_pattern(dfg, solution);
+        let mut config = SearchConfig::steps(step_limit);
+        if let Some(flag) = cancel {
+            config = config.with_cancel_flag(flag.clone());
+        }
+        let mut searcher = Searcher::with_config(&pattern, &target, config);
+        let outcome = SpaceOutcome::from(searcher.run());
+        (outcome, searcher.stats().steps)
+    }
 }
 
 /// Runs the monomorphism search for one time solution.
 ///
 /// Returns the found map along with the number of search steps taken.
+/// One-shot convenience over [`SpaceEngine`] (the target is built and
+/// dropped); callers with several attempts at one II should hold a
+/// [`SpaceEngine`] instead.
 pub fn space_search(
     dfg: &Dfg,
     cgra: &Cgra,
     solution: &TimeSolution,
     step_limit: u64,
+    cancel: Option<&CancelFlag>,
 ) -> (SpaceOutcome, u64) {
-    let pattern = build_pattern(dfg, solution);
-    let target = build_target(cgra, solution.ii());
-    let mut searcher = Searcher::with_config(&pattern, &target, SearchConfig::steps(step_limit));
-    let outcome = match searcher.run() {
-        MonoOutcome::Found(map) => SpaceOutcome::Found(map),
-        MonoOutcome::Exhausted => SpaceOutcome::Exhausted,
-        MonoOutcome::LimitReached => SpaceOutcome::LimitReached,
-    };
-    (outcome, searcher.stats().steps)
+    SpaceEngine::new(cgra).search(dfg, solution, step_limit, cancel)
 }
 
 /// Verifies that target construction agrees with the [`Mrrg`] adjacency
@@ -148,9 +244,64 @@ mod tests {
         let cgra = Cgra::new(2, 2).unwrap();
         let cfg = TimeSolverConfig::for_cgra(&cgra);
         let sol = TimeSolver::new(&dfg, 4, cfg).unwrap().solve().unwrap();
-        let (outcome, steps) = space_search(&dfg, &cgra, &sol, 1_000_000);
+        let (outcome, steps) = space_search(&dfg, &cgra, &sol, 1_000_000, None);
         assert!(matches!(outcome, SpaceOutcome::Found(_)), "{outcome:?}");
         assert!(steps > 0);
+    }
+
+    #[test]
+    fn engine_caches_target_per_ii() {
+        let cgra = Cgra::new(4, 4).unwrap();
+        let mut engine = SpaceEngine::new(&cgra);
+        let a = engine.target(3);
+        let b = engine.target(3);
+        assert!(Arc::ptr_eq(&a, &b), "same II shares one target");
+        assert_eq!(engine.target_builds(), 1);
+        let c = engine.target(4);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(engine.target_builds(), 2);
+        engine.retain_ii(4);
+        let a2 = engine.target(3);
+        assert!(
+            !Arc::ptr_eq(&a, &a2),
+            "retain_ii(4) evicted the II=3 target"
+        );
+        assert_eq!(engine.target_builds(), 3);
+    }
+
+    #[test]
+    fn engine_search_matches_one_shot_search() {
+        let dfg = running_example();
+        let cgra = Cgra::new(2, 2).unwrap();
+        let cfg = TimeSolverConfig::for_cgra(&cgra);
+        let sol = TimeSolver::new(&dfg, 4, cfg).unwrap().solve().unwrap();
+        let mut engine = SpaceEngine::new(&cgra);
+        let (a, steps_a) = engine.search(&dfg, &sol, 1_000_000, None);
+        let (b, steps_b) = engine.search(&dfg, &sol, 1_000_000, None);
+        let (c, steps_c) = space_search(&dfg, &cgra, &sol, 1_000_000, None);
+        assert_eq!(a, b, "engine search is deterministic across reuse");
+        assert_eq!(a, c, "cached target gives the same result as a rebuild");
+        assert_eq!(steps_a, steps_b);
+        assert_eq!(steps_a, steps_c);
+        assert_eq!(
+            engine.target_builds(),
+            1,
+            "second attempt reused the target"
+        );
+    }
+
+    #[test]
+    fn engine_search_observes_cancel_flag() {
+        let dfg = running_example();
+        let cgra = Cgra::new(2, 2).unwrap();
+        let cfg = TimeSolverConfig::for_cgra(&cgra);
+        let sol = TimeSolver::new(&dfg, 4, cfg).unwrap().solve().unwrap();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let mut engine = SpaceEngine::new(&cgra);
+        let (outcome, steps) = engine.search(&dfg, &sol, 1_000_000, Some(&flag));
+        assert_eq!(outcome, SpaceOutcome::Cancelled);
+        assert_eq!(steps, 0);
     }
 
     #[test]

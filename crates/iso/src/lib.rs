@@ -47,6 +47,7 @@ mod graph;
 mod search;
 
 pub use bitset::BitSet;
+pub use cgra_base::CancelFlag;
 pub use graph::{Pattern, Target};
 pub use search::{
     count_monomorphisms, find_monomorphism, is_monomorphism, MonoOutcome, MonoStats, SearchConfig,

@@ -1,6 +1,18 @@
 //! The backtracking monomorphism search.
 
+use std::time::Instant;
+
+use cgra_base::CancelFlag;
+
 use crate::{BitSet, Pattern, Target};
+
+/// How many search steps pass between deadline/cancellation polls.
+///
+/// An atomic load is cheap but `Instant::now` is not; polling every
+/// `2^10` extension attempts keeps the overhead unmeasurable while
+/// bounding the reaction latency to well under a millisecond of search
+/// work.
+const POLL_MASK: u64 = (1 << 10) - 1;
 
 /// Limits applied to one search run.
 #[derive(Clone, Debug, Default)]
@@ -9,6 +21,12 @@ pub struct SearchConfig {
     /// before giving up with [`MonoOutcome::LimitReached`]. `None` means
     /// unlimited.
     pub max_steps: Option<u64>,
+    /// Cooperative cancellation flag, polled inside the DFS loop; a
+    /// raised flag stops the search with [`MonoOutcome::Cancelled`].
+    pub cancel: Option<CancelFlag>,
+    /// Wall-clock deadline, polled inside the DFS loop; past it the
+    /// search stops with [`MonoOutcome::Cancelled`].
+    pub deadline: Option<Instant>,
 }
 
 impl SearchConfig {
@@ -19,7 +37,28 @@ impl SearchConfig {
 
     /// A search budget of `n` extension attempts.
     pub fn steps(n: u64) -> Self {
-        SearchConfig { max_steps: Some(n) }
+        SearchConfig {
+            max_steps: Some(n),
+            ..SearchConfig::default()
+        }
+    }
+
+    /// Returns the configuration with a cooperative cancellation flag.
+    pub fn with_cancel_flag(mut self, cancel: CancelFlag) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Returns the configuration with a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// True when the flag is raised or the deadline has passed.
+    fn interrupted(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -33,6 +72,9 @@ pub enum MonoOutcome {
     Exhausted,
     /// The step budget ran out first.
     LimitReached,
+    /// The cancellation flag was raised (or the deadline passed) before
+    /// the search concluded.
+    Cancelled,
 }
 
 impl MonoOutcome {
@@ -57,6 +99,11 @@ pub struct MonoStats {
 }
 
 /// A reusable monomorphism searcher over a pattern/target pair.
+///
+/// All working storage (the per-depth candidate domains, the partial
+/// map, the used-vertex set) is allocated once at construction and
+/// reused across [`Searcher::run`] calls: the DFS loop itself performs
+/// no heap allocation.
 pub struct Searcher<'a> {
     pattern: &'a Pattern,
     target: &'a Target,
@@ -66,7 +113,25 @@ pub struct Searcher<'a> {
     /// Base candidate sets (label + degree compatible) per pattern
     /// vertex.
     base: Vec<BitSet>,
+    /// Per-depth candidate domains of the DFS (reused across runs).
+    domains: Vec<BitSet>,
+    /// Per-depth scan cursors into `domains`.
+    cursors: Vec<usize>,
+    /// Partial map under construction (`usize::MAX` = unmapped).
+    map: Vec<usize>,
+    /// Target vertices used by the partial map.
+    used: BitSet,
     stats: MonoStats,
+}
+
+/// Why the enumeration loop stopped.
+enum EnumStop {
+    /// Space exhausted, or the solution callback asked to stop.
+    Exhausted,
+    /// The step budget ran out.
+    LimitReached,
+    /// The cancellation flag/deadline fired.
+    Cancelled,
 }
 
 impl<'a> Searcher<'a> {
@@ -118,8 +183,19 @@ impl<'a> Searcher<'a> {
             config,
             order,
             base,
+            domains: (0..np).map(|_| BitSet::new(nt)).collect(),
+            cursors: vec![0; np],
+            map: vec![usize::MAX; np],
+            used: BitSet::new(nt),
             stats: MonoStats::default(),
         }
+    }
+
+    /// Replaces the search limits (the prepared ordering and candidate
+    /// sets are kept, so one searcher can serve several attempts with
+    /// different budgets).
+    pub fn set_config(&mut self, config: SearchConfig) {
+        self.config = config;
     }
 
     /// Counters from the most recent run.
@@ -136,8 +212,9 @@ impl<'a> Searcher<'a> {
         });
         match (found, outcome) {
             (Some(m), _) => MonoOutcome::Found(m),
-            (None, false) => MonoOutcome::LimitReached,
-            (None, true) => MonoOutcome::Exhausted,
+            (None, EnumStop::LimitReached) => MonoOutcome::LimitReached,
+            (None, EnumStop::Exhausted) => MonoOutcome::Exhausted,
+            (None, EnumStop::Cancelled) => MonoOutcome::Cancelled,
         }
     }
 
@@ -152,97 +229,122 @@ impl<'a> Searcher<'a> {
     }
 
     /// Core enumeration. Calls `on_solution` for each monomorphism; the
-    /// callback returns `true` to stop. Returns `true` if the space was
-    /// exhausted (or the callback stopped the search), `false` when the
-    /// step budget ran out.
-    fn enumerate(&mut self, on_solution: &mut dyn FnMut(&[usize]) -> bool) -> bool {
+    /// callback returns `true` to stop.
+    ///
+    /// Iterative depth-first search over a preallocated stack of bit-set
+    /// candidate domains with per-depth cursors: no allocation happens
+    /// inside the loop, and the cancellation flag / deadline is polled
+    /// every [`POLL_MASK`]`+1` steps.
+    fn enumerate(&mut self, on_solution: &mut dyn FnMut(&[usize]) -> bool) -> EnumStop {
         self.stats = MonoStats::default();
-        let np = self.pattern.num_vertices();
-        let nt = self.target.num_vertices();
+        let pattern = self.pattern;
+        let target = self.target;
+        let np = pattern.num_vertices();
+        let nt = target.num_vertices();
         if np == 0 {
             self.stats.solutions = 1;
             on_solution(&[]);
-            return true;
+            return EnumStop::Exhausted;
         }
         if np > nt {
-            return true; // injectivity is impossible; trivially exhausted
+            return EnumStop::Exhausted; // injectivity is impossible
         }
-        let mut map = vec![usize::MAX; np];
-        let mut used = BitSet::new(nt);
-        let order = self.order.clone();
-        let mut scratch = BitSet::new(nt);
+        if self.config.interrupted() {
+            return EnumStop::Cancelled;
+        }
+        for v in &mut self.map {
+            *v = usize::MAX;
+        }
+        self.used.clear();
 
-        // Iterative depth-first search with per-depth candidate lists.
-        let mut cand_stack: Vec<Vec<usize>> = Vec::with_capacity(np);
-        let mut cursor: Vec<usize> = Vec::with_capacity(np);
-        cand_stack.push(self.candidates(order[0], &map, &used, &mut scratch));
-        cursor.push(0);
+        let mut depth = 0usize;
+        Self::fill_domain(
+            &mut self.domains[0],
+            &self.base[self.order[0]],
+            pattern,
+            target,
+            self.order[0],
+            &self.map,
+            &self.used,
+        );
+        self.cursors[0] = 0;
 
         loop {
-            let depth = cand_stack.len() - 1;
-            let u = order[depth];
-            let ci = cursor[depth];
-            if ci >= cand_stack[depth].len() {
-                // Exhausted this depth: backtrack.
-                cand_stack.pop();
-                cursor.pop();
+            let u = self.order[depth];
+            let Some(t) = self.domains[depth].next_member(self.cursors[depth]) else {
+                // Domain exhausted at this depth: backtrack.
                 if depth == 0 {
-                    return true;
+                    return EnumStop::Exhausted;
                 }
+                depth -= 1;
                 self.stats.backtracks += 1;
-                let prev_u = order[depth - 1];
-                used.remove(map[prev_u]);
-                map[prev_u] = usize::MAX;
+                let prev_u = self.order[depth];
+                self.used.remove(self.map[prev_u]);
+                self.map[prev_u] = usize::MAX;
                 continue;
-            }
-            let t = cand_stack[depth][ci];
-            cursor[depth] += 1;
+            };
+            self.cursors[depth] = t + 1;
             self.stats.steps += 1;
             if let Some(max) = self.config.max_steps {
                 if self.stats.steps > max {
-                    return false;
+                    return EnumStop::LimitReached;
                 }
             }
-            map[u] = t;
-            used.insert(t);
+            if self.stats.steps & POLL_MASK == 0 && self.config.interrupted() {
+                return EnumStop::Cancelled;
+            }
+            self.map[u] = t;
+            self.used.insert(t);
             if depth + 1 == np {
                 self.stats.solutions += 1;
-                if on_solution(&map) {
-                    return true;
+                if on_solution(&self.map) {
+                    return EnumStop::Exhausted;
                 }
-                used.remove(t);
-                map[u] = usize::MAX;
+                self.used.remove(t);
+                self.map[u] = usize::MAX;
                 continue;
             }
-            let next_cands = self.candidates(order[depth + 1], &map, &used, &mut scratch);
-            if next_cands.is_empty() {
+            let next_u = self.order[depth + 1];
+            Self::fill_domain(
+                &mut self.domains[depth + 1],
+                &self.base[next_u],
+                pattern,
+                target,
+                next_u,
+                &self.map,
+                &self.used,
+            );
+            if self.domains[depth + 1].is_empty() {
                 self.stats.backtracks += 1;
-                used.remove(t);
-                map[u] = usize::MAX;
+                self.used.remove(t);
+                self.map[u] = usize::MAX;
                 continue;
             }
-            cand_stack.push(next_cands);
-            cursor.push(0);
+            depth += 1;
+            self.cursors[depth] = 0;
         }
     }
 
-    /// Candidate targets for pattern vertex `u` under the partial map:
-    /// base set ∩ neighbourhoods of mapped neighbours, minus used.
-    fn candidates(
-        &self,
+    /// Computes into `dom` the candidate targets for pattern vertex `u`
+    /// under the partial map: base set ∩ neighbourhoods of mapped
+    /// neighbours, minus used vertices.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_domain(
+        dom: &mut BitSet,
+        base: &BitSet,
+        pattern: &Pattern,
+        target: &Target,
         u: usize,
         map: &[usize],
         used: &BitSet,
-        scratch: &mut BitSet,
-    ) -> Vec<usize> {
-        scratch.copy_from(&self.base[u]);
-        scratch.subtract(used);
-        for &w in self.pattern.neighbors(u) {
+    ) {
+        dom.copy_from(base);
+        dom.subtract(used);
+        for &w in pattern.neighbors(u) {
             if map[w] != usize::MAX {
-                scratch.intersect_with(self.target.row(map[w]));
+                dom.intersect_with(target.row(map[w]));
             }
         }
-        scratch.iter().collect()
     }
 }
 
@@ -405,6 +507,98 @@ mod tests {
         let mut s = Searcher::with_config(&p, &t, SearchConfig::steps(3));
         assert_eq!(s.run(), MonoOutcome::LimitReached);
         assert!(s.stats().steps >= 3);
+    }
+
+    /// A 10-clique that does not embed into a width-8 band graph (whose
+    /// largest cliques have 9 vertices): proving exhaustion takes ~10^8
+    /// steps — several seconds even in release — so a mid-search cancel
+    /// is observable long before the search would finish on its own.
+    fn hard_instance() -> (Pattern, Target) {
+        let k = 10;
+        let (n, w) = (120, 8);
+        let mut edges = Vec::new();
+        for a in 0..k {
+            for b in (a + 1)..k {
+                edges.push((a, b));
+            }
+        }
+        let p = Pattern::new(vec![0; k], edges);
+        let mut t = Target::new(vec![0; n]);
+        for i in 0..n {
+            for d in 1..=w {
+                if i + d < n {
+                    t.add_edge(i, i + d);
+                }
+            }
+        }
+        (p, t)
+    }
+
+    #[test]
+    fn cancel_pre_raised_flag_stops_immediately() {
+        let (p, t) = hard_instance();
+        let flag = cgra_base::CancelFlag::new();
+        flag.cancel();
+        let mut s = Searcher::with_config(&p, &t, SearchConfig::unlimited().with_cancel_flag(flag));
+        assert_eq!(s.run(), MonoOutcome::Cancelled);
+        assert_eq!(s.stats().steps, 0, "pre-raised flag is seen before work");
+    }
+
+    #[test]
+    fn cancel_mid_search_returns_within_bounded_delay() {
+        // Raise the flag from a watchdog thread 50 ms in; the DFS polls
+        // the flag every 1024 steps, so it must return promptly — far
+        // inside the generous 10 s bound (an uncancelled run of this
+        // instance explores millions of states).
+        let (p, t) = hard_instance();
+        let flag = cgra_base::CancelFlag::new();
+        let watchdog = flag.clone();
+        let started = std::time::Instant::now();
+        let outcome = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                watchdog.cancel();
+            });
+            let mut s =
+                Searcher::with_config(&p, &t, SearchConfig::unlimited().with_cancel_flag(flag));
+            s.run()
+        });
+        assert_eq!(outcome, MonoOutcome::Cancelled);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "cancelled search must return promptly, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn deadline_in_the_past_cancels() {
+        let (p, t) = hard_instance();
+        let past = std::time::Instant::now();
+        let mut s = Searcher::with_config(&p, &t, SearchConfig::unlimited().with_deadline(past));
+        assert_eq!(s.run(), MonoOutcome::Cancelled);
+    }
+
+    #[test]
+    fn searcher_is_reusable_across_runs() {
+        // Repeated runs on one searcher reuse the preallocated domain
+        // stack and give identical results.
+        let p = Pattern::new(vec![0, 1, 0], vec![(0, 1), (1, 2)]);
+        let mut t = Target::new(vec![0, 1, 0, 1, 0]);
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            t.add_edge(a, b);
+        }
+        let mut s = Searcher::new(&p, &t);
+        let first = s.run();
+        let second = s.run();
+        assert_eq!(first, second);
+        assert!(matches!(first, MonoOutcome::Found(_)));
+        // Changing the config between runs takes effect.
+        s.set_config(SearchConfig::steps(1));
+        assert!(matches!(
+            s.run(),
+            MonoOutcome::Found(_) | MonoOutcome::LimitReached
+        ));
     }
 
     #[test]

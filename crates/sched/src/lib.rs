@@ -45,6 +45,6 @@ pub use kms::{Kms, KmsEntry};
 pub use mii::{min_ii, rec_ii, res_ii};
 pub use mobility::Mobility;
 pub use time_solver::{
-    SolveOutcome, TimeSolution, TimeSolutionError, TimeSolver, TimeSolverConfig, TimeSolverError,
-    TimeSolverStats,
+    EnumerationEnd, SolveOutcome, TimeSolution, TimeSolutionError, TimeSolver, TimeSolverConfig,
+    TimeSolverError, TimeSolverStats,
 };

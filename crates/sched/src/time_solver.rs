@@ -520,6 +520,47 @@ impl<'a> TimeSolver<'a> {
         self.have_model = false;
         self.solve_outcome()
     }
+
+    /// Pulls up to `max` distinct schedules in one call, blocking each
+    /// before searching for the next — the handoff the mapper's
+    /// portfolio mode uses to race several space searches at once.
+    ///
+    /// Returns the schedules found (possibly empty) together with why
+    /// enumeration stopped.
+    pub fn enumerate_solutions(&mut self, max: usize) -> (Vec<TimeSolution>, EnumerationEnd) {
+        let mut out = Vec::new();
+        if max == 0 {
+            return (out, EnumerationEnd::CapReached);
+        }
+        loop {
+            let outcome = if out.is_empty() && !self.have_model {
+                self.solve_outcome()
+            } else {
+                self.next_outcome()
+            };
+            match outcome {
+                SolveOutcome::Solution(sol) => {
+                    out.push(sol);
+                    if out.len() >= max {
+                        return (out, EnumerationEnd::CapReached);
+                    }
+                }
+                SolveOutcome::Unsat => return (out, EnumerationEnd::Unsat),
+                SolveOutcome::Timeout => return (out, EnumerationEnd::Timeout),
+            }
+        }
+    }
+}
+
+/// Why [`TimeSolver::enumerate_solutions`] stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnumerationEnd {
+    /// The requested number of schedules was produced.
+    CapReached,
+    /// The formula admits no further schedule.
+    Unsat,
+    /// The budget or cancellation flag interrupted the search.
+    Timeout,
 }
 
 #[cfg(test)]
@@ -686,6 +727,52 @@ mod tests {
         assert_eq!(outcome, SolveOutcome::Unsat);
         assert!(count > 1, "accumulator has multiple schedules with slack");
         assert_eq!(solver.stats().solutions, count);
+    }
+
+    #[test]
+    fn enumerate_solutions_caps_and_exhausts() {
+        let dfg = accumulator();
+        let cfg = cfg2x2().with_window_slack(1);
+        // Capped: exactly three distinct schedules.
+        let mut solver = TimeSolver::new(&dfg, 2, cfg.clone()).unwrap();
+        let (sols, end) = solver.enumerate_solutions(3);
+        assert_eq!(sols.len(), 3);
+        assert_eq!(end, EnumerationEnd::CapReached);
+        let distinct: std::collections::HashSet<Vec<usize>> = sols
+            .iter()
+            .map(|s| dfg.nodes().map(|v| s.time(v)).collect())
+            .collect();
+        assert_eq!(distinct.len(), 3);
+        for s in &sols {
+            s.validate(&dfg, &cfg).unwrap();
+        }
+        // Uncapped: the same count the one-at-a-time loop produces.
+        let mut a = TimeSolver::new(&dfg, 2, cfg.clone()).unwrap();
+        let (all, end) = a.enumerate_solutions(usize::MAX);
+        assert_eq!(end, EnumerationEnd::Unsat);
+        let mut b = TimeSolver::new(&dfg, 2, cfg).unwrap();
+        let mut count = 0;
+        let mut outcome = b.solve_outcome();
+        while let SolveOutcome::Solution(_) = outcome {
+            count += 1;
+            outcome = b.next_outcome();
+        }
+        assert_eq!(all.len(), count);
+        // Zero cap is a no-op.
+        let mut c = TimeSolver::new(&dfg, 2, cfg2x2()).unwrap();
+        let (none, end) = c.enumerate_solutions(0);
+        assert!(none.is_empty());
+        assert_eq!(end, EnumerationEnd::CapReached);
+    }
+
+    #[test]
+    fn enumerate_solutions_reports_timeout_on_cancel() {
+        let dfg = running_example();
+        let mut solver = TimeSolver::new(&dfg, 4, cfg2x2()).unwrap();
+        solver.set_cancel_flag(Arc::new(AtomicBool::new(true)));
+        let (sols, end) = solver.enumerate_solutions(4);
+        assert!(sols.is_empty());
+        assert_eq!(end, EnumerationEnd::Timeout);
     }
 
     #[test]
