@@ -5,7 +5,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{PeId, PeSet, Topology};
+use crate::{CapabilityProfile, OpClass, OpClassSet, PeId, PeSet, Topology};
 
 /// An error constructing a [`Cgra`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,6 +16,19 @@ pub enum ArchError {
     TooLarge {
         /// Requested number of PEs.
         requested: usize,
+    },
+    /// A capability map covers a different number of PEs than the grid.
+    CapabilityMapSize {
+        /// PEs in the supplied map.
+        got: usize,
+        /// PEs in the grid.
+        expected: usize,
+    },
+    /// A PE was given an empty capability set (it could execute
+    /// nothing, which no mapper or simulator semantics cover).
+    EmptyCapabilitySet {
+        /// Row-major index of the offending PE.
+        pe: usize,
     },
 }
 
@@ -28,6 +41,12 @@ impl fmt::Display for ArchError {
                     f,
                     "CGRA grid of {requested} PEs exceeds the supported 65536"
                 )
+            }
+            ArchError::CapabilityMapSize { got, expected } => {
+                write!(f, "capability map covers {got} PEs, grid has {expected}")
+            }
+            ArchError::EmptyCapabilitySet { pe } => {
+                write!(f, "PE{pe} has an empty capability set")
             }
         }
     }
@@ -59,19 +78,65 @@ pub struct Cgra {
     cols: usize,
     topology: Topology,
     register_file_size: usize,
+    capabilities: Vec<OpClassSet>,
     neighbors: Vec<Vec<PeId>>,
     masks: Vec<PeSet>,
     masks_with_self: Vec<PeSet>,
 }
 
 /// Serialisable description of a [`Cgra`]; adjacency caches are rebuilt
-/// on deserialisation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// on deserialisation. The `capabilities` field is omitted entirely for
+/// homogeneous grids and defaults to homogeneous when absent, so
+/// architectures serialised before heterogeneity existed round-trip
+/// unchanged. (The serde impls are hand-written because the vendored
+/// derive stub has no `#[serde(default)]` support.)
+#[derive(Clone, Debug)]
 struct CgraSpec {
     rows: usize,
     cols: usize,
     topology: Topology,
     register_file_size: usize,
+    capabilities: Option<Vec<OpClassSet>>,
+}
+
+impl Serialize for CgraSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("rows".to_string(), self.rows.to_value()),
+            ("cols".to_string(), self.cols.to_value()),
+            ("topology".to_string(), self.topology.to_value()),
+            (
+                "register_file_size".to_string(),
+                self.register_file_size.to_value(),
+            ),
+        ];
+        if let Some(caps) = &self.capabilities {
+            entries.push(("capabilities".to_string(), caps.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for CgraSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::de::Error::expected("map", v))?;
+        Ok(CgraSpec {
+            rows: serde::de::field(entries, "rows")?,
+            cols: serde::de::field(entries, "cols")?,
+            topology: serde::de::field(entries, "topology")?,
+            register_file_size: serde::de::field(entries, "register_file_size")?,
+            // Absent and explicit-null both mean homogeneous (the
+            // Option impl maps Null to None).
+            capabilities: v
+                .get("capabilities")
+                .map(Option::<Vec<OpClassSet>>::from_value)
+                .transpose()
+                .map_err(|e| serde::de::Error::custom(format!("field `capabilities`: {e}")))?
+                .flatten(),
+        })
+    }
 }
 
 impl From<Cgra> for CgraSpec {
@@ -81,6 +146,11 @@ impl From<Cgra> for CgraSpec {
             cols: c.cols,
             topology: c.topology,
             register_file_size: c.register_file_size,
+            capabilities: if c.is_homogeneous() {
+                None
+            } else {
+                Some(c.capabilities)
+            },
         }
     }
 }
@@ -89,8 +159,12 @@ impl TryFrom<CgraSpec> for Cgra {
     type Error = ArchError;
 
     fn try_from(s: CgraSpec) -> Result<Cgra, ArchError> {
-        Ok(Cgra::with_topology(s.rows, s.cols, s.topology)?
-            .with_register_file_size(s.register_file_size))
+        let cgra = Cgra::with_topology(s.rows, s.cols, s.topology)?
+            .with_register_file_size(s.register_file_size);
+        match s.capabilities {
+            Some(caps) => cgra.with_pe_capabilities(caps),
+            None => Ok(cgra),
+        }
     }
 }
 
@@ -125,6 +199,7 @@ impl Cgra {
             cols,
             topology,
             register_file_size: 8,
+            capabilities: vec![OpClassSet::all(); n],
             neighbors: Vec::with_capacity(n),
             masks: Vec::with_capacity(n),
             masks_with_self: Vec::with_capacity(n),
@@ -138,6 +213,52 @@ impl Cgra {
     pub fn with_register_file_size(mut self, size: usize) -> Self {
         self.register_file_size = size;
         self
+    }
+
+    /// Sets an explicit per-PE capability map (row-major, one
+    /// [`OpClassSet`] per PE), making the grid heterogeneous.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::CapabilityMapSize`] when the map does not cover
+    /// exactly the grid's PEs, and [`ArchError::EmptyCapabilitySet`]
+    /// when any PE would be left unable to execute anything.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cgra_arch::{Cgra, OpClass, OpClassSet};
+    ///
+    /// // A 1×2 grid: PE0 does everything, PE1 is ALU-only.
+    /// let caps = vec![OpClassSet::all(), OpClassSet::only(OpClass::Alu)];
+    /// let cgra = Cgra::new(1, 2)?.with_pe_capabilities(caps)?;
+    /// assert!(!cgra.is_homogeneous());
+    /// assert!(!cgra.capability(cgra.pe(0, 1)).contains(OpClass::Mul));
+    /// # Ok::<(), cgra_arch::ArchError>(())
+    /// ```
+    pub fn with_pe_capabilities(
+        mut self,
+        capabilities: Vec<OpClassSet>,
+    ) -> Result<Self, ArchError> {
+        if capabilities.len() != self.num_pes() {
+            return Err(ArchError::CapabilityMapSize {
+                got: capabilities.len(),
+                expected: self.num_pes(),
+            });
+        }
+        if let Some(pe) = capabilities.iter().position(|c| c.is_empty()) {
+            return Err(ArchError::EmptyCapabilitySet { pe });
+        }
+        self.capabilities = capabilities;
+        Ok(self)
+    }
+
+    /// Applies a preset [`CapabilityProfile`] (infallible: presets
+    /// always cover the grid and keep every PE's ALU).
+    pub fn with_capability_profile(self, profile: CapabilityProfile) -> Self {
+        let caps = profile.capabilities(self.rows, self.cols);
+        self.with_pe_capabilities(caps)
+            .expect("presets cover the grid with non-empty sets")
     }
 
     fn rebuild_adjacency(&mut self) {
@@ -199,6 +320,36 @@ impl Cgra {
     /// Per-PE register-file size.
     pub fn register_file_size(&self) -> usize {
         self.register_file_size
+    }
+
+    /// The capability set of one PE.
+    pub fn capability(&self, pe: PeId) -> OpClassSet {
+        self.capabilities[pe.index()]
+    }
+
+    /// The full per-PE capability map, row-major.
+    pub fn capabilities(&self) -> &[OpClassSet] {
+        &self.capabilities
+    }
+
+    /// True when every PE provides every operation class — the default,
+    /// and the fast path the mapper keeps byte-identical.
+    pub fn is_homogeneous(&self) -> bool {
+        self.capabilities.iter().all(|c| c.is_all())
+    }
+
+    /// Number of PEs providing `class` (the per-class capacity that
+    /// bounds the resource mII of operations needing that class).
+    pub fn providers(&self, class: OpClass) -> usize {
+        self.capabilities
+            .iter()
+            .filter(|c| c.contains(class))
+            .count()
+    }
+
+    /// Whether a specific PE can execute operations of `class`.
+    pub fn supports(&self, pe: PeId, class: OpClass) -> bool {
+        self.capabilities[pe.index()].contains(class)
     }
 
     /// Total number of PEs (`|V_Mi|` in the paper).
@@ -298,7 +449,10 @@ impl fmt::Display for Cgra {
 
 impl PartialEq for Cgra {
     fn eq(&self, other: &Self) -> bool {
-        self.rows == other.rows && self.cols == other.cols && self.topology == other.topology
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.topology == other.topology
+            && self.capabilities == other.capabilities
     }
 }
 
@@ -421,5 +575,96 @@ mod tests {
         let a = Cgra::new(4, 4).unwrap();
         let b = Cgra::new(4, 4).unwrap().with_register_file_size(16);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_grid_is_homogeneous() {
+        let cgra = Cgra::new(3, 3).unwrap();
+        assert!(cgra.is_homogeneous());
+        for pe in cgra.pes() {
+            assert!(cgra.capability(pe).is_all());
+            for class in OpClass::ALL {
+                assert!(cgra.supports(pe, class));
+            }
+        }
+        assert_eq!(cgra.providers(OpClass::Mem), 9);
+    }
+
+    #[test]
+    fn capability_map_size_mismatch_rejected() {
+        let err = Cgra::new(2, 2)
+            .unwrap()
+            .with_pe_capabilities(vec![OpClassSet::all(); 3])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ArchError::CapabilityMapSize {
+                got: 3,
+                expected: 4
+            }
+        );
+    }
+
+    #[test]
+    fn empty_capability_set_rejected() {
+        let mut caps = vec![OpClassSet::all(); 4];
+        caps[2] = OpClassSet::empty();
+        let err = Cgra::new(2, 2)
+            .unwrap()
+            .with_pe_capabilities(caps)
+            .unwrap_err();
+        assert_eq!(err, ArchError::EmptyCapabilitySet { pe: 2 });
+    }
+
+    #[test]
+    fn profile_builder_and_providers() {
+        let cgra = Cgra::new(4, 4)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftMulCheckerboard);
+        assert!(!cgra.is_homogeneous());
+        assert_eq!(cgra.providers(OpClass::Alu), 16);
+        assert_eq!(cgra.providers(OpClass::Mem), 4);
+        assert_eq!(cgra.providers(OpClass::Mul), 8);
+        assert!(cgra.supports(cgra.pe(1, 0), OpClass::Mem));
+        assert!(!cgra.supports(cgra.pe(1, 1), OpClass::Mem));
+    }
+
+    #[test]
+    fn equality_sees_capabilities() {
+        let a = Cgra::new(4, 4).unwrap();
+        let b = Cgra::new(4, 4)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftColumn);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_capabilities() {
+        let het = Cgra::new(3, 3)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MulCheckerboard);
+        let json = serde_json::to_string(&het).unwrap();
+        let back: Cgra = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, het);
+        assert_eq!(back.capabilities(), het.capabilities());
+
+        // Homogeneous grids serialise without a capability field, so
+        // their JSON is exactly the pre-heterogeneity format.
+        let homo = Cgra::new(2, 2).unwrap();
+        let json = serde_json::to_string(&homo).unwrap();
+        assert!(!json.contains("capabilities"), "{json}");
+        let back: Cgra = serde_json::from_str(&json).unwrap();
+        assert!(back.is_homogeneous());
+        assert_eq!(back, homo);
+    }
+
+    #[test]
+    fn pre_heterogeneity_json_still_loads() {
+        // A Cgra serialised before the capability field existed (no
+        // `capabilities` key at all) must deserialise as homogeneous.
+        let old = r#"{"rows":2,"cols":2,"topology":"Torus","register_file_size":8}"#;
+        let back: Cgra = serde_json::from_str(old).unwrap();
+        assert!(back.is_homogeneous());
+        assert_eq!(back, Cgra::new(2, 2).unwrap());
     }
 }

@@ -6,6 +6,32 @@
 //! Modulo Routing Resource Graph (MRRG): `II` stacked copies of the CGRA
 //! whose vertices are labelled with their time step (paper §IV-A).
 //!
+//! ## Heterogeneity
+//!
+//! PEs need not be uniform: each carries an [`OpClassSet`] naming the
+//! operation classes ([`OpClass::Alu`], [`OpClass::Mul`],
+//! [`OpClass::Mem`]) its functional units provide. The default is the
+//! homogeneous full set; [`Cgra::with_pe_capabilities`] installs an
+//! arbitrary map and [`Cgra::with_capability_profile`] applies presets
+//! like [`CapabilityProfile::MemLeftColumn`] (memory ports confined to
+//! the scratchpad-side column) or
+//! [`CapabilityProfile::MulCheckerboard`]. Downstream, capabilities
+//! flow into the per-class resource mII (`cgra-sched`), the time
+//! solver's per-class slot capacities, the monomorphism search's
+//! compatibility-filtered candidate domains (`cgra-iso`), both
+//! baselines, and the simulator's per-op capability policing
+//! (`cgra-sim`).
+//!
+//! ```
+//! use cgra_arch::{CapabilityProfile, Cgra, OpClass};
+//!
+//! let cgra = Cgra::new(4, 4)?
+//!     .with_capability_profile(CapabilityProfile::MemLeftMulCheckerboard);
+//! assert_eq!(cgra.providers(OpClass::Mem), 4); // left column only
+//! assert_eq!(cgra.providers(OpClass::Mul), 8); // checkerboard
+//! # Ok::<(), cgra_arch::ArchError>(())
+//! ```
+//!
 //! ## Topology
 //!
 //! The paper states that every MRRG vertex has the same connectivity
@@ -31,12 +57,14 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod capability;
 mod cgra;
 mod mrrg;
 mod pe;
 mod topology;
 
 pub use bitset::PeSet;
+pub use capability::{CapabilityProfile, OpClass, OpClassSet};
 pub use cgra::{ArchError, Cgra};
 pub use mrrg::{Mrrg, MrrgVertex};
 pub use pe::PeId;

@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use cgra_arch::{Cgra, PeId};
 use cgra_base::CancelFlag;
 use cgra_dfg::{Dfg, EdgeKind};
-use cgra_sched::{min_ii, Kms, Mobility};
+use cgra_sched::{min_ii, unsupported_op_class, Kms, Mobility};
 use monomap_core::{MapError, Mapping, Placement};
 
 use crate::{BaselineResult, BaselineStats};
@@ -104,6 +104,9 @@ impl<'a> AnnealingMapper<'a> {
     /// [`MapError::Timeout`].
     pub fn map(&self, dfg: &Dfg) -> Result<BaselineResult, MapError> {
         dfg.validate()?;
+        if let Some(class) = unsupported_op_class(dfg, self.cgra) {
+            return Err(MapError::UnsupportedOpClass { class });
+        }
         let start = Instant::now();
         let mii = min_ii(dfg, self.cgra);
         let max_ii = self.config.max_ii.unwrap_or(mii + 16).max(mii);
@@ -113,6 +116,7 @@ impl<'a> AnnealingMapper<'a> {
             ..BaselineStats::default()
         };
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let classes: Vec<cgra_arch::OpClass> = dfg.nodes().map(|v| dfg.op(v).op_class()).collect();
 
         for ii in mii..=max_ii {
             stats.iis_tried += 1;
@@ -122,7 +126,7 @@ impl<'a> AnnealingMapper<'a> {
                 if self.cancelled() {
                     return Err(MapError::Timeout { ii });
                 }
-                if let Some(mapping) = self.anneal_once(dfg, ii, &times, &mut rng) {
+                if let Some(mapping) = self.anneal_once(dfg, ii, &times, &classes, &mut rng) {
                     stats.achieved_ii = ii;
                     stats.total_seconds = start.elapsed().as_secs_f64();
                     debug_assert_eq!(mapping.validate(dfg, self.cgra), Ok(()));
@@ -141,6 +145,7 @@ impl<'a> AnnealingMapper<'a> {
         dfg: &Dfg,
         ii: usize,
         times: &[Vec<usize>],
+        classes: &[cgra_arch::OpClass],
         rng: &mut StdRng,
     ) -> Option<Mapping> {
         let n = dfg.num_nodes();
@@ -149,7 +154,7 @@ impl<'a> AnnealingMapper<'a> {
         let mut state: Vec<(usize, usize)> = (0..n)
             .map(|v| (rng.gen_range(0..times[v].len()), rng.gen_range(0..npes)))
             .collect();
-        let mut cost = self.cost(dfg, ii, times, &state);
+        let mut cost = self.cost(dfg, ii, times, classes, &state);
         let mut temp = self.config.initial_temp;
         for _ in 0..self.config.temp_steps {
             // Cancellation point: one poll per temperature step bounds
@@ -168,7 +173,7 @@ impl<'a> AnnealingMapper<'a> {
                 } else {
                     state[v].1 = rng.gen_range(0..npes);
                 }
-                let new_cost = self.cost(dfg, ii, times, &state);
+                let new_cost = self.cost(dfg, ii, times, classes, &state);
                 let delta = new_cost as f64 - cost as f64;
                 if delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0)) {
                     cost = new_cost;
@@ -185,14 +190,26 @@ impl<'a> AnnealingMapper<'a> {
     }
 
     /// Penalty cost: (PE, slot) collisions + timing violations +
-    /// unreadable register files.
-    fn cost(&self, dfg: &Dfg, ii: usize, times: &[Vec<usize>], state: &[(usize, usize)]) -> usize {
+    /// unreadable register files + operations on PEs lacking their
+    /// functional-unit class (heterogeneous grids).
+    fn cost(
+        &self,
+        dfg: &Dfg,
+        ii: usize,
+        times: &[Vec<usize>],
+        classes: &[cgra_arch::OpClass],
+        state: &[(usize, usize)],
+    ) -> usize {
         let mut cost = 0usize;
-        // Collisions.
+        // Collisions, and capability violations (free on homogeneous
+        // grids: every PE supports every class).
         let mut seen = std::collections::HashMap::new();
         for (v, &(ti, p)) in state.iter().enumerate() {
             let slot = times[v][ti] % ii;
             *seen.entry((slot, p)).or_insert(0usize) += 1;
+            if !self.cgra.supports(PeId::from_index(p), classes[v]) {
+                cost += 2;
+            }
         }
         cost += seen
             .values()
@@ -341,6 +358,38 @@ mod tests {
             "cancelled anneal must return promptly, took {:?}",
             started.elapsed()
         );
+    }
+
+    #[test]
+    fn heterogeneous_grid_respects_capabilities() {
+        use cgra_arch::CapabilityProfile;
+        use cgra_dfg::examples::stream_scale;
+        let cgra = Cgra::new(3, 3)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftColumn);
+        let dfg = stream_scale();
+        let r = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
+        r.mapping.validate(&dfg, &cgra).unwrap();
+        for v in dfg.nodes() {
+            assert!(
+                cgra.supports(r.mapping.pe(v), dfg.op(v).op_class()),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_class_fails_fast() {
+        use cgra_arch::{OpClass, OpClassSet};
+        use cgra_dfg::examples::stream_scale;
+        let cgra = Cgra::new(2, 2)
+            .unwrap()
+            .with_pe_capabilities(vec![OpClassSet::only(OpClass::Alu); 4])
+            .unwrap();
+        assert!(matches!(
+            AnnealingMapper::new(&cgra).map(&stream_scale()),
+            Err(MapError::UnsupportedOpClass { .. })
+        ));
     }
 
     #[test]

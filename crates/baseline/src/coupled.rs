@@ -27,7 +27,7 @@ use cgra_base::CancelFlag;
 use cgra_arch::{Cgra, PeId};
 use cgra_dfg::{Dfg, EdgeKind};
 use cgra_sat::{SatResult, Solver};
-use cgra_sched::{min_ii, Kms, Mobility};
+use cgra_sched::{min_ii, unsupported_op_class, Kms, Mobility};
 use cgra_smt::{at_most_one, Budget, Lit};
 use monomap_core::{MapError, Mapping, Placement};
 
@@ -122,6 +122,9 @@ impl<'a> CoupledMapper<'a> {
     /// Same contract as [`monomap_core::DecoupledMapper::map`].
     pub fn map(&self, dfg: &Dfg) -> Result<BaselineResult, MapError> {
         dfg.validate()?;
+        if let Some(class) = unsupported_op_class(dfg, self.cgra) {
+            return Err(MapError::UnsupportedOpClass { class });
+        }
         let start = Instant::now();
         let mii = min_ii(dfg, self.cgra);
         let max_ii = self.config.max_ii.unwrap_or(mii + 16).max(mii);
@@ -193,6 +196,17 @@ impl<'a> CoupledMapper<'a> {
             let all: Vec<Lit> = rows.iter().flatten().copied().collect();
             solver.add_clause(all.iter().copied());
             cgra_smt::at_most_k(&mut solver, &all, 1);
+            // Heterogeneity: forbid placements on PEs lacking the
+            // node's operation class (no clauses on homogeneous grids,
+            // keeping their CNF unchanged).
+            let class = dfg.op(v).op_class();
+            for p in self.cgra.pes() {
+                if !self.cgra.supports(p, class) {
+                    for row in &rows {
+                        solver.add_clause([!row[p.index()]]);
+                    }
+                }
+            }
             x.push(rows);
             y.push(yrow);
             times.push(ts);
@@ -357,6 +371,37 @@ mod tests {
         // With a single-conflict budget the solver gives up quickly.
         let r = CoupledMapper::with_config(&cgra, cfg).map(&dfg);
         assert!(matches!(r, Err(MapError::Timeout { .. })) || r.is_ok());
+    }
+
+    #[test]
+    fn heterogeneous_grid_respects_capabilities() {
+        use cgra_arch::CapabilityProfile;
+        let cgra = Cgra::new(3, 3)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftColumn);
+        let dfg = stream_scale(); // has load + store + mul
+        let r = CoupledMapper::new(&cgra).map(&dfg).unwrap();
+        r.mapping.validate(&dfg, &cgra).unwrap();
+        for v in dfg.nodes() {
+            assert!(
+                cgra.supports(r.mapping.pe(v), dfg.op(v).op_class()),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_class_fails_fast() {
+        use cgra_arch::{OpClass, OpClassSet};
+        let cgra = Cgra::new(2, 2)
+            .unwrap()
+            .with_pe_capabilities(vec![OpClassSet::only(OpClass::Alu); 4])
+            .unwrap();
+        let dfg = stream_scale();
+        assert!(matches!(
+            CoupledMapper::new(&cgra).map(&dfg),
+            Err(MapError::UnsupportedOpClass { .. })
+        ));
     }
 
     #[test]

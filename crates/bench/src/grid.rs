@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use cgra_base::CancelFlag;
 use serde::{Deserialize, Serialize};
 
-use cgra_arch::Cgra;
+use cgra_arch::{CapabilityProfile, Cgra};
 use cgra_baseline::{AnnealingMapper, CoupledMapper};
 use cgra_dfg::Dfg;
 use cgra_sched::min_ii;
@@ -87,15 +87,30 @@ impl CellResult {
     }
 }
 
-/// Runs one cell under a wall-clock timeout.
+/// Runs one cell on a homogeneous `size × size` grid under a
+/// wall-clock timeout; see [`run_cell_with_profile`].
+pub fn run_cell(dfg: &Dfg, size: usize, kind: MapperKind, timeout: Duration) -> CellResult {
+    run_cell_with_profile(dfg, size, CapabilityProfile::Homogeneous, kind, timeout)
+}
+
+/// Runs one cell on a `size × size` grid with the given capability
+/// profile, under a wall-clock timeout.
 ///
 /// The mapper runs on a worker thread with a cooperative cancellation
 /// flag; when the timeout fires the flag is raised and the worker
 /// returns at its next cancellation point (SAT decisions, solver
 /// boundaries, monomorphism DFS steps, annealing temperature steps), so
 /// cells never wedge the harness — every mapper kind observes the flag.
-pub fn run_cell(dfg: &Dfg, size: usize, kind: MapperKind, timeout: Duration) -> CellResult {
-    let cgra = Cgra::new(size, size).expect("valid grid size");
+pub fn run_cell_with_profile(
+    dfg: &Dfg,
+    size: usize,
+    profile: CapabilityProfile,
+    kind: MapperKind,
+    timeout: Duration,
+) -> CellResult {
+    let cgra = Cgra::new(size, size)
+        .expect("valid grid size")
+        .with_capability_profile(profile);
     let mii = min_ii(dfg, &cgra);
     let flag = CancelFlag::new();
     let started = Instant::now();
@@ -215,6 +230,21 @@ mod tests {
             r.outcome
         );
         assert!(r.total_seconds < 30.0, "watchdog released the harness");
+    }
+
+    #[test]
+    fn heterogeneous_cell_maps_susan() {
+        let dfg = suite::generate("susan");
+        let r = run_cell_with_profile(
+            &dfg,
+            5,
+            CapabilityProfile::MemLeftMulCheckerboard,
+            MapperKind::Monomorphism,
+            Duration::from_secs(120),
+        );
+        assert!(matches!(r.outcome, CellOutcome::Mapped { .. }), "{r:?}");
+        // The restricted grid can only raise the II, never lower it.
+        assert!(r.ii().unwrap() >= r.mii);
     }
 
     #[test]

@@ -21,4 +21,4 @@
 pub mod grid;
 pub mod report;
 
-pub use grid::{run_cell, CellOutcome, CellResult, MapperKind};
+pub use grid::{run_cell, run_cell_with_profile, CellOutcome, CellResult, MapperKind};

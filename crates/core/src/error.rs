@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use cgra_arch::OpClass;
 use cgra_dfg::{DfgError, NodeId};
 
 /// An error from [`crate::DecoupledMapper::map`].
@@ -9,6 +10,13 @@ use cgra_dfg::{DfgError, NodeId};
 pub enum MapError {
     /// The input DFG is structurally invalid.
     InvalidDfg(DfgError),
+    /// The kernel needs an operation class no PE of the (heterogeneous)
+    /// CGRA provides — no II can ever help, so this is detected before
+    /// any search runs.
+    UnsupportedOpClass {
+        /// The class with demand but no provider.
+        class: OpClass,
+    },
     /// No mapping was found for any II up to the configured maximum.
     NoSolution {
         /// Smallest II attempted (`mII`).
@@ -27,6 +35,9 @@ impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MapError::InvalidDfg(e) => write!(f, "invalid DFG: {e}"),
+            MapError::UnsupportedOpClass { class } => {
+                write!(f, "no PE of the CGRA provides the {class} operation class")
+            }
             MapError::NoSolution { mii, max_ii } => {
                 write!(f, "no mapping found for any II in {mii}..={max_ii}")
             }
@@ -79,6 +90,14 @@ pub enum MappingError {
         /// The offending node.
         node: NodeId,
     },
+    /// A node is placed on a PE whose functional units cannot execute
+    /// its operation class (heterogeneous grids).
+    IncapablePe {
+        /// The offending node.
+        node: NodeId,
+        /// The class the node needs.
+        class: OpClass,
+    },
     /// The mapping covers a different number of nodes than the DFG.
     WrongArity {
         /// Nodes in the mapping.
@@ -104,6 +123,9 @@ impl fmt::Display for MappingError {
                 write!(f, "dependence {src} -> {dst} violates timing")
             }
             MappingError::UnknownPe { node } => write!(f, "{node} is placed on an unknown PE"),
+            MappingError::IncapablePe { node, class } => {
+                write!(f, "{node} needs a {class} unit its PE does not provide")
+            }
             MappingError::WrongArity { got, expected } => {
                 write!(f, "mapping covers {got} nodes, DFG has {expected}")
             }

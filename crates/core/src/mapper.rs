@@ -10,8 +10,8 @@ use cgra_arch::Cgra;
 use cgra_dfg::Dfg;
 use cgra_iso::{MonoOutcome, SearchConfig, Searcher};
 use cgra_sched::{
-    ims_schedule, min_ii, EnumerationEnd, SolveOutcome, TimeSolution, TimeSolver, TimeSolverConfig,
-    TimeSolverError,
+    ims_schedule, min_ii, unsupported_op_class, EnumerationEnd, SolveOutcome, TimeSolution,
+    TimeSolver, TimeSolverConfig, TimeSolverError,
 };
 
 use crate::config::TimeStrategy;
@@ -127,6 +127,9 @@ impl<'a> DecoupledMapper<'a> {
     /// # Errors
     ///
     /// [`MapError::InvalidDfg`] for malformed graphs,
+    /// [`MapError::UnsupportedOpClass`] when the kernel needs an
+    /// operation class no PE of a heterogeneous CGRA provides (checked
+    /// before any search runs),
     /// [`MapError::NoSolution`] when the II range is exhausted — or
     /// immediately when [`MapperConfig::max_ii`] is below `mII` (the cap
     /// is a contract, never silently widened), and
@@ -135,6 +138,12 @@ impl<'a> DecoupledMapper<'a> {
     /// level is *not* a timeout: the search escalates to the next level.
     pub fn map(&self, dfg: &Dfg) -> Result<MapResult, MapError> {
         dfg.validate()?;
+        // A class with demand but no provider can never map, at any II:
+        // fail before any search runs (and before mII, whose per-class
+        // resource bound is undefined for such classes).
+        if let Some(class) = unsupported_op_class(dfg, self.cgra) {
+            return Err(MapError::UnsupportedOpClass { class });
+        }
         let start = Instant::now();
         let mii = min_ii(dfg, self.cgra);
         if let Some(cap) = self.config.max_ii {
@@ -748,6 +757,85 @@ mod tests {
         let result = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
         result.mapping.validate(&dfg, &cgra).unwrap();
         assert_eq!(result.mapping.ii(), 4, "IMS+mono reaches the paper's II");
+    }
+
+    fn mem_mul_kernel() -> Dfg {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let a = b.load("a", x);
+        let m = b.binary("m", Op::Mul, a, x);
+        let p = b.phi("p", 0);
+        let s = b.binary("s", Op::Add, p, m);
+        b.loop_carried(s, p, 1);
+        b.store("st", x, s);
+        b.output("o", s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn heterogeneous_grid_maps_and_respects_capabilities() {
+        use cgra_arch::CapabilityProfile;
+        let cgra = Cgra::new(4, 4)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftMulCheckerboard);
+        let dfg = mem_mul_kernel();
+        let result = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        result.mapping.validate(&dfg, &cgra).unwrap();
+        for v in dfg.nodes() {
+            let class = dfg.op(v).op_class();
+            assert!(
+                cgra.supports(result.mapping.pe(v), class),
+                "{v:?} ({class}) on incapable {:?}",
+                result.mapping.pe(v)
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_portfolio_matches_serial_ii() {
+        use cgra_arch::CapabilityProfile;
+        let cgra = Cgra::new(4, 4)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftMulCheckerboard);
+        let dfg = mem_mul_kernel();
+        let serial = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        let cfg = MapperConfig::new().with_space_parallelism(3);
+        let portfolio = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        portfolio.mapping.validate(&dfg, &cgra).unwrap();
+        assert_eq!(serial.mapping.ii(), portfolio.mapping.ii());
+    }
+
+    #[test]
+    fn unsupported_class_fails_fast() {
+        use cgra_arch::{OpClass, OpClassSet};
+        let cgra = Cgra::new(3, 3)
+            .unwrap()
+            .with_pe_capabilities(vec![OpClassSet::only(OpClass::Alu); 9])
+            .unwrap();
+        let dfg = mem_mul_kernel();
+        let started = std::time::Instant::now();
+        let err = DecoupledMapper::new(&cgra).map(&dfg).unwrap_err();
+        assert!(
+            matches!(err, MapError::UnsupportedOpClass { .. }),
+            "{err:?}"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(1),
+            "no search may run for an unsupported class"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_heuristic_strategy_maps() {
+        use crate::TimeStrategy;
+        use cgra_arch::CapabilityProfile;
+        let cgra = Cgra::new(4, 4)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftColumn);
+        let dfg = mem_mul_kernel();
+        let cfg = MapperConfig::new().with_time_strategy(TimeStrategy::Heuristic);
+        let result = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        result.mapping.validate(&dfg, &cgra).unwrap();
     }
 
     #[test]

@@ -89,6 +89,8 @@ impl Mapping {
     ///
     /// * mono1 — no two nodes share `(PE, slot)`;
     /// * mono2 — `slot == time mod II` for every node;
+    /// * capability — every node's PE provides the node's operation
+    ///   class (trivially true on homogeneous grids);
     /// * mono3 / routing — every dependence's endpoints lie on the same
     ///   or adjacent PEs (the consumer can read the producer's register
     ///   file);
@@ -111,6 +113,10 @@ impl Mapping {
             }
             if p.slot != p.time % self.ii {
                 return Err(MappingError::LabelMismatch { node: v });
+            }
+            let class = dfg.op(v).op_class();
+            if !cgra.supports(p.pe, class) {
+                return Err(MappingError::IncapablePe { node: v, class });
             }
         }
         // mono1: injectivity over (pe, slot).
@@ -318,6 +324,40 @@ mod tests {
             m.validate(&dfg, &cgra),
             Err(MappingError::DependenceViolated { .. })
         ));
+    }
+
+    #[test]
+    fn detects_incapable_pe() {
+        use cgra_arch::{OpClass, OpClassSet};
+        // A load placed on an ALU-only PE.
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let ld = b.load("ld", x);
+        b.output("o", ld);
+        let dfg = b.build().unwrap();
+        let mut caps = vec![OpClassSet::all(); 4];
+        caps[1] = OpClassSet::only(OpClass::Alu);
+        let cgra = Cgra::new(2, 2).unwrap().with_pe_capabilities(caps).unwrap();
+        // x on PE0@0, ld on PE1@1 (ALU-only!), o on PE0@2.
+        let m = Mapping::new(
+            "het",
+            3,
+            vec![place(0, 0, 3), place(1, 1, 3), place(0, 2, 3)],
+        );
+        assert_eq!(
+            m.validate(&dfg, &cgra),
+            Err(MappingError::IncapablePe {
+                node: NodeId::from_index(1),
+                class: OpClass::Mem
+            })
+        );
+        // The same placement on PE2 (full capability) is fine.
+        let m = Mapping::new(
+            "het",
+            3,
+            vec![place(0, 0, 3), place(2, 1, 3), place(0, 2, 3)],
+        );
+        m.validate(&dfg, &cgra).unwrap();
     }
 
     #[test]

@@ -16,6 +16,15 @@ use cgra_sched::TimeSolution;
 /// time solution: labels are kernel slots (`l_G(v) = T_v mod II`), edge
 /// direction is dropped, self edges vanish (paper §IV-B: "the
 /// directionality of the edges becomes redundant and is removed").
+///
+/// Each vertex additionally carries its operation class as a
+/// requirement mask, matched against the per-PE capability masks of
+/// [`build_target`]: on heterogeneous CGRAs the search's candidate
+/// domains are *compatibility-filtered* up front (an op lands only on
+/// PEs whose functional units cover it), which shrinks the space
+/// instead of growing it. On homogeneous CGRAs every target vertex
+/// carries the full mask, so the domains — and therefore the search —
+/// are exactly what they were without capabilities.
 pub fn build_pattern(dfg: &Dfg, solution: &TimeSolution) -> Pattern {
     let labels: Vec<u32> = dfg.nodes().map(|v| solution.slot(v) as u32).collect();
     let edges: Vec<(usize, usize)> = dfg
@@ -24,19 +33,25 @@ pub fn build_pattern(dfg: &Dfg, solution: &TimeSolution) -> Pattern {
         .filter(|e| e.src != e.dst)
         .map(|e| (e.src.index(), e.dst.index()))
         .collect();
-    Pattern::new(labels, edges)
+    let requirements: Vec<u32> = dfg
+        .nodes()
+        .map(|v| dfg.op(v).op_class().bit() as u32)
+        .collect();
+    Pattern::new(labels, edges).with_requirements(requirements)
 }
 
 /// Builds the MRRG as a monomorphism target: vertex `slot · |PEs| + pe`
 /// carries label `slot`; adjacency rows are assembled directly from the
 /// CGRA neighbour masks (same-slot: neighbours; cross-slot: neighbours
 /// plus the PE itself — the register-file-readability relation of
-/// [`Mrrg`]).
+/// [`Mrrg`]). Every vertex also carries its PE's capability bitmask,
+/// the counterpart of [`build_pattern`]'s requirement masks.
 pub fn build_target(cgra: &Cgra, ii: usize) -> Target {
     let n = cgra.num_pes();
     let total = n * ii;
     let labels: Vec<u32> = (0..total).map(|i| (i / n) as u32).collect();
     let mut rows = Vec::with_capacity(total);
+    let mut caps = Vec::with_capacity(total);
     for slot in 0..ii {
         for pe in cgra.pes() {
             let mut row = BitSet::new(total);
@@ -53,9 +68,10 @@ pub fn build_target(cgra: &Cgra, ii: usize) -> Target {
                 }
             }
             rows.push(row);
+            caps.push(cgra.capability(pe).bits() as u32);
         }
     }
-    Target::from_rows(labels, rows)
+    Target::from_rows(labels, rows).with_capabilities(caps)
 }
 
 /// Outcome of one space-phase attempt.
@@ -302,6 +318,44 @@ mod tests {
         let (outcome, steps) = engine.search(&dfg, &sol, 1_000_000, Some(&flag));
         assert_eq!(outcome, SpaceOutcome::Cancelled);
         assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn heterogeneous_target_filters_domains() {
+        use cgra_arch::{CapabilityProfile, OpClass};
+        use cgra_dfg::{DfgBuilder, Operation as Op};
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let ld = b.load("ld", x);
+        b.output("o", ld);
+        let dfg = b.build().unwrap();
+        let cgra = Cgra::new(3, 3)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftColumn);
+        let cfg = TimeSolverConfig::for_cgra(&cgra).with_window_slack(1);
+        let sol = TimeSolver::new(&dfg, 2, cfg).unwrap().solve().unwrap();
+        let (outcome, _) = space_search(&dfg, &cgra, &sol, 1_000_000, None);
+        let SpaceOutcome::Found(map) = outcome else {
+            panic!("mem-left-column hosts one load: {outcome:?}");
+        };
+        // The load must sit in the memory column (PE index % 3 == 0).
+        let n = cgra.num_pes();
+        let load_pe = map[1] % n;
+        assert_eq!(load_pe % 3, 0, "load on PE{load_pe} outside the mem column");
+        assert_eq!(dfg.op(cgra_dfg::NodeId::from_index(1)), Op::Load);
+        assert_eq!(cgra.providers(OpClass::Mem), 3);
+    }
+
+    #[test]
+    fn homogeneous_target_capabilities_accept_everything() {
+        // On a homogeneous grid every target vertex carries the full
+        // mask, so requirement filtering removes nothing and the search
+        // is unchanged.
+        let cgra = Cgra::new(2, 2).unwrap();
+        let t = build_target(&cgra, 2);
+        for v in 0..t.num_vertices() {
+            assert_eq!(t.capability(v), cgra_arch::OpClassSet::all().bits() as u32);
+        }
     }
 
     #[test]

@@ -92,6 +92,23 @@ impl Operation {
         matches!(self, Operation::Load | Operation::Store)
     }
 
+    /// The functional-unit class a PE must provide to execute this
+    /// operation (the node label the heterogeneous mapper matches
+    /// against per-PE [`cgra_arch::OpClassSet`]s):
+    /// [`OpClass::Mem`](cgra_arch::OpClass::Mem) for memory accesses,
+    /// [`OpClass::Mul`](cgra_arch::OpClass::Mul) for multiply/divide,
+    /// [`OpClass::Alu`](cgra_arch::OpClass::Alu) for everything else
+    /// (constants, live-ins/outs and φ included — they only need the
+    /// PE's register file and ALU datapath).
+    pub fn op_class(self) -> cgra_arch::OpClass {
+        use cgra_arch::OpClass;
+        match self {
+            Operation::Load | Operation::Store => OpClass::Mem,
+            Operation::Mul | Operation::Div => OpClass::Mul,
+            _ => OpClass::Alu,
+        }
+    }
+
     /// Evaluates a pure operation (plus `Const`) on operand values.
     ///
     /// # Panics
@@ -238,6 +255,18 @@ mod tests {
     #[should_panic(expected = "operand count mismatch")]
     fn arity_checked() {
         Add.eval_pure(&[1]);
+    }
+
+    #[test]
+    fn op_classes() {
+        use cgra_arch::OpClass;
+        assert_eq!(Load.op_class(), OpClass::Mem);
+        assert_eq!(Store.op_class(), OpClass::Mem);
+        assert_eq!(Mul.op_class(), OpClass::Mul);
+        assert_eq!(Div.op_class(), OpClass::Mul);
+        for op in [Const(1), Input(0), Phi(0), Add, Shl, Lt, Select, Output] {
+            assert_eq!(op.op_class(), OpClass::Alu, "{op}");
+        }
     }
 
     #[test]

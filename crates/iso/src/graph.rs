@@ -13,6 +13,9 @@ pub struct Pattern {
     labels: Vec<u32>,
     adj: Vec<Vec<usize>>,
     num_edges: usize,
+    /// Per-vertex requirement bitmasks (empty = unconstrained); see
+    /// [`Pattern::with_requirements`].
+    requirements: Vec<u32>,
 }
 
 impl Pattern {
@@ -45,7 +48,37 @@ impl Pattern {
             labels,
             adj,
             num_edges,
+            requirements: Vec::new(),
         }
+    }
+
+    /// Attaches per-vertex *requirement* bitmasks: vertex `u` may only
+    /// map to a target vertex `t` whose capability mask (see
+    /// [`Target::with_capabilities`]) contains every bit of
+    /// `requirements[u]`. A mask of `0` leaves the vertex
+    /// unconstrained; a pattern without requirements behaves exactly as
+    /// before, so label-only callers are unaffected.
+    ///
+    /// For the CGRA mapper the bits are operation classes and the
+    /// target masks are per-PE functional-unit capabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requirements` does not cover every vertex.
+    #[must_use]
+    pub fn with_requirements(mut self, requirements: Vec<u32>) -> Self {
+        assert_eq!(
+            requirements.len(),
+            self.labels.len(),
+            "one requirement mask per vertex"
+        );
+        self.requirements = requirements;
+        self
+    }
+
+    /// The requirement bitmask of a vertex (`0` when unconstrained).
+    pub fn requirement(&self, v: usize) -> u32 {
+        self.requirements.get(v).copied().unwrap_or(0)
     }
 
     /// Number of vertices.
@@ -84,6 +117,9 @@ impl Pattern {
 pub struct Target {
     labels: Vec<u32>,
     rows: Vec<BitSet>,
+    /// Per-vertex capability bitmasks (empty = every vertex accepts any
+    /// requirement); see [`Target::with_capabilities`].
+    capabilities: Vec<u32>,
 }
 
 impl fmt::Debug for Target {
@@ -101,6 +137,7 @@ impl Target {
         Target {
             labels,
             rows: vec![BitSet::new(n); n],
+            capabilities: Vec::new(),
         }
     }
 
@@ -123,7 +160,37 @@ impl Target {
                 debug_assert_ne!(a, b, "self loops are implicit");
             }
         }
-        Target { labels, rows }
+        Target {
+            labels,
+            rows,
+            capabilities: Vec::new(),
+        }
+    }
+
+    /// Attaches per-vertex *capability* bitmasks, the counterpart of
+    /// [`Pattern::with_requirements`]: a pattern vertex with
+    /// requirement `r` is only a candidate for target vertices whose
+    /// mask contains every bit of `r`. A target without capabilities
+    /// accepts every requirement (as if every mask were all-ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capabilities` does not cover every vertex.
+    #[must_use]
+    pub fn with_capabilities(mut self, capabilities: Vec<u32>) -> Self {
+        assert_eq!(
+            capabilities.len(),
+            self.labels.len(),
+            "one capability mask per vertex"
+        );
+        self.capabilities = capabilities;
+        self
+    }
+
+    /// The capability bitmask of a vertex (all-ones when the target
+    /// carries no capability map).
+    pub fn capability(&self, v: usize) -> u32 {
+        self.capabilities.get(v).copied().unwrap_or(u32::MAX)
     }
 
     /// Adds an undirected edge.

@@ -144,12 +144,21 @@ impl<'a> Searcher<'a> {
     pub fn with_config(pattern: &'a Pattern, target: &'a Target, config: SearchConfig) -> Self {
         let np = pattern.num_vertices();
         let nt = target.num_vertices();
-        // Base candidates: label equality + degree dominance.
+        // Base candidates: label equality + degree dominance +
+        // requirement/capability compatibility. The compatibility test
+        // only ever *removes* candidates, so constrained instances
+        // start from smaller domains than their unconstrained
+        // counterparts (and unconstrained instances are unchanged:
+        // a requirement of 0 passes every capability mask).
         let mut base = Vec::with_capacity(np);
         for u in 0..np {
+            let req = pattern.requirement(u);
             let mut s = BitSet::new(nt);
             for t in 0..nt {
-                if target.label(t) == pattern.label(u) && target.degree(t) >= pattern.degree(u) {
+                if target.label(t) == pattern.label(u)
+                    && target.degree(t) >= pattern.degree(u)
+                    && target.capability(t) & req == req
+                {
                     s.insert(t);
                 }
             }
@@ -375,9 +384,14 @@ pub fn is_monomorphism(pattern: &Pattern, target: &Target, map: &[usize]) -> boo
         }
         seen.insert(t);
     }
-    // mono2: label preservation.
+    // mono2: label preservation, plus requirement/capability
+    // compatibility when the graphs carry masks.
     for (u, &t) in map.iter().enumerate() {
         if pattern.label(u) != target.label(t) {
+            return false;
+        }
+        let req = pattern.requirement(u);
+        if target.capability(t) & req != req {
             return false;
         }
     }
@@ -613,6 +627,50 @@ mod tests {
         for m in &all {
             assert!(is_monomorphism(&p, &t, m));
         }
+    }
+
+    #[test]
+    fn requirements_filter_candidates() {
+        // Two vertices, one needing capability bit 0b10. Target: a path
+        // of three vertices where only the middle one provides 0b10.
+        let p = Pattern::new(vec![0, 0], vec![(0, 1)]).with_requirements(vec![0b10, 0]);
+        let mut t = Target::new(vec![0, 0, 0]);
+        t.add_edge(0, 1);
+        t.add_edge(1, 2);
+        let t = t.with_capabilities(vec![0b01, 0b11, 0b01]);
+        let m = find_monomorphism(&p, &t).expect("middle vertex hosts the constrained node");
+        assert_eq!(m[0], 1, "constrained vertex lands on the capable target");
+        assert!(is_monomorphism(&p, &t, &m));
+        // The same map with vertex 0 elsewhere is rejected.
+        assert!(!is_monomorphism(&p, &t, &[0, 1]));
+    }
+
+    #[test]
+    fn unsatisfiable_requirement_exhausts() {
+        let p = Pattern::new(vec![0], vec![]).with_requirements(vec![0b100]);
+        let t = clique(3, 0).with_capabilities(vec![0b011; 3]);
+        assert_eq!(Searcher::new(&p, &t).run(), MonoOutcome::Exhausted);
+    }
+
+    #[test]
+    fn zero_requirements_change_nothing() {
+        // A pattern with all-zero requirements against a
+        // capability-carrying target enumerates exactly the same set as
+        // the mask-free pattern.
+        let p_plain = Pattern::new(vec![0, 0], vec![(0, 1)]);
+        let p_masked = p_plain.clone().with_requirements(vec![0, 0]);
+        let t = clique(4, 0).with_capabilities(vec![0b1, 0b0, 0b1, 0b0]);
+        let a = Searcher::new(&p_plain, &t).find_all(100);
+        let b = Searcher::new(&p_masked, &t).find_all(100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn capability_free_target_accepts_any_requirement() {
+        let p = Pattern::new(vec![0], vec![]).with_requirements(vec![u32::MAX]);
+        let t = clique(2, 0);
+        assert!(find_monomorphism(&p, &t).is_some());
     }
 
     /// Brute-force cross-check on pseudo-random small instances.

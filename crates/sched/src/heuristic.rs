@@ -14,6 +14,7 @@
 //! Being heuristic, it can fail where the SMT search would succeed; the
 //! mapper treats a failure like an UNSAT at that `(II, slack)` level.
 
+use cgra_arch::OpClass;
 use cgra_dfg::{Dfg, EdgeKind, NodeId};
 
 use crate::{Mobility, TimeSolution, TimeSolverConfig};
@@ -46,6 +47,7 @@ pub fn ims_schedule(dfg: &Dfg, ii: usize, config: &TimeSolverConfig) -> Option<T
         .collect();
 
     let neighbors: Vec<Vec<NodeId>> = dfg.nodes().map(|v| dfg.undirected_neighbors(v)).collect();
+    let classes: Vec<OpClass> = dfg.nodes().map(|v| dfg.op(v).op_class()).collect();
 
     let mut time: Vec<Option<usize>> = vec![None; n];
     let mut prev_time: Vec<Option<usize>> = vec![None; n];
@@ -101,7 +103,7 @@ pub fn ims_schedule(dfg: &Dfg, ii: usize, config: &TimeSolverConfig) -> Option<T
         // Scan the whole remaining window for an admissible time.
         let mut placed = false;
         for t in start..=hi[v] {
-            if admissible(dfg, &neighbors, &time, config, ii, v, t) {
+            if admissible(dfg, &neighbors, &classes, &time, config, ii, v, t) {
                 time[v] = Some(t);
                 prev_time[v] = Some(t);
                 placed = true;
@@ -120,7 +122,9 @@ pub fn ims_schedule(dfg: &Dfg, ii: usize, config: &TimeSolverConfig) -> Option<T
         let t = if forced > hi[v] { start } else { forced };
         time[v] = Some(t);
         prev_time[v] = Some(t);
-        evict_conflicts(dfg, &neighbors, &mut time, config, ii, v, t, &height);
+        evict_conflicts(
+            dfg, &neighbors, &classes, &mut time, config, ii, v, t, &height,
+        );
     }
 
     // Final consistency pass (evictions guarantee local repairs; verify
@@ -135,9 +139,11 @@ pub fn ims_schedule(dfg: &Dfg, ii: usize, config: &TimeSolverConfig) -> Option<T
 }
 
 /// Would scheduling `v` at `t` keep every constraint satisfied?
+#[allow(clippy::too_many_arguments)]
 fn admissible(
     dfg: &Dfg,
     neighbors: &[Vec<NodeId>],
+    classes: &[OpClass],
     time: &[Option<usize>],
     config: &TimeSolverConfig,
     ii: usize,
@@ -173,7 +179,7 @@ fn admissible(
             return false;
         }
     }
-    // Capacity.
+    // Capacity: total, then v's operation class on restricted grids.
     if config.capacity_constraints {
         let count = time
             .iter()
@@ -182,6 +188,22 @@ fn admissible(
             .count();
         if count + 1 > config.capacity {
             return false;
+        }
+        if let Some(&(_, cap)) = config
+            .class_capacities
+            .iter()
+            .find(|&&(class, _)| class == classes[v])
+        {
+            let count = time
+                .iter()
+                .enumerate()
+                .filter(|&(u, tu)| {
+                    u != v && classes[u] == classes[v] && tu.map(|x| x % ii) == Some(slot)
+                })
+                .count();
+            if count + 1 > cap {
+                return false;
+            }
         }
     }
     // Connectivity: this placement adds v to S_u^slot for each
@@ -224,6 +246,7 @@ fn admissible(
 fn evict_conflicts(
     dfg: &Dfg,
     neighbors: &[Vec<NodeId>],
+    classes: &[OpClass],
     time: &mut [Option<usize>],
     config: &TimeSolverConfig,
     ii: usize,
@@ -268,6 +291,22 @@ fn evict_conflicts(
         residents.sort_by_key(|&u| height[u]);
         let overflow = (residents.len() + 1).saturating_sub(config.capacity);
         to_evict.extend(residents.into_iter().take(overflow));
+        // Per-class overflow on restricted grids: evict same-class
+        // co-residents beyond the class's provider count.
+        if let Some(&(_, cap)) = config
+            .class_capacities
+            .iter()
+            .find(|&&(class, _)| class == classes[v])
+        {
+            let mut same_class: Vec<usize> = (0..time.len())
+                .filter(|&u| {
+                    u != v && classes[u] == classes[v] && time[u].map(|x| x % ii) == Some(slot)
+                })
+                .collect();
+            same_class.sort_by_key(|&u| height[u]);
+            let overflow = (same_class.len() + 1).saturating_sub(cap);
+            to_evict.extend(same_class.into_iter().take(overflow));
+        }
     }
     // Connectivity overflow around v's neighbours.
     if config.connectivity_constraints {
@@ -366,5 +405,31 @@ mod tests {
     fn zero_ii_rejected() {
         let dfg = accumulator();
         assert!(ims_schedule(&dfg, 0, &cfg(2)).is_none());
+    }
+
+    #[test]
+    fn respects_class_capacity_on_heterogeneous_grids() {
+        use cgra_arch::CapabilityProfile;
+        // Four loads on a 2×2 with one memory column (2 memory PEs):
+        // IMS must never pack more than two loads into one slot.
+        let mut b = cgra_dfg::DfgBuilder::new();
+        let x = b.input("x");
+        for i in 0..4 {
+            b.load(format!("ld{i}"), x);
+        }
+        let dfg = b.build().unwrap();
+        let het = Cgra::new(2, 2)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftColumn);
+        let config = TimeSolverConfig::for_cgra(&het).with_window_slack(2);
+        let sol = ims_schedule(&dfg, 2, &config).expect("two slots × two memory PEs fit");
+        sol.validate(&dfg, &config).unwrap();
+        for slot in 0..2 {
+            let mem = dfg
+                .nodes()
+                .filter(|&v| dfg.op(v).is_memory() && sol.slot(v) == slot)
+                .count();
+            assert!(mem <= 2, "slot {slot} packs {mem} loads on 2 memory PEs");
+        }
     }
 }

@@ -42,7 +42,7 @@ mod time_solver;
 
 pub use heuristic::ims_schedule;
 pub use kms::{Kms, KmsEntry};
-pub use mii::{min_ii, rec_ii, res_ii};
+pub use mii::{min_ii, rec_ii, res_ii, unsupported_op_class};
 pub use mobility::Mobility;
 pub use time_solver::{
     EnumerationEnd, SolveOutcome, TimeSolution, TimeSolutionError, TimeSolver, TimeSolverConfig,

@@ -1,14 +1,48 @@
 //! The minimum iteration interval `mII = max(ResII, RecII)` (Rau 1996,
-//! paper §IV-B).
+//! paper §IV-B), with the resource component computed per operation
+//! class on heterogeneous CGRAs.
 
-use cgra_arch::Cgra;
+use cgra_arch::{Cgra, OpClass};
 use cgra_dfg::Dfg;
 
-/// The resource-constrained minimum II: `⌈|V_G| / |V_Mi|⌉` — every PE
-/// executes at most one operation per kernel slot, so the kernel needs
-/// at least this many slots.
+/// The resource-constrained minimum II.
+///
+/// On a homogeneous grid this is the paper's `⌈|V_G| / |V_Mi|⌉` —
+/// every PE executes at most one operation per kernel slot. On a
+/// heterogeneous grid each operation class adds its own bound
+/// `⌈|ops of class c| / |PEs providing c|⌉` (a kernel with ten memory
+/// accesses and four memory-port PEs needs at least three slots no
+/// matter how roomy the rest of the array is); the result is the
+/// maximum over the total bound and every provided class's bound.
+///
+/// Classes with demand but **no** provider have no finite bound at all;
+/// they are reported by [`unsupported_op_class`] (which mappers check
+/// up front) and skipped here.
 pub fn res_ii(dfg: &Dfg, cgra: &Cgra) -> usize {
-    dfg.num_nodes().div_ceil(cgra.num_pes()).max(1)
+    let mut mii = dfg.num_nodes().div_ceil(cgra.num_pes()).max(1);
+    if !cgra.is_homogeneous() {
+        for class in OpClass::ALL {
+            let demand = dfg
+                .nodes()
+                .filter(|&v| dfg.op(v).op_class() == class)
+                .count();
+            let supply = cgra.providers(class);
+            if demand > 0 && supply > 0 {
+                mii = mii.max(demand.div_ceil(supply));
+            }
+        }
+    }
+    mii
+}
+
+/// The first operation class the kernel demands but no PE provides, if
+/// any. Such instances have no mapping at any II; the mappers check
+/// this before searching and fail with a clean error instead of
+/// exhausting the II range.
+pub fn unsupported_op_class(dfg: &Dfg, cgra: &Cgra) -> Option<OpClass> {
+    OpClass::ALL.into_iter().find(|&class| {
+        cgra.providers(class) == 0 && dfg.nodes().any(|v| dfg.op(v).op_class() == class)
+    })
 }
 
 /// The recurrence-constrained minimum II: the maximum over all
@@ -33,6 +67,7 @@ pub fn min_ii(dfg: &Dfg, cgra: &Cgra) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cgra_arch::{CapabilityProfile, OpClassSet};
     use cgra_dfg::examples::{accumulator, running_example};
     use cgra_dfg::suite;
 
@@ -106,5 +141,63 @@ mod tests {
         b.output("o", x);
         let dfg = b.build().unwrap();
         assert_eq!(rec_ii(&dfg), 1);
+    }
+
+    /// A kernel with `loads` memory accesses padded with ALU work.
+    fn mem_kernel(loads: usize) -> Dfg {
+        let mut b = cgra_dfg::DfgBuilder::new();
+        let x = b.input("x");
+        for i in 0..loads {
+            b.load(format!("ld{i}"), x);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn per_class_res_ii_binds_on_restricted_grids() {
+        // 6 loads on 3×3 mem-left-column: 3 memory PEs → ResII ≥ 2,
+        // even though 7 nodes fit one slot of 9 PEs.
+        let dfg = mem_kernel(6);
+        let homo = Cgra::new(3, 3).unwrap();
+        assert_eq!(res_ii(&dfg, &homo), 1);
+        let het = homo
+            .clone()
+            .with_capability_profile(CapabilityProfile::MemLeftColumn);
+        assert_eq!(res_ii(&dfg, &het), 2);
+        assert_eq!(min_ii(&dfg, &het), 2);
+    }
+
+    #[test]
+    fn homogeneous_res_ii_is_unchanged_by_class_accounting() {
+        // On a homogeneous grid every per-class bound is dominated by
+        // the total bound, so the heterogeneity-aware formula reduces
+        // to the paper's.
+        for name in ["susan", "crc32", "hotspot3D"] {
+            let dfg = suite::generate(name);
+            let cgra = Cgra::new(5, 5).unwrap();
+            assert_eq!(
+                res_ii(&dfg, &cgra),
+                dfg.num_nodes().div_ceil(25).max(1),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_class_is_detected() {
+        let dfg = mem_kernel(1);
+        // An ALU-only grid cannot host the load.
+        let alu_only = Cgra::new(2, 2)
+            .unwrap()
+            .with_pe_capabilities(vec![OpClassSet::only(OpClass::Alu); 4])
+            .unwrap();
+        assert_eq!(unsupported_op_class(&dfg, &alu_only), Some(OpClass::Mem));
+        // Any grid with a memory column is fine.
+        let ok = Cgra::new(2, 2)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftColumn);
+        assert_eq!(unsupported_op_class(&dfg, &ok), None);
+        // And homogeneous grids support everything.
+        assert_eq!(unsupported_op_class(&dfg, &Cgra::new(2, 2).unwrap()), None);
     }
 }

@@ -20,7 +20,7 @@ use std::fmt;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use cgra_arch::Cgra;
+use cgra_arch::{Cgra, OpClass};
 use cgra_dfg::{Dfg, DfgError, EdgeKind, NodeId};
 use cgra_smt::{Budget, FdResult, FdSolver, IntVar, Lit};
 
@@ -33,6 +33,14 @@ pub struct TimeSolverConfig {
     pub capacity: usize,
     /// CGRA connectivity degree `D_M` (neighbours + self).
     pub degree: usize,
+    /// Per-class slot capacities of a heterogeneous CGRA: at most
+    /// `cap` nodes of operation class `class` per kernel slot (there
+    /// are only `cap` PEs providing that class). Populated by
+    /// [`TimeSolverConfig::for_cgra`] **only** for classes whose
+    /// provider count is below [`TimeSolverConfig::capacity`], so the
+    /// encoding of homogeneous instances is bit-for-bit what it was
+    /// before heterogeneity existed.
+    pub class_capacities: Vec<(OpClass, usize)>,
     /// Enable the capacity constraint family (paper default: on).
     pub capacity_constraints: bool,
     /// Enable the connectivity constraint family (paper default: on).
@@ -50,11 +58,21 @@ pub struct TimeSolverConfig {
 impl TimeSolverConfig {
     /// The paper's configuration for a given CGRA: capacity and degree
     /// from the architecture, both constraint families on, paper
-    /// connectivity bound, no window slack.
+    /// connectivity bound, no window slack. Heterogeneous grids
+    /// additionally contribute per-class slot capacities.
     pub fn for_cgra(cgra: &Cgra) -> Self {
+        let capacity = cgra.num_pes();
+        let class_capacities = OpClass::ALL
+            .into_iter()
+            .filter_map(|class| {
+                let supply = cgra.providers(class);
+                (supply < capacity).then_some((class, supply))
+            })
+            .collect();
         TimeSolverConfig {
-            capacity: cgra.num_pes(),
+            capacity,
             degree: cgra.connectivity_degree(),
+            class_capacities,
             capacity_constraints: true,
             connectivity_constraints: true,
             strict_connectivity: false,
@@ -159,6 +177,18 @@ pub enum TimeSolutionError {
         /// The capacity bound.
         capacity: usize,
     },
+    /// More nodes of one operation class in a slot than the CGRA has
+    /// PEs providing that class (heterogeneous grids only).
+    ClassCapacityExceeded {
+        /// The over-subscribed class.
+        class: OpClass,
+        /// The over-full slot.
+        slot: usize,
+        /// Nodes of that class scheduled there.
+        count: usize,
+        /// PEs providing the class.
+        capacity: usize,
+    },
     /// A node has more same-slot neighbours than the connectivity
     /// degree allows.
     ConnectivityExceeded {
@@ -184,6 +214,15 @@ impl fmt::Display for TimeSolutionError {
                 count,
                 capacity,
             } => write!(f, "slot {slot} holds {count} nodes, capacity {capacity}"),
+            TimeSolutionError::ClassCapacityExceeded {
+                class,
+                slot,
+                count,
+                capacity,
+            } => write!(
+                f,
+                "slot {slot} holds {count} {class} nodes, only {capacity} PEs provide {class}"
+            ),
             TimeSolutionError::ConnectivityExceeded {
                 node,
                 slot,
@@ -268,7 +307,7 @@ impl TimeSolution {
                 });
             }
         }
-        // Capacity.
+        // Capacity: total per slot, then per restricted operation class.
         if config.capacity_constraints {
             for slot in 0..self.ii {
                 let count = dfg.nodes().filter(|&v| self.slot(v) == slot).count();
@@ -278,6 +317,20 @@ impl TimeSolution {
                         count,
                         capacity: config.capacity,
                     });
+                }
+                for &(class, cap) in &config.class_capacities {
+                    let count = dfg
+                        .nodes()
+                        .filter(|&v| self.slot(v) == slot && dfg.op(v).op_class() == class)
+                        .count();
+                    if count > cap {
+                        return Err(TimeSolutionError::ClassCapacityExceeded {
+                            class,
+                            slot,
+                            count,
+                            capacity: cap,
+                        });
+                    }
                 }
             }
         }
@@ -415,6 +468,27 @@ impl<'a> TimeSolver<'a> {
                 let lits: Vec<Lit> = slot_lits.iter().filter_map(|row| row[slot]).collect();
                 if lits.len() > config.capacity {
                     fd.at_most_k(&lits, config.capacity);
+                }
+            }
+            // 2b. Per-class capacities of heterogeneous grids:
+            // ∀ slot, class, |{v of class : l(v) = slot}| ≤ providers.
+            // `class_capacities` is empty on homogeneous grids, so the
+            // CNF there is unchanged.
+            for &(class, cap) in &config.class_capacities {
+                let members: Vec<usize> = dfg
+                    .nodes()
+                    .filter(|&v| dfg.op(v).op_class() == class)
+                    .map(|v| v.index())
+                    .collect();
+                #[allow(clippy::needless_range_loop)]
+                for slot in 0..ii {
+                    let lits: Vec<Lit> = members
+                        .iter()
+                        .filter_map(|&vi| slot_lits[vi][slot])
+                        .collect();
+                    if lits.len() > cap {
+                        fd.at_most_k(&lits, cap);
+                    }
                 }
             }
         }
@@ -706,6 +780,86 @@ mod tests {
         // 4 <= 4 still holds, so strengthen: II=1 all five nodes in one
         // slot; c's neighbour count is 4, strict bound 4 — satisfiable.
         assert!(matches!(s.solve_outcome(), SolveOutcome::Solution(_)));
+    }
+
+    /// `loads` independent loads off one input.
+    fn load_fan(loads: usize) -> cgra_dfg::Dfg {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        for i in 0..loads {
+            b.load(format!("ld{i}"), x);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn class_capacity_forces_spreading() {
+        use cgra_arch::{CapabilityProfile, Cgra};
+        // Three loads, 3×3 mem-left-column (3 memory PEs — never
+        // binding), then a 2-provider map where the loads cannot share
+        // a slot.
+        let dfg = load_fan(3);
+        let het3 = Cgra::new(3, 3)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftColumn);
+        let cfg = TimeSolverConfig::for_cgra(&het3).with_window_slack(1);
+        assert_eq!(cfg.class_capacities, vec![(OpClass::Mem, 3)]);
+        let sol = TimeSolver::new(&dfg, 2, cfg.clone())
+            .unwrap()
+            .solve()
+            .expect("three memory PEs hold three loads");
+        sol.validate(&dfg, &cfg).unwrap();
+
+        // Same kernel, only two memory PEs: slot sharing capped at 2,
+        // so at II=2 the loads must spread 2+1 across the slots.
+        let mut caps = vec![cgra_arch::OpClassSet::only(OpClass::Alu); 9];
+        caps[0] = cgra_arch::OpClassSet::all();
+        caps[1] = cgra_arch::OpClassSet::all();
+        let het2 = Cgra::new(3, 3).unwrap().with_pe_capabilities(caps).unwrap();
+        let cfg2 = TimeSolverConfig::for_cgra(&het2).with_window_slack(1);
+        let sol = TimeSolver::new(&dfg, 2, cfg2.clone())
+            .unwrap()
+            .solve()
+            .expect("slack lets the third load take the other slot");
+        sol.validate(&dfg, &cfg2).unwrap();
+        for slot in 0..2 {
+            let mem_in_slot = dfg
+                .nodes()
+                .filter(|&v| dfg.op(v).is_memory() && sol.slot(v) == slot)
+                .count();
+            assert!(mem_in_slot <= 2, "slot {slot} holds {mem_in_slot} loads");
+        }
+    }
+
+    #[test]
+    fn class_capacity_validation_catches_violations() {
+        let dfg = load_fan(3);
+        let mut cfg = cfg2x2();
+        cfg.class_capacities = vec![(OpClass::Mem, 2)];
+        // All three loads in slot 0 of an II=2 schedule (input at 0,
+        // loads at 1... make times: x=0, loads at 2,2,4 → slots 0,0,0).
+        let sol = TimeSolution::from_times(2, vec![0, 2, 2, 4]);
+        let err = sol.validate(&dfg, &cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TimeSolutionError::ClassCapacityExceeded {
+                    class: OpClass::Mem,
+                    count: 3,
+                    capacity: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("mem"));
+    }
+
+    #[test]
+    fn homogeneous_config_has_no_class_capacities() {
+        assert!(cfg2x2().class_capacities.is_empty());
+        let big = TimeSolverConfig::for_cgra(&Cgra::new(10, 10).unwrap());
+        assert!(big.class_capacities.is_empty());
     }
 
     #[test]

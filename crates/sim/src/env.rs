@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use cgra_arch::{OpClass, PeId};
 use cgra_dfg::NodeId;
 
 /// The loop's environment: data memory and per-iteration live-in input
@@ -99,6 +100,18 @@ pub enum SimError {
         /// The offending node.
         node: NodeId,
     },
+    /// An operation was mapped onto a PE whose functional units cannot
+    /// execute it: the placement ignores the CGRA's heterogeneity. The
+    /// simulator refuses to execute such instructions, independently
+    /// policing the mapper.
+    IncapablePe {
+        /// The offending node.
+        node: NodeId,
+        /// The PE the node was placed on.
+        pe: PeId,
+        /// The functional-unit class the operation needs.
+        class: OpClass,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -111,6 +124,9 @@ impl fmt::Display for SimError {
                 write!(f, "{dst} cannot read the register file holding {src}")
             }
             SimError::MalformedNode { node } => write!(f, "node {node} is malformed"),
+            SimError::IncapablePe { node, pe, class } => {
+                write!(f, "{node} needs a {class} unit but {pe} provides none")
+            }
         }
     }
 }

@@ -12,7 +12,9 @@ use crate::{ExecRecord, SimEnv, SimError};
 ///
 /// Each node instance `(v, k)` runs on `mapping.pe(v)` at machine cycle
 /// `mapping.time(v) + k · II` (software pipelining: consecutive
-/// iterations start `II` cycles apart). Every operand read checks that
+/// iterations start `II` cycles apart). Before anything executes, every
+/// node's PE is checked to provide the operation's functional-unit
+/// class (heterogeneous grids), and every operand read checks that
 ///
 /// * the producing instance already executed (schedule timing), and
 /// * the producer's PE register file is readable from the consumer's PE
@@ -39,14 +41,26 @@ impl<'a> MachineSimulator<'a> {
     ///
     /// # Errors
     ///
-    /// [`SimError::OperandNotReady`] or
-    /// [`SimError::RegisterFileUnreachable`] pinpoint mapping bugs;
-    /// both are impossible for mappings that pass
-    /// [`Mapping::validate`].
+    /// [`SimError::OperandNotReady`],
+    /// [`SimError::RegisterFileUnreachable`] or
+    /// [`SimError::IncapablePe`] pinpoint mapping bugs; all are
+    /// impossible for mappings that pass [`Mapping::validate`].
     pub fn run(&self, env: &SimEnv, iterations: usize) -> Result<ExecRecord, SimError> {
         let dfg = self.dfg;
         let n = dfg.num_nodes();
         let ii = self.mapping.ii();
+        // Heterogeneity: a PE only executes instructions its functional
+        // units cover. Checked once per node up front (every iteration
+        // instance runs on the same PE), independently of the mapper,
+        // so a mapper bug that ignores capabilities cannot go unnoticed
+        // here — and is reported before any store mutates memory.
+        for v in dfg.nodes() {
+            let pe = self.mapping.pe(v);
+            let class = dfg.op(v).op_class();
+            if !self.cgra.supports(pe, class) {
+                return Err(SimError::IncapablePe { node: v, pe, class });
+            }
+        }
         let topo = dfg.topo_order().map_err(|_| SimError::MalformedNode {
             node: NodeId::from_index(0),
         })?;
@@ -274,6 +288,53 @@ mod tests {
             .run(&env, 1)
             .unwrap_err();
         assert!(matches!(err, SimError::OperandNotReady { .. }));
+    }
+
+    #[test]
+    fn heterogeneous_mapping_executes_and_matches_reference() {
+        use cgra_arch::CapabilityProfile;
+        let cgra = Cgra::new(3, 3)
+            .unwrap()
+            .with_capability_profile(CapabilityProfile::MemLeftMulCheckerboard);
+        let dfg = stream_scale();
+        let mapping = map_on(&cgra, &dfg);
+        let env = SimEnv::new(16).with_memory((0..16).map(|i| i as i64 * 7).collect());
+        let reference = interpret(&dfg, &env, 8).unwrap();
+        let machine = MachineSimulator::new(&cgra, &dfg, &mapping)
+            .run(&env, 8)
+            .unwrap();
+        assert_eq!(reference.outputs, machine.outputs);
+        assert_eq!(reference.memory, machine.memory);
+    }
+
+    #[test]
+    fn incapable_pe_is_refused() {
+        use cgra_arch::{OpClass, OpClassSet, PeId};
+        // Map on a homogeneous grid, then re-run the same mapping on a
+        // grid where the load's PE lost its memory port: the simulator
+        // must refuse to execute the load there.
+        let cgra = Cgra::new(3, 3).unwrap();
+        let dfg = stream_scale();
+        let mapping = map_on(&cgra, &dfg);
+        let load_node = dfg
+            .nodes()
+            .find(|&v| dfg.op(v) == cgra_dfg::Operation::Load)
+            .unwrap();
+        let load_pe = mapping.pe(load_node);
+        let mut caps = vec![OpClassSet::all(); 9];
+        caps[load_pe.index()] = OpClassSet::only(OpClass::Alu).with(OpClass::Mul);
+        let stripped = Cgra::new(3, 3).unwrap().with_pe_capabilities(caps).unwrap();
+        let err = MachineSimulator::new(&stripped, &dfg, &mapping)
+            .run(&SimEnv::new(16), 2)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::IncapablePe {
+                node: load_node,
+                pe: PeId::from_index(load_pe.index()),
+                class: OpClass::Mem
+            }
+        );
     }
 
     #[test]

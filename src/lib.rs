@@ -51,7 +51,7 @@ pub use monomap_core as core;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use cgra_arch::{Cgra, Mrrg, PeId, Topology};
+    pub use cgra_arch::{CapabilityProfile, Cgra, Mrrg, OpClass, OpClassSet, PeId, Topology};
     pub use cgra_baseline::{AnnealingMapper, CoupledMapper};
     pub use cgra_dfg::examples::{accumulator, running_example, stream_scale};
     pub use cgra_dfg::{suite, Dfg, DfgBuilder, EdgeKind, NodeId, Operation};

@@ -1,0 +1,41 @@
+//! Helpers shared across the e2e integration-test binaries.
+
+use monomap::prelude::*;
+
+/// Checks every mapping-validity invariant directly, without going
+/// through `Mapping::validate` (which is *also* asserted): every placed
+/// op's PE provides the op's class, no two ops share a `(PE, slot)`
+/// cell, and every routed edge uses real grid adjacency (or stays on
+/// one PE across slots).
+pub fn assert_mapping_invariants(dfg: &Dfg, cgra: &Cgra, mapping: &Mapping) {
+    mapping.validate(dfg, cgra).unwrap();
+    let mut cells = std::collections::HashSet::new();
+    for v in dfg.nodes() {
+        let pe = mapping.pe(v);
+        let class = dfg.op(v).op_class();
+        assert!(
+            cgra.capability(pe).contains(class),
+            "{}: {v:?} ({class}) on {pe} lacking the class",
+            dfg.name()
+        );
+        assert!(
+            cells.insert((pe, mapping.slot(v))),
+            "{}: {v:?} collides on ({pe}, slot {})",
+            dfg.name(),
+            mapping.slot(v)
+        );
+    }
+    for e in dfg.edges() {
+        if e.src == e.dst {
+            continue;
+        }
+        let (ps, pd) = (mapping.pe(e.src), mapping.pe(e.dst));
+        assert!(
+            ps == pd || cgra.adjacent(ps, pd),
+            "{}: routed edge {:?}->{:?} uses fake adjacency {ps}/{pd}",
+            dfg.name(),
+            e.src,
+            e.dst
+        );
+    }
+}

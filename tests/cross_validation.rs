@@ -1,8 +1,33 @@
 //! Cross-validation between the independent implementations: the
 //! decoupled mapper, the coupled SAT baseline, the annealer and the
-//! two simulators must all agree with each other.
+//! two simulators must all agree with each other — on homogeneous and
+//! heterogeneous grids alike.
 
+use monomap::arch::CapabilityProfile;
 use monomap::prelude::*;
+
+mod common;
+use common::assert_mapping_invariants;
+
+/// The full 17-kernel suite maps on a homogeneous 5×5 and on the same
+/// grid with memory confined to the left column and muls to the
+/// checkerboard; every mapping passes the independent invariant check.
+#[test]
+fn suite_mapping_invariants_hold_on_homogeneous_and_heterogeneous_grids() {
+    let homo = Cgra::new(5, 5).unwrap();
+    let het = Cgra::new(5, 5)
+        .unwrap()
+        .with_capability_profile(CapabilityProfile::MemLeftMulCheckerboard);
+    for cgra in [&homo, &het] {
+        for name in suite::names() {
+            let dfg = suite::generate(name);
+            let result = DecoupledMapper::new(cgra)
+                .map(&dfg)
+                .unwrap_or_else(|e| panic!("{name} on {cgra}: {e}"));
+            assert_mapping_invariants(&dfg, cgra, &result.mapping);
+        }
+    }
+}
 
 /// Exact mappers must achieve the same II (both are complete per
 /// (II, slack) level and search IIs in ascending order).

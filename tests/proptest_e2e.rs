@@ -1,9 +1,12 @@
 //! Property-based end-to-end tests: randomly generated loop kernels
-//! must map (or fail cleanly), and every produced mapping must satisfy
-//! all invariants and execute correctly.
+//! must map (or fail cleanly) — on homogeneous *and* randomly
+//! heterogeneous grids — and every produced mapping must satisfy all
+//! invariants and execute correctly, differential-checked between the
+//! reference interpreter and the capability-policing machine simulator.
 
 use proptest::prelude::*;
 
+use monomap::arch::{OpClass, OpClassSet};
 use monomap::prelude::*;
 
 /// Strategy: a random valid loop DFG of 3..=18 nodes built from a
@@ -56,11 +59,40 @@ fn arb_dfg() -> impl Strategy<Value = Dfg> {
         })
 }
 
+/// Strategy: a random per-PE capability map for an `n`-PE grid. Every
+/// PE keeps the ALU (so no set is empty); each additionally gets the
+/// multiplier and/or memory port with independent probability, with PE0
+/// forced to full capability so small kernels usually stay mappable.
+fn arb_capabilities(n: usize) -> impl Strategy<Value = Vec<OpClassSet>> {
+    // The vendored proptest stub only takes a length *range*; draw
+    // exactly `n`.
+    #[allow(clippy::range_plus_one)]
+    proptest::collection::vec(0u8..4, n..n + 1).prop_map(|draws| {
+        draws
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let mut set = OpClassSet::only(OpClass::Alu);
+                if i == 0 || d & 1 != 0 {
+                    set = set.with(OpClass::Mul);
+                }
+                if i == 0 || d & 2 != 0 {
+                    set = set.with(OpClass::Mem);
+                }
+                set
+            })
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Any random kernel that maps produces a mapping satisfying every
-    /// invariant, at an II no lower than the bound.
+    /// invariant, at an II no lower than the bound — and executes
+    /// identically on the machine simulator and the reference
+    /// interpreter (random kernels are store-free, so the differential
+    /// check is exact).
     #[test]
     fn random_kernels_map_validly(dfg in arb_dfg()) {
         let cgra = Cgra::new(3, 3).unwrap();
@@ -69,6 +101,15 @@ proptest! {
             Ok(result) => {
                 prop_assert!(result.mapping.validate(&dfg, &cgra).is_ok());
                 prop_assert!(result.mapping.ii() >= mii);
+                let env = SimEnv::new(32)
+                    .with_memory((0..32).map(|i| i * 7).collect())
+                    .with_input_stream(vec![3, -4, 11]);
+                let reference = interpret(&dfg, &env, 3).unwrap();
+                let machine = MachineSimulator::new(&cgra, &dfg, &result.mapping)
+                    .run(&env, 3)
+                    .unwrap();
+                prop_assert_eq!(&reference.outputs, &machine.outputs);
+                prop_assert_eq!(&reference.memory, &machine.memory);
             }
             Err(e) => {
                 // Only clean, explainable failures are acceptable.
@@ -117,6 +158,53 @@ proptest! {
         // II escalation) must map the kernel.
         let result = monomap::core::DecoupledMapper::new(&cgra).map(&dfg);
         prop_assert!(result.is_ok(), "mapper failed: {:?}", result.err());
+    }
+
+    /// Heterogeneous end-to-end: a random kernel on a random capability
+    /// map either maps — with every invariant holding, every op on a
+    /// capable PE, and the machine simulator (which independently
+    /// refuses capability violations) agreeing with the reference
+    /// interpreter — or fails cleanly. Random kernels never contain
+    /// stores, so the two simulators' memory orderings cannot diverge
+    /// and the differential check is exact.
+    #[test]
+    fn random_kernels_on_random_heterogeneous_grids(
+        dfg in arb_dfg(),
+        caps in arb_capabilities(16),
+        inputs in proptest::collection::vec(-50i64..50, 4..5),
+    ) {
+        let cgra = Cgra::new(4, 4).unwrap().with_pe_capabilities(caps).unwrap();
+        let mii = min_ii(&dfg, &cgra);
+        match DecoupledMapper::new(&cgra).map(&dfg) {
+            Ok(result) => {
+                prop_assert!(result.mapping.validate(&dfg, &cgra).is_ok());
+                prop_assert!(result.mapping.ii() >= mii);
+                for v in dfg.nodes() {
+                    prop_assert!(
+                        cgra.supports(result.mapping.pe(v), dfg.op(v).op_class()),
+                        "{v:?} on incapable PE"
+                    );
+                }
+                // Differential: reference interpreter vs machine run.
+                let iterations = inputs.len();
+                let env = SimEnv::new(64)
+                    .with_memory((0..64).map(|i| i * 5).collect())
+                    .with_input_stream(inputs.clone());
+                let reference = interpret(&dfg, &env, iterations).unwrap();
+                let machine = MachineSimulator::new(&cgra, &dfg, &result.mapping)
+                    .run(&env, iterations)
+                    .unwrap();
+                prop_assert_eq!(&reference.outputs, &machine.outputs);
+                prop_assert_eq!(&reference.memory, &machine.memory);
+            }
+            Err(e) => {
+                prop_assert!(matches!(
+                    e,
+                    monomap::core::MapError::NoSolution { .. }
+                        | monomap::core::MapError::UnsupportedOpClass { .. }
+                ), "unexpected failure: {e}");
+            }
+        }
     }
 
     /// Mapped execution matches the reference interpreter on memoryless
