@@ -1,4 +1,4 @@
-//! A DRESC-style simulated-annealing mapper ([11] in the paper's
+//! A DRESC-style simulated-annealing mapper (\[11\] in the paper's
 //! related work): schedule, placement and routing are perturbed
 //! together, guided by a penalty cost. Heuristic and incomplete —
 //! included as the classic point of comparison for the ablation
@@ -15,8 +15,13 @@ use cgra_arch::{Cgra, PeId};
 use cgra_base::CancelFlag;
 use cgra_dfg::{Dfg, EdgeKind};
 use cgra_sched::{min_ii, unsupported_op_class, Kms, Mobility};
-use monomap_core::{MapError, Mapping, Placement};
+use monomap_core::api::{
+    emit, run_request, EngineId, MapEvent, MapObserver, MapReport, MapRequest, Mapper,
+    SpaceAttemptOutcome,
+};
+use monomap_core::{MapError, MapperConfig, Mapping, Placement};
 
+use crate::coupled::baseline_report;
 use crate::{BaselineResult, BaselineStats};
 
 /// Annealing schedule parameters.
@@ -55,28 +60,47 @@ impl Default for AnnealingConfig {
     }
 }
 
+impl AnnealingConfig {
+    /// The shared-subset projection of the unified [`MapperConfig`]:
+    /// only the II cap carries over. The annealing-specific knobs
+    /// (schedule, restarts, seed, window slack) keep their defaults so
+    /// the trait path behaves exactly like `AnnealingMapper::new` —
+    /// the engine stays comparable across the native and service
+    /// paths.
+    pub fn from_mapper_config(config: &MapperConfig) -> Self {
+        AnnealingConfig {
+            max_ii: config.max_ii,
+            ..AnnealingConfig::default()
+        }
+    }
+}
+
 /// The simulated-annealing mapper.
+///
+/// Owns a clone of its CGRA, so it satisfies the `'static` bound of
+/// `Box<dyn Mapper>` and registers with a
+/// [`monomap_core::api::MappingService`].
 #[derive(Clone, Debug)]
-pub struct AnnealingMapper<'a> {
-    cgra: &'a Cgra,
+pub struct AnnealingMapper {
+    cgra: Cgra,
     config: AnnealingConfig,
     cancel: Option<CancelFlag>,
 }
 
-impl<'a> AnnealingMapper<'a> {
+impl AnnealingMapper {
     /// An annealer with default parameters.
-    pub fn new(cgra: &'a Cgra) -> Self {
+    pub fn new(cgra: &Cgra) -> Self {
         AnnealingMapper {
-            cgra,
+            cgra: cgra.clone(),
             config: AnnealingConfig::default(),
             cancel: None,
         }
     }
 
     /// An annealer with explicit parameters.
-    pub fn with_config(cgra: &'a Cgra, config: AnnealingConfig) -> Self {
+    pub fn with_config(cgra: &Cgra, config: AnnealingConfig) -> Self {
         AnnealingMapper {
-            cgra,
+            cgra: cgra.clone(),
             config,
             cancel: None,
         }
@@ -86,8 +110,15 @@ impl<'a> AnnealingMapper<'a> {
     /// temperature step inside the annealing loop (the same idiom as
     /// the exact mappers, so a bench watchdog can always release an
     /// annealing cell).
+    pub fn set_cancel(&mut self, flag: CancelFlag) {
+        self.cancel = Some(flag);
+    }
+
+    /// Installs a cooperative cancellation flag from a raw shared
+    /// atomic.
+    #[deprecated(since = "0.1.0", note = "use `set_cancel(CancelFlag::from_arc(flag))`")]
     pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
-        self.cancel = Some(CancelFlag::from_arc(flag));
+        self.set_cancel(CancelFlag::from_arc(flag));
     }
 
     fn cancelled(&self) -> bool {
@@ -103,12 +134,39 @@ impl<'a> AnnealingMapper<'a> {
     /// cancellation flag installed a raised flag surfaces as
     /// [`MapError::Timeout`].
     pub fn map(&self, dfg: &Dfg) -> Result<BaselineResult, MapError> {
+        self.map_observed(dfg, None)
+    }
+
+    /// Like [`AnnealingMapper::map`], but emitting structured
+    /// [`MapEvent`]s: one [`MapEvent::SpaceAttempt`] per annealing
+    /// restart (the annealer perturbs schedule and placement jointly,
+    /// so no [`MapEvent::TimeSolutionFound`] events occur).
+    pub fn map_observed(
+        &self,
+        dfg: &Dfg,
+        observer: Option<&dyn MapObserver>,
+    ) -> Result<BaselineResult, MapError> {
+        let result = self.map_inner(dfg, observer);
+        if let Some(obs) = observer {
+            obs.on_event(&MapEvent::Finished {
+                mapped: result.is_ok(),
+                ii: result.as_ref().ok().map(|r| r.mapping.ii()),
+            });
+        }
+        result
+    }
+
+    fn map_inner(
+        &self,
+        dfg: &Dfg,
+        obs: Option<&dyn MapObserver>,
+    ) -> Result<BaselineResult, MapError> {
         dfg.validate()?;
-        if let Some(class) = unsupported_op_class(dfg, self.cgra) {
+        if let Some(class) = unsupported_op_class(dfg, &self.cgra) {
             return Err(MapError::UnsupportedOpClass { class });
         }
         let start = Instant::now();
-        let mii = min_ii(dfg, self.cgra);
+        let mii = min_ii(dfg, &self.cgra);
         let max_ii = self.config.max_ii.unwrap_or(mii + 16).max(mii);
         let mobility = Mobility::compute(dfg).expect("validated DFG");
         let mut stats = BaselineStats {
@@ -120,19 +178,40 @@ impl<'a> AnnealingMapper<'a> {
 
         for ii in mii..=max_ii {
             stats.iis_tried += 1;
+            emit(obs, MapEvent::IiStarted { ii });
             let kms = Kms::with_slack(&mobility, ii, self.config.window_slack);
             let times: Vec<Vec<usize>> = dfg.nodes().map(|v| kms.times_of(v)).collect();
             for _ in 0..self.config.restarts {
                 if self.cancelled() {
                     return Err(MapError::Timeout { ii });
                 }
-                if let Some(mapping) = self.anneal_once(dfg, ii, &times, &classes, &mut rng) {
+                let found = self.anneal_once(dfg, ii, &times, &classes, &mut rng);
+                emit(
+                    obs,
+                    MapEvent::SpaceAttempt {
+                        ii,
+                        slack: self.config.window_slack,
+                        outcome: if found.is_some() {
+                            SpaceAttemptOutcome::Found
+                        } else {
+                            SpaceAttemptOutcome::Exhausted
+                        },
+                    },
+                );
+                if let Some(mapping) = found {
                     stats.achieved_ii = ii;
                     stats.total_seconds = start.elapsed().as_secs_f64();
-                    debug_assert_eq!(mapping.validate(dfg, self.cgra), Ok(()));
+                    debug_assert_eq!(mapping.validate(dfg, &self.cgra), Ok(()));
                     return Ok(BaselineResult { mapping, stats });
                 }
             }
+            emit(
+                obs,
+                MapEvent::Escalated {
+                    ii,
+                    slack: self.config.window_slack,
+                },
+            );
         }
         if self.cancelled() {
             return Err(MapError::Timeout { ii: max_ii });
@@ -270,6 +349,23 @@ impl<'a> AnnealingMapper<'a> {
     }
 }
 
+impl Mapper for AnnealingMapper {
+    fn engine_id(&self) -> EngineId {
+        EngineId::Annealing
+    }
+
+    fn map(&self, req: &MapRequest) -> MapReport {
+        let cgra = req.cgra.as_ref().unwrap_or(&self.cgra);
+        let mut inner =
+            AnnealingMapper::with_config(cgra, AnnealingConfig::from_mapper_config(&req.config));
+        let result = run_request(req, |flag| {
+            inner.set_cancel(flag);
+            inner.map_observed(&req.dfg, req.observer.as_deref())
+        });
+        baseline_report(EngineId::Annealing, req, result)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +401,18 @@ mod tests {
 
     #[test]
     fn cancel_flag_times_out_annealer() {
+        let cgra = Cgra::new(3, 3).unwrap();
+        let dfg = running_example();
+        let mut mapper = AnnealingMapper::new(&cgra);
+        let flag = CancelFlag::new();
+        flag.cancel();
+        mapper.set_cancel(flag);
+        assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_set_cancel_flag_shim_still_works() {
         use std::sync::atomic::AtomicBool;
         use std::sync::Arc;
         let cgra = Cgra::new(3, 3).unwrap();
@@ -315,9 +423,19 @@ mod tests {
     }
 
     #[test]
+    fn trait_path_matches_native_mapping() {
+        // The annealer is seeded, so the trait path (same defaults)
+        // reproduces the native mapping exactly.
+        let cgra = Cgra::new(3, 3).unwrap();
+        let dfg = accumulator();
+        let native = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
+        let boxed: Box<dyn Mapper> = Box::new(AnnealingMapper::new(&cgra));
+        let report = boxed.map(&MapRequest::new(EngineId::Annealing, dfg.clone()));
+        assert_eq!(report.mapping.as_ref(), Some(&native.mapping));
+    }
+
+    #[test]
     fn cancel_mid_anneal_returns_within_bounded_delay() {
-        use std::sync::atomic::AtomicBool;
-        use std::sync::Arc;
         use std::time::{Duration, Instant};
         // A hopeless instance (a chain that needs neighbours, on a
         // neighbourless 1×1 CGRA) with a huge move budget: uncancelled,
@@ -337,15 +455,15 @@ mod tests {
             restarts: 8,
             ..AnnealingConfig::default()
         };
-        let flag = Arc::new(AtomicBool::new(false));
+        let flag = CancelFlag::new();
         let mut mapper = AnnealingMapper::with_config(&cgra, cfg);
-        mapper.set_cancel_flag(Arc::clone(&flag));
+        mapper.set_cancel(flag.clone());
         let started = Instant::now();
         let result = std::thread::scope(|scope| {
-            let watchdog = Arc::clone(&flag);
+            let watchdog = flag.clone();
             scope.spawn(move || {
                 std::thread::sleep(Duration::from_millis(50));
-                watchdog.store(true, std::sync::atomic::Ordering::Relaxed);
+                watchdog.cancel();
             });
             mapper.map(&dfg)
         });

@@ -29,7 +29,11 @@ use cgra_dfg::{Dfg, EdgeKind};
 use cgra_sat::{SatResult, Solver};
 use cgra_sched::{min_ii, unsupported_op_class, Kms, Mobility};
 use cgra_smt::{at_most_one, Budget, Lit};
-use monomap_core::{MapError, Mapping, Placement};
+use monomap_core::api::{
+    emit, run_request, EngineId, MapEvent, MapObserver, MapOutcome, MapReport, MapRequest, Mapper,
+    SpaceAttemptOutcome,
+};
+use monomap_core::{MapError, MapStats, MapperConfig, Mapping, Placement};
 
 /// Configuration of the coupled mapper.
 #[derive(Clone, Debug)]
@@ -49,6 +53,20 @@ impl Default for CoupledConfig {
             max_ii: None,
             max_window_slack: 2,
             budget: None,
+        }
+    }
+}
+
+impl CoupledConfig {
+    /// The shared-subset projection of the unified [`MapperConfig`]
+    /// (II cap, window-slack ceiling, SAT budget); decoupled-only knobs
+    /// are ignored. This is how the [`Mapper`] trait path configures
+    /// the engine.
+    pub fn from_mapper_config(config: &MapperConfig) -> Self {
+        CoupledConfig {
+            max_ii: config.max_ii,
+            max_window_slack: config.max_window_slack,
+            budget: config.time_budget.clone(),
         }
     }
 }
@@ -79,36 +97,66 @@ pub struct BaselineStats {
     pub clauses: usize,
 }
 
+impl From<BaselineStats> for MapStats {
+    /// Projects the baseline statistics into the unified superset;
+    /// fields the baselines do not meter (phase split, time-solution
+    /// and mono-step counters) stay at their defaults, and
+    /// `time_strategy` is `None` (the baselines have no decoupled time
+    /// phase).
+    fn from(s: BaselineStats) -> MapStats {
+        MapStats {
+            mii: s.mii,
+            achieved_ii: s.achieved_ii,
+            total_seconds: s.total_seconds,
+            iis_tried: s.iis_tried,
+            sat_vars: s.sat_vars,
+            clauses: s.clauses,
+            ..MapStats::default()
+        }
+    }
+}
+
 /// The coupled SAT mapper. See the module docs for the encoding.
+///
+/// Owns a clone of its CGRA, so it satisfies the `'static` bound of
+/// `Box<dyn Mapper>` and registers with a
+/// [`monomap_core::api::MappingService`].
 #[derive(Clone, Debug)]
-pub struct CoupledMapper<'a> {
-    cgra: &'a Cgra,
+pub struct CoupledMapper {
+    cgra: Cgra,
     config: CoupledConfig,
     cancel: Option<CancelFlag>,
 }
 
-impl<'a> CoupledMapper<'a> {
+impl CoupledMapper {
     /// A coupled mapper with default configuration.
-    pub fn new(cgra: &'a Cgra) -> Self {
+    pub fn new(cgra: &Cgra) -> Self {
         CoupledMapper {
-            cgra,
+            cgra: cgra.clone(),
             config: CoupledConfig::default(),
             cancel: None,
         }
     }
 
     /// A coupled mapper with explicit configuration.
-    pub fn with_config(cgra: &'a Cgra, config: CoupledConfig) -> Self {
+    pub fn with_config(cgra: &Cgra, config: CoupledConfig) -> Self {
         CoupledMapper {
-            cgra,
+            cgra: cgra.clone(),
             config,
             cancel: None,
         }
     }
 
     /// Installs a cooperative cancellation flag.
+    pub fn set_cancel(&mut self, flag: CancelFlag) {
+        self.cancel = Some(flag);
+    }
+
+    /// Installs a cooperative cancellation flag from a raw shared
+    /// atomic.
+    #[deprecated(since = "0.1.0", note = "use `set_cancel(CancelFlag::from_arc(flag))`")]
     pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
-        self.cancel = Some(CancelFlag::from_arc(flag));
+        self.set_cancel(CancelFlag::from_arc(flag));
     }
 
     fn cancelled(&self) -> bool {
@@ -121,12 +169,40 @@ impl<'a> CoupledMapper<'a> {
     ///
     /// Same contract as [`monomap_core::DecoupledMapper::map`].
     pub fn map(&self, dfg: &Dfg) -> Result<BaselineResult, MapError> {
+        self.map_observed(dfg, None)
+    }
+
+    /// Like [`CoupledMapper::map`], but emitting structured
+    /// [`MapEvent`]s. The coupled search is joint, so each `(II,
+    /// slack)` SAT attempt is reported as one
+    /// [`MapEvent::SpaceAttempt`] and no
+    /// [`MapEvent::TimeSolutionFound`] events occur.
+    pub fn map_observed(
+        &self,
+        dfg: &Dfg,
+        observer: Option<&dyn MapObserver>,
+    ) -> Result<BaselineResult, MapError> {
+        let result = self.map_inner(dfg, observer);
+        if let Some(obs) = observer {
+            obs.on_event(&MapEvent::Finished {
+                mapped: result.is_ok(),
+                ii: result.as_ref().ok().map(|r| r.mapping.ii()),
+            });
+        }
+        result
+    }
+
+    fn map_inner(
+        &self,
+        dfg: &Dfg,
+        obs: Option<&dyn MapObserver>,
+    ) -> Result<BaselineResult, MapError> {
         dfg.validate()?;
-        if let Some(class) = unsupported_op_class(dfg, self.cgra) {
+        if let Some(class) = unsupported_op_class(dfg, &self.cgra) {
             return Err(MapError::UnsupportedOpClass { class });
         }
         let start = Instant::now();
-        let mii = min_ii(dfg, self.cgra);
+        let mii = min_ii(dfg, &self.cgra);
         let max_ii = self.config.max_ii.unwrap_or(mii + 16).max(mii);
         let mut stats = BaselineStats {
             mii,
@@ -136,18 +212,35 @@ impl<'a> CoupledMapper<'a> {
 
         for ii in mii..=max_ii {
             stats.iis_tried += 1;
+            emit(obs, MapEvent::IiStarted { ii });
             for slack in 0..=self.config.max_window_slack {
                 if self.cancelled() {
                     return Err(MapError::Timeout { ii });
                 }
-                match self.attempt(dfg, &mobility, ii, slack, &mut stats) {
+                let attempt = self.attempt(dfg, &mobility, ii, slack, &mut stats);
+                emit(
+                    obs,
+                    MapEvent::SpaceAttempt {
+                        ii,
+                        slack,
+                        outcome: match &attempt {
+                            Attempt::Found(_) => SpaceAttemptOutcome::Found,
+                            Attempt::Unsat => SpaceAttemptOutcome::Exhausted,
+                            Attempt::Timeout => SpaceAttemptOutcome::Cancelled,
+                        },
+                    },
+                );
+                match attempt {
                     Attempt::Found(mapping) => {
                         stats.achieved_ii = ii;
                         stats.total_seconds = start.elapsed().as_secs_f64();
-                        debug_assert_eq!(mapping.validate(dfg, self.cgra), Ok(()));
+                        debug_assert_eq!(mapping.validate(dfg, &self.cgra), Ok(()));
                         return Ok(BaselineResult { mapping, stats });
                     }
-                    Attempt::Unsat => continue,
+                    Attempt::Unsat => {
+                        emit(obs, MapEvent::Escalated { ii, slack });
+                        continue;
+                    }
                     Attempt::Timeout => return Err(MapError::Timeout { ii }),
                 }
             }
@@ -307,6 +400,43 @@ impl<'a> CoupledMapper<'a> {
     }
 }
 
+impl Mapper for CoupledMapper {
+    fn engine_id(&self) -> EngineId {
+        EngineId::Coupled
+    }
+
+    fn map(&self, req: &MapRequest) -> MapReport {
+        let cgra = req.cgra.as_ref().unwrap_or(&self.cgra);
+        let mut inner =
+            CoupledMapper::with_config(cgra, CoupledConfig::from_mapper_config(&req.config));
+        let result = run_request(req, |flag| {
+            inner.set_cancel(flag);
+            inner.map_observed(&req.dfg, req.observer.as_deref())
+        });
+        baseline_report(EngineId::Coupled, req, result)
+    }
+}
+
+/// Folds a baseline engine's native result into the unified report —
+/// the shared success/failure assembly of both baseline [`Mapper`]
+/// impls.
+pub(crate) fn baseline_report(
+    engine: EngineId,
+    req: &MapRequest,
+    result: Result<BaselineResult, MapError>,
+) -> MapReport {
+    match result {
+        Ok(r) => MapReport {
+            engine,
+            dfg_name: req.dfg.name().to_string(),
+            outcome: MapOutcome::Mapped { ii: r.mapping.ii() },
+            stats: r.stats.into(),
+            mapping: Some(r.mapping),
+        },
+        Err(e) => MapReport::from_error(engine, &req.dfg, e, MapStats::default()),
+    }
+}
+
 enum Attempt {
     Found(Mapping),
     Unsat,
@@ -356,8 +486,32 @@ mod tests {
         let cgra = Cgra::new(2, 2).unwrap();
         let dfg = running_example();
         let mut mapper = CoupledMapper::new(&cgra);
+        let flag = CancelFlag::new();
+        flag.cancel();
+        mapper.set_cancel(flag);
+        assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_set_cancel_flag_shim_still_works() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let mut mapper = CoupledMapper::new(&cgra);
         mapper.set_cancel_flag(Arc::new(AtomicBool::new(true)));
         assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
+    }
+
+    #[test]
+    fn trait_path_matches_native_ii() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let native = CoupledMapper::new(&cgra).map(&dfg).unwrap();
+        let boxed: Box<dyn Mapper> = Box::new(CoupledMapper::new(&cgra));
+        let report = boxed.map(&MapRequest::new(EngineId::Coupled, dfg.clone()));
+        assert_eq!(report.outcome.ii(), Some(native.mapping.ii()));
+        assert_eq!(report.stats.mii, native.stats.mii);
+        assert!(report.stats.sat_vars > 0, "coupled CNF size is reported");
     }
 
     #[test]

@@ -2,14 +2,14 @@
 //!
 //! The comparison systems of the paper's evaluation, rebuilt:
 //!
-//! * [`CoupledMapper`] — a SAT-MapIt-style exact mapper ([22] in the
+//! * [`CoupledMapper`] — a SAT-MapIt-style exact mapper (\[22\] in the
 //!   paper): one joint SAT formulation over `(node, time, PE)`
 //!   placement variables, i.e. the *coupled* space-time search whose
 //!   cost grows with the CGRA size. It shares the KMS windows, the
 //!   dependence semantics and the CDCL core with the decoupled mapper,
 //!   which makes the comparison hardware-independent and conservative.
 //! * [`AnnealingMapper`] — a DRESC-style simulated-annealing heuristic
-//!   ([11] in the paper's related work), used in ablation benches.
+//!   (\[11\] in the paper's related work), used in ablation benches.
 //!
 //! Both produce the same [`monomap_core::Mapping`] type and are checked
 //! by the same validator, so quality (II) comparisons are apples to
@@ -38,3 +38,39 @@ mod coupled;
 
 pub use anneal::{AnnealingConfig, AnnealingMapper};
 pub use coupled::{BaselineResult, BaselineStats, CoupledConfig, CoupledMapper};
+
+use cgra_arch::Cgra;
+use monomap_core::api::MappingService;
+use monomap_core::DecoupledMapper;
+
+/// A [`MappingService`] over `cgra` with **all three** engines
+/// registered: the paper's decoupled mapper plus both baselines.
+///
+/// This is the one-liner behind the bench harness and the examples —
+/// `monomap_core` alone can only register the decoupled engine (the
+/// baselines live downstream of it).
+///
+/// # Examples
+///
+/// ```
+/// use cgra_arch::Cgra;
+/// use cgra_baseline::standard_service;
+/// use monomap_core::api::{EngineId, MapRequest};
+///
+/// let cgra = Cgra::new(2, 2)?;
+/// let service = standard_service(&cgra);
+/// let dfg = cgra_dfg::examples::accumulator();
+/// let reports = service.map_batch(&[
+///     MapRequest::new(EngineId::Decoupled, dfg.clone()),
+///     MapRequest::new(EngineId::Coupled, dfg.clone()),
+///     MapRequest::new(EngineId::Annealing, dfg),
+/// ]);
+/// assert!(reports.iter().all(|r| r.outcome.is_mapped()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn standard_service(cgra: &Cgra) -> MappingService {
+    MappingService::new(cgra)
+        .with_engine(Box::new(DecoupledMapper::new(cgra)))
+        .with_engine(Box::new(CoupledMapper::new(cgra)))
+        .with_engine(Box::new(AnnealingMapper::new(cgra)))
+}

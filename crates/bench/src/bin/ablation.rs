@@ -14,10 +14,21 @@
 use std::time::{Duration, Instant};
 
 use cgra_arch::{Cgra, Topology};
-use cgra_dfg::suite;
+use cgra_dfg::{suite, Dfg};
 use cgra_sched::{min_ii, SolveOutcome, TimeSolver, TimeSolverConfig};
 use monomap_bench::{run_cell, MapperKind};
-use monomap_core::{space_search, DecoupledMapper, MapperConfig, SpaceOutcome};
+use monomap_core::api::{EngineId, MapRequest, MappingService};
+use monomap_core::{space_search, MapperConfig, SpaceOutcome};
+
+/// Runs one decoupled request through a service and reports
+/// `(II, wall-clock seconds)` — the shared cell of the mapper-level
+/// ablations (all of them vary only the request's configuration).
+fn service_cell(service: &MappingService, dfg: &Dfg, config: MapperConfig) -> (Option<usize>, f64) {
+    let t0 = Instant::now();
+    let report =
+        service.map(&MapRequest::new(EngineId::Decoupled, dfg.clone()).with_config(config));
+    (report.outcome.ii(), t0.elapsed().as_secs_f64())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,12 +66,14 @@ fn time_strategy() {
         "benchmark", "II smt", "t smt", "II ims", "t ims"
     );
     let cgra = Cgra::new(5, 5).unwrap();
+    let service = MappingService::new(&cgra);
     for dfg in suite::generate_all() {
         let run = |strategy: TimeStrategy| {
-            let cfg = MapperConfig::new().with_time_strategy(strategy);
-            let t0 = Instant::now();
-            let r = DecoupledMapper::with_config(&cgra, cfg).map(&dfg);
-            (r.map(|r| r.mapping.ii()).ok(), t0.elapsed().as_secs_f64())
+            service_cell(
+                &service,
+                &dfg,
+                MapperConfig::new().with_time_strategy(strategy),
+            )
         };
         let (ii_s, t_s) = run(TimeStrategy::Smt);
         let (ii_h, t_h) = run(TimeStrategy::Heuristic);
@@ -96,9 +109,10 @@ fn constraint_families() {
             let mii = min_ii(&dfg, &cgra);
             for ii in mii..=mii + 8 {
                 for slack in 0..=2 {
-                    let mut cfg = TimeSolverConfig::for_cgra(&cgra).with_window_slack(slack);
-                    cfg.capacity_constraints = enable;
-                    cfg.connectivity_constraints = enable;
+                    let cfg = TimeSolverConfig::for_cgra(&cgra)
+                        .with_window_slack(slack)
+                        .with_capacity_constraints(enable)
+                        .with_connectivity_constraints(enable);
                     let mut solver = match TimeSolver::new(&dfg, ii, cfg) {
                         Ok(s) => s,
                         Err(_) => return "error",
@@ -145,12 +159,14 @@ fn strictness(timeout: f64) {
         "benchmark", "II paper", "t paper", "II strict", "t strict"
     );
     let cgra = Cgra::new(5, 5).unwrap();
+    let service = MappingService::new(&cgra);
     for dfg in suite::generate_all() {
         let run = |strict: bool| {
-            let cfg = MapperConfig::new().with_strict_connectivity(strict);
-            let t0 = Instant::now();
-            let r = DecoupledMapper::with_config(&cgra, cfg).map(&dfg);
-            (r.map(|r| r.mapping.ii()).ok(), t0.elapsed().as_secs_f64())
+            service_cell(
+                &service,
+                &dfg,
+                MapperConfig::new().with_strict_connectivity(strict),
+            )
         };
         let (ii_p, t_p) = run(false);
         let (ii_s, t_s) = run(true);
@@ -175,15 +191,13 @@ fn topology(timeout: f64) {
         "{:<16} | {:>9} {:>9} | {:>9} {:>9}",
         "benchmark", "II torus", "t torus", "II mesh", "t mesh"
     );
+    // One service per topology: requests share each service's CGRA.
+    let torus = MappingService::new(&Cgra::with_topology(5, 5, Topology::Torus).unwrap());
+    let mesh = MappingService::new(&Cgra::with_topology(5, 5, Topology::Mesh).unwrap());
     for dfg in suite::generate_all() {
-        let run = |topo: Topology| {
-            let cgra = Cgra::with_topology(5, 5, topo).unwrap();
-            let t0 = Instant::now();
-            let r = DecoupledMapper::new(&cgra).map(&dfg);
-            (r.map(|r| r.mapping.ii()).ok(), t0.elapsed().as_secs_f64())
-        };
-        let (ii_t, t_t) = run(Topology::Torus);
-        let (ii_m, t_m) = run(Topology::Mesh);
+        let run = |service: &MappingService| service_cell(service, &dfg, MapperConfig::new());
+        let (ii_t, t_t) = run(&torus);
+        let (ii_m, t_m) = run(&mesh);
         let _ = timeout;
         println!(
             "{:<16} | {:>9} {:>9.3} | {:>9} {:>9.3}",

@@ -1,17 +1,22 @@
 //! One experiment cell: (benchmark, CGRA size, mapper) under a
 //! wall-clock timeout.
+//!
+//! Cells run through the unified
+//! [`MappingService`](monomap_core::api::MappingService): one
+//! [`MapRequest`] per cell, engine selected by id, the wall-clock
+//! timeout expressed as the request deadline. The per-engine
+//! constructor/watchdog glue this module used to carry lives behind
+//! the service now.
 
-use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-use cgra_base::CancelFlag;
 use serde::{Deserialize, Serialize};
 
 use cgra_arch::{CapabilityProfile, Cgra};
-use cgra_baseline::{AnnealingMapper, CoupledMapper};
+use cgra_baseline::standard_service;
 use cgra_dfg::Dfg;
-use cgra_sched::min_ii;
-use monomap_core::{DecoupledMapper, MapError};
+use monomap_core::api::{EngineId, MapOutcome, MapRequest};
+use monomap_core::MapError;
 
 /// Which mapper to run in a cell.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -31,6 +36,15 @@ impl MapperKind {
             MapperKind::Monomorphism => "monomorphism",
             MapperKind::SatMapIt => "sat-mapit",
             MapperKind::Annealing => "annealing",
+        }
+    }
+
+    /// The service engine id this kind dispatches to.
+    pub fn engine(self) -> EngineId {
+        match self {
+            MapperKind::Monomorphism => EngineId::Decoupled,
+            MapperKind::SatMapIt => EngineId::Coupled,
+            MapperKind::Annealing => EngineId::Annealing,
         }
     }
 }
@@ -96,11 +110,12 @@ pub fn run_cell(dfg: &Dfg, size: usize, kind: MapperKind, timeout: Duration) -> 
 /// Runs one cell on a `size × size` grid with the given capability
 /// profile, under a wall-clock timeout.
 ///
-/// The mapper runs on a worker thread with a cooperative cancellation
-/// flag; when the timeout fires the flag is raised and the worker
-/// returns at its next cancellation point (SAT decisions, solver
-/// boundaries, monomorphism DFS steps, annealing temperature steps), so
-/// cells never wedge the harness — every mapper kind observes the flag.
+/// The cell is one [`MapRequest`] with the timeout as its deadline:
+/// the service's watchdog raises the engine's cancellation flag when
+/// the deadline expires, and the engine returns at its next
+/// cancellation point (SAT decisions, solver boundaries, monomorphism
+/// DFS steps, annealing temperature steps), so cells never wedge the
+/// harness — every engine observes the flag.
 pub fn run_cell_with_profile(
     dfg: &Dfg,
     size: usize,
@@ -111,77 +126,28 @@ pub fn run_cell_with_profile(
     let cgra = Cgra::new(size, size)
         .expect("valid grid size")
         .with_capability_profile(profile);
-    let mii = min_ii(dfg, &cgra);
-    let flag = CancelFlag::new();
+    let service = standard_service(&cgra);
+    let mii = cgra_sched::min_ii(dfg, &cgra);
     let started = Instant::now();
-
-    let (outcome, time_phase, space_phase) = std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel();
-        let worker_flag = flag.arc();
-        let cgra_ref = &cgra;
-        scope.spawn(move || {
-            let result = match kind {
-                MapperKind::Monomorphism => {
-                    let mut mapper = DecoupledMapper::new(cgra_ref);
-                    mapper.set_cancel_flag(worker_flag);
-                    match mapper.map(dfg) {
-                        Ok(r) => (
-                            CellOutcome::Mapped { ii: r.mapping.ii() },
-                            r.stats.time_phase_seconds,
-                            r.stats.space_phase_seconds,
-                        ),
-                        Err(MapError::Timeout { .. }) => (CellOutcome::Timeout, 0.0, 0.0),
-                        Err(_) => (CellOutcome::NoSolution, 0.0, 0.0),
-                    }
-                }
-                MapperKind::SatMapIt => {
-                    let mut mapper = CoupledMapper::new(cgra_ref);
-                    mapper.set_cancel_flag(worker_flag);
-                    match mapper.map(dfg) {
-                        Ok(r) => (CellOutcome::Mapped { ii: r.mapping.ii() }, 0.0, 0.0),
-                        Err(MapError::Timeout { .. }) => (CellOutcome::Timeout, 0.0, 0.0),
-                        Err(_) => (CellOutcome::NoSolution, 0.0, 0.0),
-                    }
-                }
-                MapperKind::Annealing => {
-                    let mut mapper = AnnealingMapper::new(cgra_ref);
-                    mapper.set_cancel_flag(worker_flag);
-                    match mapper.map(dfg) {
-                        Ok(r) => (CellOutcome::Mapped { ii: r.mapping.ii() }, 0.0, 0.0),
-                        Err(MapError::Timeout { .. }) => (CellOutcome::Timeout, 0.0, 0.0),
-                        Err(_) => (CellOutcome::NoSolution, 0.0, 0.0),
-                    }
-                }
-            };
-            let _ = tx.send(result);
-        });
-        match rx.recv_timeout(timeout) {
-            Ok(r) => r,
-            Err(_) => {
-                flag.cancel();
-                // The worker notices the flag and reports a timeout; the
-                // scope join below waits for it.
-                match rx.recv() {
-                    Ok((CellOutcome::Mapped { ii }, t, s)) => {
-                        // Finished in the race window: keep the result.
-                        (CellOutcome::Mapped { ii }, t, s)
-                    }
-                    _ => (CellOutcome::Timeout, 0.0, 0.0),
-                }
-            }
-        }
-    });
-
+    let report = service.map(&MapRequest::new(kind.engine(), dfg.clone()).with_deadline(timeout));
+    let total_seconds = started.elapsed().as_secs_f64();
+    let outcome = match &report.outcome {
+        MapOutcome::Mapped { ii } => CellOutcome::Mapped { ii: *ii },
+        MapOutcome::Failed(MapError::Timeout { .. }) => CellOutcome::Timeout,
+        MapOutcome::Failed(_) | MapOutcome::Rejected { .. } => CellOutcome::NoSolution,
+    };
     CellResult {
         benchmark: dfg.name().to_string(),
         nodes: dfg.num_nodes(),
         size,
         mapper: kind,
         outcome,
+        // The engine reports mII in its stats; failed searches carry
+        // default stats, so the bound is kept locally for those rows.
         mii,
-        total_seconds: started.elapsed().as_secs_f64(),
-        time_phase_seconds: time_phase,
-        space_phase_seconds: space_phase,
+        total_seconds,
+        time_phase_seconds: report.stats.time_phase_seconds,
+        space_phase_seconds: report.stats.space_phase_seconds,
     }
 }
 
@@ -251,14 +217,19 @@ mod tests {
     fn mono_portfolio_cell_matches_serial_ii() {
         use monomap_core::MapperConfig;
         // Not a run_cell path (run_cell always uses defaults), but the
-        // same suite kernel: portfolio mode must reach the same II.
+        // same suite kernel through the service: a portfolio-mode
+        // request must reach the serial request's II.
         let dfg = suite::generate("susan");
         let cgra = Cgra::new(5, 5).expect("valid grid");
-        let serial = DecoupledMapper::new(&cgra).map(&dfg).expect("maps");
-        let portfolio =
-            DecoupledMapper::with_config(&cgra, MapperConfig::new().with_space_parallelism(4))
-                .map(&dfg)
-                .expect("maps in portfolio mode");
-        assert_eq!(serial.mapping.ii(), portfolio.mapping.ii());
+        let service = standard_service(&cgra);
+        let serial = service.map(&MapRequest::new(EngineId::Decoupled, dfg.clone()));
+        let portfolio = service.map(
+            &MapRequest::new(EngineId::Decoupled, dfg.clone())
+                .with_config(MapperConfig::new().with_space_parallelism(4)),
+        );
+        assert_eq!(serial.outcome.ii().expect("maps"), {
+            assert!(portfolio.outcome.is_mapped(), "maps in portfolio mode");
+            portfolio.outcome.ii().unwrap()
+        });
     }
 }

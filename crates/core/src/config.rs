@@ -1,10 +1,12 @@
 //! Mapper configuration.
 
+use serde::{Deserialize, Serialize};
+
 use cgra_smt::Budget;
 
 /// Which algorithm produces time solutions (phase 1 of the decoupled
 /// mapper).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum TimeStrategy {
     /// The paper's SMT search: exact, and able to enumerate alternative
     /// schedules through blocking clauses.
@@ -115,6 +117,20 @@ impl MapperConfig {
         self
     }
 
+    /// Toggles the capacity constraint family (§IV-B2; ablation
+    /// switch — the paper's default is on).
+    pub fn with_capacity_constraints(mut self, enable: bool) -> Self {
+        self.capacity_constraints = enable;
+        self
+    }
+
+    /// Toggles the connectivity constraint family (§IV-B3; ablation
+    /// switch — the paper's default is on).
+    pub fn with_connectivity_constraints(mut self, enable: bool) -> Self {
+        self.connectivity_constraints = enable;
+        self
+    }
+
     /// Toggles the strict same-slot connectivity bound.
     pub fn with_strict_connectivity(mut self, strict: bool) -> Self {
         self.strict_connectivity = strict;
@@ -144,6 +160,108 @@ impl MapperConfig {
         assert!(workers > 0, "space_parallelism must be at least 1");
         self.space_parallelism = workers;
         self
+    }
+}
+
+// The serde impls are hand-written for two reasons: `Budget` lives in
+// the zero-dependency `cgra-base` crate (so it cannot derive the
+// vendored serde traits), and deserialisation should treat every absent
+// field as its default so request JSON only has to name the knobs it
+// overrides.
+impl Serialize for MapperConfig {
+    fn to_value(&self) -> serde::Value {
+        let budget = self.time_budget.as_ref().map(|b| {
+            serde::Value::Map(vec![
+                ("max_conflicts".to_string(), b.max_conflicts.to_value()),
+                (
+                    "max_propagations".to_string(),
+                    b.max_propagations.to_value(),
+                ),
+            ])
+        });
+        serde::Value::Map(vec![
+            ("max_ii".to_string(), self.max_ii.to_value()),
+            (
+                "max_window_slack".to_string(),
+                self.max_window_slack.to_value(),
+            ),
+            (
+                "max_time_solutions".to_string(),
+                self.max_time_solutions.to_value(),
+            ),
+            (
+                "mono_step_limit".to_string(),
+                self.mono_step_limit.to_value(),
+            ),
+            (
+                "capacity_constraints".to_string(),
+                self.capacity_constraints.to_value(),
+            ),
+            (
+                "connectivity_constraints".to_string(),
+                self.connectivity_constraints.to_value(),
+            ),
+            (
+                "strict_connectivity".to_string(),
+                self.strict_connectivity.to_value(),
+            ),
+            (
+                "time_budget".to_string(),
+                budget.unwrap_or(serde::Value::Null),
+            ),
+            ("time_strategy".to_string(), self.time_strategy.to_value()),
+            (
+                "space_parallelism".to_string(),
+                self.space_parallelism.to_value(),
+            ),
+        ])
+    }
+}
+
+/// Reads an optional field: absent and explicit-null both yield `None`.
+fn opt_field<T: Deserialize>(v: &serde::Value, name: &str) -> Result<Option<T>, serde::de::Error> {
+    v.get(name)
+        .map(Option::<T>::from_value)
+        .transpose()
+        .map_err(|e| serde::de::Error::custom(format!("field `{name}`: {e}")))
+        .map(Option::flatten)
+}
+
+impl Deserialize for MapperConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        if v.as_map().is_none() {
+            return Err(serde::de::Error::expected("map", v));
+        }
+        let d = MapperConfig::default();
+        let time_budget = match v.get("time_budget").filter(|b| **b != serde::Value::Null) {
+            Some(b) => Some(Budget {
+                max_conflicts: opt_field(b, "max_conflicts")?,
+                max_propagations: opt_field(b, "max_propagations")?,
+            }),
+            None => None,
+        };
+        let space_parallelism =
+            opt_field::<usize>(v, "space_parallelism")?.unwrap_or(d.space_parallelism);
+        if space_parallelism == 0 {
+            return Err(serde::de::Error::custom(
+                "space_parallelism must be at least 1",
+            ));
+        }
+        Ok(MapperConfig {
+            max_ii: opt_field(v, "max_ii")?,
+            max_window_slack: opt_field(v, "max_window_slack")?.unwrap_or(d.max_window_slack),
+            max_time_solutions: opt_field(v, "max_time_solutions")?.unwrap_or(d.max_time_solutions),
+            mono_step_limit: opt_field(v, "mono_step_limit")?.unwrap_or(d.mono_step_limit),
+            capacity_constraints: opt_field(v, "capacity_constraints")?
+                .unwrap_or(d.capacity_constraints),
+            connectivity_constraints: opt_field(v, "connectivity_constraints")?
+                .unwrap_or(d.connectivity_constraints),
+            strict_connectivity: opt_field(v, "strict_connectivity")?
+                .unwrap_or(d.strict_connectivity),
+            time_budget,
+            time_strategy: opt_field(v, "time_strategy")?.unwrap_or(d.time_strategy),
+            space_parallelism,
+        })
     }
 }
 
@@ -180,11 +298,67 @@ mod tests {
             .with_max_window_slack(1)
             .with_max_time_solutions(4)
             .with_mono_step_limit(10)
-            .with_strict_connectivity(true);
+            .with_strict_connectivity(true)
+            .with_capacity_constraints(false)
+            .with_connectivity_constraints(false);
         assert_eq!(c.max_ii, Some(9));
         assert_eq!(c.max_window_slack, 1);
         assert_eq!(c.max_time_solutions, 4);
         assert_eq!(c.mono_step_limit, 10);
         assert!(c.strict_connectivity);
+        assert!(!c.capacity_constraints);
+        assert!(!c.connectivity_constraints);
+    }
+
+    fn roundtrip(c: &MapperConfig) -> MapperConfig {
+        let json = serde_json::to_string(c).unwrap();
+        serde_json::from_str(&json).unwrap()
+    }
+
+    fn assert_config_eq(a: &MapperConfig, b: &MapperConfig) {
+        // MapperConfig has no PartialEq (Budget has none); compare the
+        // canonical JSON forms instead.
+        assert_eq!(
+            serde_json::to_string(a).unwrap(),
+            serde_json::to_string(b).unwrap()
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_default() {
+        let c = MapperConfig::default();
+        assert_config_eq(&roundtrip(&c), &c);
+    }
+
+    #[test]
+    fn serde_roundtrip_customised() {
+        let c = MapperConfig::new()
+            .with_max_ii(7)
+            .with_max_window_slack(1)
+            .with_time_budget(Budget::conflicts(123))
+            .with_time_strategy(TimeStrategy::Heuristic)
+            .with_space_parallelism(3)
+            .with_capacity_constraints(false);
+        let back = roundtrip(&c);
+        assert_eq!(back.max_ii, Some(7));
+        assert_eq!(back.time_budget.as_ref().unwrap().max_conflicts, Some(123));
+        assert_eq!(back.time_strategy, TimeStrategy::Heuristic);
+        assert_eq!(back.space_parallelism, 3);
+        assert!(!back.capacity_constraints);
+        assert_config_eq(&back, &c);
+    }
+
+    #[test]
+    fn serde_absent_fields_default() {
+        // A request only names the knobs it overrides.
+        let c: MapperConfig = serde_json::from_str(r#"{"max_ii": 8}"#).unwrap();
+        assert_eq!(c.max_ii, Some(8));
+        assert_eq!(c.max_window_slack, MapperConfig::default().max_window_slack);
+        assert_eq!(c.space_parallelism, 1);
+    }
+
+    #[test]
+    fn serde_rejects_zero_parallelism() {
+        assert!(serde_json::from_str::<MapperConfig>(r#"{"space_parallelism": 0}"#).is_err());
     }
 }

@@ -2,11 +2,17 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use cgra_arch::OpClass;
 use cgra_dfg::{DfgError, NodeId};
 
 /// An error from [`crate::DecoupledMapper::map`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Serializable: the same enum travels inside
+/// [`crate::api::MapOutcome`], so failed [`crate::api::MapReport`]s
+/// round-trip through JSON with their structured cause intact.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MapError {
     /// The input DFG is structurally invalid.
     InvalidDfg(DfgError),

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 mod config;
 mod error;
 mod mapper;
@@ -43,6 +44,10 @@ mod mapping;
 mod printer;
 mod space;
 
+pub use api::{
+    EngineId, EventCollector, MapEvent, MapObserver, MapOutcome, MapReport, MapRequest, Mapper,
+    MappingService, SpaceAttemptOutcome,
+};
 pub use config::{MapperConfig, TimeStrategy};
 pub use error::{MapError, MappingError};
 pub use mapper::{DecoupledMapper, MapResult, MapStats};

@@ -4,6 +4,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use serde::{Deserialize, Serialize};
+
 use cgra_base::CancelFlag;
 
 use cgra_arch::Cgra;
@@ -14,6 +16,7 @@ use cgra_sched::{
     TimeSolver, TimeSolverConfig, TimeSolverError,
 };
 
+use crate::api::{emit, MapEvent, MapObserver, SpaceAttemptOutcome};
 use crate::config::TimeStrategy;
 use crate::space::{build_pattern, SpaceEngine, SpaceOutcome};
 use crate::{MapError, MapperConfig, Mapping, Placement};
@@ -31,12 +34,22 @@ pub struct MapResult {
     pub stats: MapStats,
 }
 
-/// Search statistics of one [`DecoupledMapper::map`] call.
+/// Search statistics — the unified superset shared by every engine.
 ///
-/// The paper's Table III reports the time and space phases separately;
+/// One struct serves all three mappers, so [`crate::api::MapReport`]s
+/// are comparable across engines. The paper's Table III reports the
+/// time and space phases separately;
 /// [`MapStats::time_phase_seconds`] and [`MapStats::space_phase_seconds`]
-/// are those columns.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+/// are those columns (decoupled engine only). The coupled baseline
+/// contributes [`MapStats::sat_vars`] / [`MapStats::clauses`] (its
+/// formulation size); fields an engine does not produce stay at their
+/// defaults.
+///
+/// Reports are self-describing: [`MapStats::time_strategy`] and
+/// [`MapStats::space_parallelism`] echo the configuration the search
+/// actually ran with, so consumers no longer re-derive them from the
+/// request out-of-band.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MapStats {
     /// The lower bound `mII` the search started from.
     pub mii: usize,
@@ -61,34 +74,71 @@ pub struct MapStats {
     pub iis_tried: usize,
     /// Window slack of the successful attempt.
     pub window_slack: usize,
+    /// Which algorithm produced time solutions; `None` for engines
+    /// without a decoupled time phase (the coupled and annealing
+    /// baselines).
+    pub time_strategy: Option<TimeStrategy>,
+    /// Worker threads the space phase raced schedules across (`1` is
+    /// the deterministic serial path; baselines are always serial).
+    pub space_parallelism: usize,
+    /// SAT variables of the successful coupled formulation (coupled
+    /// baseline only; 0 otherwise).
+    pub sat_vars: usize,
+    /// SAT clauses of the successful coupled formulation (coupled
+    /// baseline only; 0 otherwise).
+    pub clauses: usize,
+}
+
+impl Default for MapStats {
+    fn default() -> Self {
+        MapStats {
+            mii: 0,
+            achieved_ii: 0,
+            total_seconds: 0.0,
+            time_phase_seconds: 0.0,
+            space_phase_seconds: 0.0,
+            time_solutions: 0,
+            space_attempts: 0,
+            mono_steps: 0,
+            iis_tried: 0,
+            window_slack: 0,
+            time_strategy: None,
+            space_parallelism: 1,
+            sat_vars: 0,
+            clauses: 0,
+        }
+    }
 }
 
 /// The mapper: SMT time solve, then monomorphism space solve, with
 /// fall-back enumeration and II escalation.
 ///
-/// See the crate-level example.
+/// Owns a clone of its CGRA, so it satisfies the `'static` bound of
+/// `Box<dyn `[`crate::api::Mapper`]`>` and can be registered with a
+/// [`crate::api::MappingService`]. See the crate-level example for the
+/// direct call path.
 #[derive(Clone, Debug)]
-pub struct DecoupledMapper<'a> {
-    cgra: &'a Cgra,
+pub struct DecoupledMapper {
+    cgra: Cgra,
     config: MapperConfig,
     cancel: Option<CancelFlag>,
 }
 
-impl<'a> DecoupledMapper<'a> {
+impl DecoupledMapper {
     /// A mapper for `cgra` with the paper-faithful default
     /// configuration.
-    pub fn new(cgra: &'a Cgra) -> Self {
+    pub fn new(cgra: &Cgra) -> Self {
         DecoupledMapper {
-            cgra,
+            cgra: cgra.clone(),
             config: MapperConfig::default(),
             cancel: None,
         }
     }
 
     /// A mapper with an explicit configuration.
-    pub fn with_config(cgra: &'a Cgra, config: MapperConfig) -> Self {
+    pub fn with_config(cgra: &Cgra, config: MapperConfig) -> Self {
         DecoupledMapper {
-            cgra,
+            cgra: cgra.clone(),
             config,
             cancel: None,
         }
@@ -99,10 +149,22 @@ impl<'a> DecoupledMapper<'a> {
         &self.config
     }
 
+    /// The CGRA this mapper targets.
+    pub fn cgra(&self) -> &Cgra {
+        &self.cgra
+    }
+
     /// Installs a cooperative cancellation flag checked between solver
-    /// calls and inside the SAT core.
+    /// calls, inside the SAT core and inside the monomorphism DFS.
+    pub fn set_cancel(&mut self, flag: CancelFlag) {
+        self.cancel = Some(flag);
+    }
+
+    /// Installs a cooperative cancellation flag from a raw shared
+    /// atomic.
+    #[deprecated(since = "0.1.0", note = "use `set_cancel(CancelFlag::from_arc(flag))`")]
     pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
-        self.cancel = Some(CancelFlag::from_arc(flag));
+        self.set_cancel(CancelFlag::from_arc(flag));
     }
 
     fn cancelled(&self) -> bool {
@@ -137,15 +199,42 @@ impl<'a> DecoupledMapper<'a> {
     /// [`MapperConfig::time_budget`] running out at one `(II, slack)`
     /// level is *not* a timeout: the search escalates to the next level.
     pub fn map(&self, dfg: &Dfg) -> Result<MapResult, MapError> {
+        self.map_observed(dfg, None)
+    }
+
+    /// Like [`DecoupledMapper::map`], but emitting structured
+    /// [`MapEvent`]s to `observer` as the search progresses.
+    ///
+    /// On the serial path (`space_parallelism == 1`) the event sequence
+    /// is deterministic: identical inputs produce the identical event
+    /// stream run to run. In portfolio mode the space races of one
+    /// batch are coalesced into a single [`MapEvent::SpaceAttempt`]
+    /// (per-worker attempts finish in nondeterministic order).
+    pub fn map_observed(
+        &self,
+        dfg: &Dfg,
+        observer: Option<&dyn MapObserver>,
+    ) -> Result<MapResult, MapError> {
+        let result = self.map_inner(dfg, observer);
+        if let Some(obs) = observer {
+            obs.on_event(&MapEvent::Finished {
+                mapped: result.is_ok(),
+                ii: result.as_ref().ok().map(|r| r.mapping.ii()),
+            });
+        }
+        result
+    }
+
+    fn map_inner(&self, dfg: &Dfg, obs: Option<&dyn MapObserver>) -> Result<MapResult, MapError> {
         dfg.validate()?;
         // A class with demand but no provider can never map, at any II:
         // fail before any search runs (and before mII, whose per-class
         // resource bound is undefined for such classes).
-        if let Some(class) = unsupported_op_class(dfg, self.cgra) {
+        if let Some(class) = unsupported_op_class(dfg, &self.cgra) {
             return Err(MapError::UnsupportedOpClass { class });
         }
         let start = Instant::now();
-        let mii = min_ii(dfg, self.cgra);
+        let mii = min_ii(dfg, &self.cgra);
         if let Some(cap) = self.config.max_ii {
             if cap < mii {
                 return Err(MapError::NoSolution { mii, max_ii: cap });
@@ -154,23 +243,26 @@ impl<'a> DecoupledMapper<'a> {
         let max_ii = self.config.max_ii.unwrap_or(mii + 16);
         let mut stats = MapStats {
             mii,
+            time_strategy: Some(self.config.time_strategy),
+            space_parallelism: self.config.space_parallelism,
             ..MapStats::default()
         };
-        let mut engine = SpaceEngine::new(self.cgra);
+        let mut engine = SpaceEngine::new(&self.cgra);
 
         for ii in mii..=max_ii {
             stats.iis_tried += 1;
+            emit(obs, MapEvent::IiStarted { ii });
             // Targets for earlier IIs are never revisited.
             engine.retain_ii(ii);
             for slack in 0..=self.config.max_window_slack {
                 if self.cancelled() {
                     return Err(MapError::Timeout { ii });
                 }
-                let mut ts_config = TimeSolverConfig::for_cgra(self.cgra)
+                let mut ts_config = TimeSolverConfig::for_cgra(&self.cgra)
                     .with_window_slack(slack)
-                    .with_strict_connectivity(self.config.strict_connectivity);
-                ts_config.capacity_constraints = self.config.capacity_constraints;
-                ts_config.connectivity_constraints = self.config.connectivity_constraints;
+                    .with_strict_connectivity(self.config.strict_connectivity)
+                    .with_capacity_constraints(self.config.capacity_constraints)
+                    .with_connectivity_constraints(self.config.connectivity_constraints);
                 if let Some(b) = &self.config.time_budget {
                     ts_config = ts_config.with_budget(b.clone());
                 }
@@ -184,6 +276,7 @@ impl<'a> DecoupledMapper<'a> {
                     stats.time_phase_seconds += t0.elapsed().as_secs_f64();
                     if let Some(sol) = sol {
                         stats.time_solutions += 1;
+                        emit(obs, MapEvent::TimeSolutionFound { ii, slack });
                         let t1 = Instant::now();
                         let (space, steps) = engine.search(
                             dfg,
@@ -194,6 +287,14 @@ impl<'a> DecoupledMapper<'a> {
                         stats.space_phase_seconds += t1.elapsed().as_secs_f64();
                         stats.space_attempts += 1;
                         stats.mono_steps += steps;
+                        emit(
+                            obs,
+                            MapEvent::SpaceAttempt {
+                                ii,
+                                slack,
+                                outcome: SpaceAttemptOutcome::from(&space),
+                            },
+                        );
                         match space {
                             SpaceOutcome::Found(map) => {
                                 return Ok(self.finish(dfg, &sol, map, ii, slack, start, stats));
@@ -202,17 +303,19 @@ impl<'a> DecoupledMapper<'a> {
                             SpaceOutcome::Exhausted | SpaceOutcome::LimitReached => {}
                         }
                     }
+                    emit(obs, MapEvent::Escalated { ii, slack });
                     continue;
                 }
 
                 let found = if self.config.space_parallelism > 1 {
-                    self.portfolio_level(dfg, ii, ts_config, &mut engine, &mut stats)?
+                    self.portfolio_level(dfg, ii, slack, ts_config, &mut engine, &mut stats, obs)?
                 } else {
-                    self.serial_level(dfg, ii, ts_config, &mut engine, &mut stats)?
+                    self.serial_level(dfg, ii, slack, ts_config, &mut engine, &mut stats, obs)?
                 };
                 if let Some((sol, map)) = found {
                     return Ok(self.finish(dfg, &sol, map, ii, slack, start, stats));
                 }
+                emit(obs, MapEvent::Escalated { ii, slack });
             }
         }
         Err(MapError::NoSolution { mii, max_ii })
@@ -244,13 +347,16 @@ impl<'a> DecoupledMapper<'a> {
     /// Returns the winning `(schedule, monomorphism)` if any; `None`
     /// means the level is exhausted (including a per-solve budget
     /// running out) and the caller escalates.
+    #[allow(clippy::too_many_arguments)]
     fn serial_level(
         &self,
         dfg: &Dfg,
         ii: usize,
+        slack: usize,
         ts_config: TimeSolverConfig,
         engine: &mut SpaceEngine<'_>,
         stats: &mut MapStats,
+        obs: Option<&dyn MapObserver>,
     ) -> Result<Option<(TimeSolution, Vec<usize>)>, MapError> {
         let t0 = Instant::now();
         let mut solver = self.level_solver(dfg, ii, ts_config)?;
@@ -263,12 +369,21 @@ impl<'a> DecoupledMapper<'a> {
                 SolveOutcome::Solution(sol) => {
                     tries += 1;
                     stats.time_solutions += 1;
+                    emit(obs, MapEvent::TimeSolutionFound { ii, slack });
                     let t1 = Instant::now();
                     let (space, steps) =
                         engine.search(dfg, &sol, self.config.mono_step_limit, self.cancel.as_ref());
                     stats.space_phase_seconds += t1.elapsed().as_secs_f64();
                     stats.space_attempts += 1;
                     stats.mono_steps += steps;
+                    emit(
+                        obs,
+                        MapEvent::SpaceAttempt {
+                            ii,
+                            slack,
+                            outcome: SpaceAttemptOutcome::from(&space),
+                        },
+                    );
                     match space {
                         SpaceOutcome::Found(map) => return Ok(Some((sol, map))),
                         SpaceOutcome::Cancelled => return Err(MapError::Timeout { ii }),
@@ -305,13 +420,16 @@ impl<'a> DecoupledMapper<'a> {
     /// than all `max_time_solutions` up front: the common case (the
     /// first schedule embeds, per the paper's §IV-D argument) then pays
     /// for one small batch of SMT solves, not the whole enumeration cap.
+    #[allow(clippy::too_many_arguments)]
     fn portfolio_level(
         &self,
         dfg: &Dfg,
         ii: usize,
+        slack: usize,
         ts_config: TimeSolverConfig,
         engine: &mut SpaceEngine<'_>,
         stats: &mut MapStats,
+        obs: Option<&dyn MapObserver>,
     ) -> Result<Option<(TimeSolution, Vec<usize>)>, MapError> {
         let mut solver = self.level_solver(dfg, ii, ts_config)?;
         let mut remaining = self.config.max_time_solutions;
@@ -330,6 +448,9 @@ impl<'a> DecoupledMapper<'a> {
             remaining -= solutions.len();
 
             if !solutions.is_empty() {
+                for _ in &solutions {
+                    emit(obs, MapEvent::TimeSolutionFound { ii, slack });
+                }
                 let t1 = Instant::now();
                 // Built only once a schedule exists (Unsat levels never
                 // pay for target construction); cache hit after the
@@ -339,6 +460,20 @@ impl<'a> DecoupledMapper<'a> {
                 // Wall-clock of the race (the Table III phase
                 // semantics), not the sum over parallel workers.
                 stats.space_phase_seconds += t1.elapsed().as_secs_f64();
+                // One coalesced event per raced batch: the per-worker
+                // attempts complete in nondeterministic order.
+                emit(
+                    obs,
+                    MapEvent::SpaceAttempt {
+                        ii,
+                        slack,
+                        outcome: if winner.is_some() {
+                            SpaceAttemptOutcome::Found
+                        } else {
+                            SpaceAttemptOutcome::Exhausted
+                        },
+                    },
+                );
                 if let Some((idx, map)) = winner {
                     return Ok(Some((solutions[idx].clone(), map)));
                 }
@@ -474,7 +609,7 @@ impl<'a> DecoupledMapper<'a> {
         stats.window_slack = slack;
         stats.total_seconds = start.elapsed().as_secs_f64();
         let mapping = Mapping::new(dfg.name(), ii, placements);
-        debug_assert_eq!(mapping.validate(dfg, self.cgra), Ok(()));
+        debug_assert_eq!(mapping.validate(dfg, &self.cgra), Ok(()));
         MapResult { mapping, stats }
     }
 }
@@ -566,6 +701,18 @@ mod tests {
         let cgra = Cgra::new(2, 2).unwrap();
         let dfg = running_example();
         let mut mapper = DecoupledMapper::new(&cgra);
+        let flag = CancelFlag::new();
+        flag.cancel();
+        mapper.set_cancel(flag);
+        assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_set_cancel_flag_shim_still_works() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let mut mapper = DecoupledMapper::new(&cgra);
         mapper.set_cancel_flag(Arc::new(AtomicBool::new(true)));
         assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
     }
@@ -576,7 +723,9 @@ mod tests {
         let dfg = running_example();
         let cfg = MapperConfig::new().with_space_parallelism(3);
         let mut mapper = DecoupledMapper::with_config(&cgra, cfg);
-        mapper.set_cancel_flag(Arc::new(AtomicBool::new(true)));
+        let flag = CancelFlag::new();
+        flag.cancel();
+        mapper.set_cancel(flag);
         assert!(matches!(mapper.map(&dfg), Err(MapError::Timeout { .. })));
     }
 
@@ -591,13 +740,13 @@ mod tests {
         let dfg = suite::generate("hotspot3D"); // the slow suite kernel
         let cfg = MapperConfig::new().with_space_parallelism(3);
         let mut mapper = DecoupledMapper::with_config(&cgra, cfg);
-        let flag = Arc::new(AtomicBool::new(false));
-        mapper.set_cancel_flag(Arc::clone(&flag));
+        let flag = CancelFlag::new();
+        mapper.set_cancel(flag.clone());
         let started = std::time::Instant::now();
         let result = std::thread::scope(|scope| {
             scope.spawn(move || {
                 std::thread::sleep(std::time::Duration::from_millis(50));
-                flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                flag.cancel();
             });
             mapper.map(&dfg)
         });
@@ -846,5 +995,24 @@ mod tests {
         let s = result.stats;
         assert!(s.time_phase_seconds + s.space_phase_seconds <= s.total_seconds + 1e-3);
         assert_eq!(s.achieved_ii, 4);
+    }
+
+    #[test]
+    fn stats_are_self_describing() {
+        // The report records the configuration the search ran with, so
+        // consumers no longer re-derive it from the request.
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let serial = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        assert_eq!(serial.stats.time_strategy, Some(TimeStrategy::Smt));
+        assert_eq!(serial.stats.space_parallelism, 1);
+        assert_eq!(serial.stats.sat_vars, 0, "decoupled has no coupled CNF");
+
+        let cfg = MapperConfig::new()
+            .with_space_parallelism(2)
+            .with_time_strategy(TimeStrategy::Heuristic);
+        let portfolio = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        assert_eq!(portfolio.stats.time_strategy, Some(TimeStrategy::Heuristic));
+        assert_eq!(portfolio.stats.space_parallelism, 2);
     }
 }

@@ -84,7 +84,10 @@ struct Node {
 
 /// Errors detected by [`Dfg::validate`] (and returned by
 /// [`crate::DfgBuilder::build`]).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Serializable so mapper error reports carrying a `DfgError` cause
+/// round-trip through JSON.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DfgError {
     /// The acyclic-data-subgraph invariant is violated: a cycle exists
     /// using only data edges.

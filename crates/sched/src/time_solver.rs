@@ -93,6 +93,20 @@ impl TimeSolverConfig {
         self
     }
 
+    /// Returns the configuration with the capacity constraint family
+    /// toggled (ablation switch; the paper's default is on).
+    pub fn with_capacity_constraints(mut self, enable: bool) -> Self {
+        self.capacity_constraints = enable;
+        self
+    }
+
+    /// Returns the configuration with the connectivity constraint
+    /// family toggled (ablation switch; the paper's default is on).
+    pub fn with_connectivity_constraints(mut self, enable: bool) -> Self {
+        self.connectivity_constraints = enable;
+        self
+    }
+
     /// Returns the configuration with a solve budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = Some(budget);

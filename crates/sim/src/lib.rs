@@ -47,8 +47,10 @@ mod env;
 mod machine;
 mod pressure;
 mod reference;
+mod report;
 
 pub use env::{ExecRecord, SimEnv, SimError};
 pub use machine::MachineSimulator;
 pub use pressure::register_pressure;
 pub use reference::interpret;
+pub use report::{simulate_report, validate_report, ReportError};

@@ -1,6 +1,7 @@
 //! Quickstart: map the paper's running example (Fig. 2a) onto a 2×2
-//! CGRA, reproducing Table I, Table II, the Fig. 2b kernel and a
-//! functional simulation of the mapped loop.
+//! CGRA through the unified service API, reproducing Table I, Table
+//! II, the Fig. 2b kernel and a functional simulation of the mapped
+//! loop.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -29,16 +30,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Table II: KMS at II = 4 ==");
     println!("{}", kms.to_table_string());
 
-    // The decoupled mapper: SMT time solve + monomorphism space solve.
-    let result = DecoupledMapper::new(&cgra).map(&dfg)?;
-    let mapping = &result.mapping;
+    // The decoupled mapper, through the unified service API: one
+    // serializable MapRequest in, one MapReport out. (A request
+    // round-trips through JSON, so the same call works over a wire.)
+    let service = MappingService::new(&cgra);
+    let request = MapRequest::new(EngineId::Decoupled, dfg.clone());
+    let report = service.map(&serde_json::from_str(&serde_json::to_string(&request)?)?);
+    validate_report(&dfg, &cgra, &report)?;
+    let mapping = report.mapping.as_ref().expect("validated mapped report");
     println!(
-        "mapped at II = {} (time phase {:.4}s, space phase {:.4}s)\n",
+        "engine `{}` mapped at II = {} (time phase {:.4}s, space phase {:.4}s)\n",
+        report.engine,
         mapping.ii(),
-        result.stats.time_phase_seconds,
-        result.stats.space_phase_seconds
+        report.stats.time_phase_seconds,
+        report.stats.space_phase_seconds
     );
-    mapping.validate(&dfg, &cgra)?;
 
     println!("== Kernel (paper Fig. 2b, steady state) ==");
     println!("{}", mapping.kernel_table(&cgra));

@@ -25,23 +25,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for size in [2usize, 3, 4, 5, 8, 10, 16, 20] {
         let cgra = Cgra::new(size, size)?;
         let mii = min_ii(&dfg, &cgra);
+        let service = MappingService::new(&cgra);
         let t0 = Instant::now();
-        match DecoupledMapper::new(&cgra).map(&dfg) {
-            Ok(result) => {
-                result.mapping.validate(&dfg, &cgra)?;
+        let report = service.map(&MapRequest::new(EngineId::Decoupled, dfg.clone()));
+        match &report.outcome {
+            MapOutcome::Mapped { ii } => {
+                validate_report(&dfg, &cgra, &report)?;
                 println!(
                     "{:>4}x{:<2} | {:>5} {:>5} | {:>10.4} {:>10.4} {:>10.4} | {:>12}",
                     size,
                     size,
                     mii,
-                    result.mapping.ii(),
+                    ii,
                     t0.elapsed().as_secs_f64(),
-                    result.stats.time_phase_seconds,
-                    result.stats.space_phase_seconds,
-                    result.stats.mono_steps
+                    report.stats.time_phase_seconds,
+                    report.stats.space_phase_seconds,
+                    report.stats.mono_steps
                 );
             }
-            Err(e) => println!("{size:>4}x{size:<2} | {mii:>5}     - | failed: {e}"),
+            MapOutcome::Failed(e) => println!("{size:>4}x{size:<2} | {mii:>5}     - | failed: {e}"),
+            MapOutcome::Rejected { reason } => {
+                println!("{size:>4}x{size:<2} | {mii:>5}     - | rejected: {reason}")
+            }
         }
     }
     println!(

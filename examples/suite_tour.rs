@@ -1,16 +1,25 @@
 //! Tour of the 17-kernel benchmark suite (the paper's Table III
 //! workloads) on a 5×5 CGRA: mapped II vs the `mII` lower bound, phase
-//! timings, and register pressure.
+//! timings, and register pressure — run as **one batch** through the
+//! [`MappingService`], with reports coming back in input order.
 //!
 //! Run with: `cargo run --release --example suite_tour`
-
-use std::time::Instant;
 
 use monomap::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cgra = Cgra::new(5, 5)?;
     println!("CGRA: {cgra}\n");
+
+    // One request per kernel; the service fans the batch out across
+    // four worker threads and returns reports in input order.
+    let requests: Vec<MapRequest> = suite::names()
+        .iter()
+        .map(|name| MapRequest::new(EngineId::Decoupled, suite::generate(name)))
+        .collect();
+    let service = MappingService::new(&cgra).with_parallelism(4);
+    let reports = service.map_batch(&requests);
+
     println!(
         "{:<16}{:>6} | {:>4} {:>4} | {:>9} {:>9} | {:>8} {:>10}",
         "benchmark", "nodes", "mII", "II", "time[s]", "space[s]", "maxRF", "timesols"
@@ -18,39 +27,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "-".repeat(84));
     let mut mapped = 0;
     let mut at_mii = 0;
-    for name in suite::names() {
-        let dfg = suite::generate(name);
-        let mii = min_ii(&dfg, &cgra);
-        let t0 = Instant::now();
-        match DecoupledMapper::new(&cgra).map(&dfg) {
-            Ok(result) => {
-                result.mapping.validate(&dfg, &cgra)?;
-                let pressure = register_pressure(&dfg, &result.mapping, &cgra, 8);
+    for (request, report) in requests.iter().zip(&reports) {
+        let dfg = &request.dfg;
+        let mii = min_ii(dfg, &cgra);
+        match &report.outcome {
+            MapOutcome::Mapped { ii } => {
+                validate_report(dfg, &cgra, report)?;
+                let mapping = report.mapping.as_ref().expect("validated mapped report");
+                let pressure = register_pressure(dfg, mapping, &cgra, 8);
                 let max_rf = pressure.iter().copied().max().unwrap_or(0);
                 println!(
                     "{:<16}{:>6} | {:>4} {:>4} | {:>9.4} {:>9.4} | {:>8} {:>10}",
-                    name,
+                    report.dfg_name,
                     dfg.num_nodes(),
                     mii,
-                    result.mapping.ii(),
-                    result.stats.time_phase_seconds,
-                    result.stats.space_phase_seconds,
+                    ii,
+                    report.stats.time_phase_seconds,
+                    report.stats.space_phase_seconds,
                     max_rf,
-                    result.stats.time_solutions
+                    report.stats.time_solutions
                 );
                 mapped += 1;
-                if result.mapping.ii() == mii {
+                if *ii == mii {
                     at_mii += 1;
                 }
             }
-            Err(e) => {
+            MapOutcome::Failed(e) => {
                 println!(
                     "{:<16}{:>6} | {:>4}    - | failed after {:.2}s: {e}",
-                    name,
+                    report.dfg_name,
                     dfg.num_nodes(),
                     mii,
-                    t0.elapsed().as_secs_f64()
+                    report.stats.total_seconds
                 );
+            }
+            MapOutcome::Rejected { reason } => {
+                println!("{:<16} rejected: {reason}", report.dfg_name);
             }
         }
     }

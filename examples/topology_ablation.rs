@@ -17,17 +17,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "benchmark", "torus (II/DM)", "mesh (II/DM)", "diagonal (II/DM)"
     );
     println!("{}", "-".repeat(66));
+    // One service per topology; the kernels run against each as plain
+    // requests.
+    let services: Vec<(Topology, MappingService)> =
+        [Topology::Torus, Topology::Mesh, Topology::Diagonal]
+            .into_iter()
+            .map(|topo| {
+                let cgra = Cgra::with_topology(4, 4, topo)?;
+                Ok((topo, MappingService::new(&cgra)))
+            })
+            .collect::<Result<_, cgra_arch::ArchError>>()?;
     for name in kernels {
         let dfg = suite::generate(name);
         let mut row = format!("{name:<12} |");
-        for topo in [Topology::Torus, Topology::Mesh, Topology::Diagonal] {
-            let cgra = Cgra::with_topology(4, 4, topo)?;
-            let cell = match DecoupledMapper::new(&cgra).map(&dfg) {
-                Ok(r) => {
-                    r.mapping.validate(&dfg, &cgra)?;
-                    format!("{:>9}/{:<4}", r.mapping.ii(), cgra.connectivity_degree())
+        for (_, service) in &services {
+            let report = service.map(&MapRequest::new(EngineId::Decoupled, dfg.clone()));
+            let degree = service.cgra().connectivity_degree();
+            let cell = match report.outcome.ii() {
+                Some(ii) => {
+                    validate_report(&dfg, service.cgra(), &report)?;
+                    format!("{ii:>9}/{degree:<4}")
                 }
-                Err(_) => format!("{:>9}/{:<4}", "-", cgra.connectivity_degree()),
+                None => format!("{:>9}/{degree:<4}", "-"),
             };
             row.push_str(&format!(" {cell} |"));
         }

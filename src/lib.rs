@@ -7,16 +7,16 @@
 //!
 //! | crate | role |
 //! |-------|------|
-//! | [`base`](cgra_base) | shared substrate: the dense bit set, search budgets, cancellation |
-//! | [`arch`](cgra_arch) | CGRA model (PE grid, topologies, register files) and the MRRG |
-//! | [`dfg`](cgra_dfg) | data-flow graphs, builders, the 17-kernel benchmark suite |
-//! | [`sat`](cgra_sat) | CDCL SAT solver (the decision engine standing in for Z3) |
-//! | [`smt`](cgra_smt) | finite-domain constraint layer over the SAT core |
-//! | [`sched`](cgra_sched) | ASAP/ALAP, mobility/KMS folding, `mII`, the SMT time search |
-//! | [`iso`](cgra_iso) | subgraph-monomorphism engine (VF2-style, label-partitioned) |
-//! | [`core`](monomap_core) | **the paper's contribution**: the decoupled mapper |
-//! | [`baseline`](cgra_baseline) | SAT-MapIt-style coupled mapper + simulated annealing |
-//! | [`sim`](cgra_sim) | functional CGRA simulator validating mappings end to end |
+//! | [`base`] | shared substrate: the dense bit set, search budgets, cancellation |
+//! | [`arch`] | CGRA model (PE grid, topologies, register files) and the MRRG |
+//! | [`dfg`] | data-flow graphs, builders, the 17-kernel benchmark suite |
+//! | [`sat`] | CDCL SAT solver (the decision engine standing in for Z3) |
+//! | [`smt`] | finite-domain constraint layer over the SAT core |
+//! | [`sched`] | ASAP/ALAP, mobility/KMS folding, `mII`, the SMT time search |
+//! | [`iso`] | subgraph-monomorphism engine (VF2-style, label-partitioned) |
+//! | [`core`] | **the paper's contribution**: the decoupled mapper |
+//! | [`baseline`] | SAT-MapIt-style coupled mapper + simulated annealing |
+//! | [`sim`] | functional CGRA simulator validating mappings end to end |
 //!
 //! ## Quickstart
 //!
@@ -52,12 +52,17 @@ pub use monomap_core as core;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use cgra_arch::{CapabilityProfile, Cgra, Mrrg, OpClass, OpClassSet, PeId, Topology};
-    pub use cgra_baseline::{AnnealingMapper, CoupledMapper};
+    pub use cgra_base::CancelFlag;
+    pub use cgra_baseline::{standard_service, AnnealingMapper, CoupledMapper};
     pub use cgra_dfg::examples::{accumulator, running_example, stream_scale};
     pub use cgra_dfg::{suite, Dfg, DfgBuilder, EdgeKind, NodeId, Operation};
     pub use cgra_sched::{min_ii, rec_ii, res_ii, Kms, Mobility, TimeSolver, TimeSolverConfig};
-    pub use cgra_sim::{interpret, register_pressure, MachineSimulator, SimEnv};
-    pub use monomap_core::{DecoupledMapper, MapResult, MapperConfig, Mapping};
+    pub use cgra_sim::{interpret, register_pressure, validate_report, MachineSimulator, SimEnv};
+    pub use monomap_core::api::{
+        EngineId, EventCollector, MapEvent, MapObserver, MapOutcome, MapReport, MapRequest, Mapper,
+        MappingService, SpaceAttemptOutcome,
+    };
+    pub use monomap_core::{DecoupledMapper, MapError, MapResult, MapStats, MapperConfig, Mapping};
 }
 
 #[cfg(test)]
