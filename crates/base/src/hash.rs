@@ -1,0 +1,64 @@
+//! Deterministic FNV-1a hashing, shared by the workspace's
+//! content-addressing machinery.
+//!
+//! One definition serves both consumers — `cgra-dfg`'s canonical-form
+//! digest and `monomap-core`'s request fingerprints — so the constants
+//! can never drift apart between the two halves of a cache key. Not
+//! cryptographic: these defend against accidental collision, not an
+//! adversary (exact consumers compare the full preimage as well).
+
+/// The standard 64-bit FNV-1a offset basis.
+pub const FNV64_OFFSET: u64 = 0xcbf29ce484222325;
+
+const FNV64_PRIME: u64 = 0x100000001b3;
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Folds `bytes` into a 64-bit FNV-1a state. Pass [`FNV64_OFFSET`] as
+/// the seed to start a fresh hash, or a previous result to continue
+/// one.
+pub fn fnv64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// The 128-bit FNV-1a hash of `bytes`.
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv64(FNV64_OFFSET, b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(FNV64_OFFSET, b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(FNV64_OFFSET, b"foobar"), 0x85944171f73967e8);
+        assert_eq!(fnv128(b""), FNV128_OFFSET);
+    }
+
+    #[test]
+    fn chaining_equals_concatenation() {
+        let whole = fnv64(FNV64_OFFSET, b"hello world");
+        let chained = fnv64(fnv64(FNV64_OFFSET, b"hello "), b"world");
+        assert_eq!(whole, chained);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv64(FNV64_OFFSET, b"a"), fnv64(FNV64_OFFSET, b"b"));
+        assert_ne!(fnv128(b"a"), fnv128(b"b"));
+    }
+}

@@ -9,7 +9,9 @@
 //! * [`Budget`] — conflict/propagation limits shared by the SAT core,
 //!   the finite-domain layer and the solvers built on them;
 //! * [`CancelFlag`] — the cooperative `Arc<AtomicBool>` cancellation
-//!   idiom used by the mappers and the bench harness watchdog.
+//!   idiom used by the mappers and the bench harness watchdog;
+//! * [`fnv64`]/[`fnv128`] — the deterministic FNV-1a hashes behind the
+//!   DFG content digest and the request fingerprints.
 //!
 //! Keeping these here means performance work on the bitset loops and
 //! semantics changes to search control happen in exactly one place.
@@ -20,7 +22,9 @@
 pub mod bitset;
 mod budget;
 mod cancel;
+pub mod hash;
 
 pub use bitset::{DenseBitSet, DenseIndex, IndexSet};
 pub use budget::Budget;
 pub use cancel::CancelFlag;
+pub use hash::{fnv128, fnv64, FNV64_OFFSET};

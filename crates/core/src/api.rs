@@ -426,6 +426,24 @@ pub struct MapReport {
 }
 
 impl MapReport {
+    /// True when this report may be memoized and replayed for an
+    /// identical request: the outcome is a deterministic function of
+    /// `(DFG, CGRA, config, engine)` alone.
+    ///
+    /// Successful mappings and deterministic failures ([`MapError`]
+    /// variants that re-occur on every retry: invalid DFG, unsupported
+    /// operation class, exhausted II range) are cacheable. A
+    /// [`MapError::Timeout`] depends on the deadline, the cancel flag
+    /// and machine load, and a [`MapOutcome::Rejected`] request never
+    /// ran an engine — neither may be replayed from a cache.
+    pub fn is_cacheable(&self) -> bool {
+        match &self.outcome {
+            MapOutcome::Mapped { .. } => true,
+            MapOutcome::Failed(e) => !matches!(e, MapError::Timeout { .. }),
+            MapOutcome::Rejected { .. } => false,
+        }
+    }
+
     /// Assembles a report from an engine's native result.
     pub fn from_result(engine: EngineId, dfg: &Dfg, result: Result<MapResult, MapError>) -> Self {
         match result {
@@ -486,6 +504,61 @@ pub trait Mapper: Send + Sync {
 pub fn emit(obs: Option<&dyn MapObserver>, event: MapEvent) {
     if let Some(o) = obs {
         o.on_event(&event);
+    }
+}
+
+/// A stable 64-bit fingerprint of any serializable value, computed over
+/// its serde data-model tree (FNV-1a; map entries hashed in their
+/// deterministic serialization order).
+///
+/// The `monomap-service` mapping cache keys entries by
+/// `(DFG digest, engine, fingerprint(CGRA), fingerprint(config))`:
+/// two requests agree on a component exactly when their wire forms
+/// agree, so the fingerprint is the memoization-safe identity of the
+/// CGRA and of the [`MapperConfig`]. Not cryptographic.
+///
+/// ```
+/// use cgra_arch::Cgra;
+/// use monomap_core::api::fingerprint;
+///
+/// let a = Cgra::new(4, 4)?;
+/// assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+/// assert_ne!(fingerprint(&a), fingerprint(&Cgra::new(4, 5)?));
+/// # Ok::<(), cgra_arch::ArchError>(())
+/// ```
+pub fn fingerprint<T: serde::Serialize>(value: &T) -> u64 {
+    hash_value(&value.to_value(), cgra_base::FNV64_OFFSET)
+}
+
+use cgra_base::fnv64;
+
+fn hash_value(v: &serde::Value, h: u64) -> u64 {
+    use serde::Value;
+    match v {
+        Value::Null => fnv64(h, b"\x00"),
+        Value::Bool(b) => fnv64(h, &[1, u8::from(*b)]),
+        Value::Int(i) => fnv64(fnv64(h, b"\x02"), &i.to_le_bytes()),
+        Value::UInt(u) => fnv64(fnv64(h, b"\x03"), &u.to_le_bytes()),
+        Value::Float(x) => fnv64(fnv64(h, b"\x04"), &x.to_bits().to_le_bytes()),
+        Value::Str(s) => {
+            let h = fnv64(fnv64(h, b"\x05"), &(s.len() as u64).to_le_bytes());
+            fnv64(h, s.as_bytes())
+        }
+        Value::Seq(items) => {
+            let mut h = fnv64(fnv64(h, b"\x06"), &(items.len() as u64).to_le_bytes());
+            for item in items {
+                h = hash_value(item, h);
+            }
+            h
+        }
+        Value::Map(entries) => {
+            let mut h = fnv64(fnv64(h, b"\x07"), &(entries.len() as u64).to_le_bytes());
+            for (k, val) in entries {
+                h = fnv64(fnv64(h, &(k.len() as u64).to_le_bytes()), k.as_bytes());
+                h = hash_value(val, h);
+            }
+            h
+        }
     }
 }
 
@@ -940,6 +1013,46 @@ mod tests {
         for (a, b) in reports.iter().zip(&serial) {
             assert_eq!(a.mapping, b.mapping);
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_wire_identity() {
+        let cgra = Cgra::new(4, 4).unwrap();
+        assert_eq!(fingerprint(&cgra), fingerprint(&cgra.clone()));
+        assert_ne!(fingerprint(&cgra), fingerprint(&Cgra::new(4, 5).unwrap()));
+        let config = MapperConfig::default();
+        assert_eq!(fingerprint(&config), fingerprint(&MapperConfig::new()));
+        assert_ne!(
+            fingerprint(&config),
+            fingerprint(&MapperConfig::new().with_max_ii(9))
+        );
+        // A round trip through JSON preserves the fingerprint (the
+        // cache may be keyed from a wire request or a native one).
+        let json = serde_json::to_string(&config).unwrap();
+        let back: MapperConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(fingerprint(&back), fingerprint(&config));
+    }
+
+    #[test]
+    fn cacheability_follows_determinism() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let service = MappingService::new(&cgra);
+        let mapped = service.map(&MapRequest::new(EngineId::Decoupled, running_example()));
+        assert!(mapped.is_cacheable(), "successful mappings are cacheable");
+        let no_solution = service.map(
+            &MapRequest::new(EngineId::Decoupled, running_example())
+                .with_config(MapperConfig::new().with_max_ii(2)),
+        );
+        assert!(
+            no_solution.is_cacheable(),
+            "exhausted II range is deterministic"
+        );
+        let timeout = service.map(
+            &MapRequest::new(EngineId::Decoupled, running_example()).with_deadline(Duration::ZERO),
+        );
+        assert!(!timeout.is_cacheable(), "timeouts depend on the deadline");
+        let rejected = service.map(&MapRequest::new(EngineId::Coupled, running_example()));
+        assert!(!rejected.is_cacheable(), "no engine ran");
     }
 
     #[test]

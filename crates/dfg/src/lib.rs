@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod canon;
 mod dot;
 pub mod examples;
 mod graph;
@@ -44,6 +45,7 @@ mod op;
 pub mod suite;
 
 pub use builder::DfgBuilder;
+pub use canon::{CanonicalDfg, DfgDigest};
 pub use graph::{Dfg, DfgError, Edge, EdgeKind, NodeId};
 pub use metrics::DfgMetrics;
 pub use op::Operation;

@@ -1,0 +1,416 @@
+//! The content-addressed mapping cache.
+//!
+//! Entries are keyed by [`CacheKey`] — the canonical [`DfgDigest`] of
+//! the kernel plus the engine id and 64-bit fingerprints of the target
+//! CGRA and the [`MapperConfig`](monomap_core::MapperConfig) — and hold
+//! a [`MapReport`] whose mapping is stored in **canonical node order**,
+//! so isomorphic-but-renumbered resubmissions of the same kernel hit
+//! the same entry (the caller translates placements back through its
+//! own [`CanonicalDfg`](cgra_dfg::CanonicalDfg) permutation).
+//!
+//! The store is sharded (one mutex per shard, shard chosen by key
+//! hash) and capacity-bounded with second-chance **clock** eviction:
+//! a lookup sets the entry's referenced bit, an insert into a full
+//! shard sweeps the clock hand, clearing referenced bits until it
+//! finds a cold entry to evict. Hit/miss/insert/evict/collision
+//! counters are lock-free atomics, snapshotted by
+//! [`MapCache::snapshot`] and served at `GET /stats`.
+//!
+//! A digest collision (two canonical byte strings with the same
+//! 128-bit digest and fingerprints) is detected by comparing the
+//! stored canonical bytes on every hit, so the cache never serves a
+//! report for a different kernel — a collision counts as a miss and
+//! bumps the `collisions` counter.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use cgra_dfg::DfgDigest;
+use monomap_core::api::{EngineId, MapReport};
+
+/// Identity of one cache entry: what must agree for a memoized report
+/// to be replayable.
+///
+/// The request's deadline and runtime handles (cancel flag, observer)
+/// are deliberately **not** part of the key: they control how long a
+/// solve may run, not what it computes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Canonical content digest of the kernel DFG.
+    pub digest: DfgDigest,
+    /// The engine that produced (or would produce) the report.
+    pub engine: EngineId,
+    /// [`monomap_core::api::fingerprint`] of the effective target CGRA.
+    pub cgra: u64,
+    /// [`monomap_core::api::fingerprint`] of the mapper configuration.
+    pub config: u64,
+}
+
+impl CacheKey {
+    fn shard_hash(&self) -> u64 {
+        // Engine ids are tiny; fold everything into the (already
+        // well-mixed) digest fold.
+        let e = match self.engine {
+            EngineId::Decoupled => 1u64,
+            EngineId::Coupled => 2,
+            EngineId::Annealing => 3,
+        };
+        self.digest
+            .to_u64()
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .rotate_left(17)
+            ^ self.cgra.rotate_left(32)
+            ^ self.config
+            ^ e.wrapping_mul(0xd1b54a32d192ed03)
+    }
+}
+
+/// A point-in-time copy of the cache counters, serializable for the
+/// `GET /stats` endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStatsSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (or a collision).
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries displaced by the clock sweep to make room.
+    pub evictions: u64,
+    /// Lookups whose digest matched but whose canonical bytes did not
+    /// (served as misses; expected to stay at zero).
+    pub collisions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Maximum resident entries (the capacity bound).
+    pub capacity: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    collisions: AtomicU64,
+}
+
+struct Slot {
+    key: CacheKey,
+    /// Full canonical bytes, compared on hit to rule digest collisions
+    /// out exactly.
+    bytes: Arc<[u8]>,
+    /// The memoized report, mapping in canonical node order.
+    report: MapReport,
+    referenced: bool,
+}
+
+struct Shard {
+    /// Key → index into `slots`.
+    index: HashMap<CacheKey, usize>,
+    slots: Vec<Option<Slot>>,
+    hand: usize,
+}
+
+impl Shard {
+    fn with_capacity(capacity: usize) -> Self {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        Shard {
+            index: HashMap::with_capacity(capacity),
+            slots,
+            hand: 0,
+        }
+    }
+}
+
+/// The sharded, capacity-bounded, content-addressed store behind the
+/// caching service. See the [module docs](self) for semantics.
+pub struct MapCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    counters: Counters,
+}
+
+impl MapCache {
+    /// Default shard count: enough to keep worker threads off each
+    /// other's locks without fragmenting small capacities.
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// A cache holding at least `capacity` entries across
+    /// [`MapCache::DEFAULT_SHARDS`] shards (the per-shard bound rounds
+    /// up, see [`MapCache::with_shards`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        MapCache::with_shards(capacity, MapCache::DEFAULT_SHARDS)
+    }
+
+    /// A cache over `shards` independent stores. Capacity is enforced
+    /// per shard, so the effective total is `ceil(capacity / shards) *
+    /// shards` — [`MapCache::capacity`] reports the effective value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `shards` is zero.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be at least 1");
+        assert!(shards > 0, "cache must have at least one shard");
+        let per_shard = capacity.div_ceil(shards);
+        MapCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::with_capacity(per_shard)))
+                .collect(),
+            per_shard,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The effective capacity bound (total resident entries never
+    /// exceed this).
+    pub fn capacity(&self) -> usize {
+        self.per_shard * self.shards.len()
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").index.len())
+            .sum()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up `key`, verifying the stored canonical bytes against
+    /// `bytes`. A digest collision is reported as a miss (plus the
+    /// `collisions` counter), never as a wrong-kernel hit. The returned
+    /// report's mapping is in canonical node order.
+    pub fn lookup(&self, key: &CacheKey, bytes: &[u8]) -> Option<MapReport> {
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        if let Some(&slot_idx) = shard.index.get(key) {
+            let slot = shard.slots[slot_idx]
+                .as_mut()
+                .expect("indexed slot is occupied");
+            if slot.bytes.as_ref() == bytes {
+                slot.referenced = true;
+                let report = slot.report.clone();
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(report);
+            }
+            self.counters.collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts (or replaces) an entry. The report's mapping must
+    /// already be in canonical node order. Evicts via the clock sweep
+    /// when the shard is full.
+    pub fn insert(&self, key: CacheKey, bytes: Arc<[u8]>, report: MapReport) {
+        let mut shard = self.shard(&key).lock().expect("cache shard lock");
+        self.counters.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(&slot_idx) = shard.index.get(&key) {
+            // Same key re-inserted (e.g. after a collision): last wins.
+            shard.slots[slot_idx] = Some(Slot {
+                key,
+                bytes,
+                report,
+                referenced: false,
+            });
+            return;
+        }
+        let slot_idx = match shard.slots.iter().position(Option::is_none) {
+            Some(free) => free,
+            None => {
+                // Second-chance sweep: clear referenced bits until a
+                // cold slot comes under the hand.
+                loop {
+                    let i = shard.hand;
+                    shard.hand = (shard.hand + 1) % shard.slots.len();
+                    let slot = shard.slots[i].as_mut().expect("full shard has no holes");
+                    if slot.referenced {
+                        slot.referenced = false;
+                    } else {
+                        let victim = shard.slots[i].take().expect("occupied");
+                        shard.index.remove(&victim.key);
+                        self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                        break i;
+                    }
+                }
+            }
+        };
+        // New entries start cold: only a subsequent hit sets the
+        // referenced bit, so one sweep distinguishes reused kernels
+        // from one-shot traffic.
+        shard.slots[slot_idx] = Some(Slot {
+            key,
+            bytes,
+            report,
+            referenced: false,
+        });
+        shard.index.insert(key, slot_idx);
+    }
+
+    /// Drops every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard lock");
+            shard.index.clear();
+            for slot in &mut shard.slots {
+                *slot = None;
+            }
+            shard.hand = 0;
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            insertions: self.counters.insertions.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            collisions: self.counters.collisions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            capacity: self.capacity() as u64,
+        }
+    }
+}
+
+impl std::fmt::Debug for MapCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("MapCache")
+            .field("shards", &self.shards.len())
+            .field("entries", &s.entries)
+            .field("capacity", &s.capacity)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monomap_core::api::MapOutcome;
+    use monomap_core::MapStats;
+
+    fn key(n: u128) -> CacheKey {
+        CacheKey {
+            digest: DfgDigest(n),
+            engine: EngineId::Decoupled,
+            cgra: 1,
+            config: 2,
+        }
+    }
+
+    fn report(name: &str) -> MapReport {
+        MapReport {
+            engine: EngineId::Decoupled,
+            dfg_name: name.to_string(),
+            outcome: MapOutcome::Mapped { ii: 4 },
+            stats: MapStats::default(),
+            mapping: None,
+        }
+    }
+
+    fn bytes(n: u128) -> Arc<[u8]> {
+        Arc::from(n.to_le_bytes().to_vec().into_boxed_slice())
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = MapCache::with_shards(4, 1);
+        assert!(cache.lookup(&key(1), &bytes(1)).is_none());
+        cache.insert(key(1), bytes(1), report("a"));
+        let hit = cache.lookup(&key(1), &bytes(1)).expect("hit");
+        assert_eq!(hit.dfg_name, "a");
+        let s = cache.snapshot();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn collision_is_a_miss_not_a_wrong_hit() {
+        let cache = MapCache::with_shards(4, 1);
+        cache.insert(key(1), bytes(1), report("a"));
+        // Same key, different canonical bytes: must not be served.
+        assert!(cache.lookup(&key(1), &bytes(2)).is_none());
+        let s = cache.snapshot();
+        assert_eq!(s.collisions, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_churn() {
+        let cache = MapCache::with_shards(8, 2);
+        for i in 0..100u128 {
+            cache.insert(key(i), bytes(i), report("r"));
+            assert!(cache.len() <= cache.capacity());
+        }
+        let s = cache.snapshot();
+        assert_eq!(s.entries as usize, cache.capacity());
+        assert_eq!(s.evictions, 100 - s.entries);
+    }
+
+    #[test]
+    fn clock_keeps_recently_referenced_entries() {
+        let cache = MapCache::with_shards(2, 1);
+        cache.insert(key(1), bytes(1), report("hot"));
+        cache.insert(key(2), bytes(2), report("cold"));
+        // Re-reference entry 1, then overflow: 2 should go first.
+        assert!(cache.lookup(&key(1), &bytes(1)).is_some());
+        // First sweep pass clears both referenced bits (1 was re-set by
+        // the lookup, 2 only by its insert); the evicted slot is the
+        // first one the hand finds cold. Insert two more entries: hot
+        // entry 1 must survive at least the first eviction.
+        cache.insert(key(3), bytes(3), report("new"));
+        assert!(
+            cache.lookup(&key(1), &bytes(1)).is_some(),
+            "recently hit entry survives one overflow"
+        );
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = MapCache::new(4);
+        cache.insert(key(1), bytes(1), report("a"));
+        assert!(cache.lookup(&key(1), &bytes(1)).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        let s = cache.snapshot();
+        assert_eq!(s.hits, 1, "counters survive clear");
+        assert!(cache.lookup(&key(1), &bytes(1)).is_none());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_json() {
+        let cache = MapCache::new(4);
+        cache.insert(key(1), bytes(1), report("a"));
+        let s = cache.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CacheStatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = MapCache::new(0);
+    }
+}

@@ -1,0 +1,445 @@
+//! [`CachedMappingService`]: the mapping service with the
+//! content-addressed cache in front of it.
+
+use std::sync::Arc;
+
+use cgra_dfg::{CanonicalDfg, Dfg};
+use monomap_core::api::{fingerprint, MapReport, MapRequest, MappingService};
+use monomap_core::{MapError, MapOutcome, Mapping};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheKey, CacheStatsSnapshot, MapCache};
+
+/// How the cache participated in answering one request. Returned next
+/// to every report and surfaced on the wire as the `X-Monomap-Cache`
+/// response header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheDisposition {
+    /// Served from the cache, no engine ran.
+    Hit,
+    /// Looked up, not found; the engine ran (and the result was stored
+    /// if cacheable).
+    Miss,
+    /// The lookup was skipped — the request carries an observer, whose
+    /// progress events only exist when the engine actually runs. The
+    /// solved result is still stored for future hits.
+    Bypass,
+}
+
+impl CacheDisposition {
+    /// Stable lowercase name (the wire header value).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheDisposition::Hit => "hit",
+            CacheDisposition::Miss => "miss",
+            CacheDisposition::Bypass => "bypass",
+        }
+    }
+
+    /// Parses the wire header value.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "hit" => Some(CacheDisposition::Hit),
+            "miss" => Some(CacheDisposition::Miss),
+            "bypass" => Some(CacheDisposition::Bypass),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CacheDisposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A [`MappingService`] fronted by a [`MapCache`]: repeated kernels
+/// (the common case in compiler fleets) are answered without paying
+/// for a second SMT + monomorphism solve.
+///
+/// # Consistency guarantees
+///
+/// * **Exact resubmission** — a request byte-identical to a previously
+///   solved one is served the stored report, which is byte-identical
+///   (including search statistics, which describe the original solve)
+///   to what the engine returned the first time.
+/// * **Isomorphic resubmission** — a kernel that differs only by node
+///   numbering (and diagnostic names) hits the same entry: the cached
+///   mapping is stored in canonical node order and translated through
+///   the request's own canonical permutation, so the served placements
+///   are valid for the request's numbering at the same II.
+/// * **Never wrong-kernel** — a 128-bit digest collision is detected
+///   by comparing full canonical bytes and served as a miss.
+///
+/// # What is cached
+///
+/// Only deterministic outcomes ([`MapReport::is_cacheable`]):
+/// successful mappings and engine failures that re-occur on every
+/// retry (`NoSolution`, `UnsupportedOpClass`). Timeouts, rejections
+/// and invalid-DFG reports are never stored — the latter because
+/// their error payload names nodes in the submitter's numbering,
+/// which an isomorphic hit would garble (and validation is cheap to
+/// re-run).
+pub struct CachedMappingService {
+    inner: MappingService,
+    cache: MapCache,
+    cgra_fp: u64,
+}
+
+impl CachedMappingService {
+    /// Wraps `inner` with a cache of at least `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(inner: MappingService, capacity: usize) -> Self {
+        CachedMappingService::with_cache(inner, MapCache::new(capacity))
+    }
+
+    /// Wraps `inner` with an explicitly configured cache.
+    pub fn with_cache(inner: MappingService, cache: MapCache) -> Self {
+        let cgra_fp = fingerprint(inner.cgra());
+        CachedMappingService {
+            inner,
+            cache,
+            cgra_fp,
+        }
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &MappingService {
+        &self.inner
+    }
+
+    /// The cache (for diagnostics; prefer [`CachedMappingService::stats`]).
+    pub fn cache(&self) -> &MapCache {
+        &self.cache
+    }
+
+    /// A point-in-time copy of the cache counters.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        self.cache.snapshot()
+    }
+
+    fn key_for(&self, req: &MapRequest, canon: &CanonicalDfg) -> CacheKey {
+        CacheKey {
+            digest: canon.digest(),
+            engine: req.engine,
+            cgra: req.cgra.as_ref().map(fingerprint).unwrap_or(self.cgra_fp),
+            config: fingerprint(&req.config),
+        }
+    }
+
+    /// Rejects structurally invalid DFGs before canonicalization (the
+    /// canonicalizer assumes in-range node ids; the engines would
+    /// reject the request with the same error anyway, only later).
+    fn validate_early(req: &MapRequest) -> Option<MapReport> {
+        req.dfg.validate().err().map(|e| {
+            MapReport::from_error(
+                req.engine,
+                &req.dfg,
+                MapError::InvalidDfg(e),
+                Default::default(),
+            )
+        })
+    }
+
+    /// Maps one request through the cache. Returns the report and how
+    /// the cache participated.
+    pub fn map(&self, req: &MapRequest) -> (MapReport, CacheDisposition) {
+        if let Some(report) = Self::validate_early(req) {
+            return (report, CacheDisposition::Miss);
+        }
+        let canon = req.dfg.canonical_form();
+        let key = self.key_for(req, &canon);
+        if req.observer.is_none() {
+            if let Some(cached) = self.cache.lookup(&key, canon.bytes()) {
+                return (rehydrate(cached, &req.dfg, &canon), CacheDisposition::Hit);
+            }
+        }
+        let report = self.inner.map(req);
+        self.store(&key, &canon, &report);
+        let disposition = if req.observer.is_none() {
+            CacheDisposition::Miss
+        } else {
+            CacheDisposition::Bypass
+        };
+        (report, disposition)
+    }
+
+    /// Maps a batch, returning `(report, disposition)` per request **in
+    /// input order**. Cache hits are answered inline; the misses run
+    /// through the wrapped service's
+    /// [`map_batch`](MappingService::map_batch) (keeping its worker
+    /// pool busy with real solves only).
+    pub fn map_batch(&self, requests: &[MapRequest]) -> Vec<(MapReport, CacheDisposition)> {
+        // Invalid DFGs are answered inline (`canons[i]` stays None and
+        // never reaches the canonicalizer or an engine).
+        let mut slots: Vec<Option<(MapReport, CacheDisposition)>> = requests
+            .iter()
+            .map(|req| Self::validate_early(req).map(|r| (r, CacheDisposition::Miss)))
+            .collect();
+        let canons: Vec<Option<CanonicalDfg>> = requests
+            .iter()
+            .zip(&slots)
+            .map(|(r, slot)| slot.is_none().then(|| r.dfg.canonical_form()))
+            .collect();
+        let keys: Vec<Option<CacheKey>> = requests
+            .iter()
+            .zip(&canons)
+            .map(|(r, c)| c.as_ref().map(|c| self.key_for(r, c)))
+            .collect();
+        for (i, req) in requests.iter().enumerate() {
+            if slots[i].is_some() || req.observer.is_some() {
+                continue;
+            }
+            let (Some(canon), Some(key)) = (&canons[i], &keys[i]) else {
+                continue;
+            };
+            slots[i] = self
+                .cache
+                .lookup(key, canon.bytes())
+                .map(|cached| (rehydrate(cached, &req.dfg, canon), CacheDisposition::Hit));
+        }
+        let miss_indices: Vec<usize> = (0..requests.len())
+            .filter(|&i| slots[i].is_none())
+            .collect();
+        let miss_requests: Vec<MapRequest> =
+            miss_indices.iter().map(|&i| requests[i].clone()).collect();
+        let solved = self.inner.map_batch(&miss_requests);
+        for (&i, report) in miss_indices.iter().zip(solved) {
+            if let (Some(key), Some(canon)) = (&keys[i], &canons[i]) {
+                self.store(key, canon, &report);
+            }
+            let disposition = if requests[i].observer.is_none() {
+                CacheDisposition::Miss
+            } else {
+                CacheDisposition::Bypass
+            };
+            slots[i] = Some((report, disposition));
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every request answered"))
+            .collect()
+    }
+
+    fn store(&self, key: &CacheKey, canon: &CanonicalDfg, report: &MapReport) {
+        if !report.is_cacheable()
+            || matches!(&report.outcome, MapOutcome::Failed(MapError::InvalidDfg(_)))
+        {
+            return;
+        }
+        let bytes: Arc<[u8]> = Arc::from(canon.bytes().to_vec().into_boxed_slice());
+        self.cache
+            .insert(*key, bytes, canonicalize_report(report, canon));
+    }
+}
+
+impl std::fmt::Debug for CachedMappingService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedMappingService")
+            .field("inner", &self.inner)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+/// Rewrites a solved report into cache-resident (canonical) form: the
+/// mapping's placements are permuted into canonical node order and the
+/// diagnostic names are replaced by the digest hex (names are not part
+/// of kernel identity, so a stored entry must not remember them).
+fn canonicalize_report(report: &MapReport, canon: &CanonicalDfg) -> MapReport {
+    let neutral = canon.digest().to_hex();
+    let mut stored = report.clone();
+    stored.dfg_name = neutral.clone();
+    stored.mapping = report.mapping.as_ref().map(|m| {
+        Mapping::new(
+            neutral.clone(),
+            m.ii(),
+            canon.permute_to_canonical(m.placements()),
+        )
+    });
+    stored
+}
+
+/// Translates a cache-resident report back into the numbering (and
+/// names) of the requesting DFG. The inverse of [`canonicalize_report`]
+/// when the request numbering equals the stored one.
+fn rehydrate(stored: MapReport, dfg: &Dfg, canon: &CanonicalDfg) -> MapReport {
+    let mut report = stored;
+    report.dfg_name = dfg.name().to_string();
+    report.mapping = report.mapping.map(|m| {
+        Mapping::new(
+            dfg.name(),
+            m.ii(),
+            canon.permute_from_canonical(m.placements()),
+        )
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_arch::Cgra;
+    use cgra_dfg::examples::{accumulator, running_example};
+    use monomap_core::api::EngineId;
+    use monomap_core::MapperConfig;
+    use std::time::Duration;
+
+    fn service(capacity: usize) -> CachedMappingService {
+        let cgra = Cgra::new(2, 2).unwrap();
+        CachedMappingService::new(MappingService::new(&cgra), capacity)
+    }
+
+    #[test]
+    fn repeat_request_hits_and_is_byte_identical() {
+        let svc = service(16);
+        let req = MapRequest::new(EngineId::Decoupled, running_example());
+        let (first, d1) = svc.map(&req);
+        let (second, d2) = svc.map(&req);
+        assert_eq!(d1, CacheDisposition::Miss);
+        assert_eq!(d2, CacheDisposition::Hit);
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap(),
+            "a hit is byte-identical to the original solve"
+        );
+        assert_eq!(svc.stats().hits, 1);
+    }
+
+    #[test]
+    fn different_config_is_a_different_entry() {
+        let svc = service(16);
+        let base = MapRequest::new(EngineId::Decoupled, running_example());
+        let slacker = MapRequest::new(EngineId::Decoupled, running_example())
+            .with_config(MapperConfig::new().with_max_window_slack(1));
+        svc.map(&base);
+        let (_, d) = svc.map(&slacker);
+        assert_eq!(d, CacheDisposition::Miss, "config is part of the key");
+    }
+
+    #[test]
+    fn deadline_is_not_part_of_the_key() {
+        let svc = service(16);
+        let (_, d1) = svc.map(&MapRequest::new(EngineId::Decoupled, accumulator()));
+        let (report, d2) = svc.map(
+            &MapRequest::new(EngineId::Decoupled, accumulator())
+                .with_deadline(Duration::from_nanos(1)),
+        );
+        assert_eq!(d1, CacheDisposition::Miss);
+        assert_eq!(
+            d2,
+            CacheDisposition::Hit,
+            "a hit beats an impossible deadline: the engine never runs"
+        );
+        assert!(report.outcome.is_mapped());
+    }
+
+    #[test]
+    fn timeouts_are_not_stored() {
+        let svc = service(16);
+        // An already-raised cancel flag: the engine deterministically
+        // reports Timeout at its first cancellation point (a zero
+        // deadline would race the solve in release builds).
+        let cancelled = cgra_base::CancelFlag::new();
+        cancelled.cancel();
+        let req = MapRequest::new(EngineId::Decoupled, running_example()).with_cancel(cancelled);
+        let (report, d) = svc.map(&req);
+        assert!(!report.outcome.is_mapped(), "{:?}", report.outcome);
+        assert_eq!(d, CacheDisposition::Miss);
+        assert_eq!(svc.stats().insertions, 0, "timeout must not be memoized");
+        // Without the deadline the solve succeeds and is stored.
+        let (ok, _) = svc.map(&MapRequest::new(EngineId::Decoupled, running_example()));
+        assert!(ok.outcome.is_mapped());
+        assert_eq!(svc.stats().insertions, 1);
+    }
+
+    #[test]
+    fn deterministic_failures_are_stored() {
+        let svc = service(16);
+        let req = MapRequest::new(EngineId::Decoupled, running_example())
+            .with_config(MapperConfig::new().with_max_ii(2));
+        let (first, d1) = svc.map(&req);
+        let (second, d2) = svc.map(&req);
+        assert!(first.outcome.error().is_some());
+        assert_eq!((d1, d2), (CacheDisposition::Miss, CacheDisposition::Hit));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn observer_requests_bypass_but_still_populate() {
+        use monomap_core::api::EventCollector;
+        let svc = service(16);
+        let collector = Arc::new(EventCollector::new());
+        let observed = MapRequest::new(EngineId::Decoupled, running_example())
+            .with_observer(collector.clone());
+        let (_, d1) = svc.map(&observed);
+        assert_eq!(d1, CacheDisposition::Bypass);
+        assert!(!collector.events().is_empty(), "the engine really ran");
+        // A later plain request hits the entry the bypass stored.
+        let (_, d2) = svc.map(&MapRequest::new(EngineId::Decoupled, running_example()));
+        assert_eq!(d2, CacheDisposition::Hit);
+        // And a second observed request runs the engine again.
+        let (_, d3) = svc.map(&observed);
+        assert_eq!(d3, CacheDisposition::Bypass);
+    }
+
+    #[test]
+    fn invalid_dfg_is_rejected_before_canonicalization() {
+        // Regression: an out-of-range edge used to reach the
+        // canonicalizer (which indexes by node id) and panic; it must
+        // come back as an InvalidDfg report instead, on both entry
+        // points, and never be memoized.
+        use cgra_dfg::{Dfg, EdgeKind, NodeId, Operation};
+        let mut bad = Dfg::new("bad");
+        bad.add_node(Operation::Input(0), "x");
+        bad.add_edge(
+            NodeId::from_index(99),
+            NodeId::from_index(0),
+            0,
+            EdgeKind::Data,
+        );
+        let svc = service(16);
+        let (report, d) = svc.map(&MapRequest::new(EngineId::Decoupled, bad.clone()));
+        assert!(
+            matches!(
+                report.outcome,
+                monomap_core::MapOutcome::Failed(MapError::InvalidDfg(_))
+            ),
+            "{:?}",
+            report.outcome
+        );
+        assert_eq!(d, CacheDisposition::Miss);
+        let batch = svc.map_batch(&[
+            MapRequest::new(EngineId::Decoupled, bad),
+            MapRequest::new(EngineId::Decoupled, accumulator()),
+        ]);
+        assert!(batch[0].0.outcome.error().is_some());
+        assert!(batch[1].0.outcome.is_mapped(), "valid neighbour unaffected");
+        assert_eq!(svc.stats().insertions, 1, "only the valid solve stored");
+    }
+
+    #[test]
+    fn batch_mixes_hits_and_misses_in_input_order() {
+        let svc = service(16);
+        svc.map(&MapRequest::new(EngineId::Decoupled, running_example()));
+        let requests = vec![
+            MapRequest::new(EngineId::Decoupled, accumulator()), // miss
+            MapRequest::new(EngineId::Decoupled, running_example()), // hit
+            // Miss too: looked up before #0's solve completes (both
+            // copies are solved once each, then stored).
+            MapRequest::new(EngineId::Decoupled, accumulator()),
+        ];
+        let results = svc.map_batch(&requests);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].0.dfg_name, "accumulator");
+        assert_eq!(results[1].1, CacheDisposition::Hit);
+        assert!(results.iter().all(|(r, _)| r.outcome.is_mapped()));
+        // Input order preserved.
+        for (req, (rep, _)) in requests.iter().zip(&results) {
+            assert_eq!(rep.dfg_name, req.dfg.name());
+        }
+    }
+}

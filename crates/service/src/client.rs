@@ -1,0 +1,225 @@
+//! `monomap-client`: a tiny std-only HTTP client for `monomapd`.
+//!
+//! One [`TcpStream`] per call with `Connection: close` — simple,
+//! stateless, and exactly what the end-to-end tests and the
+//! cache-effectiveness bench need. Not a connection-pooling
+//! production client.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use monomap_core::api::{MapReport, MapRequest};
+
+use crate::cached::CacheDisposition;
+use crate::http::StatsSnapshot;
+
+/// A client error: transport, HTTP-level, or malformed payload.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The server answered with a non-2xx status; the body is the
+    /// server's JSON error document.
+    Http {
+        /// The HTTP status code.
+        status: u16,
+        /// The response body (usually `{"error": "..."}`).
+        body: String,
+    },
+    /// The response could not be parsed.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Http { status, body } => write!(f, "HTTP {status}: {body}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A `/map` answer: the report plus how the server's cache
+/// participated (from the `X-Monomap-Cache` header).
+#[derive(Clone, Debug)]
+pub struct MapResponse {
+    /// The mapping report.
+    pub report: MapReport,
+    /// Cache participation, when the server sent the header.
+    pub cache: Option<CacheDisposition>,
+}
+
+/// A blocking HTTP client bound to one `monomapd` address.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Option<Duration>,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (e.g. `"127.0.0.1:8931"`).
+    pub fn new(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        Ok(Client {
+            addr,
+            timeout: Some(Duration::from_secs(600)),
+        })
+    }
+
+    /// Sets the per-call socket read timeout (`None` waits forever).
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The daemon address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `POST /map`: maps one request.
+    pub fn map(&self, request: &MapRequest) -> Result<MapResponse, ClientError> {
+        let body = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("serializing request: {e}")))?;
+        let (headers, body) = self.call("POST", "/map", Some(&body))?;
+        let report: MapReport = serde_json::from_str(&body)
+            .map_err(|e| ClientError::Protocol(format!("parsing report: {e}")))?;
+        let cache = header_value(&headers, "x-monomap-cache")
+            .and_then(|v| CacheDisposition::from_name(v.as_str()));
+        Ok(MapResponse { report, cache })
+    }
+
+    /// `POST /map_batch`: maps many requests, reports in input order.
+    pub fn map_batch(&self, requests: &[MapRequest]) -> Result<Vec<MapResponse>, ClientError> {
+        let items: Vec<serde::Value> = requests.iter().map(serde::Serialize::to_value).collect();
+        let body = serde_json::to_string(&serde::Value::Seq(items))
+            .map_err(|e| ClientError::Protocol(format!("serializing requests: {e}")))?;
+        let (_, body) = self.call("POST", "/map_batch", Some(&body))?;
+        let envelope: serde::Value = serde_json::from_str(&body)
+            .map_err(|e| ClientError::Protocol(format!("parsing batch envelope: {e}")))?;
+        let reports = envelope
+            .get("reports")
+            .and_then(serde::Value::as_seq)
+            .ok_or_else(|| ClientError::Protocol("batch envelope missing `reports`".into()))?;
+        let cache = envelope
+            .get("cache")
+            .and_then(serde::Value::as_seq)
+            .ok_or_else(|| ClientError::Protocol("batch envelope missing `cache`".into()))?;
+        if reports.len() != cache.len() {
+            return Err(ClientError::Protocol(
+                "batch envelope reports/cache length mismatch".into(),
+            ));
+        }
+        reports
+            .iter()
+            .zip(cache)
+            .map(|(r, c)| {
+                use serde::Deserialize;
+                let report = MapReport::from_value(r)
+                    .map_err(|e| ClientError::Protocol(format!("parsing report: {e}")))?;
+                let cache = c.as_str().and_then(CacheDisposition::from_name);
+                Ok(MapResponse { report, cache })
+            })
+            .collect()
+    }
+
+    /// `GET /healthz`: the liveness document as raw JSON text.
+    pub fn healthz(&self) -> Result<String, ClientError> {
+        let (_, body) = self.call("GET", "/healthz", None)?;
+        Ok(body)
+    }
+
+    /// `GET /stats`: the cache and server counters.
+    pub fn stats(&self) -> Result<StatsSnapshot, ClientError> {
+        let (_, body) = self.call("GET", "/stats", None)?;
+        serde_json::from_str(&body)
+            .map_err(|e| ClientError::Protocol(format!("parsing stats: {e}")))
+    }
+
+    /// One HTTP exchange. Returns the response headers (lowercased
+    /// names) and body; non-2xx statuses become [`ClientError::Http`].
+    fn call(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(Vec<(String, String)>, String), ClientError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(self.timeout)?;
+        let mut writer = stream.try_clone()?;
+        let body_bytes = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body_bytes}",
+            self.addr,
+            body_bytes.len(),
+        );
+        writer.write_all(request.as_bytes())?;
+        writer.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                ClientError::Protocol(format!("malformed status line: {status_line:?}"))
+            })?;
+        let mut headers = Vec::new();
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Protocol("EOF inside response headers".into()));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().ok();
+                }
+                headers.push((name, value));
+            }
+        }
+        let body = match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                reader.read_exact(&mut buf)?;
+                String::from_utf8(buf)
+                    .map_err(|_| ClientError::Protocol("response body is not UTF-8".into()))?
+            }
+            None => {
+                let mut buf = String::new();
+                reader.read_to_string(&mut buf)?;
+                buf
+            }
+        };
+        if !(200..300).contains(&status) {
+            return Err(ClientError::Http { status, body });
+        }
+        Ok((headers, body))
+    }
+}
+
+fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a String> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+}

@@ -1,0 +1,673 @@
+//! The `monomapd` HTTP front end: a dependency-free HTTP/1.1 server
+//! over [`std::net::TcpListener`], serving the
+//! [`MapRequest`]/[`MapReport`] JSON envelope.
+//!
+//! Endpoints (see `docs/SERVICE.md` for the full wire spec):
+//!
+//! | method | path | body | response |
+//! |--------|------|------|----------|
+//! | `POST` | `/map` | one [`MapRequest`] | one [`MapReport`] |
+//! | `POST` | `/map_batch` | array of requests | `{"reports": [...], "cache": [...]}` |
+//! | `GET` | `/stats` | — | cache + server counters |
+//! | `GET` | `/healthz` | — | liveness + registry summary |
+//!
+//! Map responses carry an `X-Monomap-Cache: hit|miss|bypass` header.
+//!
+//! The server runs a fixed pool of worker threads pulling accepted
+//! connections from a channel; each connection is served keep-alive
+//! until the peer closes, errors, or goes idle past the read timeout.
+//! While an engine solves, a per-request monitor thread watches the
+//! socket: a client that disconnects raises the request's
+//! [`CancelFlag`], so abandoned solves release their worker at the
+//! next cancellation point instead of running to completion.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use cgra_base::CancelFlag;
+use monomap_core::api::{MapReport, MapRequest};
+
+use crate::cache::CacheStatsSnapshot;
+use crate::cached::{CacheDisposition, CachedMappingService};
+
+/// Tuning knobs of [`Server`]; the defaults suit both tests and the
+/// `monomapd` binary.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads serving connections (each runs at most one solve
+    /// at a time).
+    pub workers: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// An idle keep-alive connection is closed after this long.
+    pub read_timeout: Duration,
+    /// How often the connection monitor polls the socket for a client
+    /// disconnect while a solve runs.
+    pub monitor_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_body_bytes: 16 << 20,
+            read_timeout: Duration::from_secs(30),
+            monitor_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Serializable server-side counters, nested under `"server"` in the
+/// `GET /stats` response.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerStatsSnapshot {
+    /// All HTTP requests handled (any endpoint, any status).
+    pub requests: u64,
+    /// `POST /map` requests handled.
+    pub map_requests: u64,
+    /// `POST /map_batch` requests handled.
+    pub batch_requests: u64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: u64,
+    /// Solves released early because the client disconnected.
+    pub client_disconnects: u64,
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+}
+
+/// The full `GET /stats` response body.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Content-addressed cache counters.
+    pub cache: CacheStatsSnapshot,
+    /// HTTP front-end counters.
+    pub server: ServerStatsSnapshot,
+}
+
+#[derive(Default)]
+struct ServerCounters {
+    requests: AtomicU64,
+    map_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    errors: AtomicU64,
+    client_disconnects: AtomicU64,
+}
+
+/// The `monomapd` daemon core: a bound listener plus the cached
+/// service it serves. [`Server::run`] blocks; [`Server::spawn`] runs
+/// on a background thread and returns a [`ServerHandle`] (used by the
+/// end-to-end tests).
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<CachedMappingService>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) over `service`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: CachedMappingService,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        assert!(config.workers > 0, "server needs at least one worker");
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service: Arc::new(service),
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (the actual port when an ephemeral one was
+    /// requested).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until shut down (blocking). Worker threads pull accepted
+    /// connections from a shared queue; the accept loop exits when the
+    /// shutdown flag is raised and a wake-up connection arrives (see
+    /// [`ServerHandle::shutdown`]).
+    pub fn run(self) -> io::Result<()> {
+        let started = Instant::now();
+        let counters = Arc::new(ServerCounters::default());
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers {
+                let conn_rx = Arc::clone(&conn_rx);
+                let service = Arc::clone(&self.service);
+                let counters = Arc::clone(&counters);
+                let config = self.config.clone();
+                scope.spawn(move || loop {
+                    let stream = match conn_rx.lock().expect("connection queue lock").recv() {
+                        Ok(s) => s,
+                        Err(_) => return, // accept loop gone: shut down
+                    };
+                    // Per-connection errors only affect that peer.
+                    let _ = serve_connection(stream, &service, &counters, &config, started);
+                });
+            }
+            for stream in self.listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let _ = conn_tx.send(s);
+                    }
+                    Err(_) => continue,
+                }
+            }
+            drop(conn_tx); // release the workers
+            Ok(())
+        })
+    }
+
+    /// Runs the server on a background thread, returning a handle with
+    /// the bound address and a shutdown switch.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread,
+        })
+    }
+}
+
+/// Handle to a [`Server`] running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raises the shutdown flag, wakes the accept loop and joins the
+    /// server thread. In-flight connections finish first.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag on its next
+        // connection; poke it.
+        let _ = TcpStream::connect(self.addr);
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+enum ReadOutcome {
+    Request(HttpRequest),
+    /// Peer closed (or went idle past the timeout) between requests.
+    Closed,
+    /// Malformed input; the connection gets one error response and is
+    /// closed.
+    Bad(&'static str),
+    /// Body larger than the configured cap.
+    TooLarge,
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: &CachedMappingService,
+    counters: &Arc<ServerCounters>,
+    config: &ServerConfig,
+    started: Instant,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream.try_clone()?;
+    loop {
+        let request = match read_request(&mut reader, config.max_body_bytes) {
+            ReadOutcome::Request(r) => r,
+            ReadOutcome::Closed => return Ok(()),
+            ReadOutcome::Bad(msg) => {
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                respond_error(&mut writer, 400, msg, false)?;
+                return Ok(());
+            }
+            ReadOutcome::TooLarge => {
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                respond_error(&mut writer, 413, "request body too large", false)?;
+                return Ok(());
+            }
+        };
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive;
+        let result = route(&request, &stream, service, counters, config, started);
+        match result {
+            Ok(response) => respond(
+                &mut writer,
+                200,
+                &response.body,
+                &response.extra,
+                keep_alive,
+            )?,
+            Err((status, message)) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                respond_error(&mut writer, status, &message, keep_alive)?;
+            }
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+struct Response {
+    body: String,
+    /// Extra headers, e.g. `X-Monomap-Cache`.
+    extra: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    fn json(body: String) -> Self {
+        Response {
+            body,
+            extra: Vec::new(),
+        }
+    }
+}
+
+fn route(
+    request: &HttpRequest,
+    stream: &TcpStream,
+    service: &CachedMappingService,
+    counters: &Arc<ServerCounters>,
+    config: &ServerConfig,
+    started: Instant,
+) -> Result<Response, (u16, String)> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/map") => {
+            counters.map_requests.fetch_add(1, Ordering::Relaxed);
+            let body = std::str::from_utf8(&request.body)
+                .map_err(|_| (400, "request body is not UTF-8".to_string()))?;
+            let mut map_request: MapRequest = serde_json::from_str(body)
+                .map_err(|e| (400, format!("invalid MapRequest: {e}")))?;
+            let (report, disposition) =
+                map_with_disconnect_monitor(service, &mut map_request, stream, counters, config);
+            let json = serde_json::to_string(&report)
+                .map_err(|e| (500, format!("serializing report: {e}")))?;
+            Ok(Response {
+                body: json,
+                extra: vec![("X-Monomap-Cache", disposition.name().to_string())],
+            })
+        }
+        ("POST", "/map_batch") => {
+            counters.batch_requests.fetch_add(1, Ordering::Relaxed);
+            let body = std::str::from_utf8(&request.body)
+                .map_err(|_| (400, "request body is not UTF-8".to_string()))?;
+            let mut requests: Vec<MapRequest> = serde_json::from_str(body)
+                .map_err(|e| (400, format!("invalid MapRequest array: {e}")))?;
+            let cancel = CancelFlag::new();
+            for r in &mut requests {
+                if r.cancel.is_none() {
+                    r.cancel = Some(cancel.clone());
+                }
+            }
+            let results = {
+                let _monitor = DisconnectMonitor::watch(stream, cancel, counters, config);
+                service.map_batch(&requests)
+            };
+            let reports: Vec<&MapReport> = results.iter().map(|(r, _)| r).collect();
+            let dispositions: Vec<&str> = results.iter().map(|(_, d)| d.name()).collect();
+            let body = format!(
+                "{{\"reports\":{},\"cache\":{}}}",
+                serde_json::to_string(&reports)
+                    .map_err(|e| (500, format!("serializing reports: {e}")))?,
+                serde_json::to_string(&dispositions)
+                    .map_err(|e| (500, format!("serializing dispositions: {e}")))?,
+            );
+            Ok(Response::json(body))
+        }
+        ("GET", "/stats") => {
+            let snapshot = StatsSnapshot {
+                cache: service.stats(),
+                server: ServerStatsSnapshot {
+                    requests: counters.requests.load(Ordering::Relaxed),
+                    map_requests: counters.map_requests.load(Ordering::Relaxed),
+                    batch_requests: counters.batch_requests.load(Ordering::Relaxed),
+                    errors: counters.errors.load(Ordering::Relaxed),
+                    client_disconnects: counters.client_disconnects.load(Ordering::Relaxed),
+                    uptime_seconds: started.elapsed().as_secs_f64(),
+                },
+            };
+            serde_json::to_string(&snapshot)
+                .map(Response::json)
+                .map_err(|e| (500, format!("serializing stats: {e}")))
+        }
+        ("GET", "/healthz") => {
+            let inner = service.inner();
+            let engines: Vec<serde::Value> = inner
+                .engine_ids()
+                .iter()
+                .map(|e| serde::Value::Str(e.name().to_string()))
+                .collect();
+            let body = serde::Value::Map(vec![
+                ("status".to_string(), serde::Value::Str("ok".to_string())),
+                ("engines".to_string(), serde::Value::Seq(engines)),
+                (
+                    "cgra".to_string(),
+                    serde::Value::Str(inner.cgra().describe()),
+                ),
+                (
+                    "cache_capacity".to_string(),
+                    serde::Value::UInt(service.cache().capacity() as u64),
+                ),
+            ]);
+            serde_json::to_string(&body)
+                .map(Response::json)
+                .map_err(|e| (500, format!("serializing health: {e}")))
+        }
+        ("GET" | "POST", _) => Err((404, format!("no such endpoint: {}", request.path))),
+        _ => Err((405, format!("method {} not allowed", request.method))),
+    }
+}
+
+/// Runs one `/map` request with the request's cancel flag wired to a
+/// socket-disconnect monitor (on top of any flag the request already
+/// carries — wire requests never carry one).
+fn map_with_disconnect_monitor(
+    service: &CachedMappingService,
+    request: &mut MapRequest,
+    stream: &TcpStream,
+    counters: &Arc<ServerCounters>,
+    config: &ServerConfig,
+) -> (MapReport, CacheDisposition) {
+    let cancel = request.cancel.clone().unwrap_or_default();
+    request.cancel = Some(cancel.clone());
+    let _monitor = DisconnectMonitor::watch(stream, cancel, counters, config);
+    service.map(request)
+}
+
+/// Watches a socket for a peer disconnect while a solve runs, raising
+/// the given [`CancelFlag`] if the client goes away. Dropping the
+/// monitor wakes and joins the watcher thread, which **restores the
+/// socket to blocking mode** before exiting — `set_nonblocking` flips
+/// `O_NONBLOCK` on the open file description *shared* with the
+/// connection's reader and writer (`try_clone` is a `dup`), so leaving
+/// it set would break keep-alive reads and could truncate large
+/// responses mid-write.
+struct DisconnectMonitor {
+    done_tx: Option<mpsc::Sender<()>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DisconnectMonitor {
+    fn watch(
+        stream: &TcpStream,
+        cancel: CancelFlag,
+        counters: &Arc<ServerCounters>,
+        config: &ServerConfig,
+    ) -> Self {
+        let inert = DisconnectMonitor {
+            done_tx: None,
+            thread: None,
+        };
+        let Ok(peek_stream) = stream.try_clone() else {
+            return inert; // no monitor; the solve still completes
+        };
+        if peek_stream.set_nonblocking(true).is_err() {
+            let _ = peek_stream.set_nonblocking(false);
+            return inert;
+        }
+        let interval = config.monitor_interval;
+        let counters = Arc::clone(counters);
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let thread = std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            loop {
+                // Sleeping on the channel (not thread::sleep) lets the
+                // drop-side wake the watcher immediately, so joining it
+                // adds no per-request latency.
+                match done_rx.recv_timeout(interval) {
+                    Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                }
+                match peek_stream.peek(&mut buf) {
+                    // Orderly shutdown by the peer: the request was
+                    // abandoned.
+                    Ok(0) => {
+                        cancel.cancel();
+                        counters.client_disconnects.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    // Pipelined bytes waiting: the peer is alive.
+                    Ok(_) => {}
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+                    // Reset / broken pipe: gone too.
+                    Err(_) => {
+                        cancel.cancel();
+                        counters.client_disconnects.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            // Restore the shared open file description before the
+            // response is written.
+            let _ = peek_stream.set_nonblocking(false);
+        });
+        DisconnectMonitor {
+            done_tx: Some(done_tx),
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for DisconnectMonitor {
+    fn drop(&mut self) {
+        drop(self.done_tx.take()); // wake the watcher
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP parsing and emission
+// ---------------------------------------------------------------------
+
+/// Longest accepted request-line or header line, in bytes. Applied
+/// *while* reading (not after), so a peer streaming newline-free bytes
+/// cannot grow memory unboundedly.
+const MAX_LINE_BYTES: usize = 16 * 1024;
+
+/// Most header lines accepted per request.
+const MAX_HEADERS: usize = 128;
+
+enum Line {
+    Some(String),
+    /// EOF / timeout / transport error: treat the connection as gone.
+    Closed,
+    /// The line exceeded [`MAX_LINE_BYTES`] (already-read bytes are
+    /// discarded; the caller answers 400 and closes).
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line with the length cap enforced
+/// incrementally, via the `BufReader`'s own buffer.
+fn read_line_capped(reader: &mut BufReader<TcpStream>) -> Line {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buffered = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(_) => return Line::Closed, // incl. WouldBlock/TimedOut
+        };
+        if buffered.is_empty() {
+            return Line::Closed; // EOF (mid-line EOF is also a close)
+        }
+        match buffered.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                if line.len() + newline > MAX_LINE_BYTES {
+                    return Line::TooLong;
+                }
+                line.extend_from_slice(&buffered[..newline]);
+                reader.consume(newline + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Line::Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            None => {
+                let taken = buffered.len();
+                if line.len() + taken > MAX_LINE_BYTES {
+                    return Line::TooLong;
+                }
+                line.extend_from_slice(buffered);
+                reader.consume(taken);
+            }
+        }
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutcome {
+    let line = match read_line_capped(reader) {
+        Line::Some(l) => l,
+        Line::Closed => return ReadOutcome::Closed,
+        Line::TooLong => return ReadOutcome::Bad("request line too long"),
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Bad("malformed request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Bad("unsupported HTTP version");
+    }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version == "HTTP/1.1";
+    let method = method.to_string();
+    let path = path.to_string();
+    let mut content_length: usize = 0;
+    for header_count in 0.. {
+        if header_count >= MAX_HEADERS {
+            return ReadOutcome::Bad("too many headers");
+        }
+        let header = match read_line_capped(reader) {
+            Line::Some(l) => l,
+            Line::Closed => return ReadOutcome::Closed,
+            Line::TooLong => return ReadOutcome::Bad("header line too long"),
+        };
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return ReadOutcome::Bad("malformed header");
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => match value.parse::<usize>() {
+                Ok(n) => content_length = n,
+                Err(_) => return ReadOutcome::Bad("malformed Content-Length"),
+            },
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v == "close" {
+                    keep_alive = false;
+                } else if v == "keep-alive" {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => {
+                return ReadOutcome::Bad("chunked transfer encoding is not supported")
+            }
+            _ => {}
+        }
+    }
+    if content_length > max_body {
+        return ReadOutcome::TooLarge;
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 && reader.read_exact(&mut body).is_err() {
+        return ReadOutcome::Closed;
+    }
+    ReadOutcome::Request(HttpRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Error",
+    }
+}
+
+fn respond(
+    writer: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra: &[(&'static str, String)],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status,
+        status_text(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
+}
+
+fn respond_error(
+    writer: &mut TcpStream,
+    status: u16,
+    message: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let body = serde_json::to_string(&serde::Value::Map(vec![(
+        "error".to_string(),
+        serde::Value::Str(message.to_string()),
+    )]))
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+    respond(writer, status, &body, &[], keep_alive)
+}

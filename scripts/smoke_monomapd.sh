@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI smoke test for the monomapd daemon: start it on an ephemeral
+# port, issue /healthz and /map through the bundled client, and assert
+# that repeating the same kernel is a cache hit. Requires the release
+# binaries (cargo build --release) to exist already.
+set -euo pipefail
+
+BIN="${BIN:-target/release}"
+LOG="$(mktemp)"
+
+"$BIN/monomapd" --addr 127.0.0.1:0 --rows 4 --cols 4 --cache-capacity 64 >"$LOG" 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+# The daemon prints "monomapd listening on http://<addr>" once bound.
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(grep -oE '127\.0\.0\.1:[0-9]+' "$LOG" | head -1 || true)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: daemon never printed its listen address" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+echo "monomapd is up on $ADDR"
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+"$BIN/monomap-client" --addr "$ADDR" healthz | grep -q '"status":"ok"' \
+    || fail "/healthz did not report ok"
+
+"$BIN/monomap-client" --addr "$ADDR" map susan | tail -1 | grep -qx 'cache: miss' \
+    || fail "first /map of susan was not a cache miss"
+
+"$BIN/monomap-client" --addr "$ADDR" map susan | tail -1 | grep -qx 'cache: hit' \
+    || fail "repeated /map of susan was not a cache hit"
+
+"$BIN/monomap-client" --addr "$ADDR" stats | grep -q '"hits":1' \
+    || fail "/stats did not count exactly one hit"
+
+echo "monomapd smoke OK ($ADDR)"

@@ -1,0 +1,146 @@
+//! `monomap-client` — a tiny CLI over [`monomap_service::Client`].
+//!
+//! Used by the CI smoke test and handy for poking a running
+//! `monomapd` by hand:
+//!
+//! ```text
+//! monomap-client --addr 127.0.0.1:8931 healthz
+//! monomap-client --addr 127.0.0.1:8931 stats
+//! monomap-client --addr 127.0.0.1:8931 map susan [--engine decoupled] [--max-ii 9]
+//! ```
+//!
+//! `map` takes a kernel name from the built-in 17-kernel suite (plus
+//! `running_example` and `accumulator`), prints the `MapReport` JSON
+//! to stdout and finishes with a `cache: hit|miss|bypass` line that
+//! scripts can grep.
+
+use std::process::ExitCode;
+
+use cgra_dfg::{examples, suite, Dfg};
+use monomap_core::api::{EngineId, MapRequest};
+use monomap_core::MapperConfig;
+use monomap_service::Client;
+
+const USAGE: &str = "monomap-client — poke a running monomapd
+
+USAGE:
+    monomap-client --addr <host:port> healthz
+    monomap-client --addr <host:port> stats
+    monomap-client --addr <host:port> map <kernel> [--engine decoupled|coupled|annealing]
+                                                   [--max-ii <n>] [--deadline <seconds>]
+
+KERNELS:
+    any suite name (see `monomap-client kernels`), running_example, accumulator
+";
+
+fn kernel_by_name(name: &str) -> Option<Dfg> {
+    match name {
+        "running_example" => Some(examples::running_example()),
+        "accumulator" => Some(examples::accumulator()),
+        _ => suite::names()
+            .contains(&name)
+            .then(|| suite::generate(name)),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut command: Option<String> = None;
+    let mut kernel: Option<String> = None;
+    let mut engine = EngineId::Decoupled;
+    let mut config = MapperConfig::default();
+    let mut deadline: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            "--addr" => addr = Some(value("--addr")?),
+            "--engine" => {
+                engine = match value("--engine")?.as_str() {
+                    "decoupled" => EngineId::Decoupled,
+                    "coupled" => EngineId::Coupled,
+                    "annealing" => EngineId::Annealing,
+                    other => return Err(format!("unknown engine `{other}`")),
+                }
+            }
+            "--max-ii" => {
+                let n: usize = value("--max-ii")?
+                    .parse()
+                    .map_err(|_| "--max-ii: not a number".to_string())?;
+                config = config.with_max_ii(n);
+            }
+            "--deadline" => {
+                let s: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|_| "--deadline: not a number".to_string())?;
+                deadline = Some(s);
+            }
+            other if command.is_none() => command = Some(other.to_string()),
+            other if command.as_deref() == Some("map") && kernel.is_none() => {
+                kernel = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}` (try --help)")),
+        }
+    }
+
+    let command = command.ok_or("no command given (try --help)")?;
+    if command == "kernels" {
+        for name in suite::names() {
+            println!("{name}");
+        }
+        println!("running_example");
+        println!("accumulator");
+        return Ok(());
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    let client = Client::new(addr.as_str()).map_err(|e| format!("cannot resolve {addr}: {e}"))?;
+    match command.as_str() {
+        "healthz" => {
+            let body = client.healthz().map_err(|e| e.to_string())?;
+            println!("{body}");
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&stats).map_err(|e| e.to_string())?
+            );
+        }
+        "map" => {
+            let kernel = kernel.ok_or("map needs a kernel name")?;
+            let dfg = kernel_by_name(&kernel)
+                .ok_or_else(|| format!("unknown kernel `{kernel}` (try `kernels`)"))?;
+            let mut request = MapRequest::new(engine, dfg).with_config(config);
+            request.deadline_seconds = deadline;
+            let response = client.map(&request).map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string(&response.report).map_err(|e| e.to_string())?
+            );
+            match response.cache {
+                Some(d) => println!("cache: {d}"),
+                None => println!("cache: unknown"),
+            }
+        }
+        other => return Err(format!("unknown command `{other}` (try --help)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("monomap-client: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

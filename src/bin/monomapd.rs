@@ -1,0 +1,182 @@
+//! `monomapd` — the monomap network daemon.
+//!
+//! A dependency-free HTTP/1.1 front end over the batch
+//! [`MappingService`](monomap_core::api::MappingService) with the
+//! content-addressed mapping cache of `monomap-service` in front of
+//! it. All three engines (decoupled, coupled-SAT baseline, annealing
+//! baseline) are registered.
+//!
+//! ```text
+//! monomapd [--addr 127.0.0.1:8931] [--rows 4] [--cols 4]
+//!          [--topology torus|mesh|diagonal]
+//!          [--profile homogeneous|mem-left|mul-checkerboard|mem-left-mul-checkerboard]
+//!          [--workers 4] [--batch-parallelism 4] [--cache-capacity 4096]
+//! ```
+//!
+//! Bind port 0 for an ephemeral port; the daemon prints
+//! `monomapd listening on http://<addr>` (with the real port) to
+//! stdout once ready, which the smoke script and the e2e harness
+//! scrape. See `docs/SERVICE.md` for the wire protocol.
+
+use std::process::ExitCode;
+
+use cgra_arch::{CapabilityProfile, Cgra, Topology};
+use cgra_baseline::standard_service;
+use monomap_service::{CachedMappingService, Server, ServerConfig};
+
+struct Options {
+    addr: String,
+    rows: usize,
+    cols: usize,
+    topology: Topology,
+    profile: Option<CapabilityProfile>,
+    workers: usize,
+    batch_parallelism: usize,
+    cache_capacity: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:8931".to_string(),
+            rows: 4,
+            cols: 4,
+            topology: Topology::Torus,
+            profile: None,
+            workers: 4,
+            batch_parallelism: 4,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+const USAGE: &str = "monomapd — CGRA mapping daemon with a content-addressed cache
+
+USAGE:
+    monomapd [OPTIONS]
+
+OPTIONS:
+    --addr <host:port>          bind address (default 127.0.0.1:8931; port 0 = ephemeral)
+    --rows <n>                  CGRA rows (default 4)
+    --cols <n>                  CGRA columns (default 4)
+    --topology <name>           torus | mesh | diagonal (default torus)
+    --profile <name>            homogeneous | mem-left | mul-checkerboard |
+                                mem-left-mul-checkerboard (default homogeneous)
+    --workers <n>               HTTP worker threads (default 4)
+    --batch-parallelism <n>     worker threads per /map_batch request (default 4)
+    --cache-capacity <n>        mapping cache entries (default 4096)
+    --help                      print this help
+";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--rows" => opts.rows = parse_num(&value("--rows")?, "--rows")?,
+            "--cols" => opts.cols = parse_num(&value("--cols")?, "--cols")?,
+            "--workers" => opts.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--batch-parallelism" => {
+                opts.batch_parallelism =
+                    parse_num(&value("--batch-parallelism")?, "--batch-parallelism")?
+            }
+            "--cache-capacity" => {
+                opts.cache_capacity = parse_num(&value("--cache-capacity")?, "--cache-capacity")?
+            }
+            "--topology" => {
+                opts.topology = match value("--topology")?.as_str() {
+                    "torus" => Topology::Torus,
+                    "mesh" => Topology::Mesh,
+                    "diagonal" => Topology::Diagonal,
+                    other => return Err(format!("unknown topology `{other}`")),
+                }
+            }
+            "--profile" => {
+                opts.profile = match value("--profile")?.as_str() {
+                    "homogeneous" => None,
+                    "mem-left" => Some(CapabilityProfile::MemLeftColumn),
+                    "mul-checkerboard" => Some(CapabilityProfile::MulCheckerboard),
+                    "mem-left-mul-checkerboard" => Some(CapabilityProfile::MemLeftMulCheckerboard),
+                    other => return Err(format!("unknown capability profile `{other}`")),
+                }
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if opts.workers == 0 || opts.batch_parallelism == 0 || opts.cache_capacity == 0 {
+        return Err("--workers, --batch-parallelism and --cache-capacity must be positive".into());
+    }
+    Ok(opts)
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: `{s}` is not a number"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("monomapd: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cgra = match Cgra::with_topology(opts.rows, opts.cols, opts.topology) {
+        Ok(c) => match opts.profile {
+            Some(p) => c.with_capability_profile(p),
+            None => c,
+        },
+        Err(e) => {
+            eprintln!("monomapd: invalid CGRA: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = standard_service(&cgra).with_parallelism(opts.batch_parallelism);
+    let cached = CachedMappingService::new(service, opts.cache_capacity);
+    let config = ServerConfig {
+        workers: opts.workers,
+        ..ServerConfig::default()
+    };
+    let server = match Server::bind(&opts.addr, cached, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("monomapd: cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("monomapd: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("monomapd listening on http://{addr}");
+    println!(
+        "  cgra: {} | workers: {} | cache capacity: {}",
+        cgra.describe(),
+        opts.workers,
+        opts.cache_capacity,
+    );
+    // Ready-line consumers (the smoke script) need the port before the
+    // first connection arrives.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("monomapd: server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

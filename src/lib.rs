@@ -17,6 +17,7 @@
 //! | [`core`] | **the paper's contribution**: the decoupled mapper |
 //! | [`baseline`] | SAT-MapIt-style coupled mapper + simulated annealing |
 //! | [`sim`] | functional CGRA simulator validating mappings end to end |
+//! | [`service`] | content-addressed mapping cache + the `monomapd` HTTP daemon |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use cgra_sched as sched;
 pub use cgra_sim as sim;
 pub use cgra_smt as smt;
 pub use monomap_core as core;
+pub use monomap_service as service;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -63,6 +65,7 @@ pub mod prelude {
         MappingService, SpaceAttemptOutcome,
     };
     pub use monomap_core::{DecoupledMapper, MapError, MapResult, MapStats, MapperConfig, Mapping};
+    pub use monomap_service::{CacheDisposition, CachedMappingService, MapCache};
 }
 
 #[cfg(test)]

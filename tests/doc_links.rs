@@ -1,0 +1,107 @@
+//! The documentation link check: every intra-repo link in the
+//! top-level markdown docs must resolve to a real file. Runs as part
+//! of `cargo test` (and as its own CI step), so a renamed file or a
+//! typo'd path fails the build instead of rotting silently.
+
+use std::path::{Path, PathBuf};
+
+/// Markdown files whose links are checked, relative to the repo root.
+fn documents() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut docs = vec![
+        root.join("README.md"),
+        root.join("ROADMAP.md"),
+        root.join("PAPER.md"),
+    ];
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                docs.push(path);
+            }
+        }
+    }
+    docs
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extracts `](target)` markdown link targets from one line,
+/// tolerating multiple links per line.
+fn link_targets(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(idx) = rest.find("](") {
+        rest = &rest[idx + 2..];
+        if let Some(end) = rest.find(')') {
+            out.push(&rest[..end]);
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+fn is_intra_repo(target: &str) -> bool {
+    !(target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#'))
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let mut broken: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for doc in documents() {
+        let text = match std::fs::read_to_string(&doc) {
+            Ok(t) => t,
+            Err(_) => continue, // optional docs (e.g. PAPER.md) may be absent
+        };
+        let mut in_code_block = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code_block = !in_code_block;
+                continue;
+            }
+            if in_code_block {
+                continue;
+            }
+            for target in link_targets(line) {
+                if !is_intra_repo(target) {
+                    continue;
+                }
+                // Strip a trailing `#section` anchor.
+                let path_part = target.split('#').next().unwrap_or(target);
+                if path_part.is_empty() {
+                    continue;
+                }
+                checked += 1;
+                let base: &Path = doc.parent().expect("doc file has a directory");
+                let resolved = base.join(path_part);
+                if !resolved.exists() {
+                    broken.push(format!(
+                        "{}:{}: broken link `{}` (resolved to {})",
+                        doc.display(),
+                        lineno + 1,
+                        target,
+                        resolved.display(),
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo documentation links:\n{}",
+        broken.join("\n")
+    );
+    assert!(
+        checked >= 2,
+        "the link checker found almost nothing to check ({checked}); \
+         did the docs move?"
+    );
+}

@@ -190,6 +190,21 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     }
 }
 
+// `Value` is its own serialization: passing an already-built tree to a
+// generic `Serialize` consumer (or pulling one back out untyped) is the
+// stub's equivalent of `serde_json::Value`'s reflexive impls.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
