@@ -1,0 +1,204 @@
+//! ISSUE-6 perf trajectory: the incremental time solver vs per-level
+//! rebuilds, in stable JSON for committing alongside the code.
+//!
+//! Usage:
+//!   bench_summary [--kernels nw,hotspot3D] [--repeat 5] [--out FILE]
+//!
+//! Two measurements:
+//!
+//! * `ladder` — the time phase alone, per suite kernel on a 4×4: walk
+//!   the `(II, slack)` escalation ladder (`II ∈ {mII, mII+1}`, slack
+//!   `0..=2`, one solve per level) twice — once rebuilding a fresh
+//!   [`TimeSolver`] per level (the pre-ISSUE-6 behaviour), once on a
+//!   persistent [`IncrementalTimeSolver`] per II that widens by guarded
+//!   clause additions. The gap is the re-encode + re-learn cost the
+//!   live instance avoids.
+//! * `mapper` — end-to-end `DecoupledMapper::map` with the incremental
+//!   UNSAT screen on vs off, on connectivity-bound star kernels (2×2)
+//!   where barren slack levels actually occur, reporting the screen's
+//!   `solver_reuses` / `clauses_retained` accounting.
+//!
+//! Wall-clock numbers are machine-dependent; each measurement repeats
+//! `--repeat` times and reports the minimum. The JSON key order is
+//! stable, so committed snapshots diff cleanly.
+
+use std::time::Instant;
+
+use cgra_arch::Cgra;
+use cgra_dfg::{suite, Dfg, DfgBuilder, Operation as Op};
+use cgra_sched::{min_ii, IncrementalTimeSolver, TimeSolver, TimeSolverConfig};
+use monomap_core::{DecoupledMapper, MapperConfig};
+use serde::{Serialize, Value};
+
+/// IIs above `mII` each ladder kernel climbs through.
+const LADDER_EXTRA_IIS: usize = 1;
+/// Slack levels per II on the ladder.
+const LADDER_MAX_SLACK: usize = 2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kernels: Vec<String> = vec!["nw".into(), "hotspot3D".into()];
+    let mut repeat = 5usize;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kernels" => {
+                i += 1;
+                kernels = args[i].split(',').map(str::to_string).collect();
+            }
+            "--repeat" => {
+                i += 1;
+                repeat = args[i].parse().expect("--repeat N");
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let ladder: Vec<Value> = kernels
+        .iter()
+        .map(|name| ladder_entry(name, &suite::generate(name), repeat))
+        .collect();
+    let mapper: Vec<Value> = [4usize, 5, 6, 8]
+        .iter()
+        .map(|&k| mapper_entry(k, repeat))
+        .collect();
+
+    let report = Value::Map(vec![
+        ("bench".to_string(), "bench_summary".to_value()),
+        (
+            "config".to_string(),
+            Value::Map(vec![
+                ("ladder_grid".to_string(), "4x4".to_value()),
+                ("ladder_extra_iis".to_string(), LADDER_EXTRA_IIS.to_value()),
+                ("ladder_max_slack".to_string(), LADDER_MAX_SLACK.to_value()),
+                ("mapper_grid".to_string(), "2x2".to_value()),
+                ("repeat".to_string(), repeat.to_value()),
+            ]),
+        ),
+        ("ladder".to_string(), Value::Seq(ladder)),
+        ("mapper".to_string(), Value::Seq(mapper)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json + "\n").expect("write --out file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+/// Times one full ladder walk with per-level rebuilds.
+fn walk_rebuild(dfg: &Dfg, cgra: &Cgra, mii: usize) -> f64 {
+    let t0 = Instant::now();
+    for ii in mii..=mii + LADDER_EXTRA_IIS {
+        for slack in 0..=LADDER_MAX_SLACK {
+            let cfg = TimeSolverConfig::for_cgra(cgra).with_window_slack(slack);
+            let mut solver = TimeSolver::new(dfg, ii, cfg).expect("suite kernels validate");
+            let _ = solver.solve_outcome();
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Times one full ladder walk on a persistent per-II instance.
+fn walk_incremental(dfg: &Dfg, cgra: &Cgra, mii: usize) -> f64 {
+    let t0 = Instant::now();
+    for ii in mii..=mii + LADDER_EXTRA_IIS {
+        let cfg = TimeSolverConfig::for_cgra(cgra).with_window_slack(0);
+        let mut solver = IncrementalTimeSolver::new(dfg, ii, cfg).expect("suite kernels validate");
+        for slack in 0..=LADDER_MAX_SLACK {
+            solver.widen_to(slack);
+            let _ = solver.solve_outcome();
+        }
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn ladder_entry(name: &str, dfg: &Dfg, repeat: usize) -> Value {
+    let cgra = Cgra::new(4, 4).expect("4x4");
+    let mii = min_ii(dfg, &cgra);
+    eprintln!("ladder {name} (mII {mii})...");
+    let rebuild = (0..repeat)
+        .map(|_| walk_rebuild(dfg, &cgra, mii))
+        .fold(f64::INFINITY, f64::min);
+    let incremental = (0..repeat)
+        .map(|_| walk_incremental(dfg, &cgra, mii))
+        .fold(f64::INFINITY, f64::min);
+    eprintln!("    rebuild {rebuild:.4}s incremental {incremental:.4}s");
+    Value::Map(vec![
+        ("kernel".to_string(), name.to_value()),
+        ("mii".to_string(), mii.to_value()),
+        ("rebuild_seconds".to_string(), rebuild.to_value()),
+        ("incremental_seconds".to_string(), incremental.to_value()),
+        ("speedup".to_string(), (rebuild / incremental).to_value()),
+    ])
+}
+
+/// One producer feeding `k` same-slot consumers: the connectivity-bound
+/// shape whose barren slack levels exercise the mapper's UNSAT screen.
+fn star_k(k: usize) -> Dfg {
+    let mut b = DfgBuilder::new();
+    let x = b.input("x");
+    let c = b.unary("c", Op::Neg, x);
+    for i in 0..k {
+        b.unary(format!("k{i}"), Op::Not, c);
+    }
+    b.build().expect("star kernels validate")
+}
+
+fn mapper_entry(k: usize, repeat: usize) -> Value {
+    let cgra = Cgra::new(2, 2).expect("2x2");
+    let dfg = star_k(k);
+    eprintln!("mapper star{k}...");
+    let time_with = |incremental: bool| {
+        let cfg = MapperConfig::new().with_time_incremental(incremental);
+        (0..repeat)
+            .map(|_| {
+                let t0 = Instant::now();
+                let r = DecoupledMapper::with_config(&cgra, cfg.clone())
+                    .map(&dfg)
+                    .expect("star kernels map");
+                (t0.elapsed().as_secs_f64(), r)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("repeat >= 1")
+    };
+    let (on_s, on) = time_with(true);
+    let (off_s, _) = time_with(false);
+    eprintln!(
+        "    screened {on_s:.4}s rebuild {off_s:.4}s reuses {}",
+        on.stats.solver_reuses
+    );
+    Value::Map(vec![
+        ("kernel".to_string(), format!("star{k}").to_value()),
+        ("ii".to_string(), on.mapping.ii().to_value()),
+        ("screened_seconds".to_string(), on_s.to_value()),
+        ("rebuild_seconds".to_string(), off_s.to_value()),
+        (
+            "solver_reuses".to_string(),
+            on.stats.solver_reuses.to_value(),
+        ),
+        (
+            "clauses_retained".to_string(),
+            on.stats.clauses_retained.to_value(),
+        ),
+        (
+            "time_encode_seconds".to_string(),
+            on.stats.time_encode_seconds.to_value(),
+        ),
+        (
+            "time_solve_seconds".to_string(),
+            on.stats.time_solve_seconds.to_value(),
+        ),
+    ])
+}

@@ -162,6 +162,17 @@ pub enum MapEvent {
         /// How the attempt ended.
         outcome: SpaceAttemptOutcome,
     },
+    /// The persistent incremental time solver proved an `(II, slack)`
+    /// level unsatisfiable by widening its live instance, so the fresh
+    /// per-level encode was skipped entirely (emitted only with
+    /// [`MapperConfig::time_incremental`] on, immediately before the
+    /// level's [`MapEvent::Escalated`]).
+    LevelReused {
+        /// The iteration interval of the reused solver.
+        ii: usize,
+        /// The window slack the live instance was widened to.
+        slack: usize,
+    },
     /// An `(II, slack)` level was exhausted and the search moved on
     /// (next slack, or next II after the last slack).
     Escalated {

@@ -12,8 +12,8 @@ use cgra_arch::Cgra;
 use cgra_dfg::Dfg;
 use cgra_iso::{MonoOutcome, SearchConfig, Searcher};
 use cgra_sched::{
-    ims_schedule, min_ii, unsupported_op_class, EnumerationEnd, SolveOutcome, TimeSolution,
-    TimeSolver, TimeSolverConfig, TimeSolverError,
+    ims_schedule, min_ii, unsupported_op_class, EnumerationEnd, IncrementalTimeSolver,
+    SolveOutcome, TimeSolution, TimeSolver, TimeSolverConfig, TimeSolverError,
 };
 
 use crate::api::{emit, MapEvent, MapObserver, SpaceAttemptOutcome};
@@ -59,6 +59,13 @@ pub struct MapStats {
     pub total_seconds: f64,
     /// Wall-clock spent in the SMT time search.
     pub time_phase_seconds: f64,
+    /// Wall-clock spent building or extending time-phase encodings:
+    /// fresh per-level encodes plus incremental widenings (decoupled
+    /// SMT strategy only; part of [`MapStats::time_phase_seconds`]).
+    pub time_encode_seconds: f64,
+    /// Wall-clock spent inside time-phase SAT solve calls (decoupled
+    /// SMT strategy only; part of [`MapStats::time_phase_seconds`]).
+    pub time_solve_seconds: f64,
     /// Wall-clock spent in monomorphism search (including MRRG
     /// construction). In portfolio mode this is the elapsed wall-clock
     /// of the races — the Table III phase semantics — not the summed
@@ -72,6 +79,15 @@ pub struct MapStats {
     pub mono_steps: u64,
     /// Number of II values attempted.
     pub iis_tried: usize,
+    /// `(II, slack)` levels the persistent incremental time solver
+    /// proved unsatisfiable by widening its live instance, skipping the
+    /// fresh per-level encode entirely
+    /// ([`MapperConfig::time_incremental`]; decoupled engine only).
+    pub solver_reuses: usize,
+    /// Learnt clauses alive on the persistent solver at each reused
+    /// level, summed over reuses — the search state a from-scratch
+    /// rebuild would have discarded.
+    pub clauses_retained: u64,
     /// Window slack of the successful attempt.
     pub window_slack: usize,
     /// Which algorithm produced time solutions; `None` for engines
@@ -96,11 +112,15 @@ impl Default for MapStats {
             achieved_ii: 0,
             total_seconds: 0.0,
             time_phase_seconds: 0.0,
+            time_encode_seconds: 0.0,
+            time_solve_seconds: 0.0,
             space_phase_seconds: 0.0,
             time_solutions: 0,
             space_attempts: 0,
             mono_steps: 0,
             iis_tried: 0,
+            solver_reuses: 0,
+            clauses_retained: 0,
             window_slack: 0,
             time_strategy: None,
             space_parallelism: 1,
@@ -108,6 +128,21 @@ impl Default for MapStats {
             clauses: 0,
         }
     }
+}
+
+/// How one `(II, slack)` level of the SMT path ended.
+enum LevelOutcome {
+    /// A schedule embedded: the search is over.
+    Found(TimeSolution, Vec<usize>),
+    /// The time solver proved the level unsatisfiable before producing
+    /// a single schedule. Barren levels are where the incremental
+    /// UNSAT screen earns its keep: their (cheap) unsatisfiability
+    /// proofs are the only work the screen ever repeats.
+    BarrenUnsat,
+    /// The level ended without a mapping in any other way — schedules
+    /// that failed to embed, the enumeration cap, or a per-solve budget
+    /// running out. The II can no longer be screened incrementally.
+    Exhausted,
 }
 
 /// The mapper: SMT time solve, then monomorphism space solve, with
@@ -186,6 +221,14 @@ impl DecoupledMapper {
     /// enumerator and races their monomorphism searches across worker
     /// threads; the first success cancels the rest.
     ///
+    /// With [`MapperConfig::time_incremental`] (the default), each II
+    /// keeps its unsatisfiable slack levels alive on one persistent
+    /// [`IncrementalTimeSolver`]: the next level is first widened onto
+    /// that instance, and a proved Unsat skips the fresh per-level
+    /// encode entirely. Levels that may carry schedules always run the
+    /// fresh path, so the produced mappings are byte-identical with the
+    /// switch on or off.
+    ///
     /// # Errors
     ///
     /// [`MapError::InvalidDfg`] for malformed graphs,
@@ -254,6 +297,14 @@ impl DecoupledMapper {
             emit(obs, MapEvent::IiStarted { ii });
             // Targets for earlier IIs are never revisited.
             engine.retain_ii(ii);
+            // The II's persistent UNSAT screen: one live incremental
+            // solver retaining learnt clauses across slack levels. It
+            // exists only while every level of this II so far ended
+            // barren-Unsat; any level that produces a schedule (or times
+            // out) retires it, so the model-producing path below stays
+            // byte-identical to the always-rebuild mode.
+            let mut screen: Option<IncrementalTimeSolver<'_>> = None;
+            let mut all_barren = true;
             for slack in 0..=self.config.max_window_slack {
                 if self.cancelled() {
                     return Err(MapError::Timeout { ii });
@@ -307,13 +358,85 @@ impl DecoupledMapper {
                     continue;
                 }
 
-                let found = if self.config.space_parallelism > 1 {
+                // Ask the live instance first: widening it is a handful
+                // of guarded clause additions on a solver that already
+                // learnt why the narrower windows failed, and a proved
+                // Unsat skips the fresh encode below entirely.
+                if self.config.time_incremental && all_barren {
+                    if let Some(live) = screen.as_mut() {
+                        let t0 = Instant::now();
+                        live.widen_to(slack);
+                        let encode = t0.elapsed().as_secs_f64();
+                        stats.time_phase_seconds += encode;
+                        stats.time_encode_seconds += encode;
+                        let t1 = Instant::now();
+                        let screened = live.solve_outcome();
+                        let solve = t1.elapsed().as_secs_f64();
+                        stats.time_phase_seconds += solve;
+                        stats.time_solve_seconds += solve;
+                        match screened {
+                            SolveOutcome::Unsat => {
+                                stats.solver_reuses += 1;
+                                stats.clauses_retained += live.learnt_clauses() as u64;
+                                emit(obs, MapEvent::LevelReused { ii, slack });
+                                emit(obs, MapEvent::Escalated { ii, slack });
+                                continue;
+                            }
+                            SolveOutcome::Timeout if self.cancelled() => {
+                                return Err(MapError::Timeout { ii });
+                            }
+                            SolveOutcome::Solution(_) | SolveOutcome::Timeout => {
+                                // The level may have schedules (or the
+                                // budget ran out): retire the screen and
+                                // run the byte-identical fresh path.
+                                screen = None;
+                            }
+                        }
+                    }
+                }
+
+                let screen_config = ts_config.clone();
+                let outcome = if self.config.space_parallelism > 1 {
                     self.portfolio_level(dfg, ii, slack, ts_config, &mut engine, &mut stats, obs)?
                 } else {
                     self.serial_level(dfg, ii, slack, ts_config, &mut engine, &mut stats, obs)?
                 };
-                if let Some((sol, map)) = found {
-                    return Ok(self.finish(dfg, &sol, map, ii, slack, start, stats));
+                match outcome {
+                    LevelOutcome::Found(sol, map) => {
+                        return Ok(self.finish(dfg, &sol, map, ii, slack, start, stats));
+                    }
+                    LevelOutcome::BarrenUnsat => {
+                        if self.config.time_incremental && all_barren && screen.is_none() {
+                            // Build the screen now that the II has shown
+                            // a barren level, and seed-solve it: the
+                            // fresh proof was cheap, re-deriving it here
+                            // is too, and it leaves the learnt clauses
+                            // the next widening starts from.
+                            let t0 = Instant::now();
+                            let mut live = IncrementalTimeSolver::new(dfg, ii, screen_config)
+                                .expect("the fresh level already validated this instance");
+                            if let Some(flag) = &self.cancel {
+                                live.set_cancel_flag(flag.arc());
+                            }
+                            let encode = t0.elapsed().as_secs_f64();
+                            stats.time_phase_seconds += encode;
+                            stats.time_encode_seconds += encode;
+                            let t1 = Instant::now();
+                            let seeded = live.solve_outcome();
+                            let solve = t1.elapsed().as_secs_f64();
+                            stats.time_phase_seconds += solve;
+                            stats.time_solve_seconds += solve;
+                            // The fresh level proved this exact formula
+                            // Unsat; the seed can at worst run out of a
+                            // per-solve budget, never find a model.
+                            debug_assert!(!matches!(seeded, SolveOutcome::Solution(_)));
+                            screen = Some(live);
+                        }
+                    }
+                    LevelOutcome::Exhausted => {
+                        all_barren = false;
+                        screen = None;
+                    }
                 }
                 emit(obs, MapEvent::Escalated { ii, slack });
             }
@@ -344,9 +467,9 @@ impl DecoupledMapper {
     /// enumeration with one monomorphism search per schedule, exactly in
     /// enumeration order.
     ///
-    /// Returns the winning `(schedule, monomorphism)` if any; `None`
-    /// means the level is exhausted (including a per-solve budget
-    /// running out) and the caller escalates.
+    /// Returns [`LevelOutcome::Found`] with the winning
+    /// `(schedule, monomorphism)`, or how the level ended otherwise
+    /// (the caller escalates either way).
     #[allow(clippy::too_many_arguments)]
     fn serial_level(
         &self,
@@ -357,11 +480,17 @@ impl DecoupledMapper {
         engine: &mut SpaceEngine<'_>,
         stats: &mut MapStats,
         obs: Option<&dyn MapObserver>,
-    ) -> Result<Option<(TimeSolution, Vec<usize>)>, MapError> {
+    ) -> Result<LevelOutcome, MapError> {
         let t0 = Instant::now();
         let mut solver = self.level_solver(dfg, ii, ts_config)?;
+        let encode = t0.elapsed().as_secs_f64();
+        stats.time_phase_seconds += encode;
+        stats.time_encode_seconds += encode;
+        let t1 = Instant::now();
         let mut outcome = solver.solve_outcome();
-        stats.time_phase_seconds += t0.elapsed().as_secs_f64();
+        let solve = t1.elapsed().as_secs_f64();
+        stats.time_phase_seconds += solve;
+        stats.time_solve_seconds += solve;
 
         let mut tries = 0usize;
         loop {
@@ -385,25 +514,33 @@ impl DecoupledMapper {
                         },
                     );
                     match space {
-                        SpaceOutcome::Found(map) => return Ok(Some((sol, map))),
+                        SpaceOutcome::Found(map) => return Ok(LevelOutcome::Found(sol, map)),
                         SpaceOutcome::Cancelled => return Err(MapError::Timeout { ii }),
                         SpaceOutcome::Exhausted | SpaceOutcome::LimitReached => {}
                     }
                     if tries >= self.config.max_time_solutions {
-                        return Ok(None);
+                        return Ok(LevelOutcome::Exhausted);
                     }
                     let t2 = Instant::now();
                     outcome = solver.next_outcome();
-                    stats.time_phase_seconds += t2.elapsed().as_secs_f64();
+                    let solve = t2.elapsed().as_secs_f64();
+                    stats.time_phase_seconds += solve;
+                    stats.time_solve_seconds += solve;
                 }
-                SolveOutcome::Unsat => return Ok(None),
+                SolveOutcome::Unsat => {
+                    return Ok(if tries == 0 {
+                        LevelOutcome::BarrenUnsat
+                    } else {
+                        LevelOutcome::Exhausted
+                    });
+                }
                 SolveOutcome::Timeout => {
                     // User cancellation aborts the whole search; a
                     // per-solve budget running out only ends this level.
                     if self.cancelled() {
                         return Err(MapError::Timeout { ii });
                     }
-                    return Ok(None);
+                    return Ok(LevelOutcome::Exhausted);
                 }
             }
         }
@@ -430,22 +567,30 @@ impl DecoupledMapper {
         engine: &mut SpaceEngine<'_>,
         stats: &mut MapStats,
         obs: Option<&dyn MapObserver>,
-    ) -> Result<Option<(TimeSolution, Vec<usize>)>, MapError> {
+    ) -> Result<LevelOutcome, MapError> {
+        let t_enc = Instant::now();
         let mut solver = self.level_solver(dfg, ii, ts_config)?;
+        let encode = t_enc.elapsed().as_secs_f64();
+        stats.time_phase_seconds += encode;
+        stats.time_encode_seconds += encode;
         let mut remaining = self.config.max_time_solutions;
+        let mut pulled = 0usize;
         loop {
             if self.cancelled() {
                 return Err(MapError::Timeout { ii });
             }
             let batch_cap = self.config.space_parallelism.min(remaining);
             if batch_cap == 0 {
-                return Ok(None);
+                return Ok(LevelOutcome::Exhausted);
             }
             let t0 = Instant::now();
             let (solutions, batch_end) = solver.enumerate_solutions(batch_cap);
-            stats.time_phase_seconds += t0.elapsed().as_secs_f64();
+            let solve = t0.elapsed().as_secs_f64();
+            stats.time_phase_seconds += solve;
+            stats.time_solve_seconds += solve;
             stats.time_solutions += solutions.len();
             remaining -= solutions.len();
+            pulled += solutions.len();
 
             if !solutions.is_empty() {
                 for _ in &solutions {
@@ -475,7 +620,7 @@ impl DecoupledMapper {
                     },
                 );
                 if let Some((idx, map)) = winner {
-                    return Ok(Some((solutions[idx].clone(), map)));
+                    return Ok(LevelOutcome::Found(solutions[idx].clone(), map));
                 }
                 if self.cancelled() {
                     return Err(MapError::Timeout { ii });
@@ -483,7 +628,13 @@ impl DecoupledMapper {
             }
             match batch_end {
                 EnumerationEnd::CapReached => continue,
-                EnumerationEnd::Unsat => return Ok(None),
+                EnumerationEnd::Unsat => {
+                    return Ok(if pulled == 0 {
+                        LevelOutcome::BarrenUnsat
+                    } else {
+                        LevelOutcome::Exhausted
+                    });
+                }
                 EnumerationEnd::Timeout => {
                     // The flag may have been raised while the SMT solve
                     // was blocked: user cancellation aborts, a per-solve
@@ -492,7 +643,7 @@ impl DecoupledMapper {
                     if self.cancelled() {
                         return Err(MapError::Timeout { ii });
                     }
-                    return Ok(None);
+                    return Ok(LevelOutcome::Exhausted);
                 }
             }
         }
@@ -994,7 +1145,132 @@ mod tests {
         let result = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
         let s = result.stats;
         assert!(s.time_phase_seconds + s.space_phase_seconds <= s.total_seconds + 1e-3);
+        // The encode/solve split partitions the time phase.
+        assert!(s.time_encode_seconds + s.time_solve_seconds <= s.time_phase_seconds + 1e-3);
+        assert!(s.time_encode_seconds > 0.0, "every level pays an encode");
         assert_eq!(s.achieved_ii, 4);
+    }
+
+    /// One producer feeding `k` same-slot consumers: connectivity-bound,
+    /// so low IIs burn through barren-Unsat slack levels — the shape the
+    /// incremental UNSAT screen exists for.
+    fn star_k(k: usize) -> Dfg {
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let c = b.unary("c", Op::Neg, x);
+        for i in 0..k {
+            b.unary(format!("k{i}"), Op::Not, c);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn incremental_screen_skips_barren_levels() {
+        // star6 on a 2x2: II 2 is connectivity-infeasible at every
+        // slack, so after the barren (2, 0) level the live instance
+        // proves (2, 1) and (2, 2) Unsat by widening.
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = star_k(6);
+        let on = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        assert_eq!(on.stats.solver_reuses, 2, "{:?}", on.stats);
+        assert!(on.stats.clauses_retained > 0, "reuses carry learnt state");
+
+        let cfg = MapperConfig::new().with_time_incremental(false);
+        let off = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        assert_eq!(off.stats.solver_reuses, 0, "rebuild mode never screens");
+        assert_eq!(off.stats.clauses_retained, 0);
+        // The screen only ever skips Unsat proofs: the mapping and the
+        // search trajectory the stats describe are identical.
+        assert_eq!(
+            serde_json::to_string(&on.mapping).unwrap(),
+            serde_json::to_string(&off.mapping).unwrap()
+        );
+        assert_eq!(on.stats.time_solutions, off.stats.time_solutions);
+        assert_eq!(on.stats.space_attempts, off.stats.space_attempts);
+        assert_eq!(on.stats.mono_steps, off.stats.mono_steps);
+        assert_eq!(on.stats.window_slack, off.stats.window_slack);
+    }
+
+    #[test]
+    fn incremental_and_rebuild_mappings_are_byte_identical() {
+        let cgra = Cgra::new(5, 5).unwrap();
+        for name in ["susan", "gsm", "bitcount"] {
+            let dfg = suite::generate(name);
+            let on = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+            let cfg = MapperConfig::new().with_time_incremental(false);
+            let off = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+            assert_eq!(
+                serde_json::to_string(&on.mapping).unwrap(),
+                serde_json::to_string(&off.mapping).unwrap(),
+                "{name}: the screen must not change the mapping"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_screen_emits_level_reused_events() {
+        use crate::api::EventCollector;
+        use std::sync::Arc;
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = star_k(6);
+        let collector = Arc::new(EventCollector::new());
+        let result = DecoupledMapper::new(&cgra)
+            .map_observed(&dfg, Some(collector.as_ref()))
+            .unwrap();
+        let events = collector.events();
+        let reused: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, MapEvent::LevelReused { .. }))
+            .collect();
+        assert_eq!(reused.len(), result.stats.solver_reuses);
+        // Every reuse is immediately followed by its level's Escalated.
+        for (i, e) in events.iter().enumerate() {
+            if let MapEvent::LevelReused { ii, slack } = e {
+                assert_eq!(
+                    events.get(i + 1),
+                    Some(&MapEvent::Escalated {
+                        ii: *ii,
+                        slack: *slack
+                    })
+                );
+            }
+        }
+        // Rebuild mode emits none.
+        let collector = Arc::new(EventCollector::new());
+        let cfg = MapperConfig::new().with_time_incremental(false);
+        DecoupledMapper::with_config(&cgra, cfg)
+            .map_observed(&dfg, Some(collector.as_ref()))
+            .unwrap();
+        assert!(collector
+            .events()
+            .iter()
+            .all(|e| !matches!(e, MapEvent::LevelReused { .. })));
+    }
+
+    #[test]
+    fn budget_exhaustion_escalates_identically_with_screen_on_and_off() {
+        // Satellite regression: a time budget running out mid-search
+        // must escalate exactly like the from-scratch path, whether or
+        // not the incremental screen is enabled.
+        use cgra_smt::Budget;
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = star_k(6);
+        for budget in [Budget::conflicts(0), Budget::conflicts(4)] {
+            let on = MapperConfig::new()
+                .with_max_ii(4)
+                .with_time_budget(budget.clone());
+            let off = on.clone().with_time_incremental(false);
+            let a = DecoupledMapper::with_config(&cgra, on).map(&dfg);
+            let b = DecoupledMapper::with_config(&cgra, off).map(&dfg);
+            match (&a, &b) {
+                (Ok(x), Ok(y)) => assert_eq!(
+                    serde_json::to_string(&x.mapping).unwrap(),
+                    serde_json::to_string(&y.mapping).unwrap()
+                ),
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                _ => panic!("screened {a:?} vs rebuild {b:?} diverged"),
+            }
+        }
     }
 
     #[test]

@@ -267,7 +267,7 @@ impl<'a> Searcher<'a> {
         self.used.clear();
 
         let mut depth = 0usize;
-        Self::fill_domain(
+        if !Self::fill_domain(
             &mut self.domains[0],
             &self.base[self.order[0]],
             pattern,
@@ -275,7 +275,9 @@ impl<'a> Searcher<'a> {
             self.order[0],
             &self.map,
             &self.used,
-        );
+        ) {
+            return EnumStop::Exhausted;
+        }
         self.cursors[0] = 0;
 
         loop {
@@ -314,7 +316,7 @@ impl<'a> Searcher<'a> {
                 continue;
             }
             let next_u = self.order[depth + 1];
-            Self::fill_domain(
+            let viable = Self::fill_domain(
                 &mut self.domains[depth + 1],
                 &self.base[next_u],
                 pattern,
@@ -323,7 +325,7 @@ impl<'a> Searcher<'a> {
                 &self.map,
                 &self.used,
             );
-            if self.domains[depth + 1].is_empty() {
+            if !viable {
                 self.stats.backtracks += 1;
                 self.used.remove(t);
                 self.map[u] = usize::MAX;
@@ -336,7 +338,14 @@ impl<'a> Searcher<'a> {
 
     /// Computes into `dom` the candidate targets for pattern vertex `u`
     /// under the partial map: base set ∩ neighbourhoods of mapped
-    /// neighbours, minus used vertices.
+    /// neighbours, minus used vertices. Returns `false` when the
+    /// resulting domain is empty, so the caller backtracks without a
+    /// separate occupancy scan.
+    ///
+    /// The fused [`BitSet::assign_difference`] / [`BitSet::intersect_any`]
+    /// passes track occupancy bitwise alongside the stores; a domain
+    /// that empties mid-way skips the remaining row intersections
+    /// (empty is absorbing).
     #[allow(clippy::too_many_arguments)]
     fn fill_domain(
         dom: &mut BitSet,
@@ -346,14 +355,14 @@ impl<'a> Searcher<'a> {
         u: usize,
         map: &[usize],
         used: &BitSet,
-    ) {
-        dom.copy_from(base);
-        dom.subtract(used);
+    ) -> bool {
+        let mut any = dom.assign_difference(base, used);
         for &w in pattern.neighbors(u) {
-            if map[w] != usize::MAX {
-                dom.intersect_with(target.row(map[w]));
+            if any && map[w] != usize::MAX {
+                any = dom.intersect_any(target.row(map[w]));
             }
         }
+        any
     }
 }
 

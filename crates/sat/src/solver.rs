@@ -75,6 +75,33 @@ impl fmt::Display for SolverStats {
 /// workspace-wide [`Budget`]; when a limit is hit the solver returns
 /// [`SatResult::Unknown`].
 ///
+/// # Incremental solving
+///
+/// A solver instance is designed to be kept alive across many solve
+/// calls:
+///
+/// * **Variables and clauses may be added after a solve.** Both
+///   [`Solver::new_var`] and [`Solver::add_clause`] are valid at any
+///   point; `add_clause` drops any model left on the trail by a prior
+///   `Sat` answer and simplifies the clause against the level-zero
+///   assignment before attaching it. Additions are monotone: they can
+///   only shrink the model set, never invalidate learnt clauses.
+/// * **Learnt clauses and branching state persist.** Clauses learnt by
+///   conflict analysis, VSIDS activities and saved phases all survive
+///   into subsequent [`Solver::solve`]/[`Solver::solve_with_assumptions`]
+///   calls, so re-solving a grown formula resumes from everything the
+///   previous search discovered instead of starting cold.
+///   [`Solver::num_learnts`] reports the live learnt-clause count so
+///   callers can observe how much state is being carried over.
+/// * **Assumptions are per-call.** `solve_with_assumptions` treats its
+///   literals as temporary pseudo-decisions; nothing about them is
+///   baked into the clause database. Encoding retractable facts as
+///   guard literals and flipping which guards are assumed is therefore
+///   the idiomatic way to move between related problems on one
+///   instance. On `Unsat`, [`Solver::unsat_core`] identifies the
+///   assumptions actually responsible, which lets a caller distinguish
+///   "the guarded facts are contradictory" from "the base formula is".
+///
 /// # Examples
 ///
 /// ```
@@ -193,6 +220,13 @@ impl Solver {
     /// Work counters accumulated over the lifetime of the solver.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Number of learnt clauses currently alive in the database (net of
+    /// reduction), i.e. the search state retained for the next
+    /// incremental solve call.
+    pub fn num_learnts(&self) -> usize {
+        self.stats.learnt_clauses as usize
     }
 
     /// Installs a cooperative cancellation flag.
@@ -1116,6 +1150,85 @@ mod tests {
         s.add_clause([v.pos(), v.pos(), v.pos()]);
         assert_eq!(s.solve(), SatResult::Sat);
         assert!(s.value(v).is_true());
+    }
+
+    #[test]
+    fn vars_and_clauses_can_grow_after_a_solve() {
+        // The incremental contract: new variables and clauses are valid
+        // after Sat and after assumption-Unsat answers, and constrain
+        // subsequent solves.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([a.pos()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        // Grow after Sat.
+        let b = s.new_var();
+        s.add_clause([a.neg(), b.pos()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.value(b).is_true());
+        // Unsat under assumptions, then grow again.
+        assert_eq!(s.solve_with_assumptions(&[b.neg()]), SatResult::Unsat);
+        let c = s.new_var();
+        s.add_clause([b.neg(), c.pos()]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.value(c).is_true());
+    }
+
+    #[test]
+    fn learnt_clauses_survive_assumption_solves() {
+        // A pigeonhole sub-problem guarded by an assumption literal: the
+        // first (Unsat) solve learns clauses, and the learnt database is
+        // still there for the next call on the same instance.
+        let n = 6;
+        let m = 5;
+        let mut s = Solver::new();
+        let g = s.new_var();
+        let x: Vec<Vec<Var>> = (0..n).map(|_| s.new_vars(m)).collect();
+        for row in &x {
+            let mut cl: Vec<Lit> = vec![g.neg()];
+            cl.extend(row.iter().map(|v| v.pos()));
+            s.add_clause(cl);
+        }
+        for h in 0..m {
+            for p1 in 0..n {
+                for p2 in (p1 + 1)..n {
+                    s.add_clause([x[p1][h].neg(), x[p2][h].neg()]);
+                }
+            }
+        }
+        assert_eq!(s.solve_with_assumptions(&[g.pos()]), SatResult::Unsat);
+        let learnt_after_first = s.num_learnts();
+        assert!(learnt_after_first > 0, "hard Unsat must learn clauses");
+        // Without the guard the formula is Sat; the learnt clauses are
+        // retained (they are consequences, so they stay sound).
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert!(s.num_learnts() >= learnt_after_first);
+    }
+
+    #[test]
+    fn unsat_core_tracks_assumption_flips() {
+        // Two independent guard groups; the core must name exactly the
+        // guards responsible under each assumption set on one instance.
+        let mut s = Solver::new();
+        let g1 = s.new_var();
+        let g2 = s.new_var();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([g1.neg(), a.pos()]);
+        s.add_clause([g1.neg(), a.neg()]); // g1 alone is contradictory
+        s.add_clause([g2.neg(), b.pos()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[g1.pos(), g2.pos()]),
+            SatResult::Unsat
+        );
+        let core: Vec<Lit> = s.unsat_core().to_vec();
+        assert!(core.iter().all(|l| l.var() == g1), "core={core:?}");
+        // Flip to the innocent guard only: satisfiable.
+        assert_eq!(s.solve_with_assumptions(&[g2.pos()]), SatResult::Sat);
+        assert!(s.value(b).is_true());
+        // Back to the guilty guard: Unsat again with the same culprit.
+        assert_eq!(s.solve_with_assumptions(&[g1.pos()]), SatResult::Unsat);
+        assert!(s.unsat_core().iter().all(|l| l.var() == g1));
     }
 
     #[test]

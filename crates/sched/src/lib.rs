@@ -12,7 +12,11 @@
 //!   paper's three constraint families (modulo-scheduling dependences,
 //!   CGRA capacity, CGRA connectivity), encoded through [`cgra_smt`] and
 //!   decided by the `cgra-sat` CDCL core, with solution enumeration for
-//!   the mapper's fall-back path.
+//!   the mapper's fall-back path,
+//! * [`IncrementalTimeSolver`] — the same formulation kept live on one
+//!   CDCL instance per `(DFG, II)`: slack escalation widens windows via
+//!   assumption-guarded clause additions instead of rebuilding, so
+//!   learnt clauses and branching activity carry across levels.
 //!
 //! ## Example
 //!
@@ -35,12 +39,14 @@
 #![warn(missing_docs)]
 
 mod heuristic;
+mod incremental;
 mod kms;
 mod mii;
 mod mobility;
 mod time_solver;
 
 pub use heuristic::ims_schedule;
+pub use incremental::IncrementalTimeSolver;
 pub use kms::{Kms, KmsEntry};
 pub use mii::{min_ii, rec_ii, res_ii, unsupported_op_class};
 pub use mobility::Mobility;

@@ -53,6 +53,13 @@ pub struct TimeSolverConfig {
     pub window_slack: usize,
     /// Optional resource budget per solve call.
     pub budget: Option<Budget>,
+    /// Let [`IncrementalTimeSolver`](crate::IncrementalTimeSolver) widen
+    /// windows on its live instance (assumption flips plus monotone
+    /// clause additions). When `false` every widening rebuilds the
+    /// encoding from scratch — the escape hatch for comparing against,
+    /// or falling back to, the historical behaviour. [`TimeSolver`]
+    /// itself ignores the flag (it always encodes fresh).
+    pub incremental: bool,
 }
 
 impl TimeSolverConfig {
@@ -78,6 +85,7 @@ impl TimeSolverConfig {
             strict_connectivity: false,
             window_slack: 0,
             budget: None,
+            incremental: true,
         }
     }
 
@@ -110,6 +118,13 @@ impl TimeSolverConfig {
     /// Returns the configuration with a solve budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Returns the configuration with incremental widening toggled (see
+    /// [`TimeSolverConfig::incremental`]).
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
         self
     }
 }

@@ -27,6 +27,8 @@ fn json_modulo_timing(report: &MapReport) -> String {
     let mut r = report.clone();
     r.stats.total_seconds = 0.0;
     r.stats.time_phase_seconds = 0.0;
+    r.stats.time_encode_seconds = 0.0;
+    r.stats.time_solve_seconds = 0.0;
     r.stats.space_phase_seconds = 0.0;
     serde_json::to_string(&r).unwrap()
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Runs the ISSUE-6 perf-trajectory bench (incremental time solver vs
+# per-level rebuilds) and writes stable JSON.
+#
+# Usage: scripts/bench_summary.sh [--kernels nw,hotspot3D] [--repeat N] [--out FILE]
+# All arguments are forwarded to the bench_summary binary.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release -q -p cgra-bench --bin bench_summary
+exec ./target/release/bench_summary "$@"
