@@ -54,6 +54,15 @@ impl fmt::Display for ArchError {
 
 impl std::error::Error for ArchError {}
 
+/// Largest `max_route_hops` any routing model may use. Reachability
+/// masks for every distance up to this bound are precomputed on each
+/// [`Cgra`], so the bound keeps the per-PE mask storage (and the
+/// configuration space a service must validate) small and fixed. Four
+/// hops cross a whole 8×8 mesh quadrant; anything beyond stops being
+/// "a value parked in a register file along the way" and becomes a
+/// routing network the architecture model does not have.
+pub const MAX_ROUTE_HOPS: usize = 4;
+
 /// A coarse-grain reconfigurable array: a `rows × cols` grid of PEs.
 ///
 /// Each PE has an ALU and a register file; per the paper's architectural
@@ -82,6 +91,11 @@ pub struct Cgra {
     neighbors: Vec<Vec<PeId>>,
     masks: Vec<PeSet>,
     masks_with_self: Vec<PeSet>,
+    /// `hop_tiers[d - 1][pe]` = PEs at shortest-path distance exactly
+    /// `d` from `pe`, for `d ∈ 1..=MAX_ROUTE_HOPS` (tier 1 mirrors
+    /// `masks`). Precomputed by BFS in `rebuild_adjacency`; derived
+    /// state, excluded from `PartialEq` like the other caches.
+    hop_tiers: Vec<Vec<PeSet>>,
 }
 
 /// Serialisable description of a [`Cgra`]; adjacency caches are rebuilt
@@ -203,6 +217,7 @@ impl Cgra {
             neighbors: Vec::with_capacity(n),
             masks: Vec::with_capacity(n),
             masks_with_self: Vec::with_capacity(n),
+            hop_tiers: Vec::with_capacity(MAX_ROUTE_HOPS),
         };
         cgra.rebuild_adjacency();
         Ok(cgra)
@@ -299,6 +314,29 @@ impl Cgra {
             self.neighbors.push(nbrs);
             self.masks.push(mask);
             self.masks_with_self.push(mask_self);
+        }
+        // Per-PE k-hop reachability tiers: breadth-first frontier
+        // expansion over the adjacency masks. Tier 1 is adjacency
+        // itself; tier d is the union of the neighbours of tier d-1
+        // minus everything already reached (including the PE itself).
+        self.hop_tiers.clear();
+        self.hop_tiers.push(self.masks.clone());
+        let mut visited = self.masks_with_self.clone();
+        for _ in 2..=MAX_ROUTE_HOPS {
+            let prev = self.hop_tiers.last().expect("tier 1 pushed above");
+            let mut tier = Vec::with_capacity(n);
+            for idx in 0..n {
+                let mut next = PeSet::new(n);
+                for p in prev[idx].iter() {
+                    next.union_with(&self.masks[p.index()]);
+                }
+                next.subtract(&visited[idx]);
+                tier.push(next);
+            }
+            for (idx, t) in tier.iter().enumerate() {
+                visited[idx].union_with(t);
+            }
+            self.hop_tiers.push(tier);
         }
     }
 
@@ -407,6 +445,36 @@ impl Cgra {
     /// neighbouring PE).
     pub fn reachable(&self, a: PeId, b: PeId) -> bool {
         a == b || self.adjacent(a, b)
+    }
+
+    /// PEs at shortest-path distance exactly `hops` from `pe`.
+    ///
+    /// Tier 1 equals [`Cgra::neighbor_mask`]; higher tiers are the BFS
+    /// frontiers precomputed up to [`MAX_ROUTE_HOPS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= hops <= MAX_ROUTE_HOPS`.
+    pub fn hop_tier(&self, pe: PeId, hops: usize) -> &PeSet {
+        assert!(
+            (1..=MAX_ROUTE_HOPS).contains(&hops),
+            "hop tier {hops} out of range 1..={MAX_ROUTE_HOPS}"
+        );
+        &self.hop_tiers[hops - 1][pe.index()]
+    }
+
+    /// Shortest-path hop distance between two PEs: `Some(0)` for the
+    /// PE itself, `Some(d)` for `d <= MAX_ROUTE_HOPS`, and `None` when
+    /// the distance exceeds the precomputed bound (or `b` is
+    /// unreachable altogether).
+    pub fn hop_distance(&self, a: PeId, b: PeId) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        self.hop_tiers
+            .iter()
+            .position(|tier| tier[a.index()].contains(b))
+            .map(|i| i + 1)
     }
 
     /// The connectivity degree `D_M` used by the paper's connectivity
@@ -656,6 +724,64 @@ mod tests {
         let back: Cgra = serde_json::from_str(&json).unwrap();
         assert!(back.is_homogeneous());
         assert_eq!(back, homo);
+    }
+
+    #[test]
+    fn hop_tier_one_is_adjacency() {
+        for topo in [Topology::Torus, Topology::Mesh, Topology::Diagonal] {
+            let cgra = Cgra::with_topology(3, 4, topo).unwrap();
+            for pe in cgra.pes() {
+                assert_eq!(
+                    cgra.hop_tier(pe, 1).iter().collect::<Vec<_>>(),
+                    cgra.neighbor_mask(pe).iter().collect::<Vec<_>>(),
+                    "{topo} {pe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hop_tiers_are_disjoint_bfs_frontiers() {
+        for topo in [Topology::Torus, Topology::Mesh, Topology::Diagonal] {
+            let cgra = Cgra::with_topology(4, 4, topo).unwrap();
+            for a in cgra.pes() {
+                let mut seen = vec![a];
+                for d in 1..=MAX_ROUTE_HOPS {
+                    for b in cgra.hop_tier(a, d).iter() {
+                        assert!(!seen.contains(&b), "{topo}: {b} in two tiers of {a}");
+                        seen.push(b);
+                        assert_eq!(cgra.hop_distance(a, b), Some(d), "{topo} {a}->{b}");
+                        assert_eq!(cgra.hop_distance(b, a), Some(d), "{topo}: symmetric");
+                    }
+                }
+                assert_eq!(cgra.hop_distance(a, a), Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_corner_to_corner_distance() {
+        // 3x3 mesh: (0,0) -> (2,2) needs 4 orthogonal hops; the same
+        // pair on the torus wraps in 2; diagonal crosses in 2.
+        let mesh = Cgra::with_topology(3, 3, Topology::Mesh).unwrap();
+        assert_eq!(mesh.hop_distance(mesh.pe(0, 0), mesh.pe(2, 2)), Some(4));
+        let torus = Cgra::with_topology(3, 3, Topology::Torus).unwrap();
+        assert_eq!(torus.hop_distance(torus.pe(0, 0), torus.pe(2, 2)), Some(2));
+        let diag = Cgra::with_topology(3, 3, Topology::Diagonal).unwrap();
+        assert_eq!(diag.hop_distance(diag.pe(0, 0), diag.pe(2, 2)), Some(2));
+    }
+
+    #[test]
+    fn distance_beyond_precomputed_bound_is_none() {
+        // 1x7 mesh line: PE0 to PE6 is 6 hops, past MAX_ROUTE_HOPS.
+        let line = Cgra::with_topology(1, 7, Topology::Mesh).unwrap();
+        assert_eq!(
+            line.hop_distance(line.pe(0, 0), line.pe(0, 4)),
+            Some(4),
+            "exactly at the bound"
+        );
+        assert_eq!(line.hop_distance(line.pe(0, 0), line.pe(0, 5)), None);
+        assert_eq!(line.hop_distance(line.pe(0, 0), line.pe(0, 6)), None);
     }
 
     #[test]

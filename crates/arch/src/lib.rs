@@ -61,11 +61,13 @@ mod capability;
 mod cgra;
 mod mrrg;
 mod pe;
+mod routing;
 mod topology;
 
 pub use bitset::PeSet;
 pub use capability::{CapabilityProfile, OpClass, OpClassSet};
-pub use cgra::{ArchError, Cgra};
+pub use cgra::{ArchError, Cgra, MAX_ROUTE_HOPS};
 pub use mrrg::{Mrrg, MrrgVertex};
 pub use pe::PeId;
+pub use routing::RoutingModel;
 pub use topology::Topology;

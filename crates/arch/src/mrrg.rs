@@ -19,6 +19,7 @@
 
 use std::fmt;
 
+use crate::cgra::MAX_ROUTE_HOPS;
 use crate::{Cgra, PeId};
 
 /// A vertex of the MRRG: a PE at a kernel time step.
@@ -62,17 +63,43 @@ impl fmt::Display for MrrgVertex {
 pub struct Mrrg<'a> {
     cgra: &'a Cgra,
     ii: usize,
+    max_route_hops: usize,
 }
 
 impl<'a> Mrrg<'a> {
-    /// Builds the MRRG of `cgra` for iteration interval `ii`.
+    /// Builds the MRRG of `cgra` for iteration interval `ii` under the
+    /// paper's one-hop routing model.
     ///
     /// # Panics
     ///
     /// Panics if `ii == 0`.
     pub fn new(cgra: &'a Cgra, ii: usize) -> Self {
+        Mrrg::with_route_hops(cgra, ii, 1)
+    }
+
+    /// Builds a routing-aware MRRG whose edges allow routes of up to
+    /// `max_route_hops` hops (1 reproduces [`Mrrg::new`] exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0` or `max_route_hops` is outside
+    /// `1..=MAX_ROUTE_HOPS`.
+    pub fn with_route_hops(cgra: &'a Cgra, ii: usize, max_route_hops: usize) -> Self {
         assert!(ii > 0, "iteration interval must be positive");
-        Mrrg { cgra, ii }
+        assert!(
+            (1..=MAX_ROUTE_HOPS).contains(&max_route_hops),
+            "max_route_hops {max_route_hops} out of range 1..={MAX_ROUTE_HOPS}"
+        );
+        Mrrg {
+            cgra,
+            ii,
+            max_route_hops,
+        }
+    }
+
+    /// The route-length bound of this MRRG's edges.
+    pub fn max_route_hops(&self) -> usize {
+        self.max_route_hops
     }
 
     /// The underlying CGRA.
@@ -123,19 +150,39 @@ impl<'a> Mrrg<'a> {
         v.slot
     }
 
-    /// Whether two distinct vertices are connected.
+    /// Whether two distinct vertices are connected under this MRRG's
+    /// route bound.
     ///
-    /// Within a slot: topological adjacency. Across slots: same PE or
-    /// topological adjacency (the value is held in the producer's
-    /// register file and read by a neighbour or the producer itself).
+    /// Within a slot: a route of `1..=k` hops. Across slots: the same
+    /// PE (the value is held in the producer's register file) or a
+    /// route of `1..=k` hops.
     pub fn adjacent(&self, a: MrrgVertex, b: MrrgVertex) -> bool {
+        self.reachable(a, b, self.max_route_hops)
+    }
+
+    /// The routing-aware edge predicate at an explicit route bound
+    /// `k`: composes the CGRA's precomputed hop distances with the
+    /// same-PE/held-value time rule. `reachable(a, b, 1)` is the
+    /// paper's original adjacency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is outside `1..=MAX_ROUTE_HOPS`.
+    pub fn reachable(&self, a: MrrgVertex, b: MrrgVertex, k: usize) -> bool {
+        assert!(
+            (1..=MAX_ROUTE_HOPS).contains(&k),
+            "route bound {k} out of range 1..={MAX_ROUTE_HOPS}"
+        );
         if a == b {
             return false;
         }
-        if a.slot == b.slot {
-            self.cgra.adjacent(a.pe, b.pe)
-        } else {
-            self.cgra.reachable(a.pe, b.pe)
+        match self.cgra.hop_distance(a.pe, b.pe) {
+            // Same PE: the value stays in the register file, readable
+            // in any *other* slot but never "routed to itself" within
+            // one slot.
+            Some(0) => a.slot != b.slot,
+            Some(d) => d <= k,
+            None => false,
         }
     }
 
@@ -156,11 +203,16 @@ impl<'a> Mrrg<'a> {
         })
     }
 
-    /// Degree of a vertex (number of adjacent vertices).
+    /// Degree of a vertex (number of adjacent vertices), computed from
+    /// the actual reachability rows — not from the raw neighbour-list
+    /// length, which undercounts on routing-aware MRRGs (k > 1) where
+    /// a vertex also reaches its 2..k-hop tiers.
     pub fn degree(&self, v: MrrgVertex) -> usize {
-        let nbrs = self.cgra.neighbors(v.pe).len();
-        // Same slot: neighbours only. Other slots: neighbours + self.
-        nbrs + (self.ii - 1) * (nbrs + 1)
+        let connected: usize = (1..=self.max_route_hops)
+            .map(|d| self.cgra.hop_tier(v.pe, d).len())
+            .sum();
+        // Same slot: routed PEs only. Other slots: routed PEs + self.
+        connected + (self.ii - 1) * (connected + 1)
     }
 }
 
@@ -243,14 +295,61 @@ mod tests {
 
     #[test]
     fn degree_formula_matches_enumeration() {
-        for topo in [Topology::Torus, Topology::Mesh] {
-            let cgra = Cgra::with_topology(3, 3, topo).unwrap();
-            let mrrg = Mrrg::new(&cgra, 4);
-            for v in mrrg.vertices() {
-                let by_enum = mrrg.vertices().filter(|&u| mrrg.adjacent(v, u)).count();
-                assert_eq!(mrrg.degree(v), by_enum, "{topo} {v:?}");
+        for topo in [Topology::Torus, Topology::Mesh, Topology::Diagonal] {
+            for k in [1, 2] {
+                let cgra = Cgra::with_topology(3, 3, topo).unwrap();
+                let mrrg = Mrrg::with_route_hops(&cgra, 4, k);
+                for v in mrrg.vertices() {
+                    let by_enum = mrrg.vertices().filter(|&u| mrrg.adjacent(v, u)).count();
+                    assert_eq!(mrrg.degree(v), by_enum, "{topo} k={k} {v:?}");
+                }
             }
         }
+    }
+
+    #[test]
+    fn diagonal_corner_degree_counts_the_reachability_row() {
+        // Regression (ISSUE-7 satellite): degree must come from the
+        // actual reachability row, not a uniform neighbour-count
+        // formula — a Diagonal corner PE has 3 neighbours while the
+        // centre has 8, and at k=2 the corner reaches 5 more PEs.
+        let cgra = Cgra::with_topology(3, 3, Topology::Diagonal).unwrap();
+        let corner = cgra.pe(0, 0);
+        let mrrg = Mrrg::new(&cgra, 3);
+        let v = mrrg.vertex(0, corner);
+        let by_enum = mrrg.vertices().filter(|&u| mrrg.adjacent(v, u)).count();
+        assert_eq!(mrrg.degree(v), by_enum);
+        assert_eq!(mrrg.degree(v), 3 + 2 * 4, "3 same-slot + 2×(3+self)");
+        // k=2: the corner's row grows to the full remaining grid.
+        let routed = Mrrg::with_route_hops(&cgra, 3, 2);
+        let by_enum = routed.vertices().filter(|&u| routed.adjacent(v, u)).count();
+        assert_eq!(routed.degree(v), by_enum);
+        assert_eq!(routed.degree(v), 8 + 2 * 9, "8 same-slot + 2×(8+self)");
+    }
+
+    #[test]
+    fn explicit_route_bound_composes_distance_with_time_rule() {
+        // 3x3 mesh: corner (0,0) and centre (1,1) are 2 hops apart.
+        let cgra = Cgra::with_topology(3, 3, Topology::Mesh).unwrap();
+        let mrrg = Mrrg::new(&cgra, 2); // built at k=1
+        let a = mrrg.vertex(0, cgra.pe(0, 0));
+        let same_slot = mrrg.vertex(0, cgra.pe(1, 1));
+        let cross_slot = mrrg.vertex(1, cgra.pe(1, 1));
+        // k=1 (the construction default): out of reach either way.
+        assert!(!mrrg.adjacent(a, same_slot));
+        assert!(!mrrg.adjacent(a, cross_slot));
+        // The explicit-k predicate widens without rebuilding.
+        assert!(mrrg.reachable(a, same_slot, 2));
+        assert!(mrrg.reachable(a, cross_slot, 2));
+        // Same PE across slots holds at every k; never within a slot.
+        let held = mrrg.vertex(1, cgra.pe(0, 0));
+        assert!(mrrg.reachable(a, held, 1));
+        assert!(mrrg.reachable(a, held, 2));
+        assert!(!mrrg.reachable(a, a, 2));
+        // Far corner is 4 hops: k=2 no, k=4 yes.
+        let far = mrrg.vertex(0, cgra.pe(2, 2));
+        assert!(!mrrg.reachable(a, far, 2));
+        assert!(mrrg.reachable(a, far, 4));
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub struct AnnealingConfig {
     pub restarts: usize,
     /// RNG seed (deterministic runs).
     pub seed: u64,
+    /// Longest route (in links) a dependence may take; 1 is the
+    /// classic neighbour-only model.
+    pub max_route_hops: usize,
 }
 
 impl Default for AnnealingConfig {
@@ -56,20 +59,22 @@ impl Default for AnnealingConfig {
             cooling: 0.93,
             restarts: 3,
             seed: 0xd2e5c,
+            max_route_hops: 1,
         }
     }
 }
 
 impl AnnealingConfig {
     /// The shared-subset projection of the unified [`MapperConfig`]:
-    /// only the II cap carries over. The annealing-specific knobs
-    /// (schedule, restarts, seed, window slack) keep their defaults so
-    /// the trait path behaves exactly like `AnnealingMapper::new` —
-    /// the engine stays comparable across the native and service
-    /// paths.
+    /// only the II cap and the route bound carry over. The
+    /// annealing-specific knobs (schedule, restarts, seed, window
+    /// slack) keep their defaults so the trait path behaves exactly
+    /// like `AnnealingMapper::new` — the engine stays comparable
+    /// across the native and service paths.
     pub fn from_mapper_config(config: &MapperConfig) -> Self {
         AnnealingConfig {
             max_ii: config.max_ii,
+            max_route_hops: config.max_route_hops,
             ..AnnealingConfig::default()
         }
     }
@@ -201,7 +206,10 @@ impl AnnealingMapper {
                 if let Some(mapping) = found {
                     stats.achieved_ii = ii;
                     stats.total_seconds = start.elapsed().as_secs_f64();
-                    debug_assert_eq!(mapping.validate(dfg, &self.cgra), Ok(()));
+                    debug_assert_eq!(
+                        mapping.validate_routed(dfg, &self.cgra, self.config.max_route_hops),
+                        Ok(())
+                    );
                     return Ok(BaselineResult { mapping, stats });
                 }
             }
@@ -314,13 +322,30 @@ impl AnnealingMapper {
             let pu = PeId::from_index(state[u].1);
             let pv = PeId::from_index(state[v].1);
             let same_slot = tu.rem_euclid(ii as i64) == tv.rem_euclid(ii as i64);
-            let reachable = if same_slot {
-                self.cgra.adjacent(pu, pv)
-            } else {
-                self.cgra.reachable(pu, pv)
+            // A value is readable over a route of up to
+            // `max_route_hops` links; a same-slot edge cannot use the
+            // held-value (same-PE) case.
+            let k = self.config.max_route_hops;
+            let dist = self.cgra.hop_distance(pu, pv);
+            let routable = match dist {
+                Some(0) => !same_slot,
+                Some(d) => d <= k,
+                None => false,
             };
-            if !reachable {
-                cost += 1;
+            if !routable {
+                cost += if k <= 1 {
+                    // The classic neighbour-only penalty — keeps the
+                    // k=1 annealing trajectory bit-identical.
+                    1
+                } else {
+                    // Graded under a routing model: penalise by how far
+                    // past the bound the route is, so the annealer is
+                    // pulled towards shorter routes.
+                    match dist {
+                        Some(d) if d > k => d - k,
+                        _ => 1,
+                    }
+                };
             }
         }
         cost
@@ -345,7 +370,27 @@ impl AnnealingMapper {
                 }
             })
             .collect();
-        Mapping::new(dfg.name(), ii, placements)
+        let mapping = Mapping::new(dfg.name(), ii, placements);
+        if self.config.max_route_hops > 1 {
+            // Record the chosen route length of every edge, as the
+            // decoupled mapper does (self-dependences are held: 0).
+            let hops = dfg
+                .edges()
+                .iter()
+                .map(|e| {
+                    if e.src == e.dst {
+                        return 0;
+                    }
+                    let (pu, pv) = (state[e.src.index()].1, state[e.dst.index()].1);
+                    self.cgra
+                        .hop_distance(PeId::from_index(pu), PeId::from_index(pv))
+                        .expect("zero-cost states route every dependence")
+                })
+                .collect();
+            mapping.with_route_hops(hops)
+        } else {
+            mapping
+        }
     }
 }
 
@@ -388,6 +433,47 @@ mod tests {
         let r = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
         r.mapping.validate(&dfg, &cgra).unwrap();
         assert!(r.mapping.ii() >= r.stats.mii);
+    }
+
+    #[test]
+    fn widened_routing_anneals_the_mesh_star() {
+        use cgra_arch::Topology;
+        use cgra_dfg::{DfgBuilder, Operation as Op};
+        // A 6-consumer star saturates a mesh PE's 4 neighbours under
+        // the one-hop model; a two-hop route bound relaxes exactly
+        // that constraint (mirrors the decoupled mapper's test).
+        let cgra = Cgra::with_topology(3, 3, Topology::Mesh).unwrap();
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let c = b.unary("c", Op::Neg, x);
+        for i in 0..6 {
+            b.unary(format!("k{i}"), Op::Not, c);
+        }
+        let dfg = b.build().unwrap();
+        let one = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
+        let mut cfg = AnnealingConfig::default();
+        cfg.max_route_hops = 2;
+        let two = AnnealingMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        two.mapping.validate_routed(&dfg, &cgra, 2).unwrap();
+        assert!(
+            two.mapping.ii() <= one.mapping.ii(),
+            "k=2 ({}) must never need a larger II than k=1 ({})",
+            two.mapping.ii(),
+            one.mapping.ii()
+        );
+        // The routed mapping records its per-edge route lengths; the
+        // one-hop mapping stays on the classic wire form.
+        assert_eq!(two.mapping.route_hops().len(), dfg.edges().len());
+        assert!(two.mapping.route_hops().iter().all(|&d| d <= 2));
+        assert!(one.mapping.route_hops().is_empty());
+    }
+
+    #[test]
+    fn route_bound_carries_over_from_mapper_config() {
+        let unified = MapperConfig::new().with_max_route_hops(3).with_max_ii(7);
+        let cfg = AnnealingConfig::from_mapper_config(&unified);
+        assert_eq!(cfg.max_route_hops, 3);
+        assert_eq!(cfg.max_ii, Some(7));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use cgra_base::CancelFlag;
 
-use cgra_arch::{Cgra, PeId};
+use cgra_arch::{Cgra, PeId, RoutingModel};
 use cgra_dfg::{Dfg, EdgeKind};
 use cgra_sat::{SatResult, Solver};
 use cgra_sched::{min_ii, unsupported_op_class, Kms, Mobility};
@@ -45,6 +45,9 @@ pub struct CoupledConfig {
     pub max_window_slack: usize,
     /// Optional SAT budget per `(II, slack)` attempt.
     pub budget: Option<Budget>,
+    /// Longest route (in links) a dependence may take; 1 is the
+    /// classic neighbour-only encoding.
+    pub max_route_hops: usize,
 }
 
 impl Default for CoupledConfig {
@@ -53,20 +56,22 @@ impl Default for CoupledConfig {
             max_ii: None,
             max_window_slack: 2,
             budget: None,
+            max_route_hops: 1,
         }
     }
 }
 
 impl CoupledConfig {
     /// The shared-subset projection of the unified [`MapperConfig`]
-    /// (II cap, window-slack ceiling, SAT budget); decoupled-only knobs
-    /// are ignored. This is how the [`Mapper`] trait path configures
-    /// the engine.
+    /// (II cap, window-slack ceiling, SAT budget, route bound);
+    /// decoupled-only knobs are ignored. This is how the [`Mapper`]
+    /// trait path configures the engine.
     pub fn from_mapper_config(config: &MapperConfig) -> Self {
         CoupledConfig {
             max_ii: config.max_ii,
             max_window_slack: config.max_window_slack,
             budget: config.time_budget.clone(),
+            max_route_hops: config.max_route_hops,
         }
     }
 }
@@ -209,6 +214,11 @@ impl CoupledMapper {
             ..BaselineStats::default()
         };
         let mobility = Mobility::compute(dfg).expect("validated DFG");
+        // Reachability clauses wider than one hop come from a routing
+        // model built once per search; `None` keeps the classic
+        // neighbour-only encoding (and its exact clause order).
+        let routing = (self.config.max_route_hops > 1)
+            .then(|| RoutingModel::new(&self.cgra, self.config.max_route_hops));
 
         for ii in mii..=max_ii {
             stats.iis_tried += 1;
@@ -217,7 +227,7 @@ impl CoupledMapper {
                 if self.cancelled() {
                     return Err(MapError::Timeout { ii });
                 }
-                let attempt = self.attempt(dfg, &mobility, ii, slack, &mut stats);
+                let attempt = self.attempt(dfg, &mobility, routing.as_ref(), ii, slack, &mut stats);
                 emit(
                     obs,
                     MapEvent::SpaceAttempt {
@@ -234,7 +244,10 @@ impl CoupledMapper {
                     Attempt::Found(mapping) => {
                         stats.achieved_ii = ii;
                         stats.total_seconds = start.elapsed().as_secs_f64();
-                        debug_assert_eq!(mapping.validate(dfg, &self.cgra), Ok(()));
+                        debug_assert_eq!(
+                            mapping.validate_routed(dfg, &self.cgra, self.config.max_route_hops),
+                            Ok(())
+                        );
                         return Ok(BaselineResult { mapping, stats });
                     }
                     Attempt::Unsat => {
@@ -252,6 +265,7 @@ impl CoupledMapper {
         &self,
         dfg: &Dfg,
         mobility: &Mobility,
+        routing: Option<&RoutingModel>,
         ii: usize,
         slack: usize,
         stats: &mut BaselineStats,
@@ -348,15 +362,34 @@ impl CoupledMapper {
                     let same_slot = tu % ii == tv % ii;
                     for p in self.cgra.pes() {
                         // x[u][tui][p] ∧ y[v][tvi] → v on a PE readable
-                        // from p.
+                        // from p (over a route of up to the configured
+                        // number of links).
                         let mut clause = vec![!x[u][tui][p.index()], !y[v][tvi]];
-                        if same_slot {
-                            for q in self.cgra.neighbors(p) {
-                                clause.push(x[v][tvi][q.index()]);
+                        match routing {
+                            // The classic neighbour-only encoding,
+                            // literal-for-literal (clause order is part
+                            // of the k=1 golden behaviour).
+                            None if same_slot => {
+                                for q in self.cgra.neighbors(p) {
+                                    clause.push(x[v][tvi][q.index()]);
+                                }
                             }
-                        } else {
-                            for q in self.cgra.neighbor_mask_with_self(p).iter() {
-                                clause.push(x[v][tvi][q.index()]);
+                            None => {
+                                for q in self.cgra.neighbor_mask_with_self(p).iter() {
+                                    clause.push(x[v][tvi][q.index()]);
+                                }
+                            }
+                            Some(r) => {
+                                // Same-slot edges cannot use the
+                                // held-value (same-PE) case.
+                                let mask = if same_slot {
+                                    r.reach_mask(p)
+                                } else {
+                                    r.reach_mask_with_self(p)
+                                };
+                                for q in mask.iter() {
+                                    clause.push(x[v][tvi][q.index()]);
+                                }
                             }
                         }
                         solver.add_clause(clause);
@@ -392,7 +425,30 @@ impl CoupledMapper {
                     }
                     placements.push(found.expect("exactly-one placement per node"));
                 }
-                Attempt::Found(Mapping::new(dfg.name(), ii, placements))
+                let mapping = Mapping::new(dfg.name(), ii, placements);
+                let mapping = if routing.is_some() {
+                    // Record the chosen route length of every edge, as
+                    // the decoupled mapper does (self-dependences are
+                    // held: 0).
+                    let hops = dfg
+                        .edges()
+                        .iter()
+                        .map(|e| {
+                            if e.src == e.dst {
+                                return 0;
+                            }
+                            let (pu, pv) =
+                                (mapping.pe(e.src), mapping.pe(e.dst));
+                            self.cgra
+                                .hop_distance(pu, pv)
+                                .expect("reachability clauses bound every route")
+                        })
+                        .collect();
+                    mapping.with_route_hops(hops)
+                } else {
+                    mapping
+                };
+                Attempt::Found(mapping)
             }
             SatResult::Unsat => Attempt::Unsat,
             SatResult::Unknown => Attempt::Timeout,
@@ -479,6 +535,45 @@ mod tests {
         let r = CoupledMapper::new(&cgra).map(&dfg).unwrap();
         r.mapping.validate(&dfg, &cgra).unwrap();
         assert!(r.mapping.ii() >= r.stats.mii);
+    }
+
+    #[test]
+    fn widened_routing_lowers_the_mesh_star_ii() {
+        use cgra_arch::Topology;
+        use cgra_dfg::{DfgBuilder, Operation as Op};
+        // A 6-consumer star saturates a mesh PE's 4 neighbours under
+        // the one-hop encoding; two-hop reachability clauses relax
+        // exactly that constraint.
+        let cgra = Cgra::with_topology(3, 3, Topology::Mesh).unwrap();
+        let mut b = DfgBuilder::new();
+        let x = b.input("x");
+        let c = b.unary("c", Op::Neg, x);
+        for i in 0..6 {
+            b.unary(format!("k{i}"), Op::Not, c);
+        }
+        let dfg = b.build().unwrap();
+        let one = CoupledMapper::new(&cgra).map(&dfg).unwrap();
+        let mut cfg = CoupledConfig::default();
+        cfg.max_route_hops = 2;
+        let two = CoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        two.mapping.validate_routed(&dfg, &cgra, 2).unwrap();
+        assert!(
+            two.mapping.ii() < one.mapping.ii(),
+            "the coupled search is exact: k=2 ({}) must beat k=1 ({}) on the star",
+            two.mapping.ii(),
+            one.mapping.ii()
+        );
+        assert_eq!(two.mapping.route_hops().len(), dfg.edges().len());
+        assert!(two.mapping.route_hops().iter().all(|&d| d <= 2));
+        assert!(one.mapping.route_hops().is_empty());
+    }
+
+    #[test]
+    fn route_bound_carries_over_from_mapper_config() {
+        let unified = MapperConfig::new().with_max_route_hops(2).with_max_ii(5);
+        let cfg = CoupledConfig::from_mapper_config(&unified);
+        assert_eq!(cfg.max_route_hops, 2);
+        assert_eq!(cfg.max_ii, Some(5));
     }
 
     #[test]

@@ -104,7 +104,7 @@ fn bench_monomorphism(c: &mut Criterion) {
     // Target construction alone, 20x20.
     let cgra = Cgra::new(20, 20).unwrap();
     g.bench_function("build_target_20x20_ii4", |b| {
-        b.iter(|| build_target(&cgra, 4))
+        b.iter(|| build_target(&cgra, 4, 1))
     });
     let cfg = TimeSolverConfig::for_cgra(&cgra);
     let sol = TimeSolver::new(&dfg, 4, cfg).unwrap().solve().unwrap();

@@ -1,0 +1,192 @@
+//! ISSUE-7 routing ablation: mesh-vs-torus II under the k-hop routing
+//! model, in stable JSON for committing alongside the code
+//! (`BENCH_PR7.json`).
+//!
+//! Usage:
+//!   routing_ablation [--kernels nw,fft] [--out FILE]
+//!
+//! For every suite kernel the decoupled mapper runs three times on a
+//! homogeneous 4×4: torus at `max_route_hops = 1` (the paper's
+//! configuration), mesh at `k = 1`, and mesh at `k = 2`. The torus
+//! wraps around; the mesh does not, so hub-shaped kernels pay an II
+//! penalty under the one-hop model — the ablation measures how much of
+//! that mesh-vs-torus gap a two-hop routing model closes.
+//!
+//! Every successful mapping is validated end-to-end: structural
+//! invariants via `Mapping::validate_routed`, then execution on the
+//! machine simulator (whose independent BFS refuses over-long routes),
+//! compared against the reference interpreter. `machine_ok` is the
+//! routing proof proper — the simulator accepted and executed every
+//! route; `matches_reference` additionally asserts output/memory
+//! equality, which the cgra-sim crate only guarantees for race-free
+//! kernels (schedules that reorder racy memory ops across iterations
+//! may legitimately diverge). `sim_validated` is the conjunction.
+//!
+//! IIs are exact search results, so the JSON is deterministic and
+//! diffs cleanly; only wall-clock would vary, and none is recorded.
+
+use cgra_arch::{Cgra, Topology};
+use cgra_dfg::{suite, Dfg};
+use cgra_sim::{interpret, MachineSimulator, SimEnv};
+use monomap_core::{DecoupledMapper, MapperConfig, Mapping};
+use serde::{Serialize, Value};
+
+/// II cap for every run (generous; kernels that cannot map below it
+/// are recorded as `"ii": null`).
+const MAX_II: usize = 16;
+/// Pipelined iterations executed per simulation check.
+const SIM_ITERATIONS: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kernels: Vec<String> = suite::names().iter().map(|s| s.to_string()).collect();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kernels" => {
+                i += 1;
+                kernels = args[i].split(',').map(str::to_string).collect();
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let torus = Cgra::new(4, 4).expect("4x4");
+    let mesh = Cgra::with_topology(4, 4, Topology::Mesh).expect("4x4");
+
+    let mut rows = Vec::new();
+    let mut closed = 0usize;
+    for name in &kernels {
+        let dfg = suite::generate(name);
+        eprintln!("{name}...");
+        let torus_k1 = run_case(&torus, &dfg, 1);
+        let mesh_k1 = run_case(&mesh, &dfg, 1);
+        let mesh_k2 = run_case(&mesh, &dfg, 2);
+        if let (Some(a), Some(b)) = (case_ii(&mesh_k1), case_ii(&mesh_k2)) {
+            if b < a {
+                closed += 1;
+                eprintln!("    mesh II {a} -> {b} under k=2");
+            }
+        }
+        rows.push(Value::Map(vec![
+            ("kernel".to_string(), name.to_value()),
+            ("torus_k1".to_string(), torus_k1),
+            ("mesh_k1".to_string(), mesh_k1),
+            ("mesh_k2".to_string(), mesh_k2),
+        ]));
+    }
+
+    let report = Value::Map(vec![
+        ("bench".to_string(), "routing_ablation".to_value()),
+        (
+            "config".to_string(),
+            Value::Map(vec![
+                ("grid".to_string(), "4x4".to_value()),
+                ("max_ii".to_string(), MAX_II.to_value()),
+                ("sim_iterations".to_string(), SIM_ITERATIONS.to_value()),
+                ("engine".to_string(), "decoupled".to_value()),
+            ]),
+        ),
+        ("kernels".to_string(), Value::Seq(rows)),
+        (
+            "mesh_kernels_improved_by_k2".to_string(),
+            closed.to_value(),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json + "\n").expect("write --out file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+/// The `"ii"` entry of a case rendered by [`run_case`], if mapped.
+fn case_ii(case: &Value) -> Option<usize> {
+    let Value::Map(entries) = case else {
+        return None;
+    };
+    entries.iter().find_map(|(k, v)| match v {
+        Value::Int(n) if k == "ii" => Some(*n as usize),
+        Value::UInt(n) if k == "ii" => Some(*n as usize),
+        _ => None,
+    })
+}
+
+/// Maps `dfg` on `cgra` under `max_route_hops` and, on success, checks
+/// the mapping end-to-end on the machine simulator.
+fn run_case(cgra: &Cgra, dfg: &Dfg, max_route_hops: usize) -> Value {
+    let cfg = MapperConfig::new()
+        .with_max_ii(MAX_II)
+        .with_max_route_hops(max_route_hops);
+    match DecoupledMapper::with_config(cgra, cfg).map(dfg) {
+        Ok(result) => {
+            let max_hops = result
+                .mapping
+                .route_hops()
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(1);
+            let (machine_ok, matches_reference) =
+                simulate(cgra, dfg, &result.mapping, max_route_hops);
+            Value::Map(vec![
+                ("ii".to_string(), result.mapping.ii().to_value()),
+                ("longest_route".to_string(), max_hops.to_value()),
+                ("machine_ok".to_string(), machine_ok.to_value()),
+                (
+                    "matches_reference".to_string(),
+                    matches_reference.to_value(),
+                ),
+                (
+                    "sim_validated".to_string(),
+                    (machine_ok && matches_reference).to_value(),
+                ),
+            ])
+        }
+        Err(e) => Value::Map(vec![
+            ("ii".to_string(), Value::Null),
+            ("error".to_string(), format!("{e:?}").to_value()),
+        ]),
+    }
+}
+
+/// Structural validation plus machine-vs-interpreter execution:
+/// `(machine accepted and executed every route, outputs and memory
+/// match the reference interpreter)`.
+fn simulate(cgra: &Cgra, dfg: &Dfg, mapping: &Mapping, max_route_hops: usize) -> (bool, bool) {
+    if mapping.validate_routed(dfg, cgra, max_route_hops).is_err() {
+        return (false, false);
+    }
+    // Generic inputs: enough channels for every suite kernel (missing
+    // channels read as zero, identically for both executors).
+    let env = SimEnv::new(256)
+        .with_input_stream(vec![3, 7, 11, 15])
+        .with_input_stream(vec![2, 4, 6, 8])
+        .with_input_stream(vec![1, 5, 9, 13])
+        .with_input_stream(vec![6, 2, 8, 4]);
+    let Ok(machine) = MachineSimulator::new(cgra, dfg, mapping)
+        .with_max_route_hops(max_route_hops)
+        .run(&env, SIM_ITERATIONS)
+    else {
+        return (false, false);
+    };
+    let Ok(reference) = interpret(dfg, &env, SIM_ITERATIONS) else {
+        return (true, false);
+    };
+    (
+        true,
+        reference.outputs == machine.outputs && reference.memory == machine.memory,
+    )
+}

@@ -20,5 +20,10 @@
 
 pub mod grid;
 pub mod report;
+pub mod routing;
 
 pub use grid::{run_cell, run_cell_with_profile, CellOutcome, CellResult, MapperKind};
+pub use routing::{
+    annealing_golden_line, coupled_golden_line, decoupled_golden_line, golden_ii_cap,
+    routing_golden_lines, GOLDEN_COUPLED_BUDGET,
+};

@@ -596,6 +596,14 @@ pub fn run_request<R>(req: &MapRequest, f: impl FnOnce(CancelFlag) -> R) -> R {
         return f(req.cancel.clone().unwrap_or_default());
     };
     let engine_flag = CancelFlag::new();
+    // An already-expired deadline (zero, or negative on the wire) must
+    // time out deterministically: raise the flag before the engine
+    // starts rather than racing its first solve against the watchdog
+    // thread getting scheduled.
+    if deadline.is_zero() {
+        engine_flag.cancel();
+        return f(engine_flag);
+    }
     std::thread::scope(|scope| {
         let (done_tx, done_rx) = mpsc::channel::<()>();
         let caller = req.cancel.clone();

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use cgra_arch::MAX_ROUTE_HOPS;
 use cgra_smt::Budget;
 
 /// Which algorithm produces time solutions (phase 1 of the decoupled
@@ -63,6 +64,15 @@ pub struct MapperConfig {
     pub time_incremental: bool,
     /// Which algorithm produces time solutions.
     pub time_strategy: TimeStrategy,
+    /// Route-length bound `k` of the routing model: a dependence may
+    /// place producer and consumer up to `k` topology hops apart (one
+    /// register-file forward per hop). `1` is the paper's
+    /// neighbour-readable model and the default; higher values relax
+    /// the space phase at the cost of occupying route-through
+    /// resources the model does not charge for (documented in
+    /// ARCHITECTURE.md §Routing model). Bounded by
+    /// [`cgra_arch::MAX_ROUTE_HOPS`].
+    pub max_route_hops: usize,
     /// Worker threads racing monomorphism searches over the time
     /// solutions of one `(II, slack)` level (portfolio mode).
     ///
@@ -91,6 +101,7 @@ impl Default for MapperConfig {
             time_budget: None,
             time_incremental: true,
             time_strategy: TimeStrategy::Smt,
+            max_route_hops: 1,
             space_parallelism: 1,
         }
     }
@@ -170,6 +181,21 @@ impl MapperConfig {
         self
     }
 
+    /// Sets the route-length bound `k` of the routing model; `1` (the
+    /// default) is the paper's adjacency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= MAX_ROUTE_HOPS`.
+    pub fn with_max_route_hops(mut self, k: usize) -> Self {
+        assert!(
+            (1..=MAX_ROUTE_HOPS).contains(&k),
+            "max_route_hops must be in 1..={MAX_ROUTE_HOPS}"
+        );
+        self.max_route_hops = k;
+        self
+    }
+
     /// Sets the space-phase portfolio width (worker threads racing the
     /// monomorphism searches of one `(II, slack)` level); `1` keeps the
     /// deterministic serial path.
@@ -200,7 +226,7 @@ impl Serialize for MapperConfig {
                 ),
             ])
         });
-        serde::Value::Map(vec![
+        let mut fields = vec![
             ("max_ii".to_string(), self.max_ii.to_value()),
             (
                 "max_window_slack".to_string(),
@@ -239,7 +265,17 @@ impl Serialize for MapperConfig {
                 "space_parallelism".to_string(),
                 self.space_parallelism.to_value(),
             ),
-        ])
+        ];
+        // Emitted only when it departs from the default so that
+        // pre-routing wire messages — and their fingerprints — are
+        // byte-identical to what this build produces at `k = 1`.
+        if self.max_route_hops != 1 {
+            fields.push((
+                "max_route_hops".to_string(),
+                self.max_route_hops.to_value(),
+            ));
+        }
+        serde::Value::Map(fields)
     }
 }
 
@@ -272,6 +308,13 @@ impl Deserialize for MapperConfig {
                 "space_parallelism must be at least 1",
             ));
         }
+        // Absent on old-wire requests: the adjacency model.
+        let max_route_hops = opt_field::<usize>(v, "max_route_hops")?.unwrap_or(d.max_route_hops);
+        if !(1..=MAX_ROUTE_HOPS).contains(&max_route_hops) {
+            return Err(serde::de::Error::custom(format!(
+                "max_route_hops must be in 1..={MAX_ROUTE_HOPS}"
+            )));
+        }
         Ok(MapperConfig {
             max_ii: opt_field(v, "max_ii")?,
             max_window_slack: opt_field(v, "max_window_slack")?.unwrap_or(d.max_window_slack),
@@ -286,6 +329,7 @@ impl Deserialize for MapperConfig {
             time_budget,
             time_incremental: opt_field(v, "time_incremental")?.unwrap_or(d.time_incremental),
             time_strategy: opt_field(v, "time_strategy")?.unwrap_or(d.time_strategy),
+            max_route_hops,
             space_parallelism,
         })
     }
@@ -397,5 +441,36 @@ mod tests {
     #[test]
     fn serde_rejects_zero_parallelism() {
         assert!(serde_json::from_str::<MapperConfig>(r#"{"space_parallelism": 0}"#).is_err());
+    }
+
+    #[test]
+    fn route_hops_roundtrips_and_defaults_from_old_wire() {
+        // Round-trip of a non-default bound.
+        let c = MapperConfig::new().with_max_route_hops(3);
+        assert_eq!(roundtrip(&c).max_route_hops, 3);
+        assert_config_eq(&roundtrip(&c), &c);
+        // A pre-routing wire message (no such field) still decodes, to
+        // the adjacency model.
+        let old = r#"{"max_ii": 6, "strict_connectivity": true}"#;
+        let c: MapperConfig = serde_json::from_str(old).unwrap();
+        assert_eq!(c.max_route_hops, 1);
+        assert_eq!(c.max_ii, Some(6));
+        // And the default config never mentions the field on the wire,
+        // so pre-routing peers can decode what this build emits.
+        let json = serde_json::to_string(&MapperConfig::default()).unwrap();
+        assert!(!json.contains("max_route_hops"), "{json}");
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range_route_hops() {
+        assert!(serde_json::from_str::<MapperConfig>(r#"{"max_route_hops": 0}"#).is_err());
+        let too_far = format!("{{\"max_route_hops\": {}}}", MAX_ROUTE_HOPS + 1);
+        assert!(serde_json::from_str::<MapperConfig>(&too_far).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_route_hops")]
+    fn builder_rejects_zero_route_hops() {
+        let _ = MapperConfig::new().with_max_route_hops(0);
     }
 }

@@ -50,7 +50,7 @@ pub use api::{
 };
 pub use config::{MapperConfig, TimeStrategy};
 pub use error::{MapError, MappingError};
-pub use mapper::{DecoupledMapper, MapResult, MapStats};
+pub use mapper::{DecoupledMapper, MapResult, MapStats, RouteHopsHistogram};
 pub use mapping::{Mapping, Placement};
 pub use space::{
     build_pattern, build_target, space_search, target_matches_mrrg, SpaceEngine, SpaceOutcome,

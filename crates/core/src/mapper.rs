@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use cgra_base::CancelFlag;
 
-use cgra_arch::Cgra;
+use cgra_arch::{Cgra, MAX_ROUTE_HOPS};
 use cgra_dfg::Dfg;
 use cgra_iso::{MonoOutcome, SearchConfig, Searcher};
 use cgra_sched::{
@@ -24,6 +24,71 @@ use crate::{MapError, MapperConfig, Mapping, Placement};
 /// How often the portfolio supervisor polls for user cancellation while
 /// worker threads race their monomorphism searches.
 const PORTFOLIO_POLL: Duration = Duration::from_millis(2);
+
+/// Distribution of chosen route lengths over the dependences of one
+/// mapping: bucket `d` counts edges whose endpoints sit `d` topology
+/// hops apart (bucket 0 is same-PE / held-value dependences; the last
+/// bucket, [`MAX_ROUTE_HOPS`], saturates).
+///
+/// Under the classic one-hop model only buckets 0 and 1 are ever
+/// populated; wider routing models show where the mapper actually
+/// spent its extra freedom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct RouteHopsHistogram([u64; MAX_ROUTE_HOPS + 1]);
+
+impl RouteHopsHistogram {
+    /// Counts one dependence routed over `hops` hops (saturating into
+    /// the last bucket).
+    pub fn record(&mut self, hops: usize) {
+        self.0[hops.min(MAX_ROUTE_HOPS)] += 1;
+    }
+
+    /// Dependences routed over exactly `hops` hops (the last bucket
+    /// also holds anything beyond it).
+    pub fn count(&self, hops: usize) -> u64 {
+        self.0[hops.min(MAX_ROUTE_HOPS)]
+    }
+
+    /// Total dependences recorded.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// The raw buckets, indexed by hop count.
+    pub fn buckets(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+// Hand-written because the vendored serde has no fixed-size-array
+// impls: the histogram crosses the wire as a plain sequence of bucket
+// counts.
+impl Serialize for RouteHopsHistogram {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Seq(self.0.iter().map(|c| c.to_value()).collect())
+    }
+}
+
+impl Deserialize for RouteHopsHistogram {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let counts = Vec::<u64>::from_value(v)?;
+        if counts.len() != MAX_ROUTE_HOPS + 1 {
+            return Err(serde::de::Error::custom(format!(
+                "route-hops histogram needs {} buckets, got {}",
+                MAX_ROUTE_HOPS + 1,
+                counts.len()
+            )));
+        }
+        let mut buckets = [0u64; MAX_ROUTE_HOPS + 1];
+        buckets.copy_from_slice(&counts);
+        Ok(RouteHopsHistogram(buckets))
+    }
+}
 
 /// A successful mapping together with search statistics.
 #[derive(Clone, Debug)]
@@ -103,6 +168,9 @@ pub struct MapStats {
     /// SAT clauses of the successful coupled formulation (coupled
     /// baseline only; 0 otherwise).
     pub clauses: usize,
+    /// Distribution of chosen route lengths over the mapping's
+    /// dependences (bucket `d` = edges placed `d` hops apart).
+    pub route_hops_histogram: RouteHopsHistogram,
 }
 
 impl Default for MapStats {
@@ -126,6 +194,7 @@ impl Default for MapStats {
             space_parallelism: 1,
             sat_vars: 0,
             clauses: 0,
+            route_hops_histogram: RouteHopsHistogram::default(),
         }
     }
 }
@@ -290,7 +359,7 @@ impl DecoupledMapper {
             space_parallelism: self.config.space_parallelism,
             ..MapStats::default()
         };
-        let mut engine = SpaceEngine::new(&self.cgra);
+        let mut engine = SpaceEngine::with_route_hops(&self.cgra, self.config.max_route_hops);
 
         for ii in mii..=max_ii {
             stats.iis_tried += 1;
@@ -759,8 +828,36 @@ impl DecoupledMapper {
         stats.achieved_ii = ii;
         stats.window_slack = slack;
         stats.total_seconds = start.elapsed().as_secs_f64();
-        let mapping = Mapping::new(dfg.name(), ii, placements);
-        debug_assert_eq!(mapping.validate(dfg, &self.cgra), Ok(()));
+        // Chosen route length per dependence. The histogram is recorded
+        // for every model (it costs a table lookup per edge); the
+        // per-edge vector rides on the mapping only under a widened
+        // model, keeping one-hop mappings byte-identical on the wire.
+        let route_hops: Vec<usize> = dfg
+            .edges()
+            .iter()
+            .map(|e| {
+                if e.src == e.dst {
+                    return 0;
+                }
+                self.cgra
+                    .hop_distance(
+                        placements[e.src.index()].pe,
+                        placements[e.dst.index()].pe,
+                    )
+                    .expect("embedded dependences are within the route bound")
+            })
+            .collect();
+        for &hops in &route_hops {
+            stats.route_hops_histogram.record(hops);
+        }
+        let mut mapping = Mapping::new(dfg.name(), ii, placements);
+        if self.config.max_route_hops > 1 {
+            mapping = mapping.with_route_hops(route_hops);
+        }
+        debug_assert_eq!(
+            mapping.validate_routed(dfg, &self.cgra, self.config.max_route_hops),
+            Ok(())
+        );
         MapResult { mapping, stats }
     }
 }
@@ -1271,6 +1368,66 @@ mod tests {
                 _ => panic!("screened {a:?} vs rebuild {b:?} diverged"),
             }
         }
+    }
+
+    #[test]
+    fn one_hop_mappings_record_histogram_but_not_route_hops() {
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = running_example();
+        let result = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        let h = result.stats.route_hops_histogram;
+        assert_eq!(h.total() as usize, dfg.edges().len());
+        assert_eq!(h.count(2) + h.count(3) + h.count(4), 0, "one-hop model");
+        // The mapping's wire form is untouched at k=1.
+        assert!(result.mapping.route_hops().is_empty());
+        let json = serde_json::to_string(&result.mapping).unwrap();
+        assert!(!json.contains("route_hops"), "{json}");
+    }
+
+    #[test]
+    fn widened_routing_maps_the_mesh_star_at_a_lower_ii() {
+        use cgra_arch::Topology;
+        // star6 on a 3x3 mesh: the corner-heavy mesh makes one-hop
+        // placement of 6 same-slot consumers expensive; two-hop routes
+        // relax exactly that constraint.
+        let cgra = Cgra::with_topology(3, 3, Topology::Mesh).unwrap();
+        let dfg = star_k(6);
+        let one = DecoupledMapper::new(&cgra).map(&dfg).unwrap();
+        let cfg = MapperConfig::new().with_max_route_hops(2);
+        let two = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        two.mapping.validate_routed(&dfg, &cgra, 2).unwrap();
+        assert!(
+            two.mapping.ii() <= one.mapping.ii(),
+            "k=2 ({}) must never need a larger II than k=1 ({})",
+            two.mapping.ii(),
+            one.mapping.ii()
+        );
+        // The routed mapping records its per-edge route lengths.
+        assert_eq!(two.mapping.route_hops().len(), dfg.edges().len());
+        assert_eq!(
+            two.stats.route_hops_histogram.total() as usize,
+            dfg.edges().len()
+        );
+        assert!(
+            two.mapping.route_hops().iter().all(|&d| d <= 2),
+            "no route may exceed the bound"
+        );
+    }
+
+    #[test]
+    fn routed_mapping_roundtrips_with_route_lengths() {
+        use cgra_arch::Topology;
+        let cgra = Cgra::with_topology(3, 3, Topology::Mesh).unwrap();
+        let dfg = star_k(6);
+        let cfg = MapperConfig::new().with_max_route_hops(2);
+        let result = DecoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
+        if result.mapping.route_hops().iter().any(|&d| d > 1) {
+            let json = serde_json::to_string(&result.mapping).unwrap();
+            assert!(json.contains("route_hops"));
+        }
+        let json = serde_json::to_string(&result.mapping).unwrap();
+        let back: Mapping = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result.mapping);
     }
 
     #[test]

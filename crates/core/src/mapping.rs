@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cgra_arch::{Cgra, PeId};
+use cgra_arch::{Cgra, PeId, MAX_ROUTE_HOPS};
 use cgra_dfg::{Dfg, EdgeKind, NodeId};
 
 use crate::MappingError;
@@ -22,12 +22,18 @@ pub struct Placement {
 /// kernel of `II` cycles.
 ///
 /// Produced by [`crate::DecoupledMapper`]; check any externally supplied
-/// mapping with [`Mapping::validate`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// mapping with [`Mapping::validate`] (or [`Mapping::validate_routed`]
+/// when it was produced under a k-hop routing model).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Mapping {
     dfg_name: String,
     ii: usize,
     placements: Vec<Placement>,
+    /// Chosen route length per DFG edge (in `dfg.edges()` order;
+    /// self-dependences count 0). Empty on mappings produced under the
+    /// classic one-hop model, so their wire form — and the golden
+    /// snapshots locking it — is unchanged.
+    route_hops: Vec<usize>,
 }
 
 impl Mapping {
@@ -38,7 +44,38 @@ impl Mapping {
             dfg_name: dfg_name.into(),
             ii,
             placements,
+            route_hops: Vec::new(),
         }
+    }
+
+    /// Attaches the chosen route length of every DFG edge (in
+    /// `dfg.edges()` order). The mapper records these only under a
+    /// routing model wider than one hop.
+    #[must_use]
+    pub fn with_route_hops(mut self, route_hops: Vec<usize>) -> Self {
+        self.route_hops = route_hops;
+        self
+    }
+
+    /// Chosen route length per DFG edge; empty when the mapping was
+    /// produced under the one-hop model (no routing decisions to
+    /// record).
+    pub fn route_hops(&self) -> &[usize] {
+        &self.route_hops
+    }
+
+    /// The route bound this mapping claims for itself: the longest
+    /// recorded route, or 1 for one-hop mappings (empty
+    /// [`route_hops`](Self::route_hops)). Clamped into
+    /// `1..=`[`MAX_ROUTE_HOPS`] so hostile wire data cannot smuggle an
+    /// unbounded claim past [`validate_routed`](Self::validate_routed).
+    pub fn declared_route_bound(&self) -> usize {
+        self.route_hops
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .clamp(1, MAX_ROUTE_HOPS)
     }
 
     /// The name of the DFG this mapping is for.
@@ -85,21 +122,48 @@ impl Mapping {
             .unwrap_or(0)
     }
 
-    /// Checks every mapping invariant against the DFG and CGRA:
+    /// Checks every mapping invariant under the paper's one-hop
+    /// routing model; equivalent to
+    /// [`Mapping::validate_routed`]`(dfg, cgra, 1)`. See there for the
+    /// invariant list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self, dfg: &Dfg, cgra: &Cgra) -> Result<(), MappingError> {
+        self.validate_routed(dfg, cgra, 1)
+    }
+
+    /// Checks every mapping invariant against the DFG and CGRA under a
+    /// `max_route_hops`-hop routing model:
     ///
     /// * mono1 — no two nodes share `(PE, slot)`;
     /// * mono2 — `slot == time mod II` for every node;
     /// * capability — every node's PE provides the node's operation
     ///   class (trivially true on homogeneous grids);
     /// * mono3 / routing — every dependence's endpoints lie on the same
-    ///   or adjacent PEs (the consumer can read the producer's register
-    ///   file);
+    ///   PE or within `max_route_hops` topology hops (the consumer can
+    ///   reach the producer's register file through at most `k - 1`
+    ///   forwarding hops);
     /// * modulo-schedule timing of every data and loop-carried edge.
     ///
     /// # Errors
     ///
     /// Returns the first violated invariant.
-    pub fn validate(&self, dfg: &Dfg, cgra: &Cgra) -> Result<(), MappingError> {
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= max_route_hops <= MAX_ROUTE_HOPS`.
+    pub fn validate_routed(
+        &self,
+        dfg: &Dfg,
+        cgra: &Cgra,
+        max_route_hops: usize,
+    ) -> Result<(), MappingError> {
+        assert!(
+            (1..=MAX_ROUTE_HOPS).contains(&max_route_hops),
+            "max_route_hops must be in 1..={MAX_ROUTE_HOPS}"
+        );
         if self.placements.len() != dfg.num_nodes() {
             return Err(MappingError::WrongArity {
                 got: self.placements.len(),
@@ -147,7 +211,12 @@ impl Mapping {
                     dst: e.dst,
                 });
             }
-            if !cgra.reachable(ps.pe, pd.pe) {
+            let within_reach = match cgra.hop_distance(ps.pe, pd.pe) {
+                Some(0) => true, // own register file, held across slots
+                Some(d) => d <= max_route_hops,
+                None => false,
+            };
+            if !within_reach {
                 return Err(MappingError::Unreachable {
                     src: e.src,
                     dst: e.dst,
@@ -169,6 +238,44 @@ impl Mapping {
             occ[p.pe.index()] += 1;
         }
         occ
+    }
+}
+
+// Hand-written so that `route_hops` is omitted when empty: every
+// mapping produced under the classic one-hop model keeps the exact
+// pre-routing wire form (the golden snapshots assert this byte for
+// byte), and pre-routing JSON decodes into a mapping with no recorded
+// routes.
+impl Serialize for Mapping {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("dfg_name".to_string(), self.dfg_name.to_value()),
+            ("ii".to_string(), self.ii.to_value()),
+            ("placements".to_string(), self.placements.to_value()),
+        ];
+        if !self.route_hops.is_empty() {
+            fields.push(("route_hops".to_string(), self.route_hops.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for Mapping {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| serde::de::Error::expected("map", v))?;
+        let route_hops = match v.get("route_hops").filter(|f| **f != serde::Value::Null) {
+            Some(f) => Vec::<usize>::from_value(f)
+                .map_err(|e| serde::de::Error::custom(format!("field `route_hops`: {e}")))?,
+            None => Vec::new(),
+        };
+        Ok(Mapping {
+            dfg_name: serde::de::field(entries, "dfg_name")?,
+            ii: serde::de::field(entries, "ii")?,
+            placements: serde::de::field(entries, "placements")?,
+            route_hops,
+        })
     }
 }
 
@@ -366,5 +473,44 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: Mapping = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn route_hops_roundtrip_and_wire_compat() {
+        // Routed mappings carry their per-edge route lengths...
+        let m = Mapping::new("tiny", 3, vec![place(0, 0, 3)]).with_route_hops(vec![0, 2, 1]);
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("route_hops"));
+        let back: Mapping = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.route_hops(), &[0, 2, 1]);
+        assert_eq!(back.declared_route_bound(), 2);
+        assert_eq!(m, back);
+        // ...one-hop mappings keep the pre-routing wire form...
+        let plain = Mapping::new("tiny", 3, vec![place(0, 0, 3)]);
+        assert!(!serde_json::to_string(&plain).unwrap().contains("route_hops"));
+        // ...and pre-routing JSON still decodes.
+        let old = r#"{"dfg_name":"tiny","ii":3,"placements":[{"pe":0,"slot":0,"time":0}]}"#;
+        let back: Mapping = serde_json::from_str(old).unwrap();
+        assert_eq!(back, plain);
+        assert!(back.route_hops().is_empty());
+        assert_eq!(back.declared_route_bound(), 1);
+    }
+
+    #[test]
+    fn validate_routed_widens_reachability() {
+        let (dfg, cgra) = tiny();
+        // PE0 and PE3 are diagonal on the 2x2 torus: distance 2.
+        let m = Mapping::new(
+            "tiny",
+            3,
+            vec![place(0, 0, 3), place(3, 1, 3), place(3, 2, 3)],
+        );
+        assert!(matches!(
+            m.validate_routed(&dfg, &cgra, 1),
+            Err(MappingError::Unreachable { .. })
+        ));
+        m.validate_routed(&dfg, &cgra, 2).unwrap();
+        // validate() is exactly the k=1 case.
+        assert_eq!(m.validate(&dfg, &cgra), m.validate_routed(&dfg, &cgra, 1));
     }
 }

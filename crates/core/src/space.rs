@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cgra_arch::{Cgra, Mrrg};
+use cgra_arch::{Cgra, Mrrg, RoutingModel};
 use cgra_base::CancelFlag;
 use cgra_dfg::Dfg;
 use cgra_iso::{BitSet, MonoOutcome, Pattern, SearchConfig, Searcher, Target};
@@ -40,38 +40,65 @@ pub fn build_pattern(dfg: &Dfg, solution: &TimeSolution) -> Pattern {
     Pattern::new(labels, edges).with_requirements(requirements)
 }
 
-/// Builds the MRRG as a monomorphism target: vertex `slot · |PEs| + pe`
-/// carries label `slot`; adjacency rows are assembled directly from the
-/// CGRA neighbour masks (same-slot: neighbours; cross-slot: neighbours
-/// plus the PE itself — the register-file-readability relation of
-/// [`Mrrg`]). Every vertex also carries its PE's capability bitmask,
-/// the counterpart of [`build_pattern`]'s requirement masks.
-pub fn build_target(cgra: &Cgra, ii: usize) -> Target {
+/// Builds the MRRG as a monomorphism target under a k-hop routing
+/// model: vertex `slot · |PEs| + pe` carries label `slot`, and the
+/// edge relation is assembled from the per-distance reachability rows
+/// of a [`RoutingModel`] as distance tiers (tier 0: the held-value
+/// relation — the same PE in every other slot; tier `d`: the PEs at
+/// exactly `d` topology hops, in every slot for cross-slot pairs and
+/// excluding the producer's own slot only at `d = 0`). The DFS
+/// consumes the cumulative union of the tiers, so at `k = 1` the
+/// relation is exactly the classic register-file-readability relation
+/// of [`Mrrg`]: same-slot pairs must be neighbours, cross-slot pairs
+/// may also share the PE. Every vertex also carries its PE's
+/// capability bitmask, the counterpart of [`build_pattern`]'s
+/// requirement masks.
+pub fn build_target(cgra: &Cgra, ii: usize, max_route_hops: usize) -> Target {
+    let routing = RoutingModel::new(cgra, max_route_hops);
+    build_target_with_routing(cgra, ii, &routing)
+}
+
+/// [`build_target`] against a prebuilt routing model (the
+/// [`SpaceEngine`] holds one model across every II it builds targets
+/// for).
+fn build_target_with_routing(cgra: &Cgra, ii: usize, routing: &RoutingModel) -> Target {
     let n = cgra.num_pes();
     let total = n * ii;
     let labels: Vec<u32> = (0..total).map(|i| (i / n) as u32).collect();
-    let mut rows = Vec::with_capacity(total);
-    let mut caps = Vec::with_capacity(total);
+    let caps: Vec<u32> = (0..ii)
+        .flat_map(|_| cgra.pes().map(|pe| cgra.capability(pe).bits() as u32))
+        .collect();
+    let mut tiers = Vec::with_capacity(routing.max_hops() + 1);
+    let mut tier0 = Vec::with_capacity(total);
     for slot in 0..ii {
         for pe in cgra.pes() {
             let mut row = BitSet::new(total);
             for other in 0..ii {
-                let base = other * n;
-                if other == slot {
-                    for q in cgra.neighbors(pe) {
-                        row.insert(base + q.index());
-                    }
-                } else {
-                    for q in cgra.neighbor_mask_with_self(pe).iter() {
+                if other != slot {
+                    row.insert(other * n + pe.index());
+                }
+            }
+            tier0.push(row);
+        }
+    }
+    tiers.push(tier0);
+    for d in 1..=routing.max_hops() {
+        let mut tier = Vec::with_capacity(total);
+        for _slot in 0..ii {
+            for pe in cgra.pes() {
+                let mut row = BitSet::new(total);
+                for other in 0..ii {
+                    let base = other * n;
+                    for q in routing.tier(pe, d).iter() {
                         row.insert(base + q.index());
                     }
                 }
+                tier.push(row);
             }
-            rows.push(row);
-            caps.push(cgra.capability(pe).bits() as u32);
         }
+        tiers.push(tier);
     }
-    Target::from_rows(labels, rows).with_capabilities(caps)
+    Target::from_tiers(labels, tiers).with_capabilities(caps)
 }
 
 /// Outcome of one space-phase attempt.
@@ -112,16 +139,29 @@ impl From<MonoOutcome> for SpaceOutcome {
 /// target across its worker threads without copying.
 pub struct SpaceEngine<'a> {
     cgra: &'a Cgra,
+    routing: RoutingModel,
     targets: HashMap<usize, Arc<Target>>,
     /// Targets constructed (cache misses) — observable amortisation.
     builds: usize,
 }
 
 impl<'a> SpaceEngine<'a> {
-    /// An engine for `cgra` with an empty target cache.
+    /// An engine for `cgra` under the paper's one-hop routing model,
+    /// with an empty target cache.
     pub fn new(cgra: &'a Cgra) -> Self {
+        SpaceEngine::with_route_hops(cgra, 1)
+    }
+
+    /// An engine whose targets relate vertices up to `max_route_hops`
+    /// topology hops apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= max_route_hops <= MAX_ROUTE_HOPS`.
+    pub fn with_route_hops(cgra: &'a Cgra, max_route_hops: usize) -> Self {
         SpaceEngine {
             cgra,
+            routing: RoutingModel::new(cgra, max_route_hops),
             targets: HashMap::new(),
             builds: 0,
         }
@@ -130,6 +170,11 @@ impl<'a> SpaceEngine<'a> {
     /// The CGRA this engine builds targets for.
     pub fn cgra(&self) -> &Cgra {
         self.cgra
+    }
+
+    /// The routing model the targets are assembled from.
+    pub fn routing(&self) -> &RoutingModel {
+        &self.routing
     }
 
     /// Number of targets constructed so far (cache misses).
@@ -144,7 +189,7 @@ impl<'a> SpaceEngine<'a> {
             return Arc::clone(t);
         }
         self.builds += 1;
-        let t = Arc::new(build_target(self.cgra, ii));
+        let t = Arc::new(build_target_with_routing(self.cgra, ii, &self.routing));
         self.targets.insert(ii, Arc::clone(&t));
         t
     }
@@ -196,12 +241,13 @@ pub fn space_search(
     SpaceEngine::new(cgra).search(dfg, solution, step_limit, cancel)
 }
 
-/// Verifies that target construction agrees with the [`Mrrg`] adjacency
-/// oracle (used by tests; the target is the performance-oriented
-/// materialisation of the same graph).
-pub fn target_matches_mrrg(cgra: &Cgra, ii: usize) -> bool {
-    let target = build_target(cgra, ii);
-    let mrrg = Mrrg::new(cgra, ii);
+/// Verifies that target construction agrees with the [`Mrrg`]
+/// reachability oracle at the given route bound (used by tests; the
+/// target is the performance-oriented materialisation of the same
+/// graph).
+pub fn target_matches_mrrg(cgra: &Cgra, ii: usize, max_route_hops: usize) -> bool {
+    let target = build_target(cgra, ii, max_route_hops);
+    let mrrg = Mrrg::with_route_hops(cgra, ii, max_route_hops);
     if target.num_vertices() != mrrg.num_vertices() {
         return false;
     }
@@ -230,10 +276,37 @@ mod tests {
     fn target_agrees_with_mrrg_oracle() {
         for topo in [Topology::Torus, Topology::Mesh] {
             let cgra = Cgra::with_topology(2, 2, topo).unwrap();
-            assert!(target_matches_mrrg(&cgra, 3), "{topo} 2x2 II=3");
+            assert!(target_matches_mrrg(&cgra, 3, 1), "{topo} 2x2 II=3");
         }
         let cgra = Cgra::new(3, 3).unwrap();
-        assert!(target_matches_mrrg(&cgra, 2), "torus 3x3 II=2");
+        assert!(target_matches_mrrg(&cgra, 2, 1), "torus 3x3 II=2");
+    }
+
+    #[test]
+    fn routed_target_agrees_with_mrrg_oracle() {
+        for topo in [Topology::Torus, Topology::Mesh, Topology::Diagonal] {
+            let cgra = Cgra::with_topology(3, 3, topo).unwrap();
+            for k in [2, 3] {
+                assert!(target_matches_mrrg(&cgra, 2, k), "{topo} 3x3 II=2 k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn routed_target_records_route_lengths() {
+        // 3x3 mesh, II=2: corner PE0 to centre PE4 is 2 hops.
+        let cgra = Cgra::with_topology(3, 3, Topology::Mesh).unwrap();
+        let n = cgra.num_pes();
+        let t = build_target(&cgra, 2, 2);
+        assert_eq!(t.route_length(0, 1), Some(1), "same slot, adjacent");
+        assert_eq!(t.route_length(0, 4), Some(2), "same slot, knight");
+        assert_eq!(t.route_length(0, n), Some(0), "held value across slots");
+        assert_eq!(t.route_length(0, n + 4), Some(2), "cross slot, 2 hops");
+        assert_eq!(t.route_length(0, 8), None, "far corner beyond k=2");
+        // k=1 targets only relate adjacency; the same pair vanishes.
+        let t1 = build_target(&cgra, 2, 1);
+        assert!(!t1.adjacent(0, 4));
+        assert_eq!(t1.route_length(0, 4), None);
     }
 
     #[test]
@@ -352,7 +425,7 @@ mod tests {
         // mask, so requirement filtering removes nothing and the search
         // is unchanged.
         let cgra = Cgra::new(2, 2).unwrap();
-        let t = build_target(&cgra, 2);
+        let t = build_target(&cgra, 2, 1);
         for v in 0..t.num_vertices() {
             assert_eq!(t.capability(v), cgra_arch::OpClassSet::all().bits() as u32);
         }
@@ -361,9 +434,13 @@ mod tests {
     #[test]
     fn target_sizes() {
         let cgra = Cgra::new(4, 4).unwrap();
-        let t = build_target(&cgra, 5);
+        let t = build_target(&cgra, 5, 1);
         assert_eq!(t.num_vertices(), 80);
         // Uniform torus: same-slot degree 4, cross-slot 5 each.
         assert_eq!(t.degree(0), 4 + 4 * 5);
+        // k=2 on the 4x4 torus adds the 6 distance-2 PEs (2 straight
+        // wraps + 4 diagonal steps): 10 reachable per slot.
+        let t2 = build_target(&cgra, 5, 2);
+        assert_eq!(t2.degree(0), 10 + 4 * 11);
     }
 }

@@ -111,12 +111,22 @@ impl Pattern {
 /// adjacency rows.
 ///
 /// For the CGRA mapper this is the MRRG; the `monomap-core` crate builds
-/// the rows directly from the CGRA adjacency masks without enumerating
-/// vertex pairs.
+/// the rows directly from the CGRA reachability masks without
+/// enumerating vertex pairs. Under a k-hop routing model the edge
+/// relation is "related via a route of at most `k` hops": the rows the
+/// DFS consults are the *cumulative union* over route lengths, so the
+/// consistency check remains a single bitset test for any `k`, and the
+/// per-distance structure (when built via [`Target::from_tiers`]) is
+/// kept alongside for [`Target::route_length`].
 #[derive(Clone)]
 pub struct Target {
     labels: Vec<u32>,
     rows: Vec<BitSet>,
+    /// Per-distance reachability rows: `tiers[d][v]` = vertices related
+    /// to `v` via a shortest route of exactly `d` hops (tier 0 is the
+    /// held-value / same-resource relation). Empty for targets built
+    /// from a plain adjacency relation.
+    tiers: Vec<Vec<BitSet>>,
     /// Per-vertex capability bitmasks (empty = every vertex accepts any
     /// requirement); see [`Target::with_capabilities`].
     capabilities: Vec<u32>,
@@ -137,6 +147,7 @@ impl Target {
         Target {
             labels,
             rows: vec![BitSet::new(n); n],
+            tiers: Vec::new(),
             capabilities: Vec::new(),
         }
     }
@@ -163,6 +174,54 @@ impl Target {
         Target {
             labels,
             rows,
+            tiers: Vec::new(),
+            capabilities: Vec::new(),
+        }
+    }
+
+    /// Creates a target from labels and per-distance reachability
+    /// tiers: `tiers[d]` gives, for each vertex, the set of vertices
+    /// related to it via a shortest route of exactly `d` hops (tier 0
+    /// is the held-value / same-resource relation and may be empty
+    /// rows). The edge rows consumed by the DFS are the cumulative
+    /// union of every tier — a vertex pair is "adjacent" when *some*
+    /// route within the bound relates it — so the search itself is
+    /// oblivious to the route bound; [`Target::route_length`] exposes
+    /// the distance structure to callers that record routes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` is empty, a tier does not cover every vertex,
+    /// or a row capacity disagrees with the label count. Tier
+    /// disjointness and symmetry are the caller's responsibility
+    /// (checked in debug builds).
+    pub fn from_tiers(labels: Vec<u32>, tiers: Vec<Vec<BitSet>>) -> Self {
+        let n = labels.len();
+        assert!(!tiers.is_empty(), "at least one tier");
+        let mut rows = vec![BitSet::new(n); n];
+        for tier in &tiers {
+            assert_eq!(tier.len(), n, "one tier row per vertex");
+            for (v, t) in tier.iter().enumerate() {
+                assert_eq!(t.capacity(), n, "row capacity must equal vertex count");
+                #[cfg(debug_assertions)]
+                debug_assert!(
+                    rows[v].iter().all(|b| !t.contains(b)),
+                    "tiers must be disjoint (vertex {v})"
+                );
+                rows[v].union_with(t);
+            }
+        }
+        #[cfg(debug_assertions)]
+        for a in 0..n {
+            for b in rows[a].iter() {
+                debug_assert!(rows[b].contains(a), "reachability must be symmetric");
+                debug_assert_ne!(a, b, "self relations are implicit");
+            }
+        }
+        Target {
+            labels,
+            rows,
+            tiers,
             capabilities: Vec::new(),
         }
     }
@@ -197,9 +256,13 @@ impl Target {
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range vertices or self-loops.
+    /// Panics on out-of-range vertices, self-loops, or targets built
+    /// with per-distance tiers (their relation is fixed at
+    /// construction; mutating the union rows would desynchronise the
+    /// distance structure).
     pub fn add_edge(&mut self, a: usize, b: usize) {
         assert_ne!(a, b, "self loops are implicit in the target");
+        assert!(self.tiers.is_empty(), "tiered targets are immutable");
         self.rows[a].insert(b);
         self.rows[b].insert(a);
     }
@@ -227,6 +290,18 @@ impl Target {
     /// Adjacency test.
     pub fn adjacent(&self, a: usize, b: usize) -> bool {
         self.rows[a].contains(b)
+    }
+
+    /// The length of the shortest route relating `a` and `b`, when they
+    /// are related at all: the index of the first tier containing the
+    /// pair. Targets built without tiers ([`Target::new`],
+    /// [`Target::from_rows`]) model the classic one-hop relation and
+    /// report every related pair as length 1.
+    pub fn route_length(&self, a: usize, b: usize) -> Option<usize> {
+        if self.tiers.is_empty() {
+            return self.rows[a].contains(b).then_some(1);
+        }
+        self.tiers.iter().position(|tier| tier[a].contains(b))
     }
 }
 
@@ -274,5 +349,60 @@ mod tests {
     fn target_rejects_self_loop() {
         let mut t = Target::new(vec![0]);
         t.add_edge(0, 0);
+    }
+
+    /// A 4-vertex path 0—1—2—3 expressed as distance tiers up to 2:
+    /// the union rows relate pairs at distance ≤ 2 and `route_length`
+    /// recovers the per-pair distance.
+    fn path_tiers() -> Target {
+        let n = 4;
+        let tier0 = vec![BitSet::new(n); n]; // no held-value pairs
+        let mut tier1 = vec![BitSet::new(n); n];
+        let mut tier2 = vec![BitSet::new(n); n];
+        for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+            tier1[a].insert(b);
+            tier1[b].insert(a);
+        }
+        for (a, b) in [(0, 2), (1, 3)] {
+            tier2[a].insert(b);
+            tier2[b].insert(a);
+        }
+        Target::from_tiers(vec![0; n], vec![tier0, tier1, tier2])
+    }
+
+    #[test]
+    fn tiered_target_unions_rows_and_reports_route_lengths() {
+        let t = path_tiers();
+        // The DFS-facing relation is the cumulative union.
+        assert!(t.adjacent(0, 1));
+        assert!(t.adjacent(0, 2));
+        assert!(!t.adjacent(0, 3));
+        assert_eq!(t.degree(1), 3);
+        // The distance structure survives for route recording.
+        assert_eq!(t.route_length(0, 1), Some(1));
+        assert_eq!(t.route_length(2, 0), Some(2));
+        assert_eq!(t.route_length(0, 3), None);
+        assert_eq!(t.route_length(1, 1), None);
+    }
+
+    #[test]
+    fn untier_target_reports_unit_route_lengths() {
+        let mut t = Target::new(vec![0, 0, 0]);
+        t.add_edge(0, 2);
+        assert_eq!(t.route_length(0, 2), Some(1));
+        assert_eq!(t.route_length(0, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "immutable")]
+    fn tiered_target_rejects_add_edge() {
+        let mut t = path_tiers();
+        t.add_edge(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn from_tiers_rejects_empty() {
+        let _ = Target::from_tiers(vec![0, 0], Vec::new());
     }
 }

@@ -87,14 +87,6 @@ pub enum SimError {
         /// The consuming iteration.
         iteration: usize,
     },
-    /// A consumer cannot read the producer's register file: the
-    /// placement violates the topology.
-    RegisterFileUnreachable {
-        /// Producing node.
-        src: NodeId,
-        /// Consuming node.
-        dst: NodeId,
-    },
     /// A node is missing an operand edge (the DFG failed validation).
     MalformedNode {
         /// The offending node.
@@ -112,6 +104,21 @@ pub enum SimError {
         /// The functional-unit class the operation needs.
         class: OpClass,
     },
+    /// A dependence's endpoints are farther apart on the concrete
+    /// topology than the declared route bound: the placement claims a
+    /// route the machine cannot provide. The distance is measured by
+    /// an independent BFS over the topology links, not the mapper's
+    /// cached reachability masks.
+    RouteTooLong {
+        /// Producing node.
+        src: NodeId,
+        /// Consuming node.
+        dst: NodeId,
+        /// The actual shortest-path distance (`None`: disconnected).
+        hops: Option<usize>,
+        /// The route bound the simulator was configured with.
+        max: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -120,13 +127,17 @@ impl fmt::Display for SimError {
             SimError::OperandNotReady { node, iteration } => {
                 write!(f, "operand of {node} not ready in iteration {iteration}")
             }
-            SimError::RegisterFileUnreachable { src, dst } => {
-                write!(f, "{dst} cannot read the register file holding {src}")
-            }
             SimError::MalformedNode { node } => write!(f, "node {node} is malformed"),
             SimError::IncapablePe { node, pe, class } => {
                 write!(f, "{node} needs a {class} unit but {pe} provides none")
             }
+            SimError::RouteTooLong { src, dst, hops, max } => match hops {
+                Some(h) => write!(
+                    f,
+                    "{src} -> {dst} needs a {h}-hop route but the bound is {max}"
+                ),
+                None => write!(f, "{src} -> {dst} are disconnected on this topology"),
+            },
         }
     }
 }

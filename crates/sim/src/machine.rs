@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use cgra_arch::Cgra;
+use cgra_arch::{Cgra, PeId};
 use cgra_dfg::{Dfg, EdgeKind, NodeId, Operation};
 use monomap_core::Mapping;
 
@@ -12,14 +12,17 @@ use crate::{ExecRecord, SimEnv, SimError};
 ///
 /// Each node instance `(v, k)` runs on `mapping.pe(v)` at machine cycle
 /// `mapping.time(v) + k · II` (software pipelining: consecutive
-/// iterations start `II` cycles apart). Before anything executes, every
-/// node's PE is checked to provide the operation's functional-unit
-/// class (heterogeneous grids), and every operand read checks that
+/// iterations start `II` cycles apart). Before anything executes,
 ///
-/// * the producing instance already executed (schedule timing), and
-/// * the producer's PE register file is readable from the consumer's PE
-///   (same PE or topological neighbour — the paper's architectural
-///   assumption).
+/// * every node's PE is checked to provide the operation's
+///   functional-unit class (heterogeneous grids), and
+/// * every dependence is checked to have a real shortest path of at
+///   most the route bound on the concrete topology — measured by an
+///   independent BFS over the raw link offsets, not the mapper's
+///   cached reachability masks;
+///
+/// and every operand read checks that the producing instance already
+/// executed (schedule timing).
 ///
 /// Memory operations execute in machine-cycle order (ties broken by
 /// iteration, then data-flow order); see the crate docs for the
@@ -29,22 +32,83 @@ pub struct MachineSimulator<'a> {
     cgra: &'a Cgra,
     dfg: &'a Dfg,
     mapping: &'a Mapping,
+    max_route_hops: usize,
 }
 
 impl<'a> MachineSimulator<'a> {
-    /// Prepares a simulator for one mapping.
+    /// Prepares a simulator for one mapping, accepting routes up to the
+    /// mapping's own declared bound
+    /// ([`Mapping::declared_route_bound`]): one hop for classic
+    /// mappings, the longest recorded route for routed ones.
     pub fn new(cgra: &'a Cgra, dfg: &'a Dfg, mapping: &'a Mapping) -> Self {
-        MachineSimulator { cgra, dfg, mapping }
+        let max_route_hops = mapping.declared_route_bound();
+        MachineSimulator {
+            cgra,
+            dfg,
+            mapping,
+            max_route_hops,
+        }
+    }
+
+    /// Overrides the route bound, e.g. to re-check a routed mapping
+    /// against the strict one-hop architectural assumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_route_hops` is zero.
+    #[must_use]
+    pub fn with_max_route_hops(mut self, max_route_hops: usize) -> Self {
+        assert!(max_route_hops >= 1, "route bound must be at least one hop");
+        self.max_route_hops = max_route_hops;
+        self
+    }
+
+    /// Shortest-path link distances from `src` to every PE, by BFS over
+    /// the raw [`cgra_arch::Topology`] offsets. Deliberately re-derived
+    /// from first principles rather than read from the arch crate's
+    /// precomputed reachability tiers, so the simulator second-guesses
+    /// the mapper's routing model instead of trusting it.
+    fn route_distances(&self, src: PeId) -> Vec<Option<usize>> {
+        let (rows, cols) = (self.cgra.rows() as i32, self.cgra.cols() as i32);
+        let topology = self.cgra.topology();
+        let mut dist = vec![None; self.cgra.num_pes()];
+        dist[src.index()] = Some(0);
+        let mut frontier = vec![src.index()];
+        let mut next = Vec::new();
+        let mut hops = 0usize;
+        while !frontier.is_empty() {
+            hops += 1;
+            for &p in &frontier {
+                let (r, c) = (p as i32 / cols, p as i32 % cols);
+                for &(dr, dc) in topology.offsets() {
+                    let (mut nr, mut nc) = (r + dr, c + dc);
+                    if topology.wraps() {
+                        nr = nr.rem_euclid(rows);
+                        nc = nc.rem_euclid(cols);
+                    } else if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+                        continue;
+                    }
+                    let q = (nr * cols + nc) as usize;
+                    if dist[q].is_none() {
+                        dist[q] = Some(hops);
+                        next.push(q);
+                    }
+                }
+            }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        dist
     }
 
     /// Runs `iterations` pipelined iterations.
     ///
     /// # Errors
     ///
-    /// [`SimError::OperandNotReady`],
-    /// [`SimError::RegisterFileUnreachable`] or
+    /// [`SimError::OperandNotReady`], [`SimError::RouteTooLong`] or
     /// [`SimError::IncapablePe`] pinpoint mapping bugs; all are
-    /// impossible for mappings that pass [`Mapping::validate`].
+    /// impossible for mappings that pass [`Mapping::validate_routed`]
+    /// under the simulator's route bound.
     pub fn run(&self, env: &SimEnv, iterations: usize) -> Result<ExecRecord, SimError> {
         let dfg = self.dfg;
         let n = dfg.num_nodes();
@@ -59,6 +123,31 @@ impl<'a> MachineSimulator<'a> {
             let class = dfg.op(v).op_class();
             if !self.cgra.supports(pe, class) {
                 return Err(SimError::IncapablePe { node: v, pe, class });
+            }
+        }
+        // Routing: every dependence must have a real shortest path of
+        // at most `max_route_hops` links on the concrete topology
+        // (same-PE values are held in the producer's own register
+        // file). Distances come from an independent BFS (see
+        // [`Self::route_distances`]); like the capability check, this
+        // refuses the mapping before any store mutates memory.
+        let mut dist_cache: BTreeMap<usize, Vec<Option<usize>>> = BTreeMap::new();
+        for e in dfg.edges() {
+            let (ps, pd) = (self.mapping.pe(e.src), self.mapping.pe(e.dst));
+            if e.src == e.dst || ps == pd {
+                continue;
+            }
+            let dist = dist_cache
+                .entry(ps.index())
+                .or_insert_with(|| self.route_distances(ps));
+            let hops = dist[pd.index()];
+            if hops.map_or(true, |h| h > self.max_route_hops) {
+                return Err(SimError::RouteTooLong {
+                    src: e.src,
+                    dst: e.dst,
+                    hops,
+                    max: self.max_route_hops,
+                });
             }
         }
         let topo = dfg.topo_order().map_err(|_| SimError::MalformedNode {
@@ -112,16 +201,9 @@ impl<'a> MachineSimulator<'a> {
                     continue;
                 }
                 let src_iter = src_iter.expect("available implies an iteration");
-                // Register-file reachability (the paper's mono3 /
-                // routing validity, checked dynamically).
-                if e.src != e.dst
-                    && !self
-                        .cgra
-                        .reachable(self.mapping.pe(e.src), self.mapping.pe(v))
-                {
-                    return Err(SimError::RegisterFileUnreachable { src: e.src, dst: v });
-                }
                 // Timing: the producer must have executed already.
+                // (Register-file reachability — the paper's mono3 /
+                // routing validity — was checked up front.)
                 let val = values[src_iter][e.src.index()].ok_or(SimError::OperandNotReady {
                     node: v,
                     iteration: k,
@@ -263,10 +345,74 @@ mod tests {
         let err = MachineSimulator::new(&cgra, &dfg, &bad)
             .run(&env, 2)
             .unwrap_err();
+        // The diagonal pair is two links apart on the 2x2 torus; the
+        // independent BFS refuses it under the default one-hop bound.
         assert!(matches!(
             err,
-            SimError::RegisterFileUnreachable { .. } | SimError::OperandNotReady { .. }
+            SimError::RouteTooLong {
+                hops: Some(2),
+                max: 1,
+                ..
+            }
         ));
+    }
+
+    #[test]
+    fn widened_route_bound_accepts_the_two_hop_placement() {
+        // The same diagonal "corruption" is a legal placement under a
+        // two-hop routing model: the run must succeed and still match
+        // the reference interpreter (timing is untouched).
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = accumulator();
+        let good = map_on(&cgra, &dfg);
+        let mut placements: Vec<Placement> = good.placements().to_vec();
+        let x_pe = placements[0].pe.index();
+        let diag = match x_pe {
+            0 => 3,
+            3 => 0,
+            1 => 2,
+            _ => 1,
+        };
+        placements[2] = Placement {
+            pe: cgra_arch::PeId::from_index(diag),
+            ..placements[2]
+        };
+        let routed = Mapping::new(dfg.name().to_string(), good.ii(), placements);
+        let env = SimEnv::new(4).with_input_stream(vec![5, -2, 7, 1]);
+        let reference = interpret(&dfg, &env, 4).unwrap();
+        let machine = MachineSimulator::new(&cgra, &dfg, &routed)
+            .with_max_route_hops(2)
+            .run(&env, 4)
+            .unwrap();
+        assert_eq!(reference.outputs, machine.outputs);
+        assert_eq!(reference.memory, machine.memory);
+    }
+
+    #[test]
+    fn declared_route_bound_is_honoured_by_default() {
+        // A routed mapping carries its own bound in `route_hops`; the
+        // simulator picks it up without an explicit override.
+        let cgra = Cgra::new(2, 2).unwrap();
+        let dfg = accumulator();
+        let good = map_on(&cgra, &dfg);
+        let mut placements: Vec<Placement> = good.placements().to_vec();
+        let x_pe = placements[0].pe.index();
+        let diag = match x_pe {
+            0 => 3,
+            3 => 0,
+            1 => 2,
+            _ => 1,
+        };
+        placements[2] = Placement {
+            pe: cgra_arch::PeId::from_index(diag),
+            ..placements[2]
+        };
+        let routed = Mapping::new(dfg.name().to_string(), good.ii(), placements)
+            .with_route_hops(vec![2; dfg.num_edges()]);
+        let env = SimEnv::new(4).with_input_stream(vec![1, 2]);
+        MachineSimulator::new(&cgra, &dfg, &routed)
+            .run(&env, 2)
+            .unwrap();
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! under test) makes claims: an outcome, an II, and possibly a
 //! mapping. [`validate_report`] checks the claims against each other
 //! and against the DFG/CGRA pair — outcome/mapping consistency first,
-//! then every mapping invariant via [`Mapping::validate`] — and
+//! then every mapping invariant via [`Mapping::validate_routed`]
+//! under the mapping's own declared route bound — and
 //! [`simulate_report`] goes further, executing the mapped loop on the
 //! machine simulator against the reference interpreter.
 
@@ -128,7 +129,9 @@ pub fn validate_report(dfg: &Dfg, cgra: &Cgra, report: &MapReport) -> Result<(),
                     stats_ii: report.stats.achieved_ii,
                 });
             }
-            mapping.validate(dfg, cgra)?;
+            // Routed mappings are validated under their own declared
+            // bound; classic mappings under the strict one-hop model.
+            mapping.validate_routed(dfg, cgra, mapping.declared_route_bound())?;
             Ok(())
         }
         MapOutcome::Failed(_) | MapOutcome::Rejected { .. } if report.mapping.is_some() => {

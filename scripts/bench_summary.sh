@@ -1,10 +1,16 @@
 #!/usr/bin/env sh
-# Runs the ISSUE-6 perf-trajectory bench (incremental time solver vs
-# per-level rebuilds) and writes stable JSON.
+# Runs the committed perf benches and writes stable JSON:
+#
+#  * routing_ablation — ISSUE-7 mesh-vs-torus II ablation at
+#    max_route_hops in {1, 2}, every mapping sim-validated end-to-end
+#    (-> BENCH_PR7.json);
+#  * bench_summary — ISSUE-6 perf trajectory (incremental time solver
+#    vs per-level rebuilds).
 #
 # Usage: scripts/bench_summary.sh [--kernels nw,hotspot3D] [--repeat N] [--out FILE]
 # All arguments are forwarded to the bench_summary binary.
 set -eu
 cd "$(dirname "$0")/.."
-cargo build --release -q -p cgra-bench --bin bench_summary
+cargo build --release -q -p cgra-bench --bin bench_summary --bin routing_ablation
+./target/release/routing_ablation --out BENCH_PR7.json
 exec ./target/release/bench_summary "$@"

@@ -8,7 +8,21 @@ use monomap::prelude::*;
 /// cell, and every routed edge uses real grid adjacency (or stays on
 /// one PE across slots).
 pub fn assert_mapping_invariants(dfg: &Dfg, cgra: &Cgra, mapping: &Mapping) {
-    mapping.validate(dfg, cgra).unwrap();
+    assert_routed_mapping_invariants(dfg, cgra, mapping, 1);
+}
+
+/// [`assert_mapping_invariants`] generalised to a k-hop routing model:
+/// every routed edge's endpoints must lie within `max_route_hops`
+/// links of each other on the real grid (or stay on one PE across
+/// slots).
+#[allow(dead_code)] // not every test binary exercises routed mappings
+pub fn assert_routed_mapping_invariants(
+    dfg: &Dfg,
+    cgra: &Cgra,
+    mapping: &Mapping,
+    max_route_hops: usize,
+) {
+    mapping.validate_routed(dfg, cgra, max_route_hops).unwrap();
     let mut cells = std::collections::HashSet::new();
     for v in dfg.nodes() {
         let pe = mapping.pe(v);
@@ -30,9 +44,13 @@ pub fn assert_mapping_invariants(dfg: &Dfg, cgra: &Cgra, mapping: &Mapping) {
             continue;
         }
         let (ps, pd) = (mapping.pe(e.src), mapping.pe(e.dst));
+        let within = ps == pd
+            || cgra
+                .hop_distance(ps, pd)
+                .is_some_and(|d| d <= max_route_hops);
         assert!(
-            ps == pd || cgra.adjacent(ps, pd),
-            "{}: routed edge {:?}->{:?} uses fake adjacency {ps}/{pd}",
+            within,
+            "{}: routed edge {:?}->{:?} exceeds the {max_route_hops}-hop bound ({ps}/{pd})",
             dfg.name(),
             e.src,
             e.dst

@@ -139,7 +139,7 @@ proptest! {
         'outer: for ii in mii..mii + 4 {
             let cfg = TimeSolverConfig::for_cgra(&cgra).with_window_slack(1);
             let Ok(mut solver) = TimeSolver::new(&dfg, ii, cfg) else { continue };
-            let target = build_target(&cgra, ii);
+            let target = build_target(&cgra, ii, 1);
             let mut outcome = solver.solve_outcome();
             let mut tries = 0;
             while let SolveOutcome::Solution(sol) = outcome {

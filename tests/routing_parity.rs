@@ -1,0 +1,147 @@
+//! Routing-parity lock: at the default `max_route_hops = 1` the
+//! routing-aware space phase must reproduce the pre-routing serial
+//! mappings **byte for byte**, for every suite kernel on the
+//! homogeneous and the heterogeneous 4×4, across all three engines.
+//!
+//! The golden battery (`tests/golden/routing_parity.tsv`) was captured
+//! at the commit immediately before the k-hop reachability model was
+//! introduced, by `cargo run --release -p cgra-bench --bin
+//! routing_goldens`; regenerate it the same way if a *deliberate*
+//! behaviour change ever invalidates it.
+//!
+//! The decoupled engine is cheap enough to re-run everywhere; the
+//! coupled SAT battery (50k conflicts per attempt) and the annealer
+//! only run under `cargo test --release`.
+
+use std::collections::BTreeMap;
+
+use cgra_arch::{CapabilityProfile, Cgra};
+use cgra_dfg::suite;
+use monomap_bench::{
+    annealing_golden_line, coupled_golden_line, decoupled_golden_line, routing_golden_lines,
+};
+
+const GOLDEN: &str = include_str!("golden/routing_parity.tsv");
+
+fn grids() -> Vec<(&'static str, Cgra)> {
+    vec![
+        ("hom4", Cgra::new(4, 4).unwrap()),
+        (
+            "het4",
+            Cgra::new(4, 4)
+                .unwrap()
+                .with_capability_profile(CapabilityProfile::MemLeftMulCheckerboard),
+        ),
+    ]
+}
+
+/// The committed battery, keyed by `(engine, grid, kernel)`.
+fn golden_lines() -> BTreeMap<(String, String, String), String> {
+    let mut map = BTreeMap::new();
+    for line in GOLDEN.lines() {
+        let mut parts = line.splitn(4, '\t');
+        let engine = parts.next().expect("engine field").to_string();
+        let grid = parts.next().expect("grid field").to_string();
+        let kernel = parts.next().expect("kernel field").to_string();
+        let prev = map.insert((engine, grid, kernel), line.to_string());
+        assert!(prev.is_none(), "duplicate golden line: {line}");
+    }
+    assert_eq!(
+        map.len(),
+        3 * 2 * suite::names().len(),
+        "battery covers engines x grids x kernels"
+    );
+    map
+}
+
+#[test]
+fn decoupled_k1_matches_the_pre_routing_goldens() {
+    let golden = golden_lines();
+    for (grid, cgra) in grids() {
+        for kernel in suite::names() {
+            // The two kernels that escalate through every II on the
+            // heterogeneous grid dominate an unoptimised run; they stay
+            // covered by the release battery.
+            if cfg!(debug_assertions)
+                && grid == "het4"
+                && matches!(kernel, "cfd" | "hotspot3D")
+            {
+                continue;
+            }
+            let line = decoupled_golden_line(&cgra, grid, kernel);
+            let key = (
+                "decoupled".to_string(),
+                grid.to_string(),
+                kernel.to_string(),
+            );
+            assert_eq!(
+                golden.get(&key),
+                Some(&line),
+                "decoupled/{grid}/{kernel} diverged from the golden mapping"
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "the coupled SAT battery is release-only: cargo test --release"
+)]
+fn coupled_k1_matches_the_pre_routing_goldens() {
+    let golden = golden_lines();
+    for (grid, cgra) in grids() {
+        for kernel in suite::names() {
+            let line = coupled_golden_line(&cgra, grid, kernel);
+            let key = ("coupled".to_string(), grid.to_string(), kernel.to_string());
+            assert_eq!(
+                golden.get(&key),
+                Some(&line),
+                "coupled/{grid}/{kernel} diverged from the golden mapping"
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "the annealing battery is release-only: cargo test --release"
+)]
+fn annealing_k1_matches_the_pre_routing_goldens() {
+    let golden = golden_lines();
+    for (grid, cgra) in grids() {
+        for kernel in suite::names() {
+            let line = annealing_golden_line(&cgra, grid, kernel);
+            let key = (
+                "annealing".to_string(),
+                grid.to_string(),
+                kernel.to_string(),
+            );
+            assert_eq!(
+                golden.get(&key),
+                Some(&line),
+                "annealing/{grid}/{kernel} diverged from the golden mapping"
+            );
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "the full battery is release-only: cargo test --release"
+)]
+fn full_battery_is_byte_identical() {
+    // The strongest form of the lock: regenerating the whole file in
+    // suite order reproduces the committed bytes exactly (field order,
+    // line order, trailing newline and all).
+    let mut lines = Vec::new();
+    let grids = grids();
+    for kernel in suite::names() {
+        for (grid, cgra) in &grids {
+            lines.extend(routing_golden_lines(cgra, grid, kernel));
+        }
+    }
+    assert_eq!(GOLDEN, lines.join("\n") + "\n");
+}

@@ -80,7 +80,7 @@ fn figure4_monomorphism_into_mrrg() {
     let mut outcome = solver.solve_outcome();
     while let monomap::sched::SolveOutcome::Solution(sol) = outcome {
         let pattern = build_pattern(&dfg, &sol);
-        let target = build_target(&cgra, 4);
+        let target = build_target(&cgra, 4, 1);
         let map = monomap::iso::find_monomorphism(&pattern, &target)
             .expect("paper §IV-D: every constrained time solution embeds");
         assert!(is_monomorphism(&pattern, &target, &map));
