@@ -209,9 +209,8 @@ mod tests {
         for k in 1..=MAX_ROUTE_HOPS {
             let model = RoutingModel::new(&cgra, k);
             for pe in cgra.pes() {
-                let mut expect: Vec<PeId> = (1..=k)
-                    .flat_map(|d| cgra.hop_tier(pe, d).iter())
-                    .collect();
+                let mut expect: Vec<PeId> =
+                    (1..=k).flat_map(|d| cgra.hop_tier(pe, d).iter()).collect();
                 expect.sort_unstable();
                 let mut got: Vec<PeId> = model.reach_mask(pe).iter().collect();
                 got.sort_unstable();

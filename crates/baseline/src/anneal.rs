@@ -451,8 +451,10 @@ mod tests {
         }
         let dfg = b.build().unwrap();
         let one = AnnealingMapper::new(&cgra).map(&dfg).unwrap();
-        let mut cfg = AnnealingConfig::default();
-        cfg.max_route_hops = 2;
+        let cfg = AnnealingConfig {
+            max_route_hops: 2,
+            ..Default::default()
+        };
         let two = AnnealingMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
         two.mapping.validate_routed(&dfg, &cgra, 2).unwrap();
         assert!(

@@ -437,8 +437,7 @@ impl CoupledMapper {
                             if e.src == e.dst {
                                 return 0;
                             }
-                            let (pu, pv) =
-                                (mapping.pe(e.src), mapping.pe(e.dst));
+                            let (pu, pv) = (mapping.pe(e.src), mapping.pe(e.dst));
                             self.cgra
                                 .hop_distance(pu, pv)
                                 .expect("reachability clauses bound every route")
@@ -553,8 +552,10 @@ mod tests {
         }
         let dfg = b.build().unwrap();
         let one = CoupledMapper::new(&cgra).map(&dfg).unwrap();
-        let mut cfg = CoupledConfig::default();
-        cfg.max_route_hops = 2;
+        let cfg = CoupledConfig {
+            max_route_hops: 2,
+            ..Default::default()
+        };
         let two = CoupledMapper::with_config(&cgra, cfg).map(&dfg).unwrap();
         two.mapping.validate_routed(&dfg, &cgra, 2).unwrap();
         assert!(

@@ -97,10 +97,7 @@ fn main() {
             ]),
         ),
         ("kernels".to_string(), Value::Seq(rows)),
-        (
-            "mesh_kernels_improved_by_k2".to_string(),
-            closed.to_value(),
-        ),
+        ("mesh_kernels_improved_by_k2".to_string(), closed.to_value()),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     match out {

@@ -7,8 +7,11 @@
 //!   routing_goldens [--out FILE]
 //!
 //! Line format (no tabs or newlines occur inside any field):
-//!   engine \t grid \t kernel \t OK  \t <mapping JSON>
-//!   engine \t grid \t kernel \t ERR \t <MapError debug>
+//!
+//! ```text
+//! engine \t grid \t kernel \t OK  \t <mapping JSON>
+//! engine \t grid \t kernel \t ERR \t <MapError debug>
+//! ```
 //!
 //! The captured file is committed as `tests/golden/routing_parity.tsv`
 //! and asserted byte-identical by `tests/routing_parity.rs`: the

@@ -270,10 +270,7 @@ impl Serialize for MapperConfig {
         // pre-routing wire messages — and their fingerprints — are
         // byte-identical to what this build produces at `k = 1`.
         if self.max_route_hops != 1 {
-            fields.push((
-                "max_route_hops".to_string(),
-                self.max_route_hops.to_value(),
-            ));
+            fields.push(("max_route_hops".to_string(), self.max_route_hops.to_value()));
         }
         serde::Value::Map(fields)
     }

@@ -840,10 +840,7 @@ impl DecoupledMapper {
                     return 0;
                 }
                 self.cgra
-                    .hop_distance(
-                        placements[e.src.index()].pe,
-                        placements[e.dst.index()].pe,
-                    )
+                    .hop_distance(placements[e.src.index()].pe, placements[e.dst.index()].pe)
                     .expect("embedded dependences are within the route bound")
             })
             .collect();

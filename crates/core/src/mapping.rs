@@ -487,7 +487,9 @@ mod tests {
         assert_eq!(m, back);
         // ...one-hop mappings keep the pre-routing wire form...
         let plain = Mapping::new("tiny", 3, vec![place(0, 0, 3)]);
-        assert!(!serde_json::to_string(&plain).unwrap().contains("route_hops"));
+        assert!(!serde_json::to_string(&plain)
+            .unwrap()
+            .contains("route_hops"));
         // ...and pre-routing JSON still decodes.
         let old = r#"{"dfg_name":"tiny","ii":3,"placements":[{"pe":0,"slot":0,"time":0}]}"#;
         let back: Mapping = serde_json::from_str(old).unwrap();

@@ -1,0 +1,260 @@
+//! Admission control for the solve pool: a bounded job queue with
+//! pressure counters, and a small latency tracker whose observed p50
+//! prices the `Retry-After` hint on shed requests.
+//!
+//! The point of the bound is that cold solves are intrinsically
+//! heavy-tailed (SAT-MapIt-style coupled formulations run for minutes
+//! on kernels the decoupled mapper does in milliseconds), so an
+//! unbounded queue converts a burst of cold traffic into unbounded
+//! latency for everyone behind it. Shedding early with an honest
+//! retry hint keeps the daemon's cheap path (cache hits, stats) honest
+//! under overload.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A bounded MPMC queue of solve jobs. `try_push` sheds instead of
+/// blocking when full; `pop` blocks until a job or shutdown arrives.
+/// The pressure counters it maintains are surfaced on `GET /stats`.
+pub(crate) struct SolveQueue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+    bound: usize,
+    depth: AtomicU64,
+    high_watermark: AtomicU64,
+    shed_total: AtomicU64,
+    busy: AtomicU64,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> SolveQueue<T> {
+    /// A queue admitting at most `bound` waiting jobs (running jobs
+    /// are tracked separately via [`SolveQueue::busy_guard`]).
+    pub fn new(bound: usize) -> Self {
+        SolveQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            bound,
+            depth: AtomicU64::new(0),
+            high_watermark: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits `item`, or returns it when the queue is full (counted in
+    /// `shed_total`) or shut down.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("solve queue lock");
+        if state.closed {
+            return Err(item);
+        }
+        if state.items.len() >= self.bound {
+            self.shed_total.fetch_add(1, Ordering::Relaxed);
+            return Err(item);
+        }
+        state.items.push_back(item);
+        let depth = state.items.len() as u64;
+        drop(state);
+        self.depth.store(depth, Ordering::Relaxed);
+        self.high_watermark.fetch_max(depth, Ordering::Relaxed);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` means the queue was closed and
+    /// fully drained — the calling worker should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("solve queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.depth
+                    .store(state.items.len() as u64, Ordering::Relaxed);
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("solve queue wait");
+        }
+    }
+
+    /// Closes the queue: queued jobs still drain, then every blocked
+    /// `pop` returns `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("solve queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Marks one worker busy until the guard drops.
+    pub fn busy_guard(&self) -> BusyGuard<'_, T> {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+        BusyGuard { queue: self }
+    }
+
+    /// Jobs currently waiting (admitted, not yet picked up).
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The deepest the queue has ever been.
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark.load(Ordering::Relaxed)
+    }
+
+    /// Jobs refused because the queue was full.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently running a job.
+    pub fn busy(&self) -> u64 {
+        self.busy.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII marker for one running solve; decrements `busy` on drop (also
+/// on unwind, so a panicking engine cannot wedge the gauge).
+pub(crate) struct BusyGuard<'a, T> {
+    queue: &'a SolveQueue<T>,
+}
+
+impl<T> Drop for BusyGuard<'_, T> {
+    fn drop(&mut self) {
+        self.queue.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Ring of recent solve wall-times; its p50 feeds the `Retry-After`
+/// estimate. Sized small on purpose — overload pricing should track
+/// the *current* traffic mix, not all history.
+pub(crate) struct SolveLatency {
+    samples: Mutex<VecDeque<f64>>,
+}
+
+const LATENCY_WINDOW: usize = 64;
+
+impl Default for SolveLatency {
+    fn default() -> Self {
+        SolveLatency {
+            samples: Mutex::new(VecDeque::with_capacity(LATENCY_WINDOW)),
+        }
+    }
+}
+
+impl SolveLatency {
+    /// Records one solve duration in seconds.
+    pub fn record(&self, seconds: f64) {
+        let mut samples = self.samples.lock().expect("latency lock");
+        if samples.len() == LATENCY_WINDOW {
+            samples.pop_front();
+        }
+        samples.push_back(seconds);
+    }
+
+    /// Median of the recorded window; `0.0` before any solve finished.
+    pub fn p50(&self) -> f64 {
+        let samples = self.samples.lock().expect("latency lock");
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = samples.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        sorted[sorted.len() / 2]
+    }
+}
+
+/// The `Retry-After` hint for a shed request: how long until the queue
+/// has likely drained, i.e. waiting-jobs x observed solve p50 spread
+/// over the pool, rounded up and clamped to `1..=300` seconds so the
+/// hint is always a positive, bounded integer.
+pub(crate) fn retry_after_seconds(queue_depth: u64, p50_seconds: f64, workers: usize) -> u64 {
+    let per_worker = (queue_depth + 1) as f64 * p50_seconds / workers.max(1) as f64;
+    (per_worker.ceil() as u64).clamp(1, 300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_sheds_when_full_and_counts() {
+        let q = SolveQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.high_watermark(), 2);
+        assert_eq!(q.shed_total(), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.depth(), 1);
+        assert!(q.try_push(4).is_ok(), "a pop frees a slot");
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = Arc::new(SolveQueue::new(4));
+        q.try_push(10).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(10), "queued work still drains");
+        assert_eq!(q.pop(), None, "then workers are released");
+        assert_eq!(q.try_push(11), Err(11), "closed queue admits nothing");
+        // A worker blocked in pop() is woken by close from another thread.
+        let q2 = Arc::new(SolveQueue::<u32>::new(1));
+        let popper = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        q2.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn busy_guard_tracks_running_jobs_even_on_unwind() {
+        let q = SolveQueue::<u32>::new(1);
+        {
+            let _g = q.busy_guard();
+            assert_eq!(q.busy(), 1);
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _inner = q.busy_guard();
+                assert_eq!(q.busy(), 2);
+                panic!("engine exploded");
+            }));
+            assert_eq!(q.busy(), 1, "unwind released the inner guard");
+        }
+        assert_eq!(q.busy(), 0);
+    }
+
+    #[test]
+    fn latency_p50_is_the_median_of_the_window() {
+        let lat = SolveLatency::default();
+        assert_eq!(lat.p50(), 0.0);
+        for s in [0.1, 5.0, 0.2] {
+            lat.record(s);
+        }
+        assert!((lat.p50() - 0.2).abs() < 1e-9, "median, not mean");
+        // The window slides: flood with fast solves and the old slow
+        // outlier ages out.
+        for _ in 0..LATENCY_WINDOW {
+            lat.record(0.01);
+        }
+        assert!((lat.p50() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_after_is_positive_bounded_and_scales() {
+        assert_eq!(retry_after_seconds(0, 0.0, 4), 1, "no data still hints 1s");
+        assert_eq!(retry_after_seconds(3, 2.0, 1), 8);
+        assert_eq!(retry_after_seconds(3, 2.0, 4), 2);
+        assert_eq!(retry_after_seconds(10_000, 60.0, 1), 300, "clamped");
+    }
+}

@@ -53,6 +53,36 @@ impl std::fmt::Display for CacheDisposition {
     }
 }
 
+/// The cheap-path work already done for a request that still needs an
+/// engine: its canonical form and cache key. Produced by
+/// [`CachedMappingService::probe`], consumed by
+/// [`CachedMappingService::solve_prepared`] — splitting the two lets a
+/// front end run the digest + lookup on a fast path (e.g. the event
+/// loop's cheap pool) and hand only genuine misses to a solve pool,
+/// without canonicalizing twice.
+#[derive(Debug)]
+pub struct PreparedRequest {
+    key: CacheKey,
+    canon: CanonicalDfg,
+}
+
+/// How the cheap path resolved a request: answered outright (hit or
+/// structurally invalid), or prepared for an engine run.
+#[derive(Debug)]
+pub enum CacheProbe {
+    /// Served from the cache; no engine needs to run.
+    Hit(MapReport),
+    /// The DFG failed structural validation; the report is the
+    /// (never-cached) `InvalidDfg` failure.
+    Invalid(MapReport),
+    /// Not cached: the engine must run (then store via
+    /// [`CachedMappingService::solve_prepared`]).
+    Miss(PreparedRequest),
+    /// The request carries an observer, so the lookup was skipped; the
+    /// engine must run, and the result still populates the cache.
+    Bypass(PreparedRequest),
+}
+
 /// A [`MappingService`] fronted by a [`MapCache`]: repeated kernels
 /// (the common case in compiler fleets) are answered without paying
 /// for a second SMT + monomorphism solve.
@@ -144,27 +174,68 @@ impl CachedMappingService {
         })
     }
 
-    /// Maps one request through the cache. Returns the report and how
-    /// the cache participated.
-    pub fn map(&self, req: &MapRequest) -> (MapReport, CacheDisposition) {
+    /// The cheap path: validate, canonicalize, digest and look up —
+    /// everything short of running an engine. A [`CacheProbe::Hit`] or
+    /// [`CacheProbe::Invalid`] is a complete answer; a
+    /// [`CacheProbe::Miss`]/[`CacheProbe::Bypass`] carries the prepared
+    /// canonical form for [`CachedMappingService::solve_prepared`].
+    pub fn probe(&self, req: &MapRequest) -> CacheProbe {
         if let Some(report) = Self::validate_early(req) {
-            return (report, CacheDisposition::Miss);
+            return CacheProbe::Invalid(report);
         }
         let canon = req.dfg.canonical_form();
         let key = self.key_for(req, &canon);
-        if req.observer.is_none() {
-            if let Some(cached) = self.cache.lookup(&key, canon.bytes()) {
-                return (rehydrate(cached, &req.dfg, &canon), CacheDisposition::Hit);
+        if req.observer.is_some() {
+            return CacheProbe::Bypass(PreparedRequest { key, canon });
+        }
+        match self.cache.lookup(&key, canon.bytes()) {
+            Some(cached) => CacheProbe::Hit(rehydrate(cached, &req.dfg, &canon)),
+            None => CacheProbe::Miss(PreparedRequest { key, canon }),
+        }
+    }
+
+    /// The solve path: runs the wrapped service on a request the cheap
+    /// path already probed, then stores the (cacheable) result under
+    /// the prepared key.
+    pub fn solve_prepared(&self, req: &MapRequest, prepared: &PreparedRequest) -> MapReport {
+        let report = self.inner.map(req);
+        self.store(&prepared.key, &prepared.canon, &report);
+        report
+    }
+
+    /// Batch variant of [`CachedMappingService::solve_prepared`]:
+    /// `requests` and `prepared` run in parallel order through the
+    /// wrapped service's worker pool; entries whose `prepared` is
+    /// `None` are solved but not stored.
+    pub fn solve_prepared_batch(
+        &self,
+        requests: &[MapRequest],
+        prepared: &[Option<PreparedRequest>],
+    ) -> Vec<MapReport> {
+        assert_eq!(requests.len(), prepared.len(), "parallel arrays");
+        let reports = self.inner.map_batch(requests);
+        for (report, prep) in reports.iter().zip(prepared) {
+            if let Some(p) = prep {
+                self.store(&p.key, &p.canon, report);
             }
         }
-        let report = self.inner.map(req);
-        self.store(&key, &canon, &report);
-        let disposition = if req.observer.is_none() {
-            CacheDisposition::Miss
-        } else {
-            CacheDisposition::Bypass
-        };
-        (report, disposition)
+        reports
+    }
+
+    /// Maps one request through the cache. Returns the report and how
+    /// the cache participated.
+    pub fn map(&self, req: &MapRequest) -> (MapReport, CacheDisposition) {
+        match self.probe(req) {
+            CacheProbe::Invalid(report) => (report, CacheDisposition::Miss),
+            CacheProbe::Hit(report) => (report, CacheDisposition::Hit),
+            CacheProbe::Miss(prepared) => {
+                (self.solve_prepared(req, &prepared), CacheDisposition::Miss)
+            }
+            CacheProbe::Bypass(prepared) => (
+                self.solve_prepared(req, &prepared),
+                CacheDisposition::Bypass,
+            ),
+        }
     }
 
     /// Maps a batch, returning `(report, disposition)` per request **in
@@ -173,49 +244,37 @@ impl CachedMappingService {
     /// [`map_batch`](MappingService::map_batch) (keeping its worker
     /// pool busy with real solves only).
     pub fn map_batch(&self, requests: &[MapRequest]) -> Vec<(MapReport, CacheDisposition)> {
-        // Invalid DFGs are answered inline (`canons[i]` stays None and
-        // never reaches the canonicalizer or an engine).
-        let mut slots: Vec<Option<(MapReport, CacheDisposition)>> = requests
-            .iter()
-            .map(|req| Self::validate_early(req).map(|r| (r, CacheDisposition::Miss)))
-            .collect();
-        let canons: Vec<Option<CanonicalDfg>> = requests
-            .iter()
-            .zip(&slots)
-            .map(|(r, slot)| slot.is_none().then(|| r.dfg.canonical_form()))
-            .collect();
-        let keys: Vec<Option<CacheKey>> = requests
-            .iter()
-            .zip(&canons)
-            .map(|(r, c)| c.as_ref().map(|c| self.key_for(r, c)))
-            .collect();
+        // Probe everything first: hits and invalid DFGs are answered
+        // inline, only genuine engine work reaches the worker pool.
+        let mut slots: Vec<Option<(MapReport, CacheDisposition)>> = Vec::new();
+        let mut miss_indices: Vec<usize> = Vec::new();
+        let mut miss_requests: Vec<MapRequest> = Vec::new();
+        let mut miss_prepared: Vec<Option<PreparedRequest>> = Vec::new();
+        let mut miss_dispositions: Vec<CacheDisposition> = Vec::new();
         for (i, req) in requests.iter().enumerate() {
-            if slots[i].is_some() || req.observer.is_some() {
-                continue;
+            match self.probe(req) {
+                CacheProbe::Invalid(r) => slots.push(Some((r, CacheDisposition::Miss))),
+                CacheProbe::Hit(r) => slots.push(Some((r, CacheDisposition::Hit))),
+                CacheProbe::Miss(p) => {
+                    slots.push(None);
+                    miss_indices.push(i);
+                    miss_requests.push(req.clone());
+                    miss_prepared.push(Some(p));
+                    miss_dispositions.push(CacheDisposition::Miss);
+                }
+                CacheProbe::Bypass(p) => {
+                    slots.push(None);
+                    miss_indices.push(i);
+                    miss_requests.push(req.clone());
+                    miss_prepared.push(Some(p));
+                    miss_dispositions.push(CacheDisposition::Bypass);
+                }
             }
-            let (Some(canon), Some(key)) = (&canons[i], &keys[i]) else {
-                continue;
-            };
-            slots[i] = self
-                .cache
-                .lookup(key, canon.bytes())
-                .map(|cached| (rehydrate(cached, &req.dfg, canon), CacheDisposition::Hit));
         }
-        let miss_indices: Vec<usize> = (0..requests.len())
-            .filter(|&i| slots[i].is_none())
-            .collect();
-        let miss_requests: Vec<MapRequest> =
-            miss_indices.iter().map(|&i| requests[i].clone()).collect();
-        let solved = self.inner.map_batch(&miss_requests);
-        for (&i, report) in miss_indices.iter().zip(solved) {
-            if let (Some(key), Some(canon)) = (&keys[i], &canons[i]) {
-                self.store(key, canon, &report);
-            }
-            let disposition = if requests[i].observer.is_none() {
-                CacheDisposition::Miss
-            } else {
-                CacheDisposition::Bypass
-            };
+        let solved = self.solve_prepared_batch(&miss_requests, &miss_prepared);
+        for ((i, report), disposition) in
+            miss_indices.into_iter().zip(solved).zip(miss_dispositions)
+        {
             slots[i] = Some((report, disposition));
         }
         slots

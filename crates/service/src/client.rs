@@ -28,6 +28,15 @@ pub enum ClientError {
         /// The response body (usually `{"error": "..."}`).
         body: String,
     },
+    /// The server shed the request (`429 Too Many Requests`): its
+    /// solve queue was full. Retry after the hinted delay.
+    Overloaded {
+        /// The server's `Retry-After` hint in seconds (1 when the
+        /// header was missing or unparseable).
+        retry_after: Duration,
+        /// The response body (usually includes `retry_after_seconds`).
+        body: String,
+    },
     /// The response could not be parsed.
     Protocol(String),
 }
@@ -37,6 +46,11 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Http { status, body } => write!(f, "HTTP {status}: {body}"),
+            ClientError::Overloaded { retry_after, body } => write!(
+                f,
+                "server overloaded (retry after {}s): {body}",
+                retry_after.as_secs()
+            ),
             ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
@@ -101,6 +115,32 @@ impl Client {
         let cache = header_value(&headers, "x-monomap-cache")
             .and_then(|v| CacheDisposition::from_name(v.as_str()));
         Ok(MapResponse { report, cache })
+    }
+
+    /// `POST /map`, honoring load shedding: on
+    /// [`ClientError::Overloaded`] the call sleeps for the server's
+    /// `Retry-After` hint (capped at `max_delay`) and retries, up to
+    /// `max_attempts` total attempts. Any other outcome — success or a
+    /// different error — is returned immediately.
+    pub fn map_with_retry(
+        &self,
+        request: &MapRequest,
+        max_attempts: usize,
+        max_delay: Duration,
+    ) -> Result<MapResponse, ClientError> {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.map(request) {
+                Err(ClientError::Overloaded { retry_after, body }) => {
+                    if attempt >= max_attempts.max(1) {
+                        return Err(ClientError::Overloaded { retry_after, body });
+                    }
+                    std::thread::sleep(retry_after.min(max_delay));
+                }
+                other => return other,
+            }
+        }
     }
 
     /// `POST /map_batch`: maps many requests, reports in input order.
@@ -213,6 +253,13 @@ impl Client {
                 buf
             }
         };
+        if status == 429 {
+            let retry_after = header_value(&headers, "retry-after")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Duration::from_secs)
+                .unwrap_or(Duration::from_secs(1));
+            return Err(ClientError::Overloaded { retry_after, body });
+        }
         if !(200..300).contains(&status) {
             return Err(ClientError::Http { status, body });
         }

@@ -8,21 +8,44 @@
 //! |--------|------|------|----------|
 //! | `POST` | `/map` | one [`MapRequest`] | one [`MapReport`] |
 //! | `POST` | `/map_batch` | array of requests | `{"reports": [...], "cache": [...]}` |
-//! | `GET` | `/stats` | — | cache + server counters |
+//! | `GET` | `/stats` | — | cache + server + pressure counters |
 //! | `GET` | `/healthz` | — | liveness + registry summary |
 //!
 //! Map responses carry an `X-Monomap-Cache: hit|miss|bypass` header.
 //!
-//! The server runs a fixed pool of worker threads pulling accepted
-//! connections from a channel; each connection is served keep-alive
-//! until the peer closes, errors, or goes idle past the read timeout.
-//! While an engine solves, a per-request monitor thread watches the
-//! socket: a client that disconnects raises the request's
-//! [`CancelFlag`], so abandoned solves release their worker at the
-//! next cancellation point instead of running to completion.
+//! # Architecture: one reactor, two pools
+//!
+//! Cold solves are heavy-tailed (microseconds to minutes), so the
+//! server never lets a solve occupy a connection-serving thread.
+//! Instead:
+//!
+//! * A **reactor** (epoll event loop, `crate::reactor`) owns every
+//!   socket: non-blocking accept, per-connection read/write state
+//!   machines, keep-alive, and client-disconnect detection — a
+//!   connection that goes readable and reads EOF while its request is
+//!   in flight raises that request's [`CancelFlag`] immediately, with
+//!   no polling thread per solve.
+//! * A small **cheap pool** runs the fast path: JSON parse →
+//!   validate → canonicalize → digest → cache lookup. Cache hits,
+//!   invalid DFGs and protocol errors are answered here in
+//!   microseconds, regardless of what the solve pool is doing.
+//! * A fixed **solve pool** runs engines, fed by a *bounded* queue
+//!   with admission control (`crate::admission`): when the queue is
+//!   full, new solves are shed with `429 Too Many Requests` and a
+//!   `Retry-After` hint priced from queue depth x observed solve p50.
+//!   Pressure counters (`queue_depth`, `queue_high_watermark`,
+//!   `shed_total`, `solve_pool_busy`) are surfaced on `GET /stats`.
+//!
+//! Each connection has at most one request in flight (responses are
+//! ordered on the wire anyway), which doubles as a per-connection
+//! fairness cap: one client cannot occupy more than one solve-pool
+//! slot plus one queue slot per open connection.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -32,22 +55,31 @@ use serde::{Deserialize, Serialize};
 use cgra_base::CancelFlag;
 use monomap_core::api::{MapReport, MapRequest};
 
+use crate::admission::{retry_after_seconds, SolveLatency, SolveQueue};
 use crate::cache::CacheStatsSnapshot;
-use crate::cached::{CacheDisposition, CachedMappingService};
+use crate::cached::{CacheDisposition, CacheProbe, CachedMappingService, PreparedRequest};
+use crate::reactor::{waker_pair, Event, Poller, WakeReader, Waker};
 
 /// Tuning knobs of [`Server`]; the defaults suit both tests and the
 /// `monomapd` binary.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads serving connections (each runs at most one solve
-    /// at a time).
+    /// Solve-pool threads: engines run here, at most `workers` at a
+    /// time.
     pub workers: usize,
+    /// Cheap-path threads: request parsing, canonicalization, digest
+    /// and cache lookups run here, isolated from slow solves.
+    pub cheap_workers: usize,
+    /// Most solve jobs admitted to wait for the pool; one `/map` or
+    /// one whole `/map_batch` is one job. Overflow is shed with `429`.
+    pub queue_bound: usize,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
     /// An idle keep-alive connection is closed after this long.
     pub read_timeout: Duration,
-    /// How often the connection monitor polls the socket for a client
-    /// disconnect while a solve runs.
+    /// Unused since the event-loop rewrite (disconnects are detected
+    /// by readiness, not polling); retained so existing configuration
+    /// literals keep compiling.
     pub monitor_interval: Duration,
 }
 
@@ -55,6 +87,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             workers: 4,
+            cheap_workers: 2,
+            queue_bound: 64,
             max_body_bytes: 16 << 20,
             read_timeout: Duration::from_secs(30),
             monitor_interval: Duration::from_millis(25),
@@ -76,6 +110,17 @@ pub struct ServerStatsSnapshot {
     pub errors: u64,
     /// Solves released early because the client disconnected.
     pub client_disconnects: u64,
+    /// Solve jobs currently waiting in the bounded queue.
+    pub queue_depth: u64,
+    /// Deepest the solve queue has ever been.
+    pub queue_high_watermark: u64,
+    /// Solve jobs shed with `429` because the queue was full.
+    pub shed_total: u64,
+    /// Solve-pool threads currently running an engine.
+    pub solve_pool_busy: u64,
+    /// Median of recent solve wall-times, in seconds (prices
+    /// `Retry-After`); `0` until the first solve completes.
+    pub solve_p50_seconds: f64,
     /// Seconds since the server started.
     pub uptime_seconds: f64,
 }
@@ -116,7 +161,12 @@ impl Server {
         service: CachedMappingService,
         config: ServerConfig,
     ) -> io::Result<Server> {
-        assert!(config.workers > 0, "server needs at least one worker");
+        assert!(config.workers > 0, "server needs at least one solve worker");
+        assert!(
+            config.cheap_workers > 0,
+            "server needs at least one cheap-path worker"
+        );
+        assert!(config.queue_bound > 0, "solve queue bound must be positive");
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             service: Arc::new(service),
@@ -131,43 +181,67 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until shut down (blocking). Worker threads pull accepted
-    /// connections from a shared queue; the accept loop exits when the
-    /// shutdown flag is raised and a wake-up connection arrives (see
-    /// [`ServerHandle::shutdown`]).
+    /// Serves until shut down (blocking). The calling thread becomes
+    /// the reactor; the cheap and solve pools run on scoped threads.
+    /// The loop exits once the shutdown flag is raised (see
+    /// [`ServerHandle::shutdown`]) and every in-flight request has been
+    /// answered.
     pub fn run(self) -> io::Result<()> {
         let started = Instant::now();
         let counters = Arc::new(ServerCounters::default());
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let queue = Arc::new(SolveQueue::<SolveJob>::new(self.config.queue_bound));
+        let latency = Arc::new(SolveLatency::default());
+        let (done_tx, done_rx) = mpsc::channel::<ResponseMsg>();
+        let (cheap_tx, cheap_rx) = mpsc::channel::<CheapJob>();
+        let cheap_rx = Arc::new(Mutex::new(cheap_rx));
+        let poller = Poller::new()?;
+        let (waker, wake_rx) = waker_pair()?;
+        poller.register(wake_rx.fd(), TOKEN_WAKER, true, false)?;
+        self.listener.set_nonblocking(true)?;
+        poller.register(self.listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+
+        let ctx = WorkerCtx {
+            service: Arc::clone(&self.service),
+            counters: Arc::clone(&counters),
+            queue: Arc::clone(&queue),
+            latency: Arc::clone(&latency),
+            done_tx,
+            waker,
+            solve_workers: self.config.workers,
+        };
         std::thread::scope(|scope| {
+            for _ in 0..self.config.cheap_workers {
+                let ctx = ctx.clone();
+                let cheap_rx = Arc::clone(&cheap_rx);
+                scope.spawn(move || cheap_worker(&ctx, &cheap_rx));
+            }
             for _ in 0..self.config.workers {
-                let conn_rx = Arc::clone(&conn_rx);
-                let service = Arc::clone(&self.service);
-                let counters = Arc::clone(&counters);
-                let config = self.config.clone();
-                scope.spawn(move || loop {
-                    let stream = match conn_rx.lock().expect("connection queue lock").recv() {
-                        Ok(s) => s,
-                        Err(_) => return, // accept loop gone: shut down
-                    };
-                    // Per-connection errors only affect that peer.
-                    let _ = serve_connection(stream, &service, &counters, &config, started);
-                });
+                let ctx = ctx.clone();
+                scope.spawn(move || solve_worker(&ctx));
             }
-            for stream in self.listener.incoming() {
-                if self.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(s) => {
-                        let _ = conn_tx.send(s);
-                    }
-                    Err(_) => continue,
-                }
-            }
-            drop(conn_tx); // release the workers
-            Ok(())
+            let mut event_loop = EventLoop {
+                poller,
+                wake_rx,
+                listener: Some(self.listener),
+                conns: HashMap::new(),
+                next_token: FIRST_CONN_TOKEN,
+                shutting_down: false,
+                shutdown: Arc::clone(&self.shutdown),
+                cheap_tx,
+                done_rx,
+                service: Arc::clone(&self.service),
+                counters: Arc::clone(&counters),
+                queue: Arc::clone(&queue),
+                latency: Arc::clone(&latency),
+                config: self.config.clone(),
+                started,
+            };
+            let result = event_loop.run();
+            // Release the pools: queued solves drain, then both pools
+            // observe their closed queues/channels and exit.
+            queue.close();
+            drop(event_loop); // drops cheap_tx and done_rx
+            result
         })
     }
 
@@ -198,12 +272,12 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Raises the shutdown flag, wakes the accept loop and joins the
-    /// server thread. In-flight connections finish first.
+    /// Raises the shutdown flag, wakes the reactor and joins the
+    /// server thread. In-flight requests finish first; idle keep-alive
+    /// connections are closed immediately.
     pub fn shutdown(self) -> io::Result<()> {
         self.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop only observes the flag on its next
-        // connection; poke it.
+        // The reactor observes the flag on its next wake-up; poke it.
         let _ = TcpStream::connect(self.addr);
         match self.thread.join() {
             Ok(result) => result,
@@ -213,284 +287,952 @@ impl ServerHandle {
 }
 
 // ---------------------------------------------------------------------
-// Connection handling
+// The event loop
 // ---------------------------------------------------------------------
 
-struct HttpRequest {
-    method: String,
-    path: String,
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long `epoll_wait` sleeps when nothing happens; bounds how stale
+/// the idle-timeout sweep can get.
+const POLL_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// After answering a request-level error on a connection that may
+/// still be uploading, the write side is half-closed and up to this
+/// many body bytes are drained so the peer can read the status line
+/// instead of tripping on a connection reset.
+const DRAIN_BUDGET: usize = 256 * 1024;
+
+/// ... for at most this long.
+const DRAIN_WINDOW: Duration = Duration::from_secs(2);
+
+/// Pipelined responses stop being produced (parsing pauses) while more
+/// than this many bytes are waiting to be written, so a client that
+/// sends requests without reading answers cannot balloon the write
+/// buffer.
+const WBUF_SOFT_CAP: usize = 4 << 20;
+
+enum ConnState {
+    /// Accumulating request bytes (and, between requests, idling).
+    Reading,
+    /// A request-level error was answered and the write side
+    /// half-closed; inbound bytes are discarded until EOF, the budget
+    /// or the deadline — whichever comes first — then the socket
+    /// closes.
+    Draining { deadline: Instant, budget: usize },
+}
+
+struct Conn {
+    token: u64,
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    state: ConnState,
+    /// The cancel flag of the in-flight request, if any. `Some` is
+    /// also the per-connection in-flight cap: no further pipelined
+    /// request is parsed until the response comes back.
+    inflight: Option<CancelFlag>,
+    close_after_write: bool,
+    drain_after_write: bool,
+    peer_eof: bool,
+    last_activity: Instant,
+    interest_read: bool,
+    interest_write: bool,
+}
+
+impl Conn {
+    fn new(token: u64, stream: TcpStream) -> Conn {
+        Conn {
+            token,
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            state: ConnState::Reading,
+            inflight: None,
+            close_after_write: false,
+            drain_after_write: false,
+            peer_eof: false,
+            last_activity: Instant::now(),
+            interest_read: true,
+            interest_write: false,
+        }
+    }
+}
+
+struct EventLoop {
+    poller: Poller,
+    wake_rx: WakeReader,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    shutting_down: bool,
+    shutdown: Arc<AtomicBool>,
+    cheap_tx: mpsc::Sender<CheapJob>,
+    done_rx: mpsc::Receiver<ResponseMsg>,
+    service: Arc<CachedMappingService>,
+    counters: Arc<ServerCounters>,
+    queue: Arc<SolveQueue<SolveJob>>,
+    latency: Arc<SolveLatency>,
+    config: ServerConfig,
+    started: Instant,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) && !self.shutting_down {
+                self.begin_shutdown();
+            }
+            if self.shutting_down && self.conns.is_empty() {
+                return Ok(());
+            }
+            self.poller.wait(&mut events, POLL_TIMEOUT)?;
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.wake_rx.drain(),
+                    token => self.handle_event(token, ev.readable, ev.writable),
+                }
+            }
+            while let Ok(msg) = self.done_rx.try_recv() {
+                self.deliver(msg);
+            }
+            self.sweep_timeouts();
+        }
+    }
+
+    /// Stops accepting and closes every connection with nothing in
+    /// flight; the loop then drains until the rest have been answered.
+    fn begin_shutdown(&mut self) {
+        self.shutting_down = true;
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.inflight.is_none() && c.wpos >= c.wbuf.len())
+            .map(|(&t, _)| t)
+            .collect();
+        for token in idle {
+            self.close_token(token);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, true, false)
+                        .is_ok()
+                    {
+                        self.conns.insert(token, Conn::new(token, stream));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient accept error; retry on next event
+            }
+        }
+    }
+
+    fn handle_event(&mut self, token: u64, readable: bool, _writable: bool) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let mut alive = true;
+        if readable {
+            alive = self.read_ready(&mut conn);
+        }
+        if alive {
+            alive = self.advance(&mut conn);
+        }
+        if alive {
+            self.conns.insert(token, conn);
+        } else {
+            self.cleanup(conn);
+        }
+    }
+
+    /// Pulls everything currently readable off the socket. Returns
+    /// `false` when the connection should close now.
+    fn read_ready(&mut self, conn: &mut Conn) -> bool {
+        if conn.peer_eof {
+            return true;
+        }
+        let rbuf_cap = self.config.max_body_bytes + MAX_HEAD_BYTES + 64 * 1024;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    if let Some(cancel) = conn.inflight.take() {
+                        // The peer abandoned an in-flight request:
+                        // release the engine and drop the connection.
+                        // Buffered pipelined bytes don't mask the EOF —
+                        // read() returned it after consuming them.
+                        cancel.cancel();
+                        self.counters
+                            .client_disconnects
+                            .fetch_add(1, Ordering::Relaxed);
+                        return false;
+                    }
+                    return match conn.state {
+                        // A response is still being flushed; the peer
+                        // half-closed but may read it.
+                        ConnState::Reading => conn.wpos < conn.wbuf.len(),
+                        ConnState::Draining { .. } => false,
+                    };
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    match &mut conn.state {
+                        ConnState::Draining { budget, .. } => {
+                            if *budget < n {
+                                return false;
+                            }
+                            *budget -= n;
+                        }
+                        ConnState::Reading => {
+                            conn.rbuf.extend_from_slice(&buf[..n]);
+                            if conn.rbuf.len() > rbuf_cap {
+                                // Unbounded pipelining while a request
+                                // is in flight: abusive, cut it off.
+                                if let Some(cancel) = conn.inflight.take() {
+                                    cancel.cancel();
+                                }
+                                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                                return false;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    if let Some(cancel) = conn.inflight.take() {
+                        cancel.cancel();
+                        self.counters
+                            .client_disconnects
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Parses and dispatches whatever complete requests the read
+    /// buffer holds, then flushes pending output and updates epoll
+    /// interests. Returns `false` when the connection should close.
+    fn advance(&mut self, conn: &mut Conn) -> bool {
+        while matches!(conn.state, ConnState::Reading)
+            && conn.inflight.is_none()
+            && !conn.close_after_write
+            && conn.wbuf.len() - conn.wpos < WBUF_SOFT_CAP
+        {
+            match try_parse(&mut conn.rbuf, self.config.max_body_bytes) {
+                Parse::NeedMore => break,
+                Parse::Request(req) => self.dispatch(conn, req),
+                Parse::Bad(msg) => {
+                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    queue_response(conn, encode_error(400, msg, false, HttpVersion::V11), false);
+                    conn.drain_after_write = true;
+                    break;
+                }
+                Parse::TooLarge { version, .. } => {
+                    self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    queue_response(
+                        conn,
+                        encode_error(413, "request body too large", false, version),
+                        false,
+                    );
+                    conn.drain_after_write = true;
+                    break;
+                }
+            }
+        }
+        if !self.flush(conn) {
+            return false;
+        }
+        if conn.peer_eof
+            && conn.inflight.is_none()
+            && conn.wpos >= conn.wbuf.len()
+            && matches!(conn.state, ConnState::Reading)
+        {
+            return false;
+        }
+        self.update_interest(conn);
+        true
+    }
+
+    fn dispatch(&mut self, conn: &mut Conn, req: ParsedRequest) {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/map") | ("POST", "/map_batch") => {
+                let batch = req.path == "/map_batch";
+                if batch {
+                    self.counters.batch_requests.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.counters.map_requests.fetch_add(1, Ordering::Relaxed);
+                }
+                let cancel = CancelFlag::new();
+                conn.inflight = Some(cancel.clone());
+                let job = CheapJob {
+                    token: conn.token,
+                    batch,
+                    body: req.body,
+                    keep_alive: req.keep_alive,
+                    version: req.version,
+                    cancel,
+                };
+                if self.cheap_tx.send(job).is_err() {
+                    // Only possible mid-shutdown: the pool is gone.
+                    conn.inflight = None;
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    queue_response(
+                        conn,
+                        encode_error(500, "server is shutting down", false, req.version),
+                        false,
+                    );
+                }
+            }
+            ("GET", "/stats") => match self.stats_json() {
+                Ok(body) => queue_response(
+                    conn,
+                    encode_response(200, &body, &[], req.keep_alive, req.version),
+                    req.keep_alive,
+                ),
+                Err(msg) => {
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    queue_response(
+                        conn,
+                        encode_error(500, &msg, req.keep_alive, req.version),
+                        req.keep_alive,
+                    );
+                }
+            },
+            ("GET", "/healthz") => match self.healthz_json() {
+                Ok(body) => queue_response(
+                    conn,
+                    encode_response(200, &body, &[], req.keep_alive, req.version),
+                    req.keep_alive,
+                ),
+                Err(msg) => {
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    queue_response(
+                        conn,
+                        encode_error(500, &msg, req.keep_alive, req.version),
+                        req.keep_alive,
+                    );
+                }
+            },
+            ("GET" | "POST", _) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                queue_response(
+                    conn,
+                    encode_error(
+                        404,
+                        &format!("no such endpoint: {}", req.path),
+                        req.keep_alive,
+                        req.version,
+                    ),
+                    req.keep_alive,
+                );
+            }
+            _ => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                queue_response(
+                    conn,
+                    encode_error(
+                        405,
+                        &format!("method {} not allowed", req.method),
+                        req.keep_alive,
+                        req.version,
+                    ),
+                    req.keep_alive,
+                );
+            }
+        }
+    }
+
+    /// Hands a pool-produced response to its connection (if it still
+    /// exists) and resumes parsing pipelined requests behind it.
+    fn deliver(&mut self, msg: ResponseMsg) {
+        let Some(mut conn) = self.conns.remove(&msg.token) else {
+            return; // client disconnected while the job ran
+        };
+        conn.inflight = None;
+        queue_response(&mut conn, msg.bytes, msg.keep_alive && !self.shutting_down);
+        let alive = self.advance(&mut conn);
+        if alive {
+            self.conns.insert(msg.token, conn);
+        } else {
+            self.cleanup(conn);
+        }
+    }
+
+    /// Writes as much pending output as the socket accepts. Returns
+    /// `false` when the connection should close.
+    fn flush(&mut self, conn: &mut Conn) -> bool {
+        while conn.wpos < conn.wbuf.len() {
+            match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.wpos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if !conn.wbuf.is_empty() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+        }
+        if conn.close_after_write {
+            if conn.drain_after_write {
+                // Satellite fix: flush, half-close, then drain the
+                // peer's in-flight upload so it can read the error
+                // status instead of hitting a reset.
+                let _ = conn.stream.shutdown(Shutdown::Write);
+                conn.close_after_write = false;
+                conn.drain_after_write = false;
+                conn.rbuf.clear();
+                conn.state = ConnState::Draining {
+                    deadline: Instant::now() + DRAIN_WINDOW,
+                    budget: DRAIN_BUDGET,
+                };
+            } else {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn update_interest(&self, conn: &mut Conn) {
+        let want_read = !conn.peer_eof;
+        let want_write = conn.wpos < conn.wbuf.len();
+        if want_read != conn.interest_read || want_write != conn.interest_write {
+            conn.interest_read = want_read;
+            conn.interest_write = want_write;
+            let _ = self
+                .poller
+                .rearm(conn.stream.as_raw_fd(), conn.token, want_read, want_write);
+        }
+    }
+
+    fn sweep_timeouts(&mut self) {
+        let now = Instant::now();
+        let timeout = self.config.read_timeout;
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| match c.state {
+                ConnState::Reading => {
+                    c.inflight.is_none() && now.duration_since(c.last_activity) > timeout
+                }
+                ConnState::Draining { deadline, .. } => now >= deadline,
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            self.close_token(token);
+        }
+    }
+
+    fn close_token(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.cleanup(conn);
+        }
+    }
+
+    fn cleanup(&mut self, conn: Conn) {
+        if let Some(cancel) = conn.inflight {
+            cancel.cancel();
+        }
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        // Dropping the stream closes the socket.
+    }
+
+    fn stats_json(&self) -> Result<String, String> {
+        let snapshot = StatsSnapshot {
+            cache: self.service.stats(),
+            server: ServerStatsSnapshot {
+                requests: self.counters.requests.load(Ordering::Relaxed),
+                map_requests: self.counters.map_requests.load(Ordering::Relaxed),
+                batch_requests: self.counters.batch_requests.load(Ordering::Relaxed),
+                errors: self.counters.errors.load(Ordering::Relaxed),
+                client_disconnects: self.counters.client_disconnects.load(Ordering::Relaxed),
+                queue_depth: self.queue.depth(),
+                queue_high_watermark: self.queue.high_watermark(),
+                shed_total: self.queue.shed_total(),
+                solve_pool_busy: self.queue.busy(),
+                solve_p50_seconds: self.latency.p50(),
+                uptime_seconds: self.started.elapsed().as_secs_f64(),
+            },
+        };
+        serde_json::to_string(&snapshot).map_err(|e| format!("serializing stats: {e}"))
+    }
+
+    fn healthz_json(&self) -> Result<String, String> {
+        let inner = self.service.inner();
+        let engines: Vec<serde::Value> = inner
+            .engine_ids()
+            .iter()
+            .map(|e| serde::Value::Str(e.name().to_string()))
+            .collect();
+        let body = serde::Value::Map(vec![
+            ("status".to_string(), serde::Value::Str("ok".to_string())),
+            ("engines".to_string(), serde::Value::Seq(engines)),
+            (
+                "cgra".to_string(),
+                serde::Value::Str(inner.cgra().describe()),
+            ),
+            (
+                "cache_capacity".to_string(),
+                serde::Value::UInt(self.service.cache().capacity() as u64),
+            ),
+        ]);
+        serde_json::to_string(&body).map_err(|e| format!("serializing health: {e}"))
+    }
+}
+
+/// Appends an encoded response to the connection's write buffer.
+fn queue_response(conn: &mut Conn, bytes: Vec<u8>, keep_alive: bool) {
+    conn.wbuf.extend_from_slice(&bytes);
+    if !keep_alive {
+        conn.close_after_write = true;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pool workers
+// ---------------------------------------------------------------------
+
+/// Everything a pool thread needs; cheap to clone (all `Arc`s).
+#[derive(Clone)]
+struct WorkerCtx {
+    service: Arc<CachedMappingService>,
+    counters: Arc<ServerCounters>,
+    queue: Arc<SolveQueue<SolveJob>>,
+    latency: Arc<SolveLatency>,
+    done_tx: mpsc::Sender<ResponseMsg>,
+    waker: Waker,
+    solve_workers: usize,
+}
+
+impl WorkerCtx {
+    fn send(&self, msg: ResponseMsg) {
+        let _ = self.done_tx.send(msg);
+        self.waker.wake();
+    }
+
+    fn send_error(
+        &self,
+        token: u64,
+        status: u16,
+        message: &str,
+        keep_alive: bool,
+        version: HttpVersion,
+    ) {
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        self.send(ResponseMsg {
+            token,
+            bytes: encode_error(status, message, keep_alive, version),
+            keep_alive,
+        });
+    }
+
+    /// Sheds a solve: `429` plus a `Retry-After` priced from the
+    /// current queue depth and the observed solve p50.
+    fn send_shed(&self, token: u64, keep_alive: bool, version: HttpVersion) {
+        let retry = retry_after_seconds(self.queue.depth(), self.latency.p50(), self.solve_workers);
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        let body = format!("{{\"error\":\"solve queue is full\",\"retry_after_seconds\":{retry}}}");
+        self.send(ResponseMsg {
+            token,
+            bytes: encode_response_raw(
+                429,
+                &body,
+                &[("Retry-After", retry.to_string())],
+                keep_alive,
+                version,
+            ),
+            keep_alive,
+        });
+    }
+}
+
+/// One parsed-but-unsolved request travelling from the reactor to the
+/// cheap pool.
+struct CheapJob {
+    token: u64,
+    batch: bool,
     body: Vec<u8>,
+    keep_alive: bool,
+    version: HttpVersion,
+    /// Created by the reactor, raised on client EOF; installed on the
+    /// `MapRequest`(s) so abandoned solves unwind.
+    cancel: CancelFlag,
+}
+
+/// One admitted engine job travelling from the cheap pool to the solve
+/// pool.
+enum SolveJob {
+    Map {
+        token: u64,
+        request: Box<MapRequest>,
+        prepared: PreparedRequest,
+        disposition: CacheDisposition,
+        keep_alive: bool,
+        version: HttpVersion,
+    },
+    Batch {
+        token: u64,
+        requests: Vec<MapRequest>,
+        /// Input-order slots; `Some` entries were answered by the
+        /// cheap path (hits, invalid DFGs).
+        slots: Vec<Option<(MapReport, CacheDisposition)>>,
+        prepared: Vec<Option<PreparedRequest>>,
+        keep_alive: bool,
+        version: HttpVersion,
+    },
+}
+
+/// A fully encoded response heading back to the reactor.
+struct ResponseMsg {
+    token: u64,
+    bytes: Vec<u8>,
     keep_alive: bool,
 }
 
-enum ReadOutcome {
-    Request(HttpRequest),
-    /// Peer closed (or went idle past the timeout) between requests.
-    Closed,
-    /// Malformed input; the connection gets one error response and is
-    /// closed.
-    Bad(&'static str),
-    /// Body larger than the configured cap.
-    TooLarge,
-}
-
-fn serve_connection(
-    stream: TcpStream,
-    service: &CachedMappingService,
-    counters: &Arc<ServerCounters>,
-    config: &ServerConfig,
-    started: Instant,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(config.read_timeout))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream.try_clone()?;
+fn cheap_worker(ctx: &WorkerCtx, jobs: &Mutex<mpsc::Receiver<CheapJob>>) {
     loop {
-        let request = match read_request(&mut reader, config.max_body_bytes) {
-            ReadOutcome::Request(r) => r,
-            ReadOutcome::Closed => return Ok(()),
-            ReadOutcome::Bad(msg) => {
-                counters.requests.fetch_add(1, Ordering::Relaxed);
-                counters.errors.fetch_add(1, Ordering::Relaxed);
-                respond_error(&mut writer, 400, msg, false)?;
-                return Ok(());
-            }
-            ReadOutcome::TooLarge => {
-                counters.requests.fetch_add(1, Ordering::Relaxed);
-                counters.errors.fetch_add(1, Ordering::Relaxed);
-                respond_error(&mut writer, 413, "request body too large", false)?;
-                return Ok(());
-            }
+        let job = match jobs.lock().expect("cheap queue lock").recv() {
+            Ok(j) => j,
+            Err(_) => return, // reactor gone: shut down
         };
-        counters.requests.fetch_add(1, Ordering::Relaxed);
-        let keep_alive = request.keep_alive;
-        let result = route(&request, &stream, service, counters, config, started);
-        match result {
-            Ok(response) => respond(
-                &mut writer,
-                200,
-                &response.body,
-                &response.extra,
-                keep_alive,
-            )?,
-            Err((status, message)) => {
-                counters.errors.fetch_add(1, Ordering::Relaxed);
-                respond_error(&mut writer, status, &message, keep_alive)?;
-            }
-        }
-        if !keep_alive {
-            return Ok(());
-        }
-    }
-}
-
-struct Response {
-    body: String,
-    /// Extra headers, e.g. `X-Monomap-Cache`.
-    extra: Vec<(&'static str, String)>,
-}
-
-impl Response {
-    fn json(body: String) -> Self {
-        Response {
-            body,
-            extra: Vec::new(),
-        }
-    }
-}
-
-fn route(
-    request: &HttpRequest,
-    stream: &TcpStream,
-    service: &CachedMappingService,
-    counters: &Arc<ServerCounters>,
-    config: &ServerConfig,
-    started: Instant,
-) -> Result<Response, (u16, String)> {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/map") => {
-            counters.map_requests.fetch_add(1, Ordering::Relaxed);
-            let body = std::str::from_utf8(&request.body)
-                .map_err(|_| (400, "request body is not UTF-8".to_string()))?;
-            let mut map_request: MapRequest = serde_json::from_str(body)
-                .map_err(|e| (400, format!("invalid MapRequest: {e}")))?;
-            let (report, disposition) =
-                map_with_disconnect_monitor(service, &mut map_request, stream, counters, config);
-            let json = serde_json::to_string(&report)
-                .map_err(|e| (500, format!("serializing report: {e}")))?;
-            Ok(Response {
-                body: json,
-                extra: vec![("X-Monomap-Cache", disposition.name().to_string())],
-            })
-        }
-        ("POST", "/map_batch") => {
-            counters.batch_requests.fetch_add(1, Ordering::Relaxed);
-            let body = std::str::from_utf8(&request.body)
-                .map_err(|_| (400, "request body is not UTF-8".to_string()))?;
-            let mut requests: Vec<MapRequest> = serde_json::from_str(body)
-                .map_err(|e| (400, format!("invalid MapRequest array: {e}")))?;
-            let cancel = CancelFlag::new();
-            for r in &mut requests {
-                if r.cancel.is_none() {
-                    r.cancel = Some(cancel.clone());
-                }
-            }
-            let results = {
-                let _monitor = DisconnectMonitor::watch(stream, cancel, counters, config);
-                service.map_batch(&requests)
-            };
-            let reports: Vec<&MapReport> = results.iter().map(|(r, _)| r).collect();
-            let dispositions: Vec<&str> = results.iter().map(|(_, d)| d.name()).collect();
-            let body = format!(
-                "{{\"reports\":{},\"cache\":{}}}",
-                serde_json::to_string(&reports)
-                    .map_err(|e| (500, format!("serializing reports: {e}")))?,
-                serde_json::to_string(&dispositions)
-                    .map_err(|e| (500, format!("serializing dispositions: {e}")))?,
+        let token = job.token;
+        let keep_alive = job.keep_alive;
+        let version = job.version;
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_cheap(ctx, job)));
+        if outcome.is_err() {
+            ctx.send_error(
+                token,
+                500,
+                "internal: request handler panicked",
+                false,
+                version,
             );
-            Ok(Response::json(body))
+            let _ = keep_alive;
         }
-        ("GET", "/stats") => {
-            let snapshot = StatsSnapshot {
-                cache: service.stats(),
-                server: ServerStatsSnapshot {
-                    requests: counters.requests.load(Ordering::Relaxed),
-                    map_requests: counters.map_requests.load(Ordering::Relaxed),
-                    batch_requests: counters.batch_requests.load(Ordering::Relaxed),
-                    errors: counters.errors.load(Ordering::Relaxed),
-                    client_disconnects: counters.client_disconnects.load(Ordering::Relaxed),
-                    uptime_seconds: started.elapsed().as_secs_f64(),
-                },
+    }
+}
+
+/// The cheap path: parse, probe the cache, answer hits inline, admit
+/// misses to the bounded solve queue (or shed them).
+fn handle_cheap(ctx: &WorkerCtx, job: CheapJob) {
+    let Ok(body) = std::str::from_utf8(&job.body) else {
+        ctx.send_error(
+            job.token,
+            400,
+            "request body is not UTF-8",
+            job.keep_alive,
+            job.version,
+        );
+        return;
+    };
+    if job.batch {
+        handle_cheap_batch(ctx, &job, body);
+        return;
+    }
+    let mut request: MapRequest = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => {
+            ctx.send_error(
+                job.token,
+                400,
+                &format!("invalid MapRequest: {e}"),
+                job.keep_alive,
+                job.version,
+            );
+            return;
+        }
+    };
+    request.cancel = Some(job.cancel.clone());
+    match ctx.service.probe(&request) {
+        CacheProbe::Hit(report) => {
+            send_map_report(
+                ctx,
+                job.token,
+                &report,
+                CacheDisposition::Hit,
+                job.keep_alive,
+                job.version,
+            );
+        }
+        CacheProbe::Invalid(report) => {
+            send_map_report(
+                ctx,
+                job.token,
+                &report,
+                CacheDisposition::Miss,
+                job.keep_alive,
+                job.version,
+            );
+        }
+        CacheProbe::Miss(prepared) | CacheProbe::Bypass(prepared) => {
+            // Wire requests cannot carry observers, so this is always
+            // a miss on the daemon; Bypass is handled identically for
+            // embedders driving the server with in-process requests.
+            let disposition = if request.observer.is_none() {
+                CacheDisposition::Miss
+            } else {
+                CacheDisposition::Bypass
             };
-            serde_json::to_string(&snapshot)
-                .map(Response::json)
-                .map_err(|e| (500, format!("serializing stats: {e}")))
-        }
-        ("GET", "/healthz") => {
-            let inner = service.inner();
-            let engines: Vec<serde::Value> = inner
-                .engine_ids()
-                .iter()
-                .map(|e| serde::Value::Str(e.name().to_string()))
-                .collect();
-            let body = serde::Value::Map(vec![
-                ("status".to_string(), serde::Value::Str("ok".to_string())),
-                ("engines".to_string(), serde::Value::Seq(engines)),
-                (
-                    "cgra".to_string(),
-                    serde::Value::Str(inner.cgra().describe()),
-                ),
-                (
-                    "cache_capacity".to_string(),
-                    serde::Value::UInt(service.cache().capacity() as u64),
-                ),
-            ]);
-            serde_json::to_string(&body)
-                .map(Response::json)
-                .map_err(|e| (500, format!("serializing health: {e}")))
-        }
-        ("GET" | "POST", _) => Err((404, format!("no such endpoint: {}", request.path))),
-        _ => Err((405, format!("method {} not allowed", request.method))),
-    }
-}
-
-/// Runs one `/map` request with the request's cancel flag wired to a
-/// socket-disconnect monitor (on top of any flag the request already
-/// carries — wire requests never carry one).
-fn map_with_disconnect_monitor(
-    service: &CachedMappingService,
-    request: &mut MapRequest,
-    stream: &TcpStream,
-    counters: &Arc<ServerCounters>,
-    config: &ServerConfig,
-) -> (MapReport, CacheDisposition) {
-    let cancel = request.cancel.clone().unwrap_or_default();
-    request.cancel = Some(cancel.clone());
-    let _monitor = DisconnectMonitor::watch(stream, cancel, counters, config);
-    service.map(request)
-}
-
-/// Watches a socket for a peer disconnect while a solve runs, raising
-/// the given [`CancelFlag`] if the client goes away. Dropping the
-/// monitor wakes and joins the watcher thread, which **restores the
-/// socket to blocking mode** before exiting — `set_nonblocking` flips
-/// `O_NONBLOCK` on the open file description *shared* with the
-/// connection's reader and writer (`try_clone` is a `dup`), so leaving
-/// it set would break keep-alive reads and could truncate large
-/// responses mid-write.
-struct DisconnectMonitor {
-    done_tx: Option<mpsc::Sender<()>>,
-    thread: Option<std::thread::JoinHandle<()>>,
-}
-
-impl DisconnectMonitor {
-    fn watch(
-        stream: &TcpStream,
-        cancel: CancelFlag,
-        counters: &Arc<ServerCounters>,
-        config: &ServerConfig,
-    ) -> Self {
-        let inert = DisconnectMonitor {
-            done_tx: None,
-            thread: None,
-        };
-        let Ok(peek_stream) = stream.try_clone() else {
-            return inert; // no monitor; the solve still completes
-        };
-        if peek_stream.set_nonblocking(true).is_err() {
-            let _ = peek_stream.set_nonblocking(false);
-            return inert;
-        }
-        let interval = config.monitor_interval;
-        let counters = Arc::clone(counters);
-        let (done_tx, done_rx) = mpsc::channel::<()>();
-        let thread = std::thread::spawn(move || {
-            let mut buf = [0u8; 1];
-            loop {
-                // Sleeping on the channel (not thread::sleep) lets the
-                // drop-side wake the watcher immediately, so joining it
-                // adds no per-request latency.
-                match done_rx.recv_timeout(interval) {
-                    Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
-                    Err(mpsc::RecvTimeoutError::Timeout) => {}
-                }
-                match peek_stream.peek(&mut buf) {
-                    // Orderly shutdown by the peer: the request was
-                    // abandoned.
-                    Ok(0) => {
-                        cancel.cancel();
-                        counters.client_disconnects.fetch_add(1, Ordering::Relaxed);
-                        break;
-                    }
-                    // Pipelined bytes waiting: the peer is alive.
-                    Ok(_) => {}
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
-                    Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
-                    // Reset / broken pipe: gone too.
-                    Err(_) => {
-                        cancel.cancel();
-                        counters.client_disconnects.fetch_add(1, Ordering::Relaxed);
-                        break;
-                    }
-                }
+            let solve = SolveJob::Map {
+                token: job.token,
+                request: Box::new(request),
+                prepared,
+                disposition,
+                keep_alive: job.keep_alive,
+                version: job.version,
+            };
+            if ctx.queue.try_push(solve).is_err() {
+                ctx.send_shed(job.token, job.keep_alive, job.version);
             }
-            // Restore the shared open file description before the
-            // response is written.
-            let _ = peek_stream.set_nonblocking(false);
-        });
-        DisconnectMonitor {
-            done_tx: Some(done_tx),
-            thread: Some(thread),
         }
     }
 }
 
-impl Drop for DisconnectMonitor {
-    fn drop(&mut self) {
-        drop(self.done_tx.take()); // wake the watcher
-        if let Some(thread) = self.thread.take() {
-            let _ = thread.join();
+fn handle_cheap_batch(ctx: &WorkerCtx, job: &CheapJob, body: &str) {
+    let mut requests: Vec<MapRequest> = match serde_json::from_str(body) {
+        Ok(r) => r,
+        Err(e) => {
+            ctx.send_error(
+                job.token,
+                400,
+                &format!("invalid MapRequest array: {e}"),
+                job.keep_alive,
+                job.version,
+            );
+            return;
+        }
+    };
+    for request in &mut requests {
+        if request.cancel.is_none() {
+            request.cancel = Some(job.cancel.clone());
         }
     }
+    let mut slots: Vec<Option<(MapReport, CacheDisposition)>> = Vec::with_capacity(requests.len());
+    let mut prepared: Vec<Option<PreparedRequest>> = Vec::with_capacity(requests.len());
+    let mut needs_engine = false;
+    for request in &requests {
+        match ctx.service.probe(request) {
+            CacheProbe::Hit(r) => {
+                slots.push(Some((r, CacheDisposition::Hit)));
+                prepared.push(None);
+            }
+            CacheProbe::Invalid(r) => {
+                slots.push(Some((r, CacheDisposition::Miss)));
+                prepared.push(None);
+            }
+            CacheProbe::Miss(p) | CacheProbe::Bypass(p) => {
+                slots.push(None);
+                prepared.push(Some(p));
+                needs_engine = true;
+            }
+        }
+    }
+    if !needs_engine {
+        // Every request was a hit or invalid: the whole batch is
+        // answered on the cheap path without touching the solve pool.
+        let answered: Vec<(MapReport, CacheDisposition)> = slots
+            .into_iter()
+            .map(|s| s.expect("all answered"))
+            .collect();
+        send_batch_response(ctx, job.token, &answered, job.keep_alive, job.version);
+        return;
+    }
+    let solve = SolveJob::Batch {
+        token: job.token,
+        requests,
+        slots,
+        prepared,
+        keep_alive: job.keep_alive,
+        version: job.version,
+    };
+    if ctx.queue.try_push(solve).is_err() {
+        ctx.send_shed(job.token, job.keep_alive, job.version);
+    }
+}
+
+fn solve_worker(ctx: &WorkerCtx) {
+    while let Some(job) = ctx.queue.pop() {
+        let _busy = ctx.queue.busy_guard();
+        let started = Instant::now();
+        let (token, keep_alive, version) = match &job {
+            SolveJob::Map {
+                token,
+                keep_alive,
+                version,
+                ..
+            }
+            | SolveJob::Batch {
+                token,
+                keep_alive,
+                version,
+                ..
+            } => (*token, *keep_alive, *version),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_solve(ctx, job)));
+        ctx.latency.record(started.elapsed().as_secs_f64());
+        if outcome.is_err() {
+            ctx.send_error(token, 500, "internal: engine panicked", false, version);
+            let _ = keep_alive;
+        }
+    }
+}
+
+fn run_solve(ctx: &WorkerCtx, job: SolveJob) {
+    match job {
+        SolveJob::Map {
+            token,
+            request,
+            prepared,
+            disposition,
+            keep_alive,
+            version,
+        } => {
+            let report = ctx.service.solve_prepared(&request, &prepared);
+            send_map_report(ctx, token, &report, disposition, keep_alive, version);
+        }
+        SolveJob::Batch {
+            token,
+            requests,
+            mut slots,
+            prepared,
+            keep_alive,
+            version,
+        } => {
+            let miss_indices: Vec<usize> = (0..requests.len())
+                .filter(|&i| slots[i].is_none())
+                .collect();
+            let miss_requests: Vec<MapRequest> =
+                miss_indices.iter().map(|&i| requests[i].clone()).collect();
+            let miss_prepared: Vec<Option<PreparedRequest>> = {
+                let mut prepared = prepared;
+                miss_indices.iter().map(|&i| prepared[i].take()).collect()
+            };
+            let reports = ctx
+                .service
+                .solve_prepared_batch(&miss_requests, &miss_prepared);
+            for (&i, report) in miss_indices.iter().zip(reports) {
+                let disposition = if requests[i].observer.is_none() {
+                    CacheDisposition::Miss
+                } else {
+                    CacheDisposition::Bypass
+                };
+                slots[i] = Some((report, disposition));
+            }
+            let answered: Vec<(MapReport, CacheDisposition)> = slots
+                .into_iter()
+                .map(|s| s.expect("all answered"))
+                .collect();
+            send_batch_response(ctx, token, &answered, keep_alive, version);
+        }
+    }
+}
+
+fn send_map_report(
+    ctx: &WorkerCtx,
+    token: u64,
+    report: &MapReport,
+    disposition: CacheDisposition,
+    keep_alive: bool,
+    version: HttpVersion,
+) {
+    match serde_json::to_string(report) {
+        Ok(json) => ctx.send(ResponseMsg {
+            token,
+            bytes: encode_response(
+                200,
+                &json,
+                &[("X-Monomap-Cache", disposition.name().to_string())],
+                keep_alive,
+                version,
+            ),
+            keep_alive,
+        }),
+        Err(e) => ctx.send_error(
+            token,
+            500,
+            &format!("serializing report: {e}"),
+            keep_alive,
+            version,
+        ),
+    }
+}
+
+fn send_batch_response(
+    ctx: &WorkerCtx,
+    token: u64,
+    results: &[(MapReport, CacheDisposition)],
+    keep_alive: bool,
+    version: HttpVersion,
+) {
+    let reports: Vec<&MapReport> = results.iter().map(|(r, _)| r).collect();
+    let dispositions: Vec<&str> = results.iter().map(|(_, d)| d.name()).collect();
+    let reports_json = match serde_json::to_string(&reports) {
+        Ok(j) => j,
+        Err(e) => {
+            ctx.send_error(
+                token,
+                500,
+                &format!("serializing reports: {e}"),
+                keep_alive,
+                version,
+            );
+            return;
+        }
+    };
+    let dispositions_json = match serde_json::to_string(&dispositions) {
+        Ok(j) => j,
+        Err(e) => {
+            ctx.send_error(
+                token,
+                500,
+                &format!("serializing dispositions: {e}"),
+                keep_alive,
+                version,
+            );
+            return;
+        }
+    };
+    let body = format!("{{\"reports\":{reports_json},\"cache\":{dispositions_json}}}");
+    ctx.send(ResponseMsg {
+        token,
+        bytes: encode_response(200, &body, &[], keep_alive, version),
+        keep_alive,
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -505,9 +1247,31 @@ const MAX_LINE_BYTES: usize = 16 * 1024;
 /// Most header lines accepted per request.
 const MAX_HEADERS: usize = 128;
 
+/// Largest accepted request head (request line + headers + blank
+/// line): every line at the line cap, plus slack.
+const MAX_HEAD_BYTES: usize = MAX_LINE_BYTES * (MAX_HEADERS + 2);
+
+/// The HTTP version a request arrived with; echoed in the status line
+/// so HTTP/1.0 peers are not answered with a version they may not
+/// understand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HttpVersion {
+    V10,
+    V11,
+}
+
+impl HttpVersion {
+    fn as_str(self) -> &'static str {
+        match self {
+            HttpVersion::V10 => "HTTP/1.0",
+            HttpVersion::V11 => "HTTP/1.1",
+        }
+    }
+}
+
 enum Line {
     Some(String),
-    /// EOF / timeout / transport error: treat the connection as gone.
+    /// EOF / timeout / transport error: treat the input as exhausted.
     Closed,
     /// The line exceeded [`MAX_LINE_BYTES`] (already-read bytes are
     /// discarded; the caller answers 400 and closes).
@@ -515,8 +1279,8 @@ enum Line {
 }
 
 /// Reads one `\n`-terminated line with the length cap enforced
-/// incrementally, via the `BufReader`'s own buffer.
-fn read_line_capped(reader: &mut BufReader<TcpStream>) -> Line {
+/// incrementally, via the reader's own buffer.
+fn read_line_capped<R: BufRead>(reader: &mut R) -> Line {
     let mut line: Vec<u8> = Vec::new();
     loop {
         let buffered = match reader.fill_buf() {
@@ -550,46 +1314,157 @@ fn read_line_capped(reader: &mut BufReader<TcpStream>) -> Line {
     }
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutcome {
+/// A complete request pulled out of a connection's read buffer.
+struct ParsedRequest {
+    method: String,
+    path: String,
+    version: HttpVersion,
+    keep_alive: bool,
+    body: Vec<u8>,
+}
+
+enum Parse {
+    /// The buffer does not hold a complete request yet.
+    NeedMore,
+    Request(ParsedRequest),
+    /// Malformed input; the connection gets one 400 and is closed.
+    Bad(&'static str),
+    /// Declared body larger than the configured cap.
+    TooLarge {
+        version: HttpVersion,
+    },
+}
+
+/// The parsed request head (everything before the body).
+struct Head {
+    method: String,
+    path: String,
+    version: HttpVersion,
+    keep_alive: bool,
+    content_length: usize,
+}
+
+/// Byte offset one past the head-terminating blank line, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Bytes since the last newline — the length of the line currently
+/// being accumulated.
+fn trailing_line_len(buf: &[u8]) -> usize {
+    buf.len()
+        - buf
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap_or(0)
+}
+
+/// Attempts to pull one complete request off the front of `rbuf`,
+/// consuming its bytes on success (and on `TooLarge`, so the
+/// connection can drain the unread body).
+fn try_parse(rbuf: &mut Vec<u8>, max_body: usize) -> Parse {
+    let Some(head_end) = find_head_end(rbuf) else {
+        // The head is incomplete; enforce the caps on what has
+        // accumulated so a newline-free or header-spamming stream is
+        // cut off while reading.
+        if trailing_line_len(rbuf) > MAX_LINE_BYTES + 2 {
+            return Parse::Bad("header line too long");
+        }
+        if rbuf.len() > MAX_HEAD_BYTES {
+            return Parse::Bad("too many headers");
+        }
+        return Parse::NeedMore;
+    };
+    let head = match parse_head(&rbuf[..head_end]) {
+        Ok(h) => h,
+        Err(msg) => return Parse::Bad(msg),
+    };
+    if head.content_length > max_body {
+        // Consume the head: the (unread) body is drained, not parsed.
+        rbuf.drain(..head_end);
+        return Parse::TooLarge {
+            version: head.version,
+        };
+    }
+    let total = head_end + head.content_length;
+    if rbuf.len() < total {
+        return Parse::NeedMore;
+    }
+    let body = rbuf[head_end..total].to_vec();
+    rbuf.drain(..total);
+    Parse::Request(ParsedRequest {
+        method: head.method,
+        path: head.path,
+        version: head.version,
+        keep_alive: head.keep_alive,
+        body,
+    })
+}
+
+/// Parses a complete request head (reusing the capped line reader over
+/// the in-memory bytes).
+fn parse_head(mut head: &[u8]) -> Result<Head, &'static str> {
+    let reader = &mut head;
     let line = match read_line_capped(reader) {
         Line::Some(l) => l,
-        Line::Closed => return ReadOutcome::Closed,
-        Line::TooLong => return ReadOutcome::Bad("request line too long"),
+        Line::Closed => return Err("malformed request line"),
+        Line::TooLong => return Err("request line too long"),
     };
     let mut parts = line.split_whitespace();
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return ReadOutcome::Bad("malformed request line");
+        return Err("malformed request line");
     };
-    if !version.starts_with("HTTP/1.") {
-        return ReadOutcome::Bad("unsupported HTTP version");
-    }
+    let version = match version {
+        "HTTP/1.0" => HttpVersion::V10,
+        v if v.starts_with("HTTP/1.") => HttpVersion::V11,
+        _ => return Err("unsupported HTTP version"),
+    };
     // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
-    let mut keep_alive = version == "HTTP/1.1";
+    let mut keep_alive = version == HttpVersion::V11;
     let method = method.to_string();
     let path = path.to_string();
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     for header_count in 0.. {
         if header_count >= MAX_HEADERS {
-            return ReadOutcome::Bad("too many headers");
+            return Err("too many headers");
         }
         let header = match read_line_capped(reader) {
             Line::Some(l) => l,
-            Line::Closed => return ReadOutcome::Closed,
-            Line::TooLong => return ReadOutcome::Bad("header line too long"),
+            Line::Closed => break, // end of the head slice
+            Line::TooLong => return Err("header line too long"),
         };
         if header.is_empty() {
             break;
         }
         let Some((name, value)) = header.split_once(':') else {
-            return ReadOutcome::Bad("malformed header");
+            return Err("malformed header");
         };
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim();
         match name.as_str() {
             "content-length" => match value.parse::<usize>() {
-                Ok(n) => content_length = n,
-                Err(_) => return ReadOutcome::Bad("malformed Content-Length"),
+                // Identical repeats are tolerated (RFC 9110 §8.6);
+                // *conflicting* declarations are a request-smuggling
+                // vector on keep-alive connections and are rejected.
+                Ok(n) => match content_length {
+                    Some(prev) if prev != n => return Err("conflicting Content-Length headers"),
+                    _ => content_length = Some(n),
+                },
+                Err(_) => return Err("malformed Content-Length"),
             },
             "connection" => {
                 let v = value.to_ascii_lowercase();
@@ -599,24 +1474,16 @@ fn read_request(reader: &mut BufReader<TcpStream>, max_body: usize) -> ReadOutco
                     keep_alive = true;
                 }
             }
-            "transfer-encoding" => {
-                return ReadOutcome::Bad("chunked transfer encoding is not supported")
-            }
+            "transfer-encoding" => return Err("chunked transfer encoding is not supported"),
             _ => {}
         }
     }
-    if content_length > max_body {
-        return ReadOutcome::TooLarge;
-    }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 && reader.read_exact(&mut body).is_err() {
-        return ReadOutcome::Closed;
-    }
-    ReadOutcome::Request(HttpRequest {
+    Ok(Head {
         method,
         path,
-        body,
+        version,
         keep_alive,
+        content_length: content_length.unwrap_or(0),
     })
 }
 
@@ -627,20 +1494,35 @@ fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         _ => "Error",
     }
 }
 
-fn respond(
-    writer: &mut TcpStream,
+/// Encodes a JSON response. The status line echoes the request's HTTP
+/// version and the `Connection` header is always explicit, so
+/// HTTP/1.0 peers (whose default is close) get an unambiguous answer.
+fn encode_response(
     status: u16,
     body: &str,
     extra: &[(&'static str, String)],
     keep_alive: bool,
-) -> io::Result<()> {
+    version: HttpVersion,
+) -> Vec<u8> {
+    encode_response_raw(status, body, extra, keep_alive, version)
+}
+
+fn encode_response_raw(
+    status: u16,
+    body: &str,
+    extra: &[(&'static str, String)],
+    keep_alive: bool,
+    version: HttpVersion,
+) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "{} {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        version.as_str(),
         status,
         status_text(status),
         body.len(),
@@ -653,21 +1535,132 @@ fn respond(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    writer.write_all(head.as_bytes())?;
-    writer.write_all(body.as_bytes())?;
-    writer.flush()
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
 }
 
-fn respond_error(
-    writer: &mut TcpStream,
-    status: u16,
-    message: &str,
-    keep_alive: bool,
-) -> io::Result<()> {
+fn encode_error(status: u16, message: &str, keep_alive: bool, version: HttpVersion) -> Vec<u8> {
     let body = serde_json::to_string(&serde::Value::Map(vec![(
         "error".to_string(),
         serde::Value::Str(message.to_string()),
     )]))
     .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
-    respond(writer, status, &body, &[], keep_alive)
+    encode_response(status, &body, &[], keep_alive, version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_bytes(bytes: &[u8]) -> Parse {
+        let mut buf = bytes.to_vec();
+        try_parse(&mut buf, 16 << 20)
+    }
+
+    #[test]
+    fn parses_a_complete_request_and_consumes_it() {
+        let mut buf = b"POST /map HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /stats".to_vec();
+        match try_parse(&mut buf, 1024) {
+            Parse::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/map");
+                assert_eq!(req.version, HttpVersion::V11);
+                assert!(req.keep_alive);
+                assert_eq!(req.body, b"body");
+            }
+            _ => panic!("expected a complete request"),
+        }
+        assert_eq!(buf, b"GET /stats", "pipelined bytes stay buffered");
+    }
+
+    #[test]
+    fn incomplete_head_and_incomplete_body_need_more() {
+        assert!(matches!(
+            parse_bytes(b"POST /map HTTP/1.1\r\nContent-Len"),
+            Parse::NeedMore
+        ));
+        assert!(matches!(
+            parse_bytes(b"POST /map HTTP/1.1\r\nContent-Length: 10\r\n\r\nhalf"),
+            Parse::NeedMore
+        ));
+    }
+
+    #[test]
+    fn conflicting_content_length_is_rejected_identical_tolerated() {
+        // Satellite fix: last-one-wins duplicate Content-Length is a
+        // request-smuggling vector; conflicting values are a hard 400.
+        match parse_bytes(b"POST /map HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\n") {
+            Parse::Bad(msg) => assert!(msg.contains("conflicting"), "{msg}"),
+            _ => panic!("conflicting Content-Length must be rejected"),
+        }
+        match parse_bytes(
+            b"POST /map HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody",
+        ) {
+            Parse::Request(req) => assert_eq!(req.body, b"body"),
+            _ => panic!("identical duplicates are tolerated"),
+        }
+    }
+
+    #[test]
+    fn http10_version_and_keep_alive_semantics() {
+        match parse_bytes(b"GET /healthz HTTP/1.0\r\n\r\n") {
+            Parse::Request(req) => {
+                assert_eq!(req.version, HttpVersion::V10);
+                assert!(!req.keep_alive, "1.0 defaults to close");
+            }
+            _ => panic!("valid 1.0 request"),
+        }
+        match parse_bytes(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n") {
+            Parse::Request(req) => {
+                assert_eq!(req.version, HttpVersion::V10);
+                assert!(req.keep_alive, "1.0 opts in explicitly");
+            }
+            _ => panic!("valid 1.0 keep-alive request"),
+        }
+    }
+
+    #[test]
+    fn status_line_echoes_request_version() {
+        // Satellite fix: a 1.0 peer must not be answered "HTTP/1.1".
+        let v10 = encode_response(200, "{}", &[], false, HttpVersion::V10);
+        assert!(v10.starts_with(b"HTTP/1.0 200 OK\r\n"));
+        assert!(String::from_utf8_lossy(&v10).contains("Connection: close"));
+        let v11 = encode_response(200, "{}", &[], true, HttpVersion::V11);
+        assert!(v11.starts_with(b"HTTP/1.1 200 OK\r\n"));
+        assert!(String::from_utf8_lossy(&v11).contains("Connection: keep-alive"));
+    }
+
+    #[test]
+    fn oversized_body_consumes_head_and_reports_version() {
+        let mut buf = b"POST /map HTTP/1.0\r\nContent-Length: 100\r\n\r\n".to_vec();
+        match try_parse(&mut buf, 10) {
+            Parse::TooLarge { version } => assert_eq!(version, HttpVersion::V10),
+            _ => panic!("expected TooLarge"),
+        }
+        assert!(buf.is_empty(), "head consumed so the drain starts clean");
+    }
+
+    #[test]
+    fn line_and_head_caps_apply_while_accumulating() {
+        let mut long_line = b"GET /x HTTP/1.1\r\nX-Big: ".to_vec();
+        long_line.extend(vec![b'a'; MAX_LINE_BYTES + 16]);
+        assert!(matches!(parse_bytes(&long_line), Parse::Bad(_)));
+        // Transfer-encoding is still refused.
+        assert!(matches!(
+            parse_bytes(b"POST /map HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Parse::Bad(_)
+        ));
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        match parse_bytes(b"GET /stats HTTP/1.1\nConnection: close\n\n") {
+            Parse::Request(req) => {
+                assert_eq!(req.path, "/stats");
+                assert!(!req.keep_alive);
+            }
+            _ => panic!("bare-LF head must parse"),
+        }
+    }
 }

@@ -23,10 +23,15 @@
 //!   deterministic outcomes;
 //! * [`Server`]/[`Client`] — a dependency-free HTTP/1.1 daemon (and
 //!   matching client) exposing `POST /map`, `POST /map_batch`,
-//!   `GET /stats` and `GET /healthz` over the existing JSON envelope,
-//!   with a fixed worker pool and client-disconnect → cancellation
-//!   wiring. The `monomapd` binary in the workspace root is a thin CLI
-//!   over [`Server`].
+//!   `GET /stats` and `GET /healthz` over the existing JSON envelope.
+//!   The daemon is a readiness-driven event loop (hand-rolled epoll,
+//!   no `libc`/`mio`) that splits the request path in two: a cheap
+//!   pool answers cache hits in microseconds while a fixed solve pool
+//!   behind a *bounded* admission queue runs engines — overflow is
+//!   shed with `429` + `Retry-After` instead of queueing unboundedly,
+//!   and a client that disconnects mid-solve cancels it (readable-EOF
+//!   on the reactor raises the request's `CancelFlag`). The `monomapd`
+//!   binary in the workspace root is a thin CLI over [`Server`].
 //!
 //! ## Example
 //!
@@ -50,8 +55,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the epoll shim in `reactor::sys` is the
+// one narrowly-scoped, documented exception (plain `extern "C"` into
+// the C library std already links — no new dependency).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod admission;
+mod reactor;
 
 pub mod cache;
 pub mod cached;
@@ -59,6 +70,6 @@ pub mod client;
 pub mod http;
 
 pub use cache::{CacheKey, CacheStatsSnapshot, MapCache};
-pub use cached::{CacheDisposition, CachedMappingService};
+pub use cached::{CacheDisposition, CacheProbe, CachedMappingService, PreparedRequest};
 pub use client::{Client, ClientError, MapResponse};
 pub use http::{Server, ServerConfig, ServerHandle, ServerStatsSnapshot, StatsSnapshot};

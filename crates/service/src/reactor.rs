@@ -1,0 +1,305 @@
+//! A thin, `libc`-crate-free readiness-polling shim over Linux
+//! `epoll(7)`, plus the self-wake channel the event loop uses to learn
+//! about completions produced on pool threads.
+//!
+//! The rest of the workspace is dependency-free by policy, so instead
+//! of pulling in `mio` (or even the `libc` crate) this module declares
+//! the three epoll entry points itself — they live in the C library
+//! `std` already links — and wraps them in a safe [`Poller`] API shaped
+//! like the subset of `mio` the server needs: register/rearm/deregister
+//! a raw fd with a `u64` token, and wait for readable/writable events.
+//!
+//! Everything here is crate-private; the HTTP front end in
+//! [`crate::http`] is the only consumer.
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The raw syscall surface. This is the one corner of the workspace
+/// that needs `unsafe`: calling the three `extern "C"` epoll functions
+/// and adopting the returned fd. Every wrapper below upholds the
+/// syscalls' contracts (valid fds, correctly sized event buffers) and
+/// exposes a safe interface.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+    use std::os::raw::c_int;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `struct epoll_event`. The kernel ABI packs it on x86-64.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    pub fn create() -> io::Result<c_int> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // reported through errno.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    pub fn ctl(epfd: c_int, op: c_int, fd: c_int, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        // SAFETY: `ev` outlives the call; EPOLL_CTL_DEL ignores the
+        // pointer but passing a valid one is always permitted.
+        let rc = unsafe { epoll_ctl(epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub fn wait(epfd: c_int, buf: &mut [EpollEvent], timeout_ms: c_int) -> io::Result<usize> {
+        // SAFETY: the buffer pointer and capacity describe a live,
+        // correctly typed slice for the duration of the call.
+        let rc = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout_ms) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(rc as usize)
+    }
+
+    pub fn close_fd(fd: c_int) {
+        // SAFETY: callers pass an fd they own exactly once.
+        let _ = unsafe { close(fd) };
+    }
+}
+
+/// One readiness event: which registration fired and how.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable — includes peer half-close (`EPOLLRDHUP`), hangup and
+    /// error conditions, all of which a `read()` will surface.
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+/// A level-triggered epoll instance.
+pub(crate) struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::create()?,
+        })
+    }
+
+    fn mask(readable: bool, writable: bool) -> u32 {
+        let mut events = sys::EPOLLRDHUP;
+        if readable {
+            events |= sys::EPOLLIN;
+        }
+        if writable {
+            events |= sys::EPOLLOUT;
+        }
+        events
+    }
+
+    /// Adds `fd` under `token` with the given interests.
+    pub fn register(
+        &self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> io::Result<()> {
+        sys::ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Self::mask(readable, writable),
+            token,
+        )
+    }
+
+    /// Replaces the interests of an already registered fd.
+    pub fn rearm(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        sys::ctl(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            fd,
+            Self::mask(readable, writable),
+            token,
+        )
+    }
+
+    /// Removes `fd`. Closing the fd would drop it implicitly; explicit
+    /// removal keeps the interest list exact.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks for up to `timeout`, appending fired events to `out`
+    /// (which is cleared first). A zero-length result is a timeout.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        out.clear();
+        let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        let n = loop {
+            match sys::wait(self.epfd, &mut buf, timeout_ms) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        for ev in &buf[..n] {
+            // Copy out of the (possibly packed) struct before use.
+            let events = ev.events;
+            let data = ev.data;
+            out.push(Event {
+                token: data,
+                readable: events & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR)
+                    != 0,
+                writable: events & sys::EPOLLOUT != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// The write half of the event loop's self-wake channel. Pool threads
+/// clone it and call [`Waker::wake`] after pushing a completion, which
+/// makes the reactor's `epoll_wait` return immediately.
+#[derive(Clone)]
+pub(crate) struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    pub fn wake(&self) {
+        // A full pipe means a wake-up is already pending; a broken one
+        // means the loop is gone. Both are fine to ignore.
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// The read half: registered with the poller; [`WakeReader::drain`]
+/// swallows the pending bytes so level-triggered polling goes quiet.
+pub(crate) struct WakeReader {
+    rx: UnixStream,
+}
+
+impl WakeReader {
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// Builds a connected waker pair, both ends non-blocking.
+pub(crate) fn waker_pair() -> io::Result<(Waker, WakeReader)> {
+    let (rx, tx) = UnixStream::pair()?;
+    rx.set_nonblocking(true)?;
+    tx.set_nonblocking(true)?;
+    Ok((Waker { tx: Arc::new(tx) }, WakeReader { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn poller_sees_listener_readability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .register(listener.as_raw_fd(), 7, true, false)
+            .unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.is_empty(), "nothing pending yet");
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+    }
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let poller = Poller::new().unwrap();
+        let (waker, reader) = waker_pair().unwrap();
+        poller.register(reader.fd(), 1, true, false).unwrap();
+        let mut events = Vec::new();
+        waker.wake();
+        waker.wake();
+        poller.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        reader.drain();
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(
+            events.iter().all(|e| e.token != 1),
+            "drained waker goes quiet"
+        );
+    }
+
+    #[test]
+    fn writable_interest_is_reported_and_rearmable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        // Read-only first: an idle connected socket reports nothing.
+        poller.register(server.as_raw_fd(), 3, true, false).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, Duration::from_millis(10)).unwrap();
+        assert!(events.is_empty());
+        // Rearm with write interest: an empty send buffer is writable.
+        poller.rearm(server.as_raw_fd(), 3, true, true).unwrap();
+        poller.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+        // And data from the peer flips readable on.
+        (&client).write_all(b"x").unwrap();
+        poller.wait(&mut events, Duration::from_secs(5)).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+}

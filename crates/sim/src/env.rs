@@ -131,7 +131,12 @@ impl fmt::Display for SimError {
             SimError::IncapablePe { node, pe, class } => {
                 write!(f, "{node} needs a {class} unit but {pe} provides none")
             }
-            SimError::RouteTooLong { src, dst, hops, max } => match hops {
+            SimError::RouteTooLong {
+                src,
+                dst,
+                hops,
+                max,
+            } => match hops {
                 Some(h) => write!(
                     f,
                     "{src} -> {dst} needs a {h}-hop route but the bound is {max}"

@@ -141,7 +141,7 @@ impl<'a> MachineSimulator<'a> {
                 .entry(ps.index())
                 .or_insert_with(|| self.route_distances(ps));
             let hops = dist[pd.index()];
-            if hops.map_or(true, |h| h > self.max_route_hops) {
+            if hops.is_none_or(|h| h > self.max_route_hops) {
                 return Err(SimError::RouteTooLong {
                     src: e.src,
                     dst: e.dst,

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # CI smoke test for the monomapd daemon: start it on an ephemeral
 # port, issue /healthz and /map through the bundled client, and assert
-# that repeating the same kernel is a cache hit. Requires the release
-# binaries (cargo build --release) to exist already.
+# that repeating the same kernel is a cache hit. A second daemon with
+# a tiny solve queue then exercises the overload path: saturate it
+# with slow coupled solves and assert excess work is shed with 429.
+# Requires the release binaries (cargo build --release) to exist.
 set -euo pipefail
 
 BIN="${BIN:-target/release}"
 LOG="$(mktemp)"
+LOG2="$(mktemp)"
 
 "$BIN/monomapd" --addr 127.0.0.1:0 --rows 4 --cols 4 --cache-capacity 64 >"$LOG" 2>&1 &
 DAEMON=$!
-trap 'kill "$DAEMON" 2>/dev/null || true; rm -f "$LOG"' EXIT
+DAEMON2=""
+SLOW_PIDS=""
+trap 'kill "$DAEMON" $DAEMON2 $SLOW_PIDS 2>/dev/null || true; rm -f "$LOG" "$LOG2"' EXIT
 
 # The daemon prints "monomapd listening on http://<addr>" once bound.
 ADDR=""
@@ -41,3 +46,61 @@ fail() { echo "FAIL: $1" >&2; exit 1; }
     || fail "/stats did not count exactly one hit"
 
 echo "monomapd smoke OK ($ADDR)"
+
+# ---- overload path: tiny queue, slow solves, assert one 429 ----------
+
+"$BIN/monomapd" --addr 127.0.0.1:0 --rows 4 --cols 4 --cache-capacity 64 \
+    --workers 1 --cheap-workers 1 --queue-bound 1 >"$LOG2" 2>&1 &
+DAEMON2=$!
+
+ADDR2=""
+for _ in $(seq 1 100); do
+    ADDR2="$(grep -oE '127\.0\.0\.1:[0-9]+' "$LOG2" | head -1 || true)"
+    [ -n "$ADDR2" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR2" ] || fail "overload daemon never printed its listen address"
+echo "overload daemon is up on $ADDR2"
+
+# Two slow coupled solves (6x6 override runs for minutes cold; the
+# deadline is only a safety net): the first pins the lone solve
+# worker, the second fills the one-slot queue.
+"$BIN/monomap-client" --addr "$ADDR2" map susan --engine coupled \
+    --rows 6 --cols 6 --deadline 120 >/dev/null 2>&1 &
+SLOW_PIDS="$!"
+for _ in $(seq 1 100); do
+    "$BIN/monomap-client" --addr "$ADDR2" stats | grep -q '"solve_pool_busy":1' && break
+    sleep 0.1
+done
+"$BIN/monomap-client" --addr "$ADDR2" stats | grep -q '"solve_pool_busy":1' \
+    || fail "slow solve never pinned the solve pool"
+
+"$BIN/monomap-client" --addr "$ADDR2" map nw --engine coupled \
+    --rows 6 --cols 6 --deadline 120 >/dev/null 2>&1 &
+SLOW_PIDS="$SLOW_PIDS $!"
+for _ in $(seq 1 100); do
+    "$BIN/monomap-client" --addr "$ADDR2" stats | grep -q '"queue_depth":1' && break
+    sleep 0.1
+done
+"$BIN/monomap-client" --addr "$ADDR2" stats | grep -q '"queue_depth":1' \
+    || fail "second slow solve never filled the queue"
+
+# The third solve must be shed with 429 + Retry-After (the client
+# surfaces it as an "overloaded" error on stderr and exits nonzero).
+if SHED_OUT="$("$BIN/monomap-client" --addr "$ADDR2" map fft --engine coupled \
+    --rows 6 --cols 6 2>&1 >/dev/null)"; then
+    fail "third solve was admitted instead of shed"
+fi
+echo "$SHED_OUT" | grep -qi 'overloaded' \
+    || fail "shed response was not surfaced as overloaded: $SHED_OUT"
+echo "$SHED_OUT" | grep -qE 'retry after [0-9]+s' \
+    || fail "shed response carried no parseable Retry-After: $SHED_OUT"
+
+"$BIN/monomap-client" --addr "$ADDR2" stats | grep -qE '"shed_total":[1-9]' \
+    || fail "/stats did not count the shed request"
+
+# Cheap path stays responsive under a saturated pool.
+"$BIN/monomap-client" --addr "$ADDR2" healthz | grep -q '"status":"ok"' \
+    || fail "/healthz starved while the solve pool was pinned"
+
+echo "monomapd overload smoke OK ($ADDR2)"

@@ -16,6 +16,7 @@
 
 use std::process::ExitCode;
 
+use cgra_arch::Cgra;
 use cgra_dfg::{examples, suite, Dfg};
 use monomap_core::api::{EngineId, MapRequest};
 use monomap_core::MapperConfig;
@@ -28,6 +29,7 @@ USAGE:
     monomap-client --addr <host:port> stats
     monomap-client --addr <host:port> map <kernel> [--engine decoupled|coupled|annealing]
                                                    [--max-ii <n>] [--deadline <seconds>]
+                                                   [--rows <n> --cols <n>]
 
 KERNELS:
     any suite name (see `monomap-client kernels`), running_example, accumulator
@@ -50,6 +52,8 @@ fn run() -> Result<(), String> {
     let mut engine = EngineId::Decoupled;
     let mut config = MapperConfig::default();
     let mut deadline: Option<f64> = None;
+    let mut rows: Option<usize> = None;
+    let mut cols: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -82,6 +86,20 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--deadline: not a number".to_string())?;
                 deadline = Some(s);
+            }
+            "--rows" => {
+                rows = Some(
+                    value("--rows")?
+                        .parse()
+                        .map_err(|_| "--rows: not a number".to_string())?,
+                )
+            }
+            "--cols" => {
+                cols = Some(
+                    value("--cols")?
+                        .parse()
+                        .map_err(|_| "--cols: not a number".to_string())?,
+                )
             }
             other if command.is_none() => command = Some(other.to_string()),
             other if command.as_deref() == Some("map") && kernel.is_none() => {
@@ -120,6 +138,15 @@ fn run() -> Result<(), String> {
                 .ok_or_else(|| format!("unknown kernel `{kernel}` (try `kernels`)"))?;
             let mut request = MapRequest::new(engine, dfg).with_config(config);
             request.deadline_seconds = deadline;
+            match (rows, cols) {
+                (None, None) => {}
+                (Some(r), Some(c)) => {
+                    let cgra =
+                        Cgra::new(r, c).map_err(|e| format!("invalid CGRA override: {e}"))?;
+                    request = request.with_cgra(cgra);
+                }
+                _ => return Err("--rows and --cols must be given together".into()),
+            }
             let response = client.map(&request).map_err(|e| e.to_string())?;
             println!(
                 "{}",

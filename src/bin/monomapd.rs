@@ -10,7 +10,8 @@
 //! monomapd [--addr 127.0.0.1:8931] [--rows 4] [--cols 4]
 //!          [--topology torus|mesh|diagonal]
 //!          [--profile homogeneous|mem-left|mul-checkerboard|mem-left-mul-checkerboard]
-//!          [--workers 4] [--batch-parallelism 4] [--cache-capacity 4096]
+//!          [--workers 4] [--cheap-workers 2] [--queue-bound 64]
+//!          [--batch-parallelism 4] [--cache-capacity 4096]
 //! ```
 //!
 //! Bind port 0 for an ephemeral port; the daemon prints
@@ -31,6 +32,8 @@ struct Options {
     topology: Topology,
     profile: Option<CapabilityProfile>,
     workers: usize,
+    cheap_workers: usize,
+    queue_bound: usize,
     batch_parallelism: usize,
     cache_capacity: usize,
 }
@@ -44,6 +47,8 @@ impl Default for Options {
             topology: Topology::Torus,
             profile: None,
             workers: 4,
+            cheap_workers: 2,
+            queue_bound: 64,
             batch_parallelism: 4,
             cache_capacity: 4096,
         }
@@ -62,7 +67,9 @@ OPTIONS:
     --topology <name>           torus | mesh | diagonal (default torus)
     --profile <name>            homogeneous | mem-left | mul-checkerboard |
                                 mem-left-mul-checkerboard (default homogeneous)
-    --workers <n>               HTTP worker threads (default 4)
+    --workers <n>               solve-pool threads (default 4)
+    --cheap-workers <n>         cheap-path threads: parsing + cache lookups (default 2)
+    --queue-bound <n>           max queued solve jobs; overflow is shed with 429 (default 64)
     --batch-parallelism <n>     worker threads per /map_batch request (default 4)
     --cache-capacity <n>        mapping cache entries (default 4096)
     --help                      print this help
@@ -85,6 +92,12 @@ fn parse_args() -> Result<Options, String> {
             "--rows" => opts.rows = parse_num(&value("--rows")?, "--rows")?,
             "--cols" => opts.cols = parse_num(&value("--cols")?, "--cols")?,
             "--workers" => opts.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--cheap-workers" => {
+                opts.cheap_workers = parse_num(&value("--cheap-workers")?, "--cheap-workers")?
+            }
+            "--queue-bound" => {
+                opts.queue_bound = parse_num(&value("--queue-bound")?, "--queue-bound")?
+            }
             "--batch-parallelism" => {
                 opts.batch_parallelism =
                     parse_num(&value("--batch-parallelism")?, "--batch-parallelism")?
@@ -112,8 +125,17 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
-    if opts.workers == 0 || opts.batch_parallelism == 0 || opts.cache_capacity == 0 {
-        return Err("--workers, --batch-parallelism and --cache-capacity must be positive".into());
+    if opts.workers == 0
+        || opts.cheap_workers == 0
+        || opts.queue_bound == 0
+        || opts.batch_parallelism == 0
+        || opts.cache_capacity == 0
+    {
+        return Err(
+            "--workers, --cheap-workers, --queue-bound, --batch-parallelism and \
+             --cache-capacity must be positive"
+                .into(),
+        );
     }
     Ok(opts)
 }
@@ -145,6 +167,8 @@ fn main() -> ExitCode {
     let cached = CachedMappingService::new(service, opts.cache_capacity);
     let config = ServerConfig {
         workers: opts.workers,
+        cheap_workers: opts.cheap_workers,
+        queue_bound: opts.queue_bound,
         ..ServerConfig::default()
     };
     let server = match Server::bind(&opts.addr, cached, config) {
@@ -163,9 +187,11 @@ fn main() -> ExitCode {
     };
     println!("monomapd listening on http://{addr}");
     println!(
-        "  cgra: {} | workers: {} | cache capacity: {}",
+        "  cgra: {} | solve workers: {} | cheap workers: {} | queue bound: {} | cache capacity: {}",
         cgra.describe(),
         opts.workers,
+        opts.cheap_workers,
+        opts.queue_bound,
         opts.cache_capacity,
     );
     // Ready-line consumers (the smoke script) need the port before the

@@ -15,18 +15,63 @@ use monomap_service::{
 };
 
 fn start_server(workers: usize) -> (ServerHandle, Client) {
-    let cgra = Cgra::new(2, 2).unwrap();
-    let service = standard_service(&cgra).with_parallelism(2);
-    let cached = CachedMappingService::new(service, 256);
-    let config = ServerConfig {
+    start_server_with(ServerConfig {
         workers,
         monitor_interval: Duration::from_millis(10),
         ..ServerConfig::default()
-    };
+    })
+}
+
+fn start_server_with(config: ServerConfig) -> (ServerHandle, Client) {
+    let cgra = Cgra::new(2, 2).unwrap();
+    let service = standard_service(&cgra).with_parallelism(2);
+    let cached = CachedMappingService::new(service, 256);
     let server = Server::bind("127.0.0.1:0", cached, config).expect("bind ephemeral port");
     let handle = server.spawn().expect("spawn server");
     let client = Client::new(handle.addr()).expect("client");
     (handle, client)
+}
+
+/// A deliberately slow request: the coupled (SAT-MapIt-style) joint
+/// formulation over a 6x6 CGRA override runs for minutes cold.
+fn slow_request() -> MapRequest {
+    MapRequest::new(EngineId::Coupled, suite::generate("susan")).with_cgra(Cgra::new(6, 6).unwrap())
+}
+
+/// Sends `request` raw on a fresh connection without reading the
+/// response — the caller controls the socket's fate.
+fn send_raw_map(addr: std::net::SocketAddr, request: &MapRequest) -> TcpStream {
+    let body = serde_json::to_string(request).unwrap();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST /map HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    stream
+}
+
+/// Polls `/stats` until `pred` holds (panicking after 30s).
+fn await_stats(
+    client: &Client,
+    what: &str,
+    pred: impl Fn(&monomap_service::StatsSnapshot) -> bool,
+) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().expect("stats");
+        if pred(&stats) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
 }
 
 #[test]
@@ -345,4 +390,256 @@ fn wire_error_type_is_surfaced() {
         Err(ClientError::Io(_)) => {}
         other => panic!("expected Io error, got {other:?}"),
     }
+}
+
+#[test]
+fn pipelined_bytes_then_disconnect_still_cancels_the_solve() {
+    // Regression for the old peek-based DisconnectMonitor: a peer that
+    // pipelined a second request before disconnecting left buffered
+    // bytes on the socket, so `peek` kept returning Ok(n) after the
+    // FIN and the abandoned solve ran to completion. The reactor
+    // reads the buffered bytes and then observes the EOF, so the
+    // cancellation must fire anyway.
+    let (server, client) = start_server(1);
+    let mut stream = send_raw_map(server.addr(), &slow_request());
+    std::thread::sleep(Duration::from_millis(100)); // let the solve start
+                                                    // Pipeline a whole second request behind the in-flight one...
+    let second =
+        serde_json::to_string(&MapRequest::new(EngineId::Decoupled, accumulator())).unwrap();
+    write!(
+        stream,
+        "POST /map HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        second.len(),
+        second
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // let the bytes land
+    drop(stream); // ...then disconnect
+
+    await_stats(&client, "disconnect detection", |s| {
+        s.server.client_disconnects >= 1
+    });
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache.insertions, 0, "cancelled solve is not cached");
+    assert_eq!(
+        stats.server.map_requests, 1,
+        "the pipelined request behind the abandoned solve is never dispatched"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn conflicting_content_length_is_rejected_on_the_wire() {
+    // Regression: duplicate Content-Length used to be last-one-wins —
+    // a request-smuggling vector on keep-alive connections.
+    let (server, client) = start_server(1);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(
+            b"POST /map HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nabcde",
+        )
+        .unwrap();
+    let mut response = String::new();
+    use std::io::Read;
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("conflicting"), "{response}");
+    // Identical duplicates are tolerated (RFC 9110 §8.6).
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(
+            b"GET /stats HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(client.healthz().is_ok(), "server survives");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_upload_still_observes_the_413_body() {
+    // Regression: the 413 used to be written without draining or
+    // half-closing the in-flight upload, so a client that was still
+    // writing its body could take a connection reset before ever
+    // reading the status line.
+    let (server, client) = start_server_with(ServerConfig {
+        workers: 1,
+        max_body_bytes: 1024,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let declared = 64 * 1024;
+    write!(
+        stream,
+        "POST /map HTTP/1.1\r\nHost: x\r\nContent-Length: {declared}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    // Keep uploading the whole declared body; the server must drain it
+    // (it half-closes its write side after flushing the error).
+    let chunk = vec![b'x'; 4096];
+    for _ in 0..(declared / chunk.len()) {
+        if stream.write_all(&chunk).is_err() {
+            break; // drain cap exceeded is acceptable; response is already out
+        }
+    }
+    let mut response = String::new();
+    use std::io::Read;
+    stream.read_to_string(&mut response).expect("read 413");
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+    assert!(response.contains("too large"), "{response}");
+    assert!(client.healthz().is_ok(), "server survives");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn http10_peers_get_their_version_echoed_with_explicit_connection() {
+    // Regression: the status line used to hardcode HTTP/1.1 whatever
+    // the request said, relying on implicit keep-alive semantics.
+    let (server, _client) = start_server(1);
+    // Plain 1.0: answered as 1.0, defaulting to close.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    use std::io::Read;
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+    assert!(
+        response.to_ascii_lowercase().contains("connection: close"),
+        "{response}"
+    );
+    // 1.0 with an explicit keep-alive opt-in: two requests, one socket.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for round in 0..2 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.0\r\nHost: x\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap();
+        let response = read_one_response(&mut stream);
+        assert!(
+            response.starts_with("HTTP/1.0 200"),
+            "round {round}: {response}"
+        );
+        assert!(
+            response
+                .to_ascii_lowercase()
+                .contains("connection: keep-alive"),
+            "round {round}: {response}"
+        );
+    }
+    drop(stream);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn admission_control_sheds_overflow_and_keeps_the_cheap_path_fast() {
+    // One solve slot, one queue slot. Pin the slot with a cold coupled
+    // solve, fill the queue with a second, and the third must be shed
+    // with 429 + Retry-After while warm cache hits keep flowing
+    // underneath in single-digit milliseconds.
+    let (server, client) = start_server_with(ServerConfig {
+        workers: 1,
+        queue_bound: 1,
+        ..ServerConfig::default()
+    });
+    // Warm a kernel while the pool is still free.
+    let warm = MapRequest::new(EngineId::Decoupled, accumulator());
+    assert_eq!(
+        client.map(&warm).unwrap().cache,
+        Some(CacheDisposition::Miss)
+    );
+
+    let pinned = send_raw_map(server.addr(), &slow_request());
+    await_stats(&client, "pool pinned", |s| s.server.solve_pool_busy == 1);
+    let queued = send_raw_map(
+        server.addr(),
+        &MapRequest::new(EngineId::Coupled, suite::generate("nw"))
+            .with_cgra(Cgra::new(6, 6).unwrap()),
+    );
+    await_stats(&client, "queue filled", |s| s.server.queue_depth == 1);
+
+    // Overflow: shed with a parseable Retry-After, not queued.
+    match client.map(&slow_request()) {
+        Err(ClientError::Overloaded { retry_after, body }) => {
+            assert!(retry_after >= Duration::from_secs(1), "{retry_after:?}");
+            assert!(body.contains("retry_after_seconds"), "{body}");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // Cheap-path isolation, measured: warm hits under the saturated
+    // pool. The <10ms p99 bound is only meaningful in release builds.
+    let mut worst = Duration::ZERO;
+    for _ in 0..50 {
+        let t0 = Instant::now();
+        let hit = client.map(&warm).expect("warm hit under load");
+        worst = worst.max(t0.elapsed());
+        assert_eq!(hit.cache, Some(CacheDisposition::Hit));
+    }
+    if !cfg!(debug_assertions) {
+        assert!(
+            worst < Duration::from_millis(10),
+            "cheap path not isolated: worst warm hit took {worst:?}"
+        );
+    }
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.server.solve_pool_busy, 1);
+    assert_eq!(stats.server.queue_depth, 1);
+    assert!(stats.server.queue_high_watermark >= 1, "{stats:?}");
+    assert!(stats.server.shed_total >= 1, "{stats:?}");
+    assert!(stats.server.errors >= 1, "the 429 counts as an error");
+
+    // Unpin: disconnects cancel both the running and the queued solve.
+    drop(pinned);
+    drop(queued);
+    await_stats(&client, "pool released", |s| {
+        s.server.solve_pool_busy == 0 && s.server.client_disconnects >= 1
+    });
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn map_with_retry_waits_out_a_shed_and_succeeds() {
+    // Saturate a 1-slot pool + 1-slot queue with *deadlined* slow
+    // solves so capacity frees within a few seconds, then drive a
+    // fresh cold request through the retry helper: it must absorb the
+    // 429s (sleeping out the Retry-After hints) and land.
+    let (server, client) = start_server_with(ServerConfig {
+        workers: 1,
+        queue_bound: 1,
+        ..ServerConfig::default()
+    });
+    let mut pin = slow_request();
+    pin.deadline_seconds = Some(2.0);
+    let mut fill = MapRequest::new(EngineId::Coupled, suite::generate("nw"))
+        .with_cgra(Cgra::new(6, 6).unwrap());
+    fill.deadline_seconds = Some(2.0);
+    let pinned = send_raw_map(server.addr(), &pin);
+    await_stats(&client, "pool pinned", |s| s.server.solve_pool_busy == 1);
+    let queued = send_raw_map(server.addr(), &fill);
+    await_stats(&client, "queue filled", |s| s.server.queue_depth == 1);
+
+    let fresh = MapRequest::new(EngineId::Decoupled, running_example());
+    let response = client
+        .map_with_retry(&fresh, 30, Duration::from_secs(1))
+        .expect("retry helper eventually lands");
+    assert!(response.report.outcome.is_mapped());
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.server.shed_total >= 1,
+        "at least one shed happened: {stats:?}"
+    );
+    drop(pinned);
+    drop(queued);
+    server.shutdown().unwrap();
 }

@@ -62,10 +62,7 @@ fn decoupled_k1_matches_the_pre_routing_goldens() {
             // The two kernels that escalate through every II on the
             // heterogeneous grid dominate an unoptimised run; they stay
             // covered by the release battery.
-            if cfg!(debug_assertions)
-                && grid == "het4"
-                && matches!(kernel, "cfd" | "hotspot3D")
-            {
+            if cfg!(debug_assertions) && grid == "het4" && matches!(kernel, "cfd" | "hotspot3D") {
                 continue;
             }
             let line = decoupled_golden_line(&cgra, grid, kernel);
