@@ -13,6 +13,9 @@
 //! suite-aggregate cold/hit ratio is ≥ 100× (in practice it is three
 //! to four orders of magnitude: cold solves are 100s of µs to 100s of
 //! ms, hits are single-digit µs).
+//!
+//! * `warm_start_replay` — the restart path (ISSUE 9): rebuilding the
+//!   hot tier from the on-disk log vs cold re-solving the suite.
 
 use std::time::{Duration, Instant};
 
@@ -21,7 +24,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use cgra_arch::Cgra;
 use cgra_dfg::suite;
 use monomap_core::api::{EngineId, MapRequest, MappingService};
-use monomap_service::{CacheDisposition, CachedMappingService};
+use monomap_service::{CacheDisposition, CachedMappingService, DiskLog, MapCache, TieredCache};
 
 /// A representative spread of the 17-kernel suite: small, medium and
 /// the largest kernels (full-suite timing lives in `summary`).
@@ -130,5 +133,72 @@ fn bench_suite_summary(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_cold_vs_hit, bench_suite_summary);
+/// Warm-start replay (ISSUE 9): rebuilding the hot tier from the disk
+/// log must be orders of magnitude cheaper than re-solving the suite —
+/// that difference is what `--cache-dir` buys a restarted daemon.
+fn bench_warm_start_replay(c: &mut Criterion) {
+    let _ = c;
+    let dir = std::env::temp_dir().join(format!("monomap-cache-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let disk_backed = || {
+        let cgra = Cgra::new(4, 4).unwrap();
+        let mut tiers = TieredCache::new(MapCache::new(1024));
+        tiers.push_store(Box::new(DiskLog::open(&dir, 4096).unwrap()));
+        CachedMappingService::with_tiers(MappingService::new(&cgra), tiers)
+    };
+
+    // Populate the log with the whole suite, timing the cold solves.
+    let service = disk_backed();
+    let mut cold_total = Duration::ZERO;
+    for name in suite::names() {
+        let request = MapRequest::new(EngineId::Decoupled, suite::generate(name));
+        let started = Instant::now();
+        let (_, d) = service.map(&request);
+        cold_total += started.elapsed();
+        assert_eq!(d, CacheDisposition::Miss);
+    }
+    drop(service);
+
+    // Restart: median-of-5 replay of the same log into a fresh service.
+    let mut samples: Vec<Duration> = (0..5)
+        .map(|_| {
+            let service = disk_backed();
+            let started = Instant::now();
+            let replayed = service.warm_start();
+            let replay = started.elapsed();
+            assert_eq!(replayed as usize, suite::names().len());
+            // Replayed entries really serve: one spot check per round.
+            let (_, d) = service.map(&MapRequest::new(
+                EngineId::Decoupled,
+                suite::generate("susan"),
+            ));
+            assert_eq!(d, CacheDisposition::Hit);
+            replay
+        })
+        .collect();
+    samples.sort_unstable();
+    let replay = samples[samples.len() / 2];
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = cold_total.as_secs_f64() / replay.as_secs_f64().max(1e-9);
+    println!(
+        "\nmapping_cache/warm_start_replay (17-kernel suite): \
+         cold re-solve {cold_total:.3?} vs log replay {replay:.3?} ({speedup:.0}x)"
+    );
+    // Acceptance bar: replaying the log beats re-solving the suite by
+    // >= 100x (in practice decode + insert is low single-digit ms).
+    assert!(
+        speedup >= 100.0,
+        "acceptance: warm-start replay must be >= 100x cheaper than a cold \
+         re-solve of the suite (measured {speedup:.0}x)"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_cold_vs_hit,
+    bench_suite_summary,
+    bench_warm_start_replay
+);
 criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! ISSUE-9 persistence benchmark: warm-start replay vs cold re-solve
+//! over the 17-kernel suite, in JSON for committing alongside the code
+//! (`BENCH_PR9.json`).
+//!
+//! Usage:
+//!   persistence_bench [--kernels nw,fft] [--out FILE]
+//!
+//! The scenario is a daemon restart. First a disk-backed
+//! [`CachedMappingService`] cold-solves every kernel (that is the price
+//! the cache exists to avoid), writing each result through to the
+//! append-only log. Then a fresh service over the same directory
+//! replays the log into memory — [`CachedMappingService::warm_start`],
+//! exactly what `monomapd --cache-dir` does at boot — and serves every
+//! kernel again. The report records the cold total, the replay total
+//! (log decode + hot-tier insert), the post-replay hit total, and the
+//! ratio between re-solving the suite and replaying it.
+//!
+//! IIs are exact search results; wall-clock fields vary run to run.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cgra_arch::Cgra;
+use cgra_dfg::suite;
+use monomap_core::api::{EngineId, MapRequest, MappingService};
+use monomap_service::{CacheDisposition, CachedMappingService, DiskLog, MapCache, TieredCache};
+use serde::{Serialize, Value};
+
+/// Hot-tier capacity: comfortably above the suite size.
+const MEM_CAPACITY: usize = 1024;
+/// Disk-log capacity (entries retained across compactions).
+const DISK_CAPACITY: usize = 4096;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kernels: Vec<String> = suite::names().iter().map(|s| s.to_string()).collect();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kernels" => {
+                i += 1;
+                kernels = args[i].split(',').map(str::to_string).collect();
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let dir = scratch_dir();
+    let disk_backed = |dir: &PathBuf| {
+        let cgra = Cgra::new(4, 4).expect("4x4");
+        let mut tiers = TieredCache::new(MapCache::new(MEM_CAPACITY));
+        tiers.push_store(Box::new(
+            DiskLog::open(dir, DISK_CAPACITY).expect("open disk log"),
+        ));
+        CachedMappingService::with_tiers(MappingService::new(&cgra), tiers)
+    };
+
+    // Pass 1: cold solves, written through to the log.
+    let service = disk_backed(&dir);
+    let mut rows = Vec::new();
+    let mut cold_total = Duration::ZERO;
+    for name in &kernels {
+        eprintln!("{name}...");
+        let request = MapRequest::new(EngineId::Decoupled, suite::generate(name));
+        let started = Instant::now();
+        let (report, d) = service.map(&request);
+        let cold = started.elapsed();
+        assert_eq!(d, CacheDisposition::Miss, "{name}: pass 1 must be cold");
+        cold_total += cold;
+        rows.push((name.clone(), request, report.outcome.ii(), cold));
+    }
+    let log_bytes = service.persistence_stats().log_bytes;
+    drop(service);
+
+    // Pass 2: a fresh process image — replay the log, then serve.
+    let service = disk_backed(&dir);
+    let replay_started = Instant::now();
+    let replayed = service.warm_start();
+    let replay_total = replay_started.elapsed();
+    assert_eq!(replayed as usize, rows.len(), "every solve was persisted");
+
+    let mut hit_total = Duration::ZERO;
+    let mut kernel_rows = Vec::new();
+    for (name, request, ii, cold) in &rows {
+        let started = Instant::now();
+        let (report, d) = service.map(request);
+        let hit = started.elapsed();
+        assert_eq!(d, CacheDisposition::Hit, "{name}: replay must serve a hit");
+        assert_eq!(report.outcome.ii(), *ii, "{name}: replayed II matches");
+        hit_total += hit;
+        kernel_rows.push(Value::Map(vec![
+            ("kernel".to_string(), name.to_value()),
+            (
+                "ii".to_string(),
+                ii.map(|n| n.to_value()).unwrap_or(Value::Null),
+            ),
+            ("cold_seconds".to_string(), cold.as_secs_f64().to_value()),
+            (
+                "replayed_hit_seconds".to_string(),
+                hit.as_secs_f64().to_value(),
+            ),
+        ]));
+    }
+    assert_eq!(
+        service.stats().misses,
+        0,
+        "nothing was re-solved after the replay"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The restart-path comparison: re-solving the suite vs replaying
+    // the log and serving from memory.
+    let restart_cost = replay_total + hit_total;
+    let speedup = cold_total.as_secs_f64() / restart_cost.as_secs_f64().max(1e-9);
+    eprintln!(
+        "cold {:.3?} vs replay {:.3?} + hits {:.3?} => {speedup:.0}x",
+        cold_total, replay_total, hit_total
+    );
+
+    let report = Value::Map(vec![
+        ("bench".to_string(), "persistence".to_value()),
+        (
+            "config".to_string(),
+            Value::Map(vec![
+                ("grid".to_string(), "4x4".to_value()),
+                ("engine".to_string(), "decoupled".to_value()),
+                ("mem_capacity".to_string(), MEM_CAPACITY.to_value()),
+                ("disk_capacity".to_string(), DISK_CAPACITY.to_value()),
+            ]),
+        ),
+        ("kernels".to_string(), Value::Seq(kernel_rows)),
+        (
+            "cold_solve_seconds".to_string(),
+            cold_total.as_secs_f64().to_value(),
+        ),
+        (
+            "replay_seconds".to_string(),
+            replay_total.as_secs_f64().to_value(),
+        ),
+        (
+            "replayed_hit_seconds".to_string(),
+            hit_total.as_secs_f64().to_value(),
+        ),
+        ("log_bytes".to_string(), log_bytes.to_value()),
+        ("replayed_entries".to_string(), replayed.to_value()),
+        (
+            "restart_speedup_vs_resolve".to_string(),
+            speedup.to_value(),
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json + "\n").expect("write --out file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+/// A fresh scratch directory under the OS temp dir.
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("monomap-persistence-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}

@@ -93,6 +93,17 @@ impl EngineId {
             EngineId::Annealing => "annealing",
         }
     }
+
+    /// Parses the stable lowercase name (the inverse of
+    /// [`EngineId::name`]; used by CLI flags and URL query strings).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "decoupled" => Some(EngineId::Decoupled),
+            "coupled" => Some(EngineId::Coupled),
+            "annealing" => Some(EngineId::Annealing),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for EngineId {

@@ -216,6 +216,22 @@ impl MapCache {
         None
     }
 
+    /// Reads an entry without verifying canonical bytes and without
+    /// touching the hit/miss counters — the caller gets the stored
+    /// bytes back and is expected to do its own compare (this is the
+    /// export path that serves `GET /cache/<digest>` to peers). The
+    /// entry's referenced bit is still set: an exported entry is a
+    /// live one.
+    pub fn peek(&self, key: &CacheKey) -> Option<(Arc<[u8]>, MapReport)> {
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        let &slot_idx = shard.index.get(key)?;
+        let slot = shard.slots[slot_idx]
+            .as_mut()
+            .expect("indexed slot is occupied");
+        slot.referenced = true;
+        Some((Arc::clone(&slot.bytes), slot.report.clone()))
+    }
+
     /// Inserts (or replaces) an entry. The report's mapping must
     /// already be in canonical node order. Evicts via the clock sweep
     /// when the shard is full.

@@ -9,6 +9,7 @@ use monomap_core::{MapError, MapOutcome, Mapping};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{CacheKey, CacheStatsSnapshot, MapCache};
+use crate::store::{PersistenceStatsSnapshot, TieredCache};
 
 /// How the cache participated in answering one request. Returned next
 /// to every report and surfaced on the wire as the `X-Monomap-Cache`
@@ -112,12 +113,13 @@ pub enum CacheProbe {
 /// re-run).
 pub struct CachedMappingService {
     inner: MappingService,
-    cache: MapCache,
+    tiers: TieredCache,
     cgra_fp: u64,
 }
 
 impl CachedMappingService {
-    /// Wraps `inner` with a cache of at least `capacity` entries.
+    /// Wraps `inner` with a memory-only cache of at least `capacity`
+    /// entries.
     ///
     /// # Panics
     ///
@@ -126,12 +128,20 @@ impl CachedMappingService {
         CachedMappingService::with_cache(inner, MapCache::new(capacity))
     }
 
-    /// Wraps `inner` with an explicitly configured cache.
+    /// Wraps `inner` with an explicitly configured (memory-only) cache.
     pub fn with_cache(inner: MappingService, cache: MapCache) -> Self {
+        CachedMappingService::with_tiers(inner, TieredCache::new(cache))
+    }
+
+    /// Wraps `inner` with a full tier stack (memory → disk log → peer
+    /// fleet); see [`TieredCache`]. Call
+    /// [`CachedMappingService::warm_start`] before serving to replay
+    /// durable tiers into memory.
+    pub fn with_tiers(inner: MappingService, tiers: TieredCache) -> Self {
         let cgra_fp = fingerprint(inner.cgra());
         CachedMappingService {
             inner,
-            cache,
+            tiers,
             cgra_fp,
         }
     }
@@ -141,14 +151,40 @@ impl CachedMappingService {
         &self.inner
     }
 
-    /// The cache (for diagnostics; prefer [`CachedMappingService::stats`]).
+    /// The in-memory hot tier (for diagnostics; prefer
+    /// [`CachedMappingService::stats`]).
     pub fn cache(&self) -> &MapCache {
-        &self.cache
+        self.tiers.hot()
     }
 
-    /// A point-in-time copy of the cache counters.
+    /// The full tier stack.
+    pub fn tiers(&self) -> &TieredCache {
+        &self.tiers
+    }
+
+    /// Replays the durable tiers into memory (daemon boot); returns
+    /// the number of entries replayed.
+    pub fn warm_start(&self) -> u64 {
+        self.tiers.warm_start()
+    }
+
+    /// Reads one cache-resident entry — canonical bytes plus the
+    /// canonical-order report — without verification or hit/miss
+    /// accounting. This is the export path behind `GET
+    /// /cache/<digest>`: memory and local durable tiers only, never
+    /// peers (the *requesting* peer verifies the bytes).
+    pub fn export(&self, key: &CacheKey) -> Option<(Arc<[u8]>, MapReport)> {
+        self.tiers.export(key)
+    }
+
+    /// A point-in-time copy of the hot-tier cache counters.
     pub fn stats(&self) -> CacheStatsSnapshot {
-        self.cache.snapshot()
+        self.tiers.hot().snapshot()
+    }
+
+    /// A point-in-time copy of the persistence/peer tier counters.
+    pub fn persistence_stats(&self) -> PersistenceStatsSnapshot {
+        self.tiers.snapshot()
     }
 
     fn key_for(&self, req: &MapRequest, canon: &CanonicalDfg) -> CacheKey {
@@ -188,7 +224,7 @@ impl CachedMappingService {
         if req.observer.is_some() {
             return CacheProbe::Bypass(PreparedRequest { key, canon });
         }
-        match self.cache.lookup(&key, canon.bytes()) {
+        match self.tiers.lookup(&key, canon.bytes()) {
             Some(cached) => CacheProbe::Hit(rehydrate(cached, &req.dfg, &canon)),
             None => CacheProbe::Miss(PreparedRequest { key, canon }),
         }
@@ -290,7 +326,7 @@ impl CachedMappingService {
             return;
         }
         let bytes: Arc<[u8]> = Arc::from(canon.bytes().to_vec().into_boxed_slice());
-        self.cache
+        self.tiers
             .insert(*key, bytes, canonicalize_report(report, canon));
     }
 }
@@ -299,7 +335,7 @@ impl std::fmt::Debug for CachedMappingService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CachedMappingService")
             .field("inner", &self.inner)
-            .field("cache", &self.cache)
+            .field("tiers", &self.tiers)
             .finish()
     }
 }

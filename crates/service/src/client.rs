@@ -10,10 +10,14 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use serde::Deserialize;
+
 use monomap_core::api::{MapReport, MapRequest};
 
+use crate::cache::CacheKey;
 use crate::cached::CacheDisposition;
 use crate::http::StatsSnapshot;
+use crate::store::hex_decode;
 
 /// A client error: transport, HTTP-level, or malformed payload.
 #[derive(Debug)]
@@ -79,6 +83,7 @@ pub struct MapResponse {
 pub struct Client {
     addr: SocketAddr,
     timeout: Option<Duration>,
+    connect_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -91,12 +96,22 @@ impl Client {
         Ok(Client {
             addr,
             timeout: Some(Duration::from_secs(600)),
+            connect_timeout: None,
         })
     }
 
     /// Sets the per-call socket read timeout (`None` waits forever).
     pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Bounds connection establishment (`None`, the default, uses the
+    /// OS default). Peer-fill clients set this low: a sibling daemon
+    /// that is slow to even accept must degrade into a local miss, not
+    /// stall the solve path.
+    pub fn with_connect_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.connect_timeout = timeout;
         self
     }
 
@@ -183,11 +198,37 @@ impl Client {
         Ok(body)
     }
 
-    /// `GET /stats`: the cache and server counters.
+    /// `GET /stats`: the cache, persistence and server counters.
     pub fn stats(&self) -> Result<StatsSnapshot, ClientError> {
         let (_, body) = self.call("GET", "/stats", None)?;
         serde_json::from_str(&body)
             .map_err(|e| ClientError::Protocol(format!("parsing stats: {e}")))
+    }
+
+    /// `GET /cache/<digest>`: fetches one cache entry — the canonical
+    /// `MDFG1` bytes plus the canonical-order report — from a sibling
+    /// daemon. `Ok(None)` means the sibling doesn't have it (HTTP
+    /// 404): an ordinary miss, not an error. Callers **must** compare
+    /// the returned bytes against their own canonical bytes before
+    /// trusting the report (see `PeerStore`).
+    pub fn fetch_cache(&self, key: &CacheKey) -> Result<Option<(Vec<u8>, MapReport)>, ClientError> {
+        let path = format!(
+            "/cache/{}?engine={}&fp={:016x}{:016x}",
+            key.digest.to_hex(),
+            key.engine.name(),
+            key.cgra,
+            key.config
+        );
+        let (_, body) = match self.call("GET", &path, None) {
+            Ok(ok) => ok,
+            Err(ClientError::Http { status: 404, .. }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let entry: CacheEntryWire = serde_json::from_str(&body)
+            .map_err(|e| ClientError::Protocol(format!("parsing cache entry: {e}")))?;
+        let bytes = hex_decode(&entry.bytes)
+            .ok_or_else(|| ClientError::Protocol("cache entry bytes are not hex".into()))?;
+        Ok(Some((bytes, entry.report)))
     }
 
     /// One HTTP exchange. Returns the response headers (lowercased
@@ -198,7 +239,10 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<(Vec<(String, String)>, String), ClientError> {
-        let stream = TcpStream::connect(self.addr)?;
+        let stream = match self.connect_timeout {
+            Some(limit) => TcpStream::connect_timeout(&self.addr, limit)?,
+            None => TcpStream::connect(self.addr)?,
+        };
         stream.set_read_timeout(self.timeout)?;
         let mut writer = stream.try_clone()?;
         let body_bytes = body.unwrap_or("");
@@ -265,6 +309,15 @@ impl Client {
         }
         Ok((headers, body))
     }
+}
+
+/// The `GET /cache/<digest>` response body.
+#[derive(Debug, Deserialize)]
+struct CacheEntryWire {
+    /// Canonical `MDFG1` bytes, lowercase hex.
+    bytes: String,
+    /// The stored report, mapping in canonical node order.
+    report: MapReport,
 }
 
 fn header_value<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a String> {

@@ -1,0 +1,668 @@
+//! The durable tier: an append-only, version-tagged, per-record
+//! checksummed log of cache entries.
+//!
+//! # File format
+//!
+//! ```text
+//! magic: b"MCACHE1\n"                          (8 bytes)
+//! record*:
+//!     payload_len: u32 LE                      (4 bytes)
+//!     checksum:    u64 LE, FNV-1a of payload   (8 bytes)
+//!     payload:
+//!         digest:      u128 LE                 (16 bytes)
+//!         engine:      u8 (1=decoupled, 2=coupled, 3=annealing)
+//!         cgra_fp:     u64 LE
+//!         config_fp:   u64 LE
+//!         canon_len:   u32 LE, then canonical `MDFG1` bytes
+//!         report_len:  u32 LE, then the canonical-order `MapReport`
+//!                      as JSON
+//! ```
+//!
+//! Everything is append-only: a re-put of an existing key appends a
+//! new record and the in-memory index points at the newest one, so a
+//! crash at any byte boundary leaves a *prefix* of valid records.
+//! Recovery on open walks the log and truncates to the longest valid
+//! prefix — a torn final record or a bit flip costs exactly the
+//! records at and after the damage, never the log. A magic mismatch
+//! (older/newer format, or not a cache log at all) sidelines the file
+//! to `<name>.stale` with a warning and starts fresh rather than
+//! aborting the daemon or misparsing the bytes.
+//!
+//! Compaction rewrites the newest `capacity` live records into a
+//! temporary file and renames it over the log (atomic on POSIX), so
+//! superseded duplicates and entries beyond the retention bound stop
+//! occupying disk. It triggers automatically when dead records
+//! outnumber live ones or the live set outgrows `capacity`.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cgra_base::{fnv64, FNV64_OFFSET};
+use cgra_dfg::DfgDigest;
+use monomap_core::api::{EngineId, MapReport};
+
+use crate::cache::CacheKey;
+use crate::store::{CacheStore, StoreKind, StoreStats};
+
+/// The version tag opening every log file. Bump the digit when the
+/// record format changes; old logs are then sidelined, not misread.
+pub const MAGIC: &[u8; 8] = b"MCACHE1\n";
+
+/// Log file name inside the `--cache-dir` directory.
+pub const LOG_FILE: &str = "cache.log";
+
+/// Largest accepted record payload; a corrupt length prefix must not
+/// turn into a multi-gigabyte allocation.
+const MAX_PAYLOAD: u32 = 256 << 20;
+
+/// Byte offset and payload length of one live record.
+#[derive(Clone, Copy)]
+struct Span {
+    /// Offset of the *payload* (past the 12-byte record header).
+    offset: u64,
+    len: u32,
+}
+
+struct LogState {
+    file: File,
+    /// Newest record per key (earlier duplicates are dead weight until
+    /// compaction).
+    index: HashMap<CacheKey, Span>,
+    /// Current file length.
+    bytes: u64,
+    /// Records physically in the file (live + superseded).
+    records: u64,
+}
+
+/// The append-only disk tier. See the [module docs](self) for the
+/// format and recovery semantics.
+pub struct DiskLog {
+    path: PathBuf,
+    capacity: usize,
+    state: Mutex<LogState>,
+    hits: AtomicU64,
+    fill_errors: AtomicU64,
+    compactions: AtomicU64,
+    warnings: Vec<String>,
+}
+
+impl DiskLog {
+    /// Opens (creating if needed) the log at `dir/cache.log`,
+    /// recovering to the longest valid prefix, retaining at most
+    /// `capacity` entries across compactions. Recoverable oddities —
+    /// a torn tail, a checksum mismatch, a stale version tag — are
+    /// reported via [`DiskLog::warnings`], not as errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn open(dir: impl AsRef<Path>, capacity: usize) -> io::Result<DiskLog> {
+        assert!(capacity > 0, "disk log capacity must be at least 1");
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(LOG_FILE);
+        let mut warnings = Vec::new();
+        let mut file = open_log_file(&path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            file.write_all(MAGIC)?;
+        } else if len < MAGIC.len() as u64 || {
+            let mut head = [0u8; 8];
+            file.read_exact_at(&mut head, 0)?;
+            head != *MAGIC
+        } {
+            // Not a current-format log: sideline it and start fresh.
+            let stale = path.with_extension("log.stale");
+            drop(file);
+            std::fs::rename(&path, &stale)?;
+            warnings.push(format!(
+                "version tag mismatch in {}: not `MCACHE1`; moved aside to {} and starting fresh",
+                path.display(),
+                stale.display()
+            ));
+            file = open_log_file(&path)?;
+            file.write_all(MAGIC)?;
+        }
+        let mut state = LogState {
+            file,
+            index: HashMap::new(),
+            bytes: MAGIC.len() as u64,
+            records: 0,
+        };
+        replay(&mut state, &mut warnings)?;
+        Ok(DiskLog {
+            path,
+            capacity,
+            state: Mutex::new(state),
+            hits: AtomicU64::new(0),
+            fill_errors: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            warnings,
+        })
+    }
+
+    /// What recovery had to do while opening: truncated torn/corrupt
+    /// tails, sidelined stale-version files. Empty for a clean open.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Live entries currently addressable.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("disk log lock").index.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rewrites the log keeping only the newest `capacity` live
+    /// records (tmp file + atomic rename). Called automatically from
+    /// [`CacheStore::put`] when dead records pile up; public so an
+    /// operator (or test) can force a pass.
+    pub fn compact(&self) -> io::Result<()> {
+        let mut state = self.state.lock().expect("disk log lock");
+        self.compact_locked(&mut state)
+    }
+
+    fn compact_locked(&self, state: &mut LogState) -> io::Result<()> {
+        // Newest-first by file position, keep `capacity`, restore
+        // oldest-first order so scan/replay semantics are preserved.
+        let mut live: Vec<(CacheKey, Span)> = state.index.iter().map(|(k, s)| (*k, *s)).collect();
+        live.sort_by_key(|(_, span)| std::cmp::Reverse(span.offset));
+        live.truncate(self.capacity);
+        live.reverse();
+
+        let tmp_path = self.path.with_extension("log.tmp");
+        let mut tmp = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(MAGIC)?;
+        let mut index = HashMap::with_capacity(live.len());
+        let mut offset = MAGIC.len() as u64;
+        for (key, span) in live {
+            let mut payload = vec![0u8; span.len as usize];
+            state.file.read_exact_at(&mut payload, span.offset)?;
+            let mut header = Vec::with_capacity(12);
+            header.extend_from_slice(&span.len.to_le_bytes());
+            header.extend_from_slice(&fnv64(FNV64_OFFSET, &payload).to_le_bytes());
+            tmp.write_all(&header)?;
+            tmp.write_all(&payload)?;
+            index.insert(
+                key,
+                Span {
+                    offset: offset + 12,
+                    len: span.len,
+                },
+            );
+            offset += 12 + span.len as u64;
+        }
+        tmp.sync_all()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        state.file = tmp;
+        state.index = index;
+        state.bytes = offset;
+        state.records = state.index.len() as u64;
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn read_record(state: &LogState, span: Span) -> Option<(CacheKey, Arc<[u8]>, MapReport)> {
+        let mut payload = vec![0u8; span.len as usize];
+        state.file.read_exact_at(&mut payload, span.offset).ok()?;
+        decode_payload(&payload)
+    }
+}
+
+impl CacheStore for DiskLog {
+    fn kind(&self) -> StoreKind {
+        StoreKind::Disk
+    }
+
+    fn get(&self, key: &CacheKey, expected: &[u8]) -> Option<MapReport> {
+        let state = self.state.lock().expect("disk log lock");
+        let span = *state.index.get(key)?;
+        let (_, bytes, report) = Self::read_record(&state, span)?;
+        drop(state);
+        if bytes.as_ref() == expected {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(report)
+        } else {
+            self.fill_errors.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    fn fetch(&self, key: &CacheKey) -> Option<(Arc<[u8]>, MapReport)> {
+        let state = self.state.lock().expect("disk log lock");
+        let span = *state.index.get(key)?;
+        let (_, bytes, report) = Self::read_record(&state, span)?;
+        Some((bytes, report))
+    }
+
+    fn put(&self, key: &CacheKey, bytes: &Arc<[u8]>, report: &MapReport) {
+        let mut state = self.state.lock().expect("disk log lock");
+        if let Some(span) = state.index.get(key).copied() {
+            // Identical record already on disk: appending would only
+            // create compaction debt.
+            if let Some((_, stored, _)) = Self::read_record(&state, span) {
+                if stored.as_ref() == bytes.as_ref() {
+                    return;
+                }
+            }
+        }
+        let Some(payload) = encode_payload(key, bytes, report) else {
+            return;
+        };
+        let mut record = Vec::with_capacity(12 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&fnv64(FNV64_OFFSET, &payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        let offset = state.bytes;
+        if state.file.seek(SeekFrom::Start(offset)).is_err() {
+            return;
+        }
+        if state.file.write_all(&record).is_err() {
+            // A partial append is exactly what recovery handles; the
+            // next open truncates it away.
+            return;
+        }
+        state.index.insert(
+            *key,
+            Span {
+                offset: offset + 12,
+                len: payload.len() as u32,
+            },
+        );
+        state.bytes += record.len() as u64;
+        state.records += 1;
+        // Compact when superseded records outnumber live ones (with a
+        // floor so tiny logs don't churn), or the live set outgrew the
+        // retention bound.
+        let live = state.index.len() as u64;
+        let dead = state.records - live;
+        if dead > live.max(32) || state.index.len() > self.capacity {
+            let _ = self.compact_locked(&mut state);
+        }
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(CacheKey, Arc<[u8]>, MapReport)) {
+        let state = self.state.lock().expect("disk log lock");
+        let mut live: Vec<Span> = state.index.values().copied().collect();
+        live.sort_by_key(|span| span.offset);
+        for span in live {
+            if let Some((key, bytes, report)) = Self::read_record(&state, span) {
+                visit(key, bytes, report);
+            }
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        let state = self.state.lock().expect("disk log lock");
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            fill_errors: self.fill_errors.load(Ordering::Relaxed),
+            entries: state.index.len() as u64,
+            bytes: state.bytes,
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for DiskLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskLog")
+            .field("path", &self.path)
+            .field("entries", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+fn open_log_file(path: &Path) -> io::Result<File> {
+    OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)
+}
+
+/// Walks the records after the magic, building the index, and
+/// truncates the file to the longest valid prefix on the first torn or
+/// corrupt record.
+fn replay(state: &mut LogState, warnings: &mut Vec<String>) -> io::Result<()> {
+    let len = state.file.metadata()?.len();
+    let mut pos = MAGIC.len() as u64;
+    while pos < len {
+        let valid = (|| {
+            let mut header = [0u8; 12];
+            if pos + 12 > len {
+                return None; // torn header
+            }
+            state.file.read_exact_at(&mut header, pos).ok()?;
+            let payload_len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+            let checksum = u64::from_le_bytes(header[4..].try_into().expect("8 bytes"));
+            if payload_len > MAX_PAYLOAD || pos + 12 + payload_len as u64 > len {
+                return None; // absurd length or torn payload
+            }
+            let mut payload = vec![0u8; payload_len as usize];
+            state.file.read_exact_at(&mut payload, pos + 12).ok()?;
+            if fnv64(FNV64_OFFSET, &payload) != checksum {
+                return None; // bit flip
+            }
+            let (key, _, _) = decode_payload(&payload)?;
+            Some((key, payload_len))
+        })();
+        match valid {
+            Some((key, payload_len)) => {
+                state.index.insert(
+                    key,
+                    Span {
+                        offset: pos + 12,
+                        len: payload_len,
+                    },
+                );
+                state.records += 1;
+                pos += 12 + payload_len as u64;
+            }
+            None => {
+                warnings.push(format!(
+                    "torn or corrupt record at byte {pos}: truncating {} trailing bytes \
+                     to the longest valid prefix ({} records kept)",
+                    len - pos,
+                    state.records
+                ));
+                state.file.set_len(pos)?;
+                break;
+            }
+        }
+    }
+    state.bytes = pos;
+    Ok(())
+}
+
+fn engine_code(engine: EngineId) -> u8 {
+    match engine {
+        EngineId::Decoupled => 1,
+        EngineId::Coupled => 2,
+        EngineId::Annealing => 3,
+    }
+}
+
+fn engine_from_code(code: u8) -> Option<EngineId> {
+    match code {
+        1 => Some(EngineId::Decoupled),
+        2 => Some(EngineId::Coupled),
+        3 => Some(EngineId::Annealing),
+        _ => None,
+    }
+}
+
+fn encode_payload(key: &CacheKey, bytes: &[u8], report: &MapReport) -> Option<Vec<u8>> {
+    let report_json = serde_json::to_string(report).ok()?;
+    let mut out = Vec::with_capacity(41 + 8 + bytes.len() + report_json.len());
+    out.extend_from_slice(&key.digest.0.to_le_bytes());
+    out.push(engine_code(key.engine));
+    out.extend_from_slice(&key.cgra.to_le_bytes());
+    out.extend_from_slice(&key.config.to_le_bytes());
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+    out.extend_from_slice(&(report_json.len() as u32).to_le_bytes());
+    out.extend_from_slice(report_json.as_bytes());
+    Some(out)
+}
+
+fn decode_payload(payload: &[u8]) -> Option<(CacheKey, Arc<[u8]>, MapReport)> {
+    let mut cursor = payload;
+    let mut take = |n: usize| -> Option<&[u8]> {
+        if cursor.len() < n {
+            return None;
+        }
+        let (head, rest) = cursor.split_at(n);
+        cursor = rest;
+        Some(head)
+    };
+    let digest = u128::from_le_bytes(take(16)?.try_into().ok()?);
+    let engine = engine_from_code(take(1)?[0])?;
+    let cgra = u64::from_le_bytes(take(8)?.try_into().ok()?);
+    let config = u64::from_le_bytes(take(8)?.try_into().ok()?);
+    let canon_len = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+    let canon = take(canon_len)?;
+    let report_len = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+    let report_json = std::str::from_utf8(take(report_len)?).ok()?;
+    let report: MapReport = serde_json::from_str(report_json).ok()?;
+    Some((
+        CacheKey {
+            digest: DfgDigest(digest),
+            engine,
+            cgra,
+            config,
+        },
+        Arc::from(canon.to_vec().into_boxed_slice()),
+        report,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monomap_core::api::MapOutcome;
+    use monomap_core::MapStats;
+
+    /// Hand-rolled scratch directory (no external `tempfile` crate):
+    /// unique per test via a process-wide counter, removed on drop.
+    pub(crate) struct TempDir(PathBuf);
+
+    impl TempDir {
+        pub fn new(tag: &str) -> TempDir {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!(
+                "monomap-disklog-{}-{}-{tag}",
+                std::process::id(),
+                n
+            ));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+
+        pub fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn key(n: u128) -> CacheKey {
+        CacheKey {
+            digest: DfgDigest(n),
+            engine: EngineId::Decoupled,
+            cgra: 7,
+            config: 9,
+        }
+    }
+
+    fn report(name: &str) -> MapReport {
+        MapReport {
+            engine: EngineId::Decoupled,
+            dfg_name: name.to_string(),
+            outcome: MapOutcome::Mapped { ii: 4 },
+            stats: MapStats::default(),
+            mapping: None,
+        }
+    }
+
+    fn bytes(n: u128) -> Arc<[u8]> {
+        Arc::from(n.to_le_bytes().to_vec().into_boxed_slice())
+    }
+
+    #[test]
+    fn put_get_survives_reopen() {
+        let dir = TempDir::new("reopen");
+        {
+            let log = DiskLog::open(dir.path(), 64).unwrap();
+            assert!(log.warnings().is_empty());
+            log.put(&key(1), &bytes(1), &report("a"));
+            assert_eq!(log.get(&key(1), &bytes(1)).unwrap().dfg_name, "a");
+        }
+        let log = DiskLog::open(dir.path(), 64).unwrap();
+        assert!(log.warnings().is_empty(), "{:?}", log.warnings());
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.get(&key(1), &bytes(1)).unwrap().dfg_name, "a");
+        assert!(
+            log.get(&key(1), &bytes(2)).is_none(),
+            "mismatched bytes never served"
+        );
+        assert_eq!(log.stats().fill_errors, 1);
+    }
+
+    #[test]
+    fn duplicate_put_is_deduplicated_and_superseded_records_compact() {
+        let dir = TempDir::new("dedup");
+        let log = DiskLog::open(dir.path(), 64).unwrap();
+        log.put(&key(1), &bytes(1), &report("a"));
+        let bytes_before = log.stats().bytes;
+        log.put(&key(1), &bytes(1), &report("a"));
+        assert_eq!(log.stats().bytes, bytes_before, "identical re-put is free");
+        // A *changed* record for the same key appends (last wins) and
+        // the superseded one is compaction debt.
+        log.put(&key(1), &bytes(2), &report("b"));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.get(&key(1), &bytes(2)).unwrap().dfg_name, "b");
+        log.compact().unwrap();
+        assert_eq!(log.stats().compactions, 1);
+        assert!(
+            log.stats().bytes <= bytes_before + 16,
+            "compaction dropped the superseded record"
+        );
+        assert_eq!(log.get(&key(1), &bytes(2)).unwrap().dfg_name, "b");
+    }
+
+    #[test]
+    fn compaction_retains_newest_capacity_entries() {
+        let dir = TempDir::new("cap");
+        let log = DiskLog::open(dir.path(), 4).unwrap();
+        for i in 0..10u128 {
+            log.put(&key(i), &bytes(i), &report("r"));
+        }
+        // put() auto-compacts once live > capacity.
+        assert!(log.len() <= 4, "retention bound enforced: {}", log.len());
+        assert!(log.stats().compactions >= 1);
+        // The newest entries survived.
+        assert!(log.get(&key(9), &bytes(9)).is_some());
+        // Scan order is oldest-first.
+        let mut seen = Vec::new();
+        log.scan(&mut |k, _, _| seen.push(k.digest.0));
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted, "scan yields oldest-first: {seen:?}");
+    }
+
+    #[test]
+    fn torn_final_record_truncates_to_valid_prefix() {
+        let dir = TempDir::new("torn");
+        let path = {
+            let log = DiskLog::open(dir.path(), 64).unwrap();
+            log.put(&key(1), &bytes(1), &report("a"));
+            log.put(&key(2), &bytes(2), &report("b"));
+            log.path().to_path_buf()
+        };
+        // Tear the final record: chop off its last 5 bytes.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 5).unwrap();
+        drop(file);
+
+        let log = DiskLog::open(dir.path(), 64).unwrap();
+        assert_eq!(log.warnings().len(), 1, "{:?}", log.warnings());
+        assert!(log.warnings()[0].contains("truncating"));
+        assert_eq!(log.len(), 1, "the complete record survived");
+        assert_eq!(log.get(&key(1), &bytes(1)).unwrap().dfg_name, "a");
+        assert!(log.get(&key(2), &bytes(2)).is_none());
+        // The log is writable again after recovery.
+        log.put(&key(3), &bytes(3), &report("c"));
+        drop(log);
+        let log = DiskLog::open(dir.path(), 64).unwrap();
+        assert!(log.warnings().is_empty());
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn bit_flip_truncates_from_the_damage_onward() {
+        let dir = TempDir::new("flip");
+        let path = {
+            let log = DiskLog::open(dir.path(), 64).unwrap();
+            log.put(&key(1), &bytes(1), &report("a"));
+            log.put(&key(2), &bytes(2), &report("b"));
+            log.path().to_path_buf()
+        };
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a bit inside the *second* record's payload. Record 1
+        // starts at 8; find record 2's payload start.
+        let rec1_payload = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+        let rec2_payload_start = 8 + 12 + rec1_payload + 12;
+        data[rec2_payload_start + 3] ^= 0x40;
+        std::fs::write(&path, &data).unwrap();
+
+        let log = DiskLog::open(dir.path(), 64).unwrap();
+        assert_eq!(log.warnings().len(), 1, "{:?}", log.warnings());
+        assert_eq!(log.len(), 1, "prefix before the flip survives");
+        assert!(log.get(&key(1), &bytes(1)).is_some());
+        assert!(log.get(&key(2), &bytes(2)).is_none());
+    }
+
+    #[test]
+    fn version_tag_mismatch_sidelines_and_warns() {
+        let dir = TempDir::new("stale");
+        let path = dir.path().join(LOG_FILE);
+        std::fs::write(&path, b"MCACHE0\nsome old format").unwrap();
+        let log = DiskLog::open(dir.path(), 64).unwrap();
+        assert_eq!(log.warnings().len(), 1, "{:?}", log.warnings());
+        assert!(log.warnings()[0].contains("version tag mismatch"));
+        assert!(log.is_empty(), "stale log contributes nothing");
+        assert!(
+            path.with_extension("log.stale").exists(),
+            "old file preserved for forensics"
+        );
+        // And the fresh log works.
+        log.put(&key(1), &bytes(1), &report("a"));
+        assert_eq!(log.get(&key(1), &bytes(1)).unwrap().dfg_name, "a");
+    }
+
+    #[test]
+    fn payload_roundtrip_all_engines() {
+        for engine in [EngineId::Decoupled, EngineId::Coupled, EngineId::Annealing] {
+            let key = CacheKey {
+                digest: DfgDigest(0xfeed_beef),
+                engine,
+                cgra: u64::MAX,
+                config: 0,
+            };
+            let payload = encode_payload(&key, &bytes(5), &report("x")).unwrap();
+            let (k, b, r) = decode_payload(&payload).unwrap();
+            assert_eq!(k, key);
+            assert_eq!(b, bytes(5));
+            assert_eq!(r.dfg_name, "x");
+        }
+        assert!(decode_payload(b"short").is_none());
+    }
+}

@@ -8,7 +8,8 @@
 //! |--------|------|------|----------|
 //! | `POST` | `/map` | one [`MapRequest`] | one [`MapReport`] |
 //! | `POST` | `/map_batch` | array of requests | `{"reports": [...], "cache": [...]}` |
-//! | `GET` | `/stats` | — | cache + server + pressure counters |
+//! | `GET` | `/cache/<digest>?engine=..&fp=..` | — | one cache entry (peer fill) |
+//! | `GET` | `/stats` | — | cache + persistence + server counters |
 //! | `GET` | `/healthz` | — | liveness + registry summary |
 //!
 //! Map responses carry an `X-Monomap-Cache: hit|miss|bypass` header.
@@ -53,12 +54,14 @@ use std::time::{Duration, Instant};
 use serde::{Deserialize, Serialize};
 
 use cgra_base::CancelFlag;
-use monomap_core::api::{MapReport, MapRequest};
+use cgra_dfg::DfgDigest;
+use monomap_core::api::{EngineId, MapReport, MapRequest};
 
 use crate::admission::{retry_after_seconds, SolveLatency, SolveQueue};
-use crate::cache::CacheStatsSnapshot;
+use crate::cache::{CacheKey, CacheStatsSnapshot};
 use crate::cached::{CacheDisposition, CacheProbe, CachedMappingService, PreparedRequest};
 use crate::reactor::{waker_pair, Event, Poller, WakeReader, Waker};
+use crate::store::{hex_encode, PersistenceStatsSnapshot};
 
 /// Tuning knobs of [`Server`]; the defaults suit both tests and the
 /// `monomapd` binary.
@@ -128,8 +131,11 @@ pub struct ServerStatsSnapshot {
 /// The full `GET /stats` response body.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
-    /// Content-addressed cache counters.
+    /// Content-addressed (hot tier) cache counters.
     pub cache: CacheStatsSnapshot,
+    /// Persistence and peer tier counters (all zero when neither a
+    /// disk log nor peers are configured).
+    pub persistence: PersistenceStatsSnapshot,
     /// HTTP front-end counters.
     pub server: ServerStatsSnapshot,
 }
@@ -593,25 +599,34 @@ impl EventLoop {
                     self.counters.map_requests.fetch_add(1, Ordering::Relaxed);
                 }
                 let cancel = CancelFlag::new();
-                conn.inflight = Some(cancel.clone());
-                let job = CheapJob {
-                    token: conn.token,
-                    batch,
-                    body: req.body,
-                    keep_alive: req.keep_alive,
-                    version: req.version,
-                    cancel,
-                };
-                if self.cheap_tx.send(job).is_err() {
-                    // Only possible mid-shutdown: the pool is gone.
-                    conn.inflight = None;
-                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    queue_response(
-                        conn,
-                        encode_error(500, "server is shutting down", false, req.version),
-                        false,
-                    );
-                }
+                self.submit_cheap(
+                    conn,
+                    CheapJob {
+                        token: conn.token,
+                        keep_alive: req.keep_alive,
+                        version: req.version,
+                        kind: CheapKind::Map {
+                            batch,
+                            body: req.body,
+                            cancel,
+                        },
+                    },
+                );
+            }
+            ("GET", path) if path.starts_with("/cache/") => {
+                // Peer fill: cache-read only, answered from the cheap
+                // pool so a fleet sibling never waits on solves.
+                self.submit_cheap(
+                    conn,
+                    CheapJob {
+                        token: conn.token,
+                        keep_alive: req.keep_alive,
+                        version: req.version,
+                        kind: CheapKind::CacheGet {
+                            target: path["/cache/".len()..].to_string(),
+                        },
+                    },
+                );
             }
             ("GET", "/stats") => match self.stats_json() {
                 Ok(body) => queue_response(
@@ -669,6 +684,30 @@ impl EventLoop {
                     req.keep_alive,
                 );
             }
+        }
+    }
+
+    /// Marks the request in flight on its connection and hands it to
+    /// the cheap pool. Every cheap job — solve or cache read — holds
+    /// the connection's single in-flight slot so responses stay in
+    /// request order on keep-alive connections.
+    fn submit_cheap(&mut self, conn: &mut Conn, job: CheapJob) {
+        let version = job.version;
+        conn.inflight = Some(match &job.kind {
+            CheapKind::Map { cancel, .. } => cancel.clone(),
+            // Cache reads finish in microseconds; the flag only backs
+            // the in-flight slot (nothing polls it mid-read).
+            CheapKind::CacheGet { .. } => CancelFlag::new(),
+        });
+        if self.cheap_tx.send(job).is_err() {
+            // Only possible mid-shutdown: the pool is gone.
+            conn.inflight = None;
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            queue_response(
+                conn,
+                encode_error(500, "server is shutting down", false, version),
+                false,
+            );
         }
     }
 
@@ -775,6 +814,7 @@ impl EventLoop {
     fn stats_json(&self) -> Result<String, String> {
         let snapshot = StatsSnapshot {
             cache: self.service.stats(),
+            persistence: self.service.persistence_stats(),
             server: ServerStatsSnapshot {
                 requests: self.counters.requests.load(Ordering::Relaxed),
                 map_requests: self.counters.map_requests.load(Ordering::Relaxed),
@@ -881,17 +921,29 @@ impl WorkerCtx {
     }
 }
 
-/// One parsed-but-unsolved request travelling from the reactor to the
-/// cheap pool.
+/// One parsed-but-unhandled request travelling from the reactor to
+/// the cheap pool.
 struct CheapJob {
     token: u64,
-    batch: bool,
-    body: Vec<u8>,
     keep_alive: bool,
     version: HttpVersion,
-    /// Created by the reactor, raised on client EOF; installed on the
-    /// `MapRequest`(s) so abandoned solves unwind.
-    cancel: CancelFlag,
+    kind: CheapKind,
+}
+
+/// What the cheap pool does with a [`CheapJob`].
+enum CheapKind {
+    /// `POST /map` / `POST /map_batch`: parse, probe the cache, solve
+    /// or shed.
+    Map {
+        batch: bool,
+        body: Vec<u8>,
+        /// Created by the reactor, raised on client EOF; installed on
+        /// the `MapRequest`(s) so abandoned solves unwind.
+        cancel: CancelFlag,
+    },
+    /// `GET /cache/<target>`: export one entry to a fleet sibling.
+    /// `target` is everything after the `/cache/` prefix.
+    CacheGet { target: String },
 }
 
 /// One admitted engine job travelling from the cheap pool to the solve
@@ -948,55 +1000,67 @@ fn cheap_worker(ctx: &WorkerCtx, jobs: &Mutex<mpsc::Receiver<CheapJob>>) {
 }
 
 /// The cheap path: parse, probe the cache, answer hits inline, admit
-/// misses to the bounded solve queue (or shed them).
+/// misses to the bounded solve queue (or shed them). Cache exports
+/// (`GET /cache/...`) are answered here outright.
 fn handle_cheap(ctx: &WorkerCtx, job: CheapJob) {
-    let Ok(body) = std::str::from_utf8(&job.body) else {
-        ctx.send_error(
-            job.token,
-            400,
-            "request body is not UTF-8",
-            job.keep_alive,
-            job.version,
-        );
+    let CheapJob {
+        token,
+        keep_alive,
+        version,
+        kind,
+    } = job;
+    let (batch, body, cancel) = match kind {
+        CheapKind::Map {
+            batch,
+            body,
+            cancel,
+        } => (batch, body, cancel),
+        CheapKind::CacheGet { target } => {
+            handle_cache_get(ctx, token, &target, keep_alive, version);
+            return;
+        }
+    };
+    let Ok(body) = std::str::from_utf8(&body) else {
+        ctx.send_error(token, 400, "request body is not UTF-8", keep_alive, version);
         return;
     };
-    if job.batch {
-        handle_cheap_batch(ctx, &job, body);
+    if batch {
+        handle_cheap_batch(ctx, token, keep_alive, version, body, &cancel);
         return;
     }
     let mut request: MapRequest = match serde_json::from_str(body) {
         Ok(r) => r,
         Err(e) => {
             ctx.send_error(
-                job.token,
+                token,
                 400,
                 &format!("invalid MapRequest: {e}"),
-                job.keep_alive,
-                job.version,
+                keep_alive,
+                version,
             );
             return;
         }
     };
-    request.cancel = Some(job.cancel.clone());
+    request.cancel = Some(cancel);
     match ctx.service.probe(&request) {
         CacheProbe::Hit(report) => {
             send_map_report(
                 ctx,
-                job.token,
+                token,
                 &report,
                 CacheDisposition::Hit,
-                job.keep_alive,
-                job.version,
+                keep_alive,
+                version,
             );
         }
         CacheProbe::Invalid(report) => {
             send_map_report(
                 ctx,
-                job.token,
+                token,
                 &report,
                 CacheDisposition::Miss,
-                job.keep_alive,
-                job.version,
+                keep_alive,
+                version,
             );
         }
         CacheProbe::Miss(prepared) | CacheProbe::Bypass(prepared) => {
@@ -1009,37 +1073,137 @@ fn handle_cheap(ctx: &WorkerCtx, job: CheapJob) {
                 CacheDisposition::Bypass
             };
             let solve = SolveJob::Map {
-                token: job.token,
+                token,
                 request: Box::new(request),
                 prepared,
                 disposition,
-                keep_alive: job.keep_alive,
-                version: job.version,
+                keep_alive,
+                version,
             };
             if ctx.queue.try_push(solve).is_err() {
-                ctx.send_shed(job.token, job.keep_alive, job.version);
+                ctx.send_shed(token, keep_alive, version);
             }
         }
     }
 }
 
-fn handle_cheap_batch(ctx: &WorkerCtx, job: &CheapJob, body: &str) {
+/// Serves `GET /cache/<digest>?engine=..&fp=..`: the export path of
+/// the peer-fill tier. Answers from memory and the local disk log
+/// only (never from *this* daemon's peers — no fill chains), with the
+/// canonical bytes attached so the requester can verify the fill.
+/// A present entry is `200 {"bytes":"<hex>","report":{...}}`; an
+/// absent one is a plain `404` (an ordinary miss, not counted as a
+/// server error).
+fn handle_cache_get(
+    ctx: &WorkerCtx,
+    token: u64,
+    target: &str,
+    keep_alive: bool,
+    version: HttpVersion,
+) {
+    let key = match parse_cache_target(target) {
+        Ok(key) => key,
+        Err(msg) => {
+            ctx.send_error(token, 400, msg, keep_alive, version);
+            return;
+        }
+    };
+    match ctx.service.export(&key) {
+        Some((bytes, report)) => {
+            let report_json = match serde_json::to_string(&report) {
+                Ok(j) => j,
+                Err(e) => {
+                    ctx.send_error(
+                        token,
+                        500,
+                        &format!("serializing cache entry: {e}"),
+                        keep_alive,
+                        version,
+                    );
+                    return;
+                }
+            };
+            let body = format!(
+                "{{\"bytes\":\"{}\",\"report\":{report_json}}}",
+                hex_encode(&bytes)
+            );
+            ctx.send(ResponseMsg {
+                token,
+                bytes: encode_response(200, &body, &[], keep_alive, version),
+                keep_alive,
+            });
+        }
+        None => ctx.send(ResponseMsg {
+            token,
+            bytes: encode_error(404, "entry not cached", keep_alive, version),
+            keep_alive,
+        }),
+    }
+}
+
+/// Parses the `<digest>?engine=<name>&fp=<cgra:016x><config:016x>`
+/// tail of a `GET /cache/` request into a full [`CacheKey`].
+fn parse_cache_target(target: &str) -> Result<CacheKey, &'static str> {
+    let (digest_hex, query) = target
+        .split_once('?')
+        .ok_or("missing engine/fp query parameters")?;
+    let digest =
+        DfgDigest::from_hex(digest_hex).ok_or("malformed digest (want 32 hex characters)")?;
+    let mut engine: Option<EngineId> = None;
+    let mut fp: Option<(u64, u64)> = None;
+    for pair in query.split('&') {
+        let Some((name, value)) = pair.split_once('=') else {
+            return Err("malformed query parameter");
+        };
+        match name {
+            "engine" => {
+                engine = Some(EngineId::from_name(value).ok_or("unknown engine")?);
+            }
+            "fp" => {
+                if value.len() != 32 {
+                    return Err("malformed fp (want 32 hex characters)");
+                }
+                let cgra = u64::from_str_radix(&value[..16], 16).map_err(|_| "malformed fp")?;
+                let config = u64::from_str_radix(&value[16..], 16).map_err(|_| "malformed fp")?;
+                fp = Some((cgra, config));
+            }
+            _ => {} // ignore unknown parameters (forward compatibility)
+        }
+    }
+    let engine = engine.ok_or("missing engine parameter")?;
+    let (cgra, config) = fp.ok_or("missing fp parameter")?;
+    Ok(CacheKey {
+        digest,
+        engine,
+        cgra,
+        config,
+    })
+}
+
+fn handle_cheap_batch(
+    ctx: &WorkerCtx,
+    token: u64,
+    keep_alive: bool,
+    version: HttpVersion,
+    body: &str,
+    cancel: &CancelFlag,
+) {
     let mut requests: Vec<MapRequest> = match serde_json::from_str(body) {
         Ok(r) => r,
         Err(e) => {
             ctx.send_error(
-                job.token,
+                token,
                 400,
                 &format!("invalid MapRequest array: {e}"),
-                job.keep_alive,
-                job.version,
+                keep_alive,
+                version,
             );
             return;
         }
     };
     for request in &mut requests {
         if request.cancel.is_none() {
-            request.cancel = Some(job.cancel.clone());
+            request.cancel = Some(cancel.clone());
         }
     }
     let mut slots: Vec<Option<(MapReport, CacheDisposition)>> = Vec::with_capacity(requests.len());
@@ -1069,19 +1233,19 @@ fn handle_cheap_batch(ctx: &WorkerCtx, job: &CheapJob, body: &str) {
             .into_iter()
             .map(|s| s.expect("all answered"))
             .collect();
-        send_batch_response(ctx, job.token, &answered, job.keep_alive, job.version);
+        send_batch_response(ctx, token, &answered, keep_alive, version);
         return;
     }
     let solve = SolveJob::Batch {
-        token: job.token,
+        token,
         requests,
         slots,
         prepared,
-        keep_alive: job.keep_alive,
-        version: job.version,
+        keep_alive,
+        version,
     };
     if ctx.queue.try_push(solve).is_err() {
-        ctx.send_shed(job.token, job.keep_alive, job.version);
+        ctx.send_shed(token, keep_alive, version);
     }
 }
 

@@ -11,11 +11,17 @@
 //! different front end — is answered from memory without paying for a
 //! second SMT + monomorphism solve.
 //!
-//! Three layers, each usable on its own:
+//! Four layers, each usable on its own:
 //!
 //! * [`MapCache`] — a sharded, capacity-bounded (clock-evicting)
 //!   in-memory store keyed by `(DFG digest, engine, CGRA fingerprint,
 //!   config fingerprint)`, with hit/miss/eviction counters;
+//! * [`TieredCache`] + [`CacheStore`] — pluggable storage tiers below
+//!   the memory cache: an append-only, checksummed, crash-recovering
+//!   [`DiskLog`] (warm-start replay across daemon restarts) and a
+//!   [`PeerStore`] that fills local misses from sibling daemons with
+//!   digest-sharded ownership — every fill re-verified against the
+//!   requester's full canonical bytes;
 //! * [`CachedMappingService`] — a
 //!   [`MappingService`](monomap_core::api::MappingService) wrapper that
 //!   consults the cache, translates cached mappings through the
@@ -67,9 +73,15 @@ mod reactor;
 pub mod cache;
 pub mod cached;
 pub mod client;
+pub mod disklog;
 pub mod http;
+pub mod peer;
+pub mod store;
 
 pub use cache::{CacheKey, CacheStatsSnapshot, MapCache};
 pub use cached::{CacheDisposition, CacheProbe, CachedMappingService, PreparedRequest};
 pub use client::{Client, ClientError, MapResponse};
+pub use disklog::DiskLog;
 pub use http::{Server, ServerConfig, ServerHandle, ServerStatsSnapshot, StatsSnapshot};
+pub use peer::PeerStore;
+pub use store::{CacheStore, PersistenceStatsSnapshot, StoreKind, StoreStats, TieredCache};

@@ -1,0 +1,193 @@
+//! The peer tier: fill local misses from sibling `monomapd` daemons.
+//!
+//! A fleet of daemons in front of the same compiler traffic would
+//! otherwise each pay every cold solve once. [`PeerStore`] consults
+//! siblings on a local miss via `GET /cache/<digest>` (served from the
+//! sibling's cheap pool — a peer fill never occupies a solve slot),
+//! and **digest-sharded ownership** decides who is asked: shard
+//! `digest % shards` belongs to `peers[shard]` when that index exists,
+//! and to the local daemon otherwise. With each fleet member given the
+//! *other* members as `--peer` in a consistent order, every digest has
+//! exactly one owner, so a cold kernel is solved once fleet-wide and
+//! everyone else fills from the owner.
+//!
+//! Trust model: a peer's answer is **never** taken on faith. The fill
+//! carries the peer's canonical `MDFG1` bytes and the full compare
+//! against the local request's canonical bytes happens before the
+//! report is accepted — a digest collision, a version-skewed peer, or
+//! a corrupted response is counted in `peer_fill_errors` and treated
+//! as a plain miss. A peer being down is also just a miss: the
+//! requester solves locally and the client never sees an error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use monomap_core::api::MapReport;
+
+use crate::cache::CacheKey;
+use crate::client::Client;
+use crate::store::{CacheStore, StoreKind, StoreStats};
+
+/// The network backend over sibling daemons. See the
+/// [module docs](self) for the sharding and trust model.
+pub struct PeerStore {
+    peers: Vec<Client>,
+    shards: u64,
+    hits: AtomicU64,
+    fill_errors: AtomicU64,
+}
+
+impl PeerStore {
+    /// A peer tier over `peers`, with digests sharded `digest %
+    /// shards`. Shards at indices past `peers.len()` are self-owned
+    /// (solved locally); pass `shards == peers.len()` — the
+    /// `--peer-shards` default — to make every digest peer-owned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` is empty or `shards < peers.len()` (a peer
+    /// that can never own a shard is a configuration error).
+    pub fn new(peers: Vec<Client>, shards: usize) -> Self {
+        assert!(!peers.is_empty(), "peer store needs at least one peer");
+        assert!(
+            shards >= peers.len(),
+            "--peer-shards must be at least the number of peers"
+        );
+        PeerStore {
+            peers,
+            shards: shards as u64,
+            hits: AtomicU64::new(0),
+            fill_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// The sibling that owns `key`'s shard, or `None` when the shard
+    /// is self-owned.
+    fn owner(&self, key: &CacheKey) -> Option<&Client> {
+        let shard = key.digest.to_u64() % self.shards;
+        self.peers.get(shard as usize)
+    }
+}
+
+impl CacheStore for PeerStore {
+    fn kind(&self) -> StoreKind {
+        StoreKind::Peer
+    }
+
+    fn get(&self, key: &CacheKey, expected: &[u8]) -> Option<MapReport> {
+        let owner = self.owner(key)?;
+        match owner.fetch_cache(key) {
+            Ok(Some((bytes, report))) => {
+                if bytes == expected {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(report)
+                } else {
+                    // Same digest, different kernel bytes — collision
+                    // or a byzantine peer. Refuse the fill.
+                    self.fill_errors.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
+            // The owner simply doesn't have it: a plain miss.
+            Ok(None) => None,
+            // Peer down / bad response: a miss for the requester, a
+            // counter for the operator.
+            Err(_) => {
+                self.fill_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn fetch(&self, _key: &CacheKey) -> Option<(Arc<[u8]>, MapReport)> {
+        None // never re-export peer data: no fill chains across a fleet
+    }
+
+    fn put(&self, _key: &CacheKey, _bytes: &Arc<[u8]>, _report: &MapReport) {
+        // Peers populate themselves from their own traffic (or from
+        // us, by asking); pushing writes would double every solve's
+        // network cost for no dedup benefit.
+    }
+
+    fn scan(&self, _visit: &mut dyn FnMut(CacheKey, Arc<[u8]>, MapReport)) {
+        // Warm start is a local affair; a fleet-wide scan would be a
+        // thundering herd against whichever peer boots first.
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            fill_errors: self.fill_errors.load(Ordering::Relaxed),
+            entries: 0,
+            bytes: 0,
+            compactions: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for PeerStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerStore")
+            .field("peers", &self.peers.len())
+            .field("shards", &self.shards)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_dfg::DfgDigest;
+    use monomap_core::api::EngineId;
+
+    fn key(n: u128) -> CacheKey {
+        CacheKey {
+            digest: DfgDigest(n),
+            engine: EngineId::Decoupled,
+            cgra: 1,
+            config: 2,
+        }
+    }
+
+    #[test]
+    fn sharding_routes_to_owner_or_self() {
+        // One peer, two shards: half the digest space is self-owned.
+        let peer = Client::new("127.0.0.1:1").unwrap();
+        let store = PeerStore::new(vec![peer], 2);
+        // DfgDigest::to_u64 folds low ^ high; digest n (small) folds
+        // to n, so shard = n % 2.
+        assert!(store.owner(&key(0)).is_some(), "shard 0 → peers[0]");
+        assert!(store.owner(&key(1)).is_none(), "shard 1 → self");
+    }
+
+    #[test]
+    fn self_owned_shard_never_touches_the_network() {
+        // The peer address is unroutable without a listener; a get on
+        // a self-owned shard must not try (and must not count an
+        // error).
+        let peer = Client::new("127.0.0.1:1").unwrap();
+        let store = PeerStore::new(vec![peer], 2);
+        assert!(store.get(&key(1), b"whatever").is_none());
+        assert_eq!(store.stats().fill_errors, 0);
+    }
+
+    #[test]
+    fn peer_down_is_a_counted_miss() {
+        // Port 1 refuses connections immediately.
+        let peer = Client::new("127.0.0.1:1").unwrap();
+        let store = PeerStore::new(vec![peer], 1);
+        assert!(store.get(&key(0), b"whatever").is_none());
+        assert_eq!(store.stats().fill_errors, 1);
+        assert_eq!(store.stats().hits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the number of peers")]
+    fn fewer_shards_than_peers_rejected() {
+        let peers = vec![
+            Client::new("127.0.0.1:1").unwrap(),
+            Client::new("127.0.0.1:2").unwrap(),
+        ];
+        let _ = PeerStore::new(peers, 1);
+    }
+}

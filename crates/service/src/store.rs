@@ -1,0 +1,491 @@
+//! Pluggable storage tiers behind the in-memory cache.
+//!
+//! The in-memory [`MapCache`] is fast but per-process: every daemon
+//! restart and every new fleet member re-pays every cold solve. This
+//! module turns it into the *hot tier* of a [`TieredCache`] — an
+//! ordered stack of [`CacheStore`] backends consulted on a hot-tier
+//! miss:
+//!
+//! ```text
+//! memory (MapCache) → disk log (DiskLog) → peer fleet (PeerStore) → solve
+//! ```
+//!
+//! The design follows the pluggable state-backend shape (a small trait
+//! with concrete backends selected at daemon startup): each backend
+//! answers `get` with a **verified** report — the canonical bytes of
+//! the requested kernel are passed in and the backend must compare
+//! them against what it stored (or received over the wire) before
+//! answering, so a 128-bit digest collision or a corrupt/byzantine
+//! peer can never turn into a wrong-kernel answer. Hits on a lower
+//! tier backfill every tier above it (a peer fill is also persisted
+//! to the local disk log), and inserts write through to every tier.
+//!
+//! The export path ([`TieredCache::export`], serving
+//! `GET /cache/<digest>` to peers) deliberately consults only memory
+//! and disk — never the peer tier — so two daemons pointed at each
+//! other cannot loop a miss between themselves.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use monomap_core::api::MapReport;
+
+use crate::cache::{CacheKey, MapCache};
+
+/// Which kind of backend a [`CacheStore`] is; selects which
+/// [`PersistenceStatsSnapshot`] counters its stats feed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreKind {
+    /// A local durable backend (the append-only disk log).
+    Disk,
+    /// A network backend (sibling daemons).
+    Peer,
+}
+
+/// Point-in-time counters of one backend, aggregated per
+/// [`StoreKind`] into the `/stats` persistence section.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Verified `get` answers served by this backend.
+    pub hits: u64,
+    /// Fills refused: the backend had (or received) an entry under the
+    /// right key whose canonical bytes did not match the request, or a
+    /// network fill failed outright.
+    pub fill_errors: u64,
+    /// Entries currently addressable (0 for network backends).
+    pub entries: u64,
+    /// Bytes the backend occupies (log file length for the disk log,
+    /// 0 for network backends).
+    pub bytes: u64,
+    /// Compaction passes completed.
+    pub compactions: u64,
+}
+
+/// One storage backend in the tier stack. Implementations must be
+/// callable from many server threads at once.
+pub trait CacheStore: Send + Sync {
+    /// Which counters this backend's stats feed.
+    fn kind(&self) -> StoreKind;
+
+    /// Verified read: returns the stored report **only** when the
+    /// backend's canonical bytes for `key` equal `expected` — the
+    /// backend counts the outcome in its own `hits`/`fill_errors`.
+    /// `None` is an ordinary miss (absent, mismatched, or the backend
+    /// is unreachable); it must never surface as a request error.
+    fn get(&self, key: &CacheKey, expected: &[u8]) -> Option<MapReport>;
+
+    /// Unverified local read for the export path (serving peers): the
+    /// caller sends the stored bytes to the requester, who does the
+    /// compare. Network backends return `None` so a fleet cannot
+    /// daisy-chain fills.
+    fn fetch(&self, key: &CacheKey) -> Option<(Arc<[u8]>, MapReport)>;
+
+    /// Write-through insert. Backends that cannot persist (network
+    /// tiers) or that already hold an identical record may ignore it.
+    fn put(&self, key: &CacheKey, bytes: &Arc<[u8]>, report: &MapReport);
+
+    /// Visits every addressable entry, oldest first (warm-start
+    /// replay). Network backends visit nothing.
+    fn scan(&self, visit: &mut dyn FnMut(CacheKey, Arc<[u8]>, MapReport));
+
+    /// Point-in-time counters.
+    fn stats(&self) -> StoreStats;
+}
+
+/// The persistence/peer section of `GET /stats`: per-kind sums over
+/// the configured backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PersistenceStatsSnapshot {
+    /// Hot-tier misses answered by the disk log (verified).
+    pub disk_hits: u64,
+    /// Entries replayed into the hot tier at warm start.
+    pub disk_replayed: u64,
+    /// Entries currently live in the disk log.
+    pub disk_entries: u64,
+    /// Disk log file length in bytes.
+    pub log_bytes: u64,
+    /// Disk log compaction passes completed.
+    pub compactions: u64,
+    /// Hot-tier misses answered by a sibling daemon (verified).
+    pub peer_hits: u64,
+    /// Peer fills refused (mismatched canonical bytes) or failed
+    /// (peer unreachable / bad response).
+    pub peer_fill_errors: u64,
+}
+
+/// The in-memory [`MapCache`] fronting an ordered stack of
+/// [`CacheStore`] backends. See the [module docs](self) for the tier
+/// semantics.
+pub struct TieredCache {
+    hot: MapCache,
+    stores: Vec<Box<dyn CacheStore>>,
+    replayed: AtomicU64,
+}
+
+impl TieredCache {
+    /// A tiered cache with `hot` as the memory tier and no backends
+    /// (equivalent to the bare [`MapCache`]).
+    pub fn new(hot: MapCache) -> Self {
+        TieredCache {
+            hot,
+            stores: Vec::new(),
+            replayed: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a backend below every tier configured so far (push the
+    /// disk log before the peer store: tiers are consulted in push
+    /// order).
+    pub fn push_store(&mut self, store: Box<dyn CacheStore>) {
+        self.stores.push(store);
+    }
+
+    /// The in-memory hot tier.
+    pub fn hot(&self) -> &MapCache {
+        &self.hot
+    }
+
+    /// True when at least one backend is configured.
+    pub fn has_stores(&self) -> bool {
+        !self.stores.is_empty()
+    }
+
+    /// Looks `key` up through the tiers in order. A hit on a lower
+    /// tier backfills the hot tier and every backend above the one
+    /// that answered (so a peer fill also lands in the local disk
+    /// log). The returned report is in canonical node order, exactly
+    /// as [`MapCache::lookup`] returns it.
+    pub fn lookup(&self, key: &CacheKey, bytes: &[u8]) -> Option<MapReport> {
+        if let Some(report) = self.hot.lookup(key, bytes) {
+            return Some(report);
+        }
+        for (depth, store) in self.stores.iter().enumerate() {
+            if let Some(report) = store.get(key, bytes) {
+                let bytes: Arc<[u8]> = Arc::from(bytes.to_vec().into_boxed_slice());
+                self.hot.insert(*key, Arc::clone(&bytes), report.clone());
+                for above in &self.stores[..depth] {
+                    above.put(key, &bytes, &report);
+                }
+                return Some(report);
+            }
+        }
+        None
+    }
+
+    /// Write-through insert: the hot tier plus every backend.
+    pub fn insert(&self, key: CacheKey, bytes: Arc<[u8]>, report: MapReport) {
+        for store in &self.stores {
+            store.put(&key, &bytes, &report);
+        }
+        self.hot.insert(key, bytes, report);
+    }
+
+    /// The export path serving `GET /cache/<digest>`: memory first,
+    /// then **local** backends only — the peer tier is never consulted,
+    /// so fills cannot daisy-chain (or loop) across a fleet. No
+    /// verification happens here; the requesting peer compares the
+    /// returned canonical bytes itself.
+    pub fn export(&self, key: &CacheKey) -> Option<(Arc<[u8]>, MapReport)> {
+        if let Some(found) = self.hot.peek(key) {
+            return Some(found);
+        }
+        self.stores
+            .iter()
+            .filter(|s| s.kind() == StoreKind::Disk)
+            .find_map(|s| s.fetch(key))
+    }
+
+    /// Replays every backend's entries into the hot tier (daemon
+    /// boot). Returns how many records were replayed; the hot tier's
+    /// capacity bound applies as usual, so replaying a log larger than
+    /// the configured `--cache-capacity` keeps the newest entries and
+    /// evicts the rest.
+    pub fn warm_start(&self) -> u64 {
+        let mut n = 0u64;
+        for store in &self.stores {
+            store.scan(&mut |key, bytes, report| {
+                self.hot.insert(key, bytes, report);
+                n += 1;
+            });
+        }
+        self.replayed.fetch_add(n, Ordering::Relaxed);
+        n
+    }
+
+    /// Per-kind sums of the backends' counters (the `/stats`
+    /// persistence section).
+    pub fn snapshot(&self) -> PersistenceStatsSnapshot {
+        let mut snap = PersistenceStatsSnapshot {
+            disk_replayed: self.replayed.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        for store in &self.stores {
+            let s = store.stats();
+            match store.kind() {
+                StoreKind::Disk => {
+                    snap.disk_hits += s.hits;
+                    snap.disk_entries += s.entries;
+                    snap.log_bytes += s.bytes;
+                    snap.compactions += s.compactions;
+                }
+                StoreKind::Peer => {
+                    snap.peer_hits += s.hits;
+                    snap.peer_fill_errors += s.fill_errors;
+                }
+            }
+        }
+        snap
+    }
+}
+
+impl std::fmt::Debug for TieredCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TieredCache")
+            .field("hot", &self.hot)
+            .field("stores", &self.stores.len())
+            .finish()
+    }
+}
+
+/// Lowercase hex of `bytes` (the `GET /cache` wire encoding of
+/// canonical `MDFG1` bytes, which are not valid JSON string content).
+pub(crate) fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or non-hex input.
+pub(crate) fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgra_dfg::DfgDigest;
+    use monomap_core::api::{EngineId, MapOutcome};
+    use monomap_core::MapStats;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    fn key(n: u128) -> CacheKey {
+        CacheKey {
+            digest: DfgDigest(n),
+            engine: EngineId::Decoupled,
+            cgra: 1,
+            config: 2,
+        }
+    }
+
+    fn report(name: &str) -> MapReport {
+        MapReport {
+            engine: EngineId::Decoupled,
+            dfg_name: name.to_string(),
+            outcome: MapOutcome::Mapped { ii: 4 },
+            stats: MapStats::default(),
+            mapping: None,
+        }
+    }
+
+    fn bytes(n: u128) -> Arc<[u8]> {
+        Arc::from(n.to_le_bytes().to_vec().into_boxed_slice())
+    }
+
+    /// An in-memory [`CacheStore`] for exercising the tier logic
+    /// without touching disk or network.
+    struct FakeStore {
+        kind: StoreKind,
+        entries: Mutex<HashMap<CacheKey, (Arc<[u8]>, MapReport)>>,
+        hits: AtomicU64,
+        fill_errors: AtomicU64,
+        puts: AtomicU64,
+    }
+
+    impl FakeStore {
+        fn new(kind: StoreKind) -> Self {
+            FakeStore {
+                kind,
+                entries: Mutex::new(HashMap::new()),
+                hits: AtomicU64::new(0),
+                fill_errors: AtomicU64::new(0),
+                puts: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl CacheStore for Arc<FakeStore> {
+        fn kind(&self) -> StoreKind {
+            self.kind
+        }
+
+        fn get(&self, key: &CacheKey, expected: &[u8]) -> Option<MapReport> {
+            let entries = self.entries.lock().unwrap();
+            let (bytes, report) = entries.get(key)?;
+            if bytes.as_ref() == expected {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(report.clone())
+            } else {
+                self.fill_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+
+        fn fetch(&self, key: &CacheKey) -> Option<(Arc<[u8]>, MapReport)> {
+            if self.kind == StoreKind::Peer {
+                return None;
+            }
+            self.entries.lock().unwrap().get(key).cloned()
+        }
+
+        fn put(&self, key: &CacheKey, bytes: &Arc<[u8]>, report: &MapReport) {
+            self.puts.fetch_add(1, Ordering::Relaxed);
+            self.entries
+                .lock()
+                .unwrap()
+                .insert(*key, (Arc::clone(bytes), report.clone()));
+        }
+
+        fn scan(&self, visit: &mut dyn FnMut(CacheKey, Arc<[u8]>, MapReport)) {
+            for (k, (b, r)) in self.entries.lock().unwrap().iter() {
+                visit(*k, Arc::clone(b), r.clone());
+            }
+        }
+
+        fn stats(&self) -> StoreStats {
+            StoreStats {
+                hits: self.hits.load(Ordering::Relaxed),
+                fill_errors: self.fill_errors.load(Ordering::Relaxed),
+                entries: self.entries.lock().unwrap().len() as u64,
+                bytes: 0,
+                compactions: 0,
+            }
+        }
+    }
+
+    fn tiered(stores: &[Arc<FakeStore>]) -> TieredCache {
+        let mut tiers = TieredCache::new(MapCache::with_shards(8, 1));
+        for s in stores {
+            tiers.push_store(Box::new(Arc::clone(s)));
+        }
+        tiers
+    }
+
+    #[test]
+    fn insert_writes_through_and_lower_tier_hit_backfills_above() {
+        let disk = Arc::new(FakeStore::new(StoreKind::Disk));
+        let peer = Arc::new(FakeStore::new(StoreKind::Peer));
+        let tiers = tiered(&[Arc::clone(&disk), Arc::clone(&peer)]);
+        tiers.insert(key(1), bytes(1), report("a"));
+        assert_eq!(disk.puts.load(Ordering::Relaxed), 1, "write-through");
+        assert_eq!(peer.puts.load(Ordering::Relaxed), 1);
+
+        // A peer-only entry: its hit must backfill memory AND disk.
+        peer.entries
+            .lock()
+            .unwrap()
+            .insert(key(2), (bytes(2), report("b")));
+        let hit = tiers.lookup(&key(2), &bytes(2)).expect("peer fill");
+        assert_eq!(hit.dfg_name, "b");
+        assert!(
+            disk.entries.lock().unwrap().contains_key(&key(2)),
+            "peer fill persists to the disk tier"
+        );
+        assert!(
+            tiers.hot().peek(&key(2)).is_some(),
+            "peer fill lands in memory"
+        );
+        // A second lookup is a pure hot-tier hit: no new store traffic.
+        let before = peer.hits.load(Ordering::Relaxed);
+        assert!(tiers.lookup(&key(2), &bytes(2)).is_some());
+        assert_eq!(peer.hits.load(Ordering::Relaxed), before);
+    }
+
+    #[test]
+    fn mismatched_bytes_never_fill() {
+        let disk = Arc::new(FakeStore::new(StoreKind::Disk));
+        let tiers = tiered(&[Arc::clone(&disk)]);
+        disk.entries
+            .lock()
+            .unwrap()
+            .insert(key(1), (bytes(99), report("wrong")));
+        assert!(
+            tiers.lookup(&key(1), &bytes(1)).is_none(),
+            "colliding digest with different bytes is a miss"
+        );
+        assert_eq!(disk.fill_errors.load(Ordering::Relaxed), 1);
+        assert!(tiers.hot().peek(&key(1)).is_none(), "nothing backfilled");
+    }
+
+    #[test]
+    fn export_never_consults_the_peer_tier() {
+        let disk = Arc::new(FakeStore::new(StoreKind::Disk));
+        let peer = Arc::new(FakeStore::new(StoreKind::Peer));
+        let tiers = tiered(&[Arc::clone(&disk), Arc::clone(&peer)]);
+        peer.entries
+            .lock()
+            .unwrap()
+            .insert(key(1), (bytes(1), report("remote")));
+        assert!(
+            tiers.export(&key(1)).is_none(),
+            "peer-only entries are not exported (no fill chains)"
+        );
+        disk.entries
+            .lock()
+            .unwrap()
+            .insert(key(2), (bytes(2), report("local")));
+        assert!(tiers.export(&key(2)).is_some(), "disk entries are exported");
+    }
+
+    #[test]
+    fn warm_start_replays_and_counts() {
+        let disk = Arc::new(FakeStore::new(StoreKind::Disk));
+        let tiers = tiered(&[Arc::clone(&disk)]);
+        for i in 0..3u128 {
+            disk.entries
+                .lock()
+                .unwrap()
+                .insert(key(i), (bytes(i), report("r")));
+        }
+        assert_eq!(tiers.warm_start(), 3);
+        assert_eq!(tiers.hot().len(), 3);
+        assert_eq!(tiers.snapshot().disk_replayed, 3);
+        // Replayed entries are hot-tier hits now.
+        assert!(tiers.lookup(&key(0), &bytes(0)).is_some());
+        assert_eq!(tiers.hot().snapshot().hits, 1);
+    }
+
+    #[test]
+    fn snapshot_sums_per_kind() {
+        let disk = Arc::new(FakeStore::new(StoreKind::Disk));
+        let peer = Arc::new(FakeStore::new(StoreKind::Peer));
+        let tiers = tiered(&[Arc::clone(&disk), Arc::clone(&peer)]);
+        disk.hits.store(2, Ordering::Relaxed);
+        peer.hits.store(3, Ordering::Relaxed);
+        peer.fill_errors.store(1, Ordering::Relaxed);
+        let snap = tiers.snapshot();
+        assert_eq!(snap.disk_hits, 2);
+        assert_eq!(snap.peer_hits, 3);
+        assert_eq!(snap.peer_fill_errors, 1);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = [0u8, 1, 0xab, 0xff, 0x10];
+        let enc = hex_encode(&data);
+        assert_eq!(enc, "0001abff10");
+        assert_eq!(hex_decode(&enc).unwrap(), data);
+        assert!(hex_decode("abc").is_none(), "odd length");
+        assert!(hex_decode("zz").is_none(), "non-hex");
+    }
+}

@@ -4,6 +4,9 @@
 #  * routing_ablation — ISSUE-7 mesh-vs-torus II ablation at
 #    max_route_hops in {1, 2}, every mapping sim-validated end-to-end
 #    (-> BENCH_PR7.json);
+#  * persistence_bench — ISSUE-9 restart path: warm-start replay of the
+#    disk log vs cold re-solving the 17-kernel suite
+#    (-> BENCH_PR9.json);
 #  * bench_summary — ISSUE-6 perf trajectory (incremental time solver
 #    vs per-level rebuilds).
 #
@@ -11,6 +14,7 @@
 # All arguments are forwarded to the bench_summary binary.
 set -eu
 cd "$(dirname "$0")/.."
-cargo build --release -q -p cgra-bench --bin bench_summary --bin routing_ablation
+cargo build --release -q -p cgra-bench --bin bench_summary --bin routing_ablation --bin persistence_bench
 ./target/release/routing_ablation --out BENCH_PR7.json
+./target/release/persistence_bench --out BENCH_PR9.json
 exec ./target/release/bench_summary "$@"

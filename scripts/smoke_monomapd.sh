@@ -1,21 +1,30 @@
 #!/usr/bin/env bash
 # CI smoke test for the monomapd daemon: start it on an ephemeral
 # port, issue /healthz and /map through the bundled client, and assert
-# that repeating the same kernel is a cache hit. A second daemon with
-# a tiny solve queue then exercises the overload path: saturate it
-# with slow coupled solves and assert excess work is shed with 429.
+# that repeating the same kernel is a cache hit. The same daemon runs
+# with --cache-dir, is killed and restarted, and must serve the
+# previously-solved kernel as a hit without re-solving; a sibling
+# daemon with --peer then fills the kernel over the fleet. A further
+# daemon with a tiny solve queue exercises the overload path: saturate
+# it with slow coupled solves and assert excess work is shed with 429.
 # Requires the release binaries (cargo build --release) to exist.
 set -euo pipefail
 
 BIN="${BIN:-target/release}"
 LOG="$(mktemp)"
 LOG2="$(mktemp)"
+LOG3="$(mktemp)"
+LOG4="$(mktemp)"
+CACHE_DIR="$(mktemp -d)"
 
-"$BIN/monomapd" --addr 127.0.0.1:0 --rows 4 --cols 4 --cache-capacity 64 >"$LOG" 2>&1 &
+"$BIN/monomapd" --addr 127.0.0.1:0 --rows 4 --cols 4 --cache-capacity 64 \
+    --cache-dir "$CACHE_DIR" >"$LOG" 2>&1 &
 DAEMON=$!
 DAEMON2=""
+DAEMON3=""
+DAEMON4=""
 SLOW_PIDS=""
-trap 'kill "$DAEMON" $DAEMON2 $SLOW_PIDS 2>/dev/null || true; rm -f "$LOG" "$LOG2"' EXIT
+trap 'kill "$DAEMON" $DAEMON2 $DAEMON3 $DAEMON4 $SLOW_PIDS 2>/dev/null || true; rm -f "$LOG" "$LOG2" "$LOG3" "$LOG4"; rm -rf "$CACHE_DIR"' EXIT
 
 # The daemon prints "monomapd listening on http://<addr>" once bound.
 ADDR=""
@@ -42,10 +51,65 @@ fail() { echo "FAIL: $1" >&2; exit 1; }
 "$BIN/monomap-client" --addr "$ADDR" map susan | tail -1 | grep -qx 'cache: hit' \
     || fail "repeated /map of susan was not a cache hit"
 
-"$BIN/monomap-client" --addr "$ADDR" stats | grep -q '"hits":1' \
+"$BIN/monomap-client" --addr "$ADDR" stats --json | grep -q '"hits":1' \
     || fail "/stats did not count exactly one hit"
 
 echo "monomapd smoke OK ($ADDR)"
+
+# ---- restart: the disk log must survive a kill -----------------------
+
+kill "$DAEMON"
+wait "$DAEMON" 2>/dev/null || true
+
+"$BIN/monomapd" --addr 127.0.0.1:0 --rows 4 --cols 4 --cache-capacity 64 \
+    --cache-dir "$CACHE_DIR" >"$LOG3" 2>&1 &
+DAEMON3=$!
+
+ADDR3=""
+for _ in $(seq 1 100); do
+    ADDR3="$(grep -oE '127\.0\.0\.1:[0-9]+' "$LOG3" | head -1 || true)"
+    [ -n "$ADDR3" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR3" ] || fail "restarted daemon never printed its listen address"
+grep -q 'replayed: [1-9]' "$LOG3" \
+    || fail "restarted daemon replayed nothing from $CACHE_DIR"
+
+# The very first request after the restart must already be a hit: the
+# kernel was solved before the kill and replayed from the disk log.
+"$BIN/monomap-client" --addr "$ADDR3" map susan | tail -1 | grep -qx 'cache: hit' \
+    || fail "restarted daemon re-solved susan instead of serving the disk log"
+
+"$BIN/monomap-client" --addr "$ADDR3" stats --json | grep -q '"disk_replayed":1' \
+    || fail "/stats did not count the replayed entry"
+
+echo "monomapd restart smoke OK ($ADDR3)"
+
+# ---- peer fill: a cold sibling answers from the fleet ----------------
+
+"$BIN/monomapd" --addr 127.0.0.1:0 --rows 4 --cols 4 --cache-capacity 64 \
+    --peer "$ADDR3" >"$LOG4" 2>&1 &
+DAEMON4=$!
+
+ADDR4=""
+for _ in $(seq 1 100); do
+    ADDR4="$(grep -oE '127\.0\.0\.1:[0-9]+' "$LOG4" | head -1 || true)"
+    [ -n "$ADDR4" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR4" ] || fail "peered daemon never printed its listen address"
+
+# The peered daemon is cold, but its sibling holds susan: the first
+# request must be a peer fill, not a local cold solve.
+"$BIN/monomap-client" --addr "$ADDR4" map susan | tail -1 | grep -qx 'cache: hit' \
+    || fail "peered daemon cold-solved susan instead of filling from its sibling"
+
+"$BIN/monomap-client" --addr "$ADDR4" stats --json | grep -q '"peer_hits":1' \
+    || fail "/stats did not count the peer fill"
+"$BIN/monomap-client" --addr "$ADDR4" stats --json | grep -q '"peer_fill_errors":0' \
+    || fail "/stats counted a peer fill error on a healthy fleet"
+
+echo "monomapd peer-fill smoke OK ($ADDR4 <- $ADDR3)"
 
 # ---- overload path: tiny queue, slow solves, assert one 429 ----------
 
@@ -69,20 +133,20 @@ echo "overload daemon is up on $ADDR2"
     --rows 6 --cols 6 --deadline 120 >/dev/null 2>&1 &
 SLOW_PIDS="$!"
 for _ in $(seq 1 100); do
-    "$BIN/monomap-client" --addr "$ADDR2" stats | grep -q '"solve_pool_busy":1' && break
+    "$BIN/monomap-client" --addr "$ADDR2" stats --json | grep -q '"solve_pool_busy":1' && break
     sleep 0.1
 done
-"$BIN/monomap-client" --addr "$ADDR2" stats | grep -q '"solve_pool_busy":1' \
+"$BIN/monomap-client" --addr "$ADDR2" stats --json | grep -q '"solve_pool_busy":1' \
     || fail "slow solve never pinned the solve pool"
 
 "$BIN/monomap-client" --addr "$ADDR2" map nw --engine coupled \
     --rows 6 --cols 6 --deadline 120 >/dev/null 2>&1 &
 SLOW_PIDS="$SLOW_PIDS $!"
 for _ in $(seq 1 100); do
-    "$BIN/monomap-client" --addr "$ADDR2" stats | grep -q '"queue_depth":1' && break
+    "$BIN/monomap-client" --addr "$ADDR2" stats --json | grep -q '"queue_depth":1' && break
     sleep 0.1
 done
-"$BIN/monomap-client" --addr "$ADDR2" stats | grep -q '"queue_depth":1' \
+"$BIN/monomap-client" --addr "$ADDR2" stats --json | grep -q '"queue_depth":1' \
     || fail "second slow solve never filled the queue"
 
 # The third solve must be shed with 429 + Retry-After (the client
@@ -96,7 +160,7 @@ echo "$SHED_OUT" | grep -qi 'overloaded' \
 echo "$SHED_OUT" | grep -qE 'retry after [0-9]+s' \
     || fail "shed response carried no parseable Retry-After: $SHED_OUT"
 
-"$BIN/monomap-client" --addr "$ADDR2" stats | grep -qE '"shed_total":[1-9]' \
+"$BIN/monomap-client" --addr "$ADDR2" stats --json | grep -qE '"shed_total":[1-9]' \
     || fail "/stats did not count the shed request"
 
 # Cheap path stays responsive under a saturated pool.

@@ -26,7 +26,7 @@ const USAGE: &str = "monomap-client — poke a running monomapd
 
 USAGE:
     monomap-client --addr <host:port> healthz
-    monomap-client --addr <host:port> stats
+    monomap-client --addr <host:port> stats [--json]
     monomap-client --addr <host:port> map <kernel> [--engine decoupled|coupled|annealing]
                                                    [--max-ii <n>] [--deadline <seconds>]
                                                    [--rows <n> --cols <n>]
@@ -54,6 +54,7 @@ fn run() -> Result<(), String> {
     let mut deadline: Option<f64> = None;
     let mut rows: Option<usize> = None;
     let mut cols: Option<usize> = None;
+    let mut json = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +68,7 @@ fn run() -> Result<(), String> {
                 return Ok(());
             }
             "--addr" => addr = Some(value("--addr")?),
+            "--json" => json = true,
             "--engine" => {
                 engine = match value("--engine")?.as_str() {
                     "decoupled" => EngineId::Decoupled,
@@ -127,10 +129,14 @@ fn run() -> Result<(), String> {
         }
         "stats" => {
             let stats = client.stats().map_err(|e| e.to_string())?;
-            println!(
-                "{}",
-                serde_json::to_string(&stats).map_err(|e| e.to_string())?
-            );
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string(&stats).map_err(|e| e.to_string())?
+                );
+            } else {
+                print_stats(&stats);
+            }
         }
         "map" => {
             let kernel = kernel.ok_or("map needs a kernel name")?;
@@ -160,6 +166,38 @@ fn run() -> Result<(), String> {
         other => return Err(format!("unknown command `{other}` (try --help)")),
     }
     Ok(())
+}
+
+fn print_stats(stats: &monomap_service::StatsSnapshot) {
+    let c = &stats.cache;
+    let p = &stats.persistence;
+    let s = &stats.server;
+    println!("cache (memory)");
+    println!("  hits:              {}", c.hits);
+    println!("  misses:            {}", c.misses);
+    println!("  insertions:        {}", c.insertions);
+    println!("  evictions:         {}", c.evictions);
+    println!("  collisions:        {}", c.collisions);
+    println!("  entries:           {} / {}", c.entries, c.capacity);
+    println!("persistence");
+    println!("  disk_hits:         {}", p.disk_hits);
+    println!("  disk_replayed:     {}", p.disk_replayed);
+    println!("  disk_entries:      {}", p.disk_entries);
+    println!("  log_bytes:         {}", p.log_bytes);
+    println!("  compactions:       {}", p.compactions);
+    println!("  peer_hits:         {}", p.peer_hits);
+    println!("  peer_fill_errors:  {}", p.peer_fill_errors);
+    println!("server");
+    println!("  requests:          {}", s.requests);
+    println!("  map_requests:      {}", s.map_requests);
+    println!("  batch_requests:    {}", s.batch_requests);
+    println!("  errors:            {}", s.errors);
+    println!("  client_disconnects:{}", s.client_disconnects);
+    println!("  queue_depth:       {}", s.queue_depth);
+    println!("  queue_high_water:  {}", s.queue_high_watermark);
+    println!("  shed_total:        {}", s.shed_total);
+    println!("  solve_pool_busy:   {}", s.solve_pool_busy);
+    println!("  uptime_seconds:    {:.1}", s.uptime_seconds);
 }
 
 fn main() -> ExitCode {

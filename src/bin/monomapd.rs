@@ -12,7 +12,14 @@
 //!          [--profile homogeneous|mem-left|mul-checkerboard|mem-left-mul-checkerboard]
 //!          [--workers 4] [--cheap-workers 2] [--queue-bound 64]
 //!          [--batch-parallelism 4] [--cache-capacity 4096]
+//!          [--cache-dir DIR] [--disk-capacity 65536]
+//!          [--peer host:port]... [--peer-shards N] [--peer-timeout-ms 2000]
 //! ```
+//!
+//! With `--cache-dir` the cache persists across restarts (append-only
+//! checksummed log, replayed into memory at boot). With `--peer` the
+//! daemon fills local misses from sibling daemons, digest-sharded so a
+//! fleet solves each cold kernel once.
 //!
 //! Bind port 0 for an ephemeral port; the daemon prints
 //! `monomapd listening on http://<addr>` (with the real port) to
@@ -20,10 +27,13 @@
 //! scrape. See `docs/SERVICE.md` for the wire protocol.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use cgra_arch::{CapabilityProfile, Cgra, Topology};
 use cgra_baseline::standard_service;
-use monomap_service::{CachedMappingService, Server, ServerConfig};
+use monomap_service::{
+    CachedMappingService, Client, DiskLog, MapCache, PeerStore, Server, ServerConfig, TieredCache,
+};
 
 struct Options {
     addr: String,
@@ -36,6 +46,11 @@ struct Options {
     queue_bound: usize,
     batch_parallelism: usize,
     cache_capacity: usize,
+    cache_dir: Option<String>,
+    disk_capacity: usize,
+    peers: Vec<String>,
+    peer_shards: Option<usize>,
+    peer_timeout_ms: u64,
 }
 
 impl Default for Options {
@@ -51,6 +66,11 @@ impl Default for Options {
             queue_bound: 64,
             batch_parallelism: 4,
             cache_capacity: 4096,
+            cache_dir: None,
+            disk_capacity: 65536,
+            peers: Vec::new(),
+            peer_shards: None,
+            peer_timeout_ms: 2000,
         }
     }
 }
@@ -71,7 +91,17 @@ OPTIONS:
     --cheap-workers <n>         cheap-path threads: parsing + cache lookups (default 2)
     --queue-bound <n>           max queued solve jobs; overflow is shed with 429 (default 64)
     --batch-parallelism <n>     worker threads per /map_batch request (default 4)
-    --cache-capacity <n>        mapping cache entries (default 4096)
+    --cache-capacity <n>        in-memory mapping cache entries (default 4096)
+    --cache-dir <dir>           persist the cache to an append-only log in <dir>,
+                                replayed into memory at boot (default: memory only)
+    --disk-capacity <n>         entries retained in the on-disk log across
+                                compactions (default 65536)
+    --peer <host:port>          sibling daemon to fill local misses from; repeat
+                                for a fleet (order must agree fleet-wide)
+    --peer-shards <n>           digest shard count for peer ownership; shards
+                                past the peer list are self-owned
+                                (default: number of peers)
+    --peer-timeout-ms <n>       peer connect/read timeout (default 2000)
     --help                      print this help
 ";
 
@@ -105,6 +135,18 @@ fn parse_args() -> Result<Options, String> {
             "--cache-capacity" => {
                 opts.cache_capacity = parse_num(&value("--cache-capacity")?, "--cache-capacity")?
             }
+            "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
+            "--disk-capacity" => {
+                opts.disk_capacity = parse_num(&value("--disk-capacity")?, "--disk-capacity")?
+            }
+            "--peer" => opts.peers.push(value("--peer")?),
+            "--peer-shards" => {
+                opts.peer_shards = Some(parse_num(&value("--peer-shards")?, "--peer-shards")?)
+            }
+            "--peer-timeout-ms" => {
+                opts.peer_timeout_ms =
+                    parse_num(&value("--peer-timeout-ms")?, "--peer-timeout-ms")? as u64
+            }
             "--topology" => {
                 opts.topology = match value("--topology")?.as_str() {
                     "torus" => Topology::Torus,
@@ -137,6 +179,17 @@ fn parse_args() -> Result<Options, String> {
                 .into(),
         );
     }
+    if opts.disk_capacity == 0 || opts.peer_timeout_ms == 0 {
+        return Err("--disk-capacity and --peer-timeout-ms must be positive".into());
+    }
+    if let Some(shards) = opts.peer_shards {
+        if shards < opts.peers.len() {
+            return Err("--peer-shards must be at least the number of --peer flags".into());
+        }
+    }
+    if opts.peer_shards.is_some() && opts.peers.is_empty() {
+        return Err("--peer-shards needs at least one --peer".into());
+    }
     Ok(opts)
 }
 
@@ -164,7 +217,40 @@ fn main() -> ExitCode {
         }
     };
     let service = standard_service(&cgra).with_parallelism(opts.batch_parallelism);
-    let cached = CachedMappingService::new(service, opts.cache_capacity);
+    let mut tiers = TieredCache::new(MapCache::new(opts.cache_capacity));
+    if let Some(dir) = &opts.cache_dir {
+        let log = match DiskLog::open(dir, opts.disk_capacity) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("monomapd: cannot open cache log in {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for warning in log.warnings() {
+            eprintln!("monomapd: cache log: {warning}");
+        }
+        tiers.push_store(Box::new(log));
+    }
+    if !opts.peers.is_empty() {
+        let timeout = Duration::from_millis(opts.peer_timeout_ms);
+        let mut clients = Vec::with_capacity(opts.peers.len());
+        for peer in &opts.peers {
+            match Client::new(peer.as_str()) {
+                Ok(c) => clients.push(
+                    c.with_timeout(Some(timeout))
+                        .with_connect_timeout(Some(timeout)),
+                ),
+                Err(e) => {
+                    eprintln!("monomapd: bad --peer {peer}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let shards = opts.peer_shards.unwrap_or(clients.len());
+        tiers.push_store(Box::new(PeerStore::new(clients, shards)));
+    }
+    let cached = CachedMappingService::with_tiers(service, tiers);
+    let replayed = cached.warm_start();
     let config = ServerConfig {
         workers: opts.workers,
         cheap_workers: opts.cheap_workers,
@@ -194,6 +280,16 @@ fn main() -> ExitCode {
         opts.queue_bound,
         opts.cache_capacity,
     );
+    if let Some(dir) = &opts.cache_dir {
+        println!("  cache dir: {dir} | replayed: {replayed} entries");
+    }
+    if !opts.peers.is_empty() {
+        println!(
+            "  peers: {} | shards: {}",
+            opts.peers.join(", "),
+            opts.peer_shards.unwrap_or(opts.peers.len()),
+        );
+    }
     // Ready-line consumers (the smoke script) need the port before the
     // first connection arrives.
     use std::io::Write;

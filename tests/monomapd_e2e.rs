@@ -6,12 +6,14 @@
 
 use std::io::Write;
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use monomap::prelude::*;
 use monomap_service::{
-    CacheDisposition, CachedMappingService, Client, ClientError, Server, ServerConfig, ServerHandle,
+    CacheDisposition, CachedMappingService, Client, ClientError, DiskLog, MapCache, PeerStore,
+    Server, ServerConfig, ServerHandle, TieredCache,
 };
 
 fn start_server(workers: usize) -> (ServerHandle, Client) {
@@ -30,6 +32,47 @@ fn start_server_with(config: ServerConfig) -> (ServerHandle, Client) {
     let handle = server.spawn().expect("spawn server");
     let client = Client::new(handle.addr()).expect("client");
     (handle, client)
+}
+
+/// Starts a daemon with an explicit tier stack (the `--cache-dir` /
+/// `--peer` shapes), warm-starting before it serves — exactly what
+/// the `monomapd` binary does.
+fn start_tiered_server(tiers: TieredCache) -> (ServerHandle, Client) {
+    let cgra = Cgra::new(2, 2).unwrap();
+    let service = standard_service(&cgra).with_parallelism(2);
+    let cached = CachedMappingService::with_tiers(service, tiers);
+    cached.warm_start();
+    let server = Server::bind("127.0.0.1:0", cached, ServerConfig::default()).expect("bind");
+    let handle = server.spawn().expect("spawn server");
+    let client = Client::new(handle.addr()).expect("client");
+    (handle, client)
+}
+
+/// A throwaway directory under the OS temp dir, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "monomapd-e2e-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
 }
 
 /// A deliberately slow request: the coupled (SAT-MapIt-style) joint
@@ -605,6 +648,132 @@ fn admission_control_sheds_overflow_and_keeps_the_cheap_path_fast() {
     await_stats(&client, "pool released", |s| {
         s.server.solve_pool_busy == 0 && s.server.client_disconnects >= 1
     });
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn restarted_daemon_serves_yesterdays_kernel_from_disk() {
+    let dir = TempDir::new("restart");
+    let disk_tiers = || {
+        let mut tiers = TieredCache::new(MapCache::new(256));
+        tiers.push_store(Box::new(DiskLog::open(dir.path(), 1024).unwrap()));
+        tiers
+    };
+    let request = MapRequest::new(EngineId::Decoupled, suite::generate("susan"));
+
+    // First daemon: a cold solve, persisted.
+    let first_report = {
+        let (server, client) = start_tiered_server(disk_tiers());
+        let response = client.map(&request).expect("cold map");
+        assert_eq!(response.cache, Some(CacheDisposition::Miss));
+        assert!(response.report.outcome.is_mapped());
+        server.shutdown().unwrap();
+        response.report
+    };
+
+    // Second daemon over the same directory: the very first wire
+    // request is a hit — warm-start replayed the log, no engine ran.
+    let (server, client) = start_tiered_server(disk_tiers());
+    let response = client.map(&request).expect("warm map");
+    assert_eq!(
+        response.cache,
+        Some(CacheDisposition::Hit),
+        "restart serves the previously-solved kernel as a hit"
+    );
+    assert_eq!(
+        serde_json::to_string(&response.report).unwrap(),
+        serde_json::to_string(&first_report).unwrap(),
+        "byte-identical to the pre-restart solve"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.cache.misses, 0, "nothing was re-solved");
+    assert_eq!(stats.persistence.disk_replayed, 1);
+    assert!(stats.persistence.log_bytes > 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn second_daemon_fills_from_its_peer_without_a_cold_solve() {
+    // Daemon A solves; daemon B, peered at A, must answer the same
+    // kernel as a hit over the wire — a peer fill, not a local solve.
+    let (daemon_a, client_a) = start_server(2);
+    let request = MapRequest::new(EngineId::Decoupled, suite::generate("sha1"));
+    let solved = client_a.map(&request).expect("cold solve on A");
+    assert_eq!(solved.cache, Some(CacheDisposition::Miss));
+
+    let mut tiers = TieredCache::new(MapCache::new(256));
+    let peer = Client::new(daemon_a.addr())
+        .unwrap()
+        .with_timeout(Some(Duration::from_secs(5)))
+        .with_connect_timeout(Some(Duration::from_secs(5)));
+    tiers.push_store(Box::new(PeerStore::new(vec![peer], 1)));
+    let (daemon_b, client_b) = start_tiered_server(tiers);
+
+    let filled = client_b.map(&request).expect("map through B");
+    assert_eq!(
+        filled.cache,
+        Some(CacheDisposition::Hit),
+        "B answers from its peer, no local cold solve"
+    );
+    assert_eq!(
+        serde_json::to_string(&filled.report).unwrap(),
+        serde_json::to_string(&solved.report).unwrap(),
+        "the fill replays A's report byte for byte"
+    );
+    let stats_b = client_b.stats().expect("stats");
+    assert_eq!(stats_b.persistence.peer_hits, 1);
+    assert_eq!(stats_b.persistence.peer_fill_errors, 0);
+
+    // The fill is now memory-resident on B: a repeat does not touch A.
+    let a_requests = client_a.stats().unwrap().server.requests;
+    let again = client_b.map(&request).expect("repeat on B");
+    assert_eq!(again.cache, Some(CacheDisposition::Hit));
+    assert_eq!(client_b.stats().unwrap().persistence.peer_hits, 1);
+    assert_eq!(
+        client_a.stats().unwrap().server.requests,
+        a_requests + 1, // only our own stats poll
+        "no second peer round trip"
+    );
+
+    // A peered daemon whose sibling is gone degrades to local solves.
+    daemon_a.shutdown().unwrap();
+    let cold = MapRequest::new(EngineId::Decoupled, accumulator());
+    let local = client_b.map(&cold).expect("B survives A's death");
+    assert_eq!(local.cache, Some(CacheDisposition::Miss));
+    assert!(local.report.outcome.is_mapped());
+    assert!(client_b.stats().unwrap().persistence.peer_fill_errors >= 1);
+    daemon_b.shutdown().unwrap();
+}
+
+#[test]
+fn cache_endpoint_speaks_the_wire_format() {
+    // GET /cache/<digest> with a bogus digest → 404 without bumping
+    // the error counter (peer misses are routine); malformed → 400.
+    let (server, client) = start_server(1);
+    let missing = format!("/cache/{:032x}?engine=decoupled&fp={:032x}", 1, 0);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write!(
+        stream,
+        "GET {missing} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    use std::io::Read;
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+    assert_eq!(
+        client.stats().unwrap().server.errors,
+        0,
+        "a cache miss is not a server error"
+    );
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"GET /cache/nothex HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
     server.shutdown().unwrap();
 }
 
