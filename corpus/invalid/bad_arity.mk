@@ -1,0 +1,4 @@
+// expect: 3:14 min() takes exactly 2 argument(s), found 3
+kernel k {
+  i32 x = min(1, 2, 3);
+}

@@ -1,0 +1,6 @@
+// expect: 5:3 recurrence `s` is already closed
+kernel k {
+  rec i32 s = 0;
+  s = s + 1;
+  s = s + 2;
+}

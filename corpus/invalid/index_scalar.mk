@@ -1,0 +1,5 @@
+// expect: 4:11 type mismatch: cannot index `x`, it is not an array
+kernel k {
+  i32 x = 1;
+  i32 y = x[0];
+}

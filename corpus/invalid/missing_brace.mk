@@ -1,0 +1,3 @@
+// expect: 4:1 kernel `k` is missing its closing `}`
+kernel k {
+  out(in(0));

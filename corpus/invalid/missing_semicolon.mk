@@ -1,0 +1,4 @@
+// expect: 4:1 expected `;` after the statement, found `}`
+kernel k {
+  i32 x = in(0)
+}

@@ -1,0 +1,4 @@
+// expect: 3:11 integer literal out of range
+kernel k {
+  i32 x = 92233720368547758080;
+}

@@ -1,0 +1,5 @@
+// expect: 4:3 `x` is not a recurrence: assigning it again would make it depend on a later value in the same iteration; declare `rec i32 x = ...;` for a loop-carried dependence
+kernel k {
+  i32 x = 1;
+  x = x + 1;
+}

@@ -1,0 +1,4 @@
+// expect: 3:11 `x` depends on itself: within an iteration a value cannot be its own operand; declare `rec i32 x = ...;` and close it with `x = ...;` to carry it across iterations
+kernel k {
+  i32 x = x + 1;
+}

@@ -1,0 +1,4 @@
+// expect: 3:3 unexpected character `$`
+kernel k {
+  $
+}

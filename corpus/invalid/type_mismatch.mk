@@ -1,0 +1,5 @@
+// expect: 4:11 type mismatch: `m` is an array, expected a scalar value
+kernel k {
+  i32[] m;
+  i32 x = m + 1;
+}

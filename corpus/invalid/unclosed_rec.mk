@@ -1,0 +1,5 @@
+// expect: 3:11 recurrence `s` is never closed (assign `s = ...;` in the body)
+kernel k {
+  rec i32 s = 0;
+  out(s);
+}

@@ -1,0 +1,4 @@
+// expect: 3:15 undefined name `q`
+kernel k {
+  i32 x = 1 + q;
+}

@@ -1,0 +1,5 @@
+// expect: 4:15 recurrence distance must be at least 1
+kernel k {
+  rec i32 s = 0;
+  s = s + 1 @ 0;
+}

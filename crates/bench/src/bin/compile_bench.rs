@@ -1,0 +1,166 @@
+//! ISSUE-10 frontend benchmark: compiling the committed `.mk` corpus
+//! vs actually mapping it, in JSON for committing alongside the code
+//! (`BENCH_PR10.json`).
+//!
+//! Usage:
+//!   compile_bench [--kernels nw,fft] [--kernels-dir DIR] [--repeat N] [--out FILE]
+//!
+//! The frontend's whole pitch is that the text front door is free:
+//! lexing, parsing and DFG construction must be measurement noise
+//! next to the solve the request exists to run. Per kernel the
+//! benchmark compiles the committed `.mk` source `repeat` times
+//! (keeping the fastest run), verifies the compiled digest against
+//! the programmatic suite, then cold-solves the kernel once on the
+//! decoupled engine. The headline number is
+//! `compile_share_of_solve` — total best-case compile time over total
+//! cold solve time — and the process exits nonzero if compilation
+//! costs more than [`MAX_COMPILE_SHARE`] of the solving it fronts.
+//!
+//! IIs and digests are exact; wall-clock fields vary run to run.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cgra_arch::Cgra;
+use cgra_dfg::suite;
+use monomap_core::api::{EngineId, MapRequest, MappingService};
+use serde::{Serialize, Value};
+
+/// The lock: compiling the corpus must cost at most this share of
+/// cold-solving it (it lands around 1% in release builds; the slack
+/// absorbs shared-runner jitter without ever letting "the frontend is
+/// free" silently stop being true).
+const MAX_COMPILE_SHARE: f64 = 0.05;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kernels: Vec<String> = suite::names().iter().map(|s| s.to_string()).collect();
+    let mut kernels_dir = PathBuf::from("kernels");
+    let mut repeat: u32 = 100;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kernels" => {
+                i += 1;
+                kernels = args[i].split(',').map(str::to_string).collect();
+            }
+            "--kernels-dir" => {
+                i += 1;
+                kernels_dir = PathBuf::from(&args[i]);
+            }
+            "--repeat" => {
+                i += 1;
+                repeat = args[i].parse().expect("--repeat takes a count");
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cgra = Cgra::new(4, 4).expect("4x4");
+    let service = MappingService::new(&cgra);
+
+    let mut rows = Vec::new();
+    let mut compile_total = Duration::ZERO;
+    let mut solve_total = Duration::ZERO;
+    for name in &kernels {
+        eprintln!("{name}...");
+        let path = kernels_dir.join(format!("{name}.mk"));
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+
+        // Best-of-N compile: the fastest run is the cost of the work
+        // itself, not of a cold cache or a scheduler hiccup.
+        let mut best = Duration::MAX;
+        let mut dfg = None;
+        for _ in 0..repeat.max(1) {
+            let started = Instant::now();
+            let compiled = monomap_frontend::compile_one(&source)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            best = best.min(started.elapsed());
+            dfg = Some(compiled);
+        }
+        let dfg = dfg.expect("at least one compile ran");
+        assert_eq!(
+            dfg.digest(),
+            suite::generate(name).digest(),
+            "{name}: committed .mk drifted from the programmatic suite"
+        );
+        compile_total += best;
+
+        // One cold decoupled solve — the thing the compile fronts.
+        let request = MapRequest::new(EngineId::Decoupled, dfg.clone());
+        let started = Instant::now();
+        let report = service.map(&request);
+        let solve = started.elapsed();
+        let ii = report.outcome.ii();
+        assert!(ii.is_some(), "{name}: suite kernel failed to map on 4x4");
+        solve_total += solve;
+
+        rows.push(Value::Map(vec![
+            ("kernel".to_string(), name.to_value()),
+            ("digest".to_string(), dfg.digest().to_hex().to_value()),
+            ("nodes".to_string(), dfg.num_nodes().to_value()),
+            ("ii".to_string(), ii.expect("asserted above").to_value()),
+            ("compile_seconds".to_string(), best.as_secs_f64().to_value()),
+            ("solve_seconds".to_string(), solve.as_secs_f64().to_value()),
+        ]));
+    }
+
+    let share = compile_total.as_secs_f64() / solve_total.as_secs_f64().max(1e-9);
+    eprintln!(
+        "compile {:.3?} vs solve {:.3?} => {:.2}% of the solve",
+        compile_total,
+        solve_total,
+        share * 100.0
+    );
+    assert!(
+        share <= MAX_COMPILE_SHARE,
+        "frontend is no longer noise: compiling the corpus cost {:.2}% of solving it \
+         (cap {:.0}%)",
+        share * 100.0,
+        MAX_COMPILE_SHARE * 100.0
+    );
+
+    let report = Value::Map(vec![
+        ("bench".to_string(), "compile".to_value()),
+        (
+            "config".to_string(),
+            Value::Map(vec![
+                ("grid".to_string(), "4x4".to_value()),
+                ("engine".to_string(), "decoupled".to_value()),
+                ("repeat".to_string(), repeat.to_value()),
+                (
+                    "max_compile_share".to_string(),
+                    MAX_COMPILE_SHARE.to_value(),
+                ),
+            ]),
+        ),
+        ("kernels".to_string(), Value::Seq(rows)),
+        (
+            "compile_total_seconds".to_string(),
+            compile_total.as_secs_f64().to_value(),
+        ),
+        (
+            "solve_total_seconds".to_string(),
+            solve_total.as_secs_f64().to_value(),
+        ),
+        ("compile_share_of_solve".to_string(), share.to_value()),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json + "\n").expect("write --out file");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

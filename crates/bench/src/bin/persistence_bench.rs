@@ -152,10 +152,7 @@ fn main() {
         ),
         ("log_bytes".to_string(), log_bytes.to_value()),
         ("replayed_entries".to_string(), replayed.to_value()),
-        (
-            "restart_speedup_vs_resolve".to_string(),
-            speedup.to_value(),
-        ),
+        ("restart_speedup_vs_resolve".to_string(), speedup.to_value()),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     match out {
@@ -169,7 +166,8 @@ fn main() {
 
 /// A fresh scratch directory under the OS temp dir.
 fn scratch_dir() -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("monomap-persistence-bench-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("monomap-persistence-bench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create scratch dir");
     dir

@@ -254,6 +254,12 @@ pub struct MapRequest {
     pub engine: EngineId,
     /// The kernel to map.
     pub dfg: Dfg,
+    /// The `.mk` source the DFG was compiled from, when the request
+    /// entered through the text front door ([`MapRequest::from_source`]
+    /// or a wire request carrying `source` instead of `dfg`). Engines
+    /// never read it; it is kept so the request re-serializes the same
+    /// way it arrived.
+    pub source: Option<String>,
     /// Target CGRA; `None` uses the engine's (or service's) own.
     pub cgra: Option<Cgra>,
     /// Mapper configuration. The request is authoritative on the trait
@@ -276,12 +282,32 @@ impl MapRequest {
         MapRequest {
             engine,
             dfg,
+            source: None,
             cgra: None,
             config: MapperConfig::default(),
             deadline_seconds: None,
             cancel: None,
             observer: None,
         }
+    }
+
+    /// A request whose kernel arrives as `.mk` source text (see
+    /// `monomap_frontend`): the source is compiled to a DFG here, and
+    /// kept so the request serializes as `source` rather than `dfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frontend's [`monomap_frontend::ParseError`] when the
+    /// source does not compile or does not hold exactly one kernel.
+    pub fn from_source(
+        engine: EngineId,
+        source: impl Into<String>,
+    ) -> Result<Self, monomap_frontend::ParseError> {
+        let source = source.into();
+        let dfg = monomap_frontend::compile_one(&source)?;
+        let mut req = MapRequest::new(engine, dfg);
+        req.source = Some(source);
+        Ok(req)
     }
 
     /// Overrides the target CGRA (otherwise the engine's own is used).
@@ -329,6 +355,7 @@ impl fmt::Debug for MapRequest {
         f.debug_struct("MapRequest")
             .field("engine", &self.engine)
             .field("dfg", &self.dfg.name())
+            .field("source", &self.source.is_some())
             .field("cgra", &self.cgra)
             .field("config", &self.config)
             .field("deadline_seconds", &self.deadline_seconds)
@@ -340,9 +367,17 @@ impl fmt::Debug for MapRequest {
 
 impl Serialize for MapRequest {
     fn to_value(&self) -> serde::Value {
+        // A text-born request serializes back as `source` (the DFG is
+        // re-derived on deserialization); a DFG-born request emits
+        // exactly the entries it always has — no `source: null` — so
+        // pre-frontend wire bytes are unchanged.
+        let kernel = match &self.source {
+            Some(source) => ("source".to_string(), source.to_value()),
+            None => ("dfg".to_string(), self.dfg.to_value()),
+        };
         serde::Value::Map(vec![
             ("engine".to_string(), self.engine.to_value()),
-            ("dfg".to_string(), self.dfg.to_value()),
+            kernel,
             ("cgra".to_string(), self.cgra.to_value()),
             ("config".to_string(), self.config.to_value()),
             (
@@ -359,9 +394,25 @@ impl Deserialize for MapRequest {
             .as_map()
             .ok_or_else(|| serde::de::Error::expected("map", v))?;
         let opt = |name: &str| v.get(name).filter(|f| **f != serde::Value::Null);
+        let source = opt("source")
+            .map(String::from_value)
+            .transpose()
+            .map_err(|e| serde::de::Error::custom(format!("field `source`: {e}")))?;
+        let dfg = match (&source, opt("dfg")) {
+            (Some(_), Some(_)) => {
+                return Err(serde::de::Error::custom(
+                    "request carries both `source` and `dfg`; send exactly one",
+                ));
+            }
+            (Some(source), None) => monomap_frontend::compile_one(source).map_err(|e| {
+                serde::de::Error::custom(format!("source:{}:{}: {}", e.line, e.col, e.message))
+            })?,
+            (None, _) => serde::de::field(entries, "dfg")?,
+        };
         Ok(MapRequest {
             engine: serde::de::field(entries, "engine")?,
-            dfg: serde::de::field(entries, "dfg")?,
+            dfg,
+            source,
             cgra: opt("cgra")
                 .map(Cgra::from_value)
                 .transpose()
@@ -847,6 +898,48 @@ mod tests {
         assert!(back.observer.is_none(), "runtime handle is not serialized");
         // Second round trip is a fixpoint.
         assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+
+    #[test]
+    fn source_request_compiles_on_the_wire() {
+        let req = MapRequest::from_source(
+            EngineId::Decoupled,
+            "kernel dot { i32 a = in(0); i32 b = in(1); rec i32 s = 0; s = s + a * b; out(s); }",
+        )
+        .unwrap();
+        assert_eq!(req.dfg.name(), "dot");
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"source\""), "{json}");
+        assert!(
+            !json.contains("\"dfg\""),
+            "source form replaces the DFG: {json}"
+        );
+        let back: MapRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dfg.digest(), req.dfg.digest());
+        // Second round trip is a fixpoint.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+
+    #[test]
+    fn source_errors_carry_their_position() {
+        let err =
+            MapRequest::from_source(EngineId::Decoupled, "kernel k {\n  i32 x = ;\n}").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 11));
+
+        // The same failure over the wire mentions the position too.
+        let json = r#"{"engine":"Decoupled","source":"kernel k {\n  i32 x = ;\n}"}"#;
+        let err = serde_json::from_str::<MapRequest>(json).unwrap_err();
+        assert!(err.to_string().contains("source:2:11"), "{err}");
+    }
+
+    #[test]
+    fn source_and_dfg_together_are_rejected() {
+        let dfg_json = serde_json::to_string(&accumulator()).unwrap();
+        let json = format!(
+            r#"{{"engine":"Decoupled","dfg":{dfg_json},"source":"kernel k {{ out(in(0)); }}"}}"#
+        );
+        let err = serde_json::from_str::<MapRequest>(&json).unwrap_err();
+        assert!(err.to_string().contains("exactly one"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! The abstract syntax tree of a `.mk` program.
+//!
+//! Every node carries the [`Span`] it started at, so the DFG builder
+//! can anchor semantic diagnostics (undefined names, type mismatches,
+//! recurrence misuse) to source positions without re-parsing.
+
+use crate::lexer::Span;
+
+/// A whole source file: zero or more kernels.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The kernels, in source order.
+    pub kernels: Vec<Kernel>,
+}
+
+/// One `kernel name { ... }` block.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    /// The kernel's name (becomes the [`cgra_dfg::Dfg`] name).
+    pub name: String,
+    /// Where the name appears.
+    pub span: Span,
+    /// The body, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `i32[] name;` — declares a memory region for loads/stores.
+    ArrayDecl {
+        /// The array name.
+        name: String,
+        /// Where the name appears.
+        span: Span,
+    },
+    /// `i32 name = expr;` — names the value of an expression.
+    ScalarDecl {
+        /// The scalar name.
+        name: String,
+        /// Where the name appears.
+        span: Span,
+        /// The initializer.
+        expr: Expr,
+    },
+    /// `rec i32 name = init;` — a loop-carried recurrence (a φ node
+    /// seeded with `init`), closed later by a [`Stmt::Close`].
+    RecDecl {
+        /// The recurrence name.
+        name: String,
+        /// Where the name appears.
+        span: Span,
+        /// The first-iteration value (the φ payload).
+        init: i64,
+    },
+    /// `name = expr;` / `name = expr @ d;` — closes a recurrence with
+    /// the value carried `d` iterations forward (default 1).
+    Close {
+        /// The recurrence being closed.
+        name: String,
+        /// Where the name appears.
+        span: Span,
+        /// The carried value.
+        expr: Expr,
+        /// The iteration distance (≥ 1, enforced by the parser).
+        distance: u32,
+    },
+    /// `name[index] = value;` — a store whose value nobody reads.
+    Store {
+        /// The array name.
+        array: String,
+        /// Where the array name appears.
+        span: Span,
+        /// The address expression.
+        index: Expr,
+        /// The stored value.
+        value: Expr,
+    },
+    /// `out(expr);` — marks a loop live-out.
+    Out {
+        /// Where `out` appears.
+        span: Span,
+        /// The exported value.
+        expr: Expr,
+    },
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-e`
+    Neg,
+    /// `~e`
+    Not,
+    /// `abs(e)`
+    Abs,
+}
+
+/// Binary operators, in surface form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `==`
+    Eq,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+}
+
+/// One expression. Every operator application becomes one DFG node;
+/// integer literals become fresh `Const` nodes per occurrence.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// An integer literal.
+    Int {
+        /// The literal value (a leading `-` on a literal is folded).
+        value: i64,
+        /// Where the literal starts.
+        span: Span,
+    },
+    /// A reference to a declared scalar or recurrence.
+    Name {
+        /// The referenced name.
+        name: String,
+        /// Where the reference appears.
+        span: Span,
+    },
+    /// `in(ch)` — the per-iteration live-in on channel `ch`.
+    In {
+        /// The input channel.
+        channel: u32,
+        /// Where `in` appears.
+        span: Span,
+    },
+    /// A unary operator application.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+        /// Where the operator appears.
+        span: Span,
+    },
+    /// A binary operator application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand (slot 0).
+        lhs: Box<Expr>,
+        /// Right operand (slot 1).
+        rhs: Box<Expr>,
+        /// Where the operator appears.
+        span: Span,
+    },
+    /// `select(c, t, e)`.
+    Select {
+        /// The condition (slot 0).
+        cond: Box<Expr>,
+        /// Value when the condition is non-zero (slot 1).
+        then: Box<Expr>,
+        /// Value when the condition is zero (slot 2).
+        otherwise: Box<Expr>,
+        /// Where `select` appears.
+        span: Span,
+    },
+    /// `name[index]` — a load.
+    Load {
+        /// The array name.
+        array: String,
+        /// Where the array name appears.
+        span: Span,
+        /// The address expression.
+        index: Box<Expr>,
+    },
+    /// `(name[index] = value)` — a store used as a value (yields the
+    /// stored value, as in C).
+    StoreValue {
+        /// The array name.
+        array: String,
+        /// Where the array name appears.
+        span: Span,
+        /// The address expression.
+        index: Box<Expr>,
+        /// The stored value.
+        value: Box<Expr>,
+    },
+    /// `out(expr)` used as a value (yields the exported value).
+    OutValue {
+        /// Where `out` appears.
+        span: Span,
+        /// The exported value.
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// The span the expression starts at.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int { span, .. }
+            | Expr::Name { span, .. }
+            | Expr::In { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Select { span, .. }
+            | Expr::Load { span, .. }
+            | Expr::StoreValue { span, .. }
+            | Expr::OutValue { span, .. } => *span,
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Hand-rolled lexer for the `.mk` loop-kernel DSL.
+//!
+//! Produces a flat token stream with one [`Span`] (1-based line and
+//! column) per token; every later diagnostic — parse or semantic —
+//! anchors to one of these spans.
+
+use crate::ParseError;
+
+/// A 1-based source position (the anchor of every diagnostic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column, counted in characters.
+    pub col: u32,
+}
+
+impl Span {
+    /// The very first source position.
+    pub fn start() -> Span {
+        Span { line: 1, col: 1 }
+    }
+}
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier (never a keyword).
+    Ident(String),
+    /// An unsigned integer literal; the magnitude is kept raw so the
+    /// parser can fold a leading `-` down to `i64::MIN`.
+    Int(u64),
+    /// `kernel`
+    KwKernel,
+    /// `rec`
+    KwRec,
+    /// `i32`
+    KwI32,
+    /// `in`
+    KwIn,
+    /// `out`
+    KwOut,
+    /// `abs`
+    KwAbs,
+    /// `min`
+    KwMin,
+    /// `max`
+    KwMax,
+    /// `select`
+    KwSelect,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `@`
+    At,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `~`
+    Tilde,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl Tok {
+    /// How the token reads in a diagnostic.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(name) => format!("`{name}`"),
+            Tok::Int(v) => format!("`{v}`"),
+            Tok::KwKernel => "`kernel`".into(),
+            Tok::KwRec => "`rec`".into(),
+            Tok::KwI32 => "`i32`".into(),
+            Tok::KwIn => "`in`".into(),
+            Tok::KwOut => "`out`".into(),
+            Tok::KwAbs => "`abs`".into(),
+            Tok::KwMin => "`min`".into(),
+            Tok::KwMax => "`max`".into(),
+            Tok::KwSelect => "`select`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::At => "`@`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Amp => "`&`".into(),
+            Tok::Pipe => "`|`".into(),
+            Tok::Caret => "`^`".into(),
+            Tok::Shl => "`<<`".into(),
+            Tok::Shr => "`>>`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Tilde => "`~`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus where it starts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lexeme {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts in the source.
+    pub span: Span,
+}
+
+/// Tokenizes a whole source text. `//` starts a line comment;
+/// whitespace separates tokens.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] at the offending character for bytes the
+/// DSL has no use for and for integer literals past `2^63` (the one
+/// magnitude a leading `-` can still fold into `i64::MIN`).
+pub fn lex(source: &str) -> Result<Vec<Lexeme>, ParseError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        let span = Span { line, col };
+        // A closure would borrow `line`/`col` mutably; keep advancing
+        // inline instead.
+        macro_rules! bump {
+            () => {{
+                if chars[i] == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }};
+        }
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut value: u128 = 0;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                value = value * 10 + (chars[i] as u128 - '0' as u128);
+                if value > 1u128 << 63 {
+                    return Err(ParseError::new(span, "integer literal out of range"));
+                }
+                bump!();
+            }
+            if i < chars.len() && (chars[i].is_alphabetic() || chars[i] == '_') {
+                return Err(ParseError::new(
+                    Span { line, col },
+                    "identifiers cannot start with a digit",
+                ));
+            }
+            out.push(Lexeme {
+                tok: Tok::Int(value as u64),
+                span,
+            });
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let mut word = String::new();
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                word.push(chars[i]);
+                bump!();
+            }
+            let tok = match word.as_str() {
+                "kernel" => Tok::KwKernel,
+                "rec" => Tok::KwRec,
+                "i32" => Tok::KwI32,
+                "in" => Tok::KwIn,
+                "out" => Tok::KwOut,
+                "abs" => Tok::KwAbs,
+                "min" => Tok::KwMin,
+                "max" => Tok::KwMax,
+                "select" => Tok::KwSelect,
+                _ => Tok::Ident(word),
+            };
+            out.push(Lexeme { tok, span });
+            continue;
+        }
+        let two = |a: char, b: char, i: usize, chars: &[char]| -> bool {
+            chars[i] == a && chars.get(i + 1) == Some(&b)
+        };
+        let (tok, width) = if two('=', '=', i, &chars) {
+            (Tok::EqEq, 2)
+        } else if two('<', '<', i, &chars) {
+            (Tok::Shl, 2)
+        } else if two('>', '>', i, &chars) {
+            (Tok::Shr, 2)
+        } else {
+            let single = match c {
+                '{' => Tok::LBrace,
+                '}' => Tok::RBrace,
+                '(' => Tok::LParen,
+                ')' => Tok::RParen,
+                '[' => Tok::LBracket,
+                ']' => Tok::RBracket,
+                ';' => Tok::Semi,
+                ',' => Tok::Comma,
+                '@' => Tok::At,
+                '=' => Tok::Assign,
+                '+' => Tok::Plus,
+                '-' => Tok::Minus,
+                '*' => Tok::Star,
+                '/' => Tok::Slash,
+                '&' => Tok::Amp,
+                '|' => Tok::Pipe,
+                '^' => Tok::Caret,
+                '<' => Tok::Lt,
+                '~' => Tok::Tilde,
+                other => {
+                    return Err(ParseError::new(
+                        span,
+                        format!("unexpected character `{other}`"),
+                    ));
+                }
+            };
+            (single, 1)
+        };
+        out.push(Lexeme { tok, span });
+        for _ in 0..width {
+            bump!();
+        }
+    }
+    out.push(Lexeme {
+        tok: Tok::Eof,
+        span: Span { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("kernel k {\n  i32 x = 1;\n}").unwrap();
+        assert_eq!(toks[0].tok, Tok::KwKernel);
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[3].tok, Tok::KwI32);
+        assert_eq!(toks[3].span, Span { line: 2, col: 3 });
+        assert_eq!(toks.last().unwrap().tok, Tok::Eof);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("// header\nout // trailing\n(").unwrap();
+        assert_eq!(toks[0].tok, Tok::KwOut);
+        assert_eq!(toks[0].span, Span { line: 2, col: 1 });
+        assert_eq!(toks[1].tok, Tok::LParen);
+        assert_eq!(toks[1].span, Span { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn two_char_operators_lex_greedily() {
+        let toks = lex("== << >> = <").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|l| &l.tok).collect();
+        assert_eq!(
+            kinds,
+            [
+                &Tok::EqEq,
+                &Tok::Shl,
+                &Tok::Shr,
+                &Tok::Assign,
+                &Tok::Lt,
+                &Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_character_is_positioned() {
+        let err = lex("kernel k {\n  $\n}").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn oversized_literal_rejected() {
+        assert!(lex("9223372036854775808").is_ok(), "2^63 folds to i64::MIN");
+        let err = lex("9223372036854775809").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn digit_prefixed_identifier_rejected() {
+        let err = lex("i32 1x = 2;").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 6));
+    }
+}

@@ -1,0 +1,623 @@
+//! Recursive-descent parser: token stream → [`Program`].
+//!
+//! The grammar is LL(1) except for one spot — `(name[i] = v)` versus a
+//! plain parenthesized load — which is resolved by parsing the load
+//! first and upgrading it to a [`Expr::StoreValue`] when an `=`
+//! follows (assignment-as-expression, as in C).
+//!
+//! Expression nesting is depth-bounded so crafted inputs degrade into
+//! a [`ParseError`] instead of exhausting the stack (the fuzz battery
+//! feeds the parser arbitrarily mangled bytes).
+
+use crate::ast::{BinOp, Expr, Kernel, Program, Stmt, UnOp};
+use crate::lexer::{lex, Lexeme, Span, Tok};
+use crate::ParseError;
+
+/// Maximum expression nesting depth before the parser refuses.
+const MAX_DEPTH: usize = 128;
+
+/// Parses a whole source text.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, positioned at the
+/// offending token.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let toks = lex(source)?;
+    let mut parser = Parser { toks, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    toks: Vec<Lexeme>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Lexeme {
+        let lexeme = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        lexeme
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, context: &str) -> Result<Lexeme, ParseError> {
+        if self.peek() == &tok {
+            Ok(self.bump())
+        } else {
+            Err(ParseError::new(
+                self.span(),
+                format!(
+                    "expected {} {context}, found {}",
+                    tok.describe(),
+                    self.peek().describe()
+                ),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, context: &str) -> Result<(String, Span), ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(ParseError::new(
+                self.span(),
+                format!("expected {context}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut kernels = Vec::new();
+        while self.peek() != &Tok::Eof {
+            self.expect(Tok::KwKernel, "to start a kernel")?;
+            let (name, span) = self.expect_ident("a kernel name")?;
+            self.expect(Tok::LBrace, "to open the kernel body")?;
+            let mut stmts = Vec::new();
+            while self.peek() != &Tok::RBrace {
+                if self.peek() == &Tok::Eof {
+                    return Err(ParseError::new(
+                        self.span(),
+                        format!("kernel `{name}` is missing its closing `}}`"),
+                    ));
+                }
+                stmts.push(self.stmt()?);
+            }
+            self.bump(); // `}`
+            kernels.push(Kernel { name, span, stmts });
+        }
+        Ok(Program { kernels })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let stmt = match self.peek().clone() {
+            Tok::KwI32 => {
+                self.bump();
+                if self.eat(&Tok::LBracket) {
+                    self.expect(Tok::RBracket, "to finish the array type")?;
+                    let (name, span) = self.expect_ident("an array name")?;
+                    Stmt::ArrayDecl { name, span }
+                } else {
+                    let (name, span) = self.expect_ident("a variable name")?;
+                    self.expect(Tok::Assign, "to initialize the declaration")?;
+                    let expr = self.expr(0)?;
+                    Stmt::ScalarDecl { name, span, expr }
+                }
+            }
+            Tok::KwRec => {
+                self.bump();
+                self.expect(Tok::KwI32, "after `rec`")?;
+                let (name, span) = self.expect_ident("a recurrence name")?;
+                self.expect(Tok::Assign, "to give the initial value")?;
+                let init = self.int_literal("a literal initial value")?;
+                Stmt::RecDecl { name, span, init }
+            }
+            Tok::KwOut => {
+                let span = self.span();
+                self.bump();
+                self.expect(Tok::LParen, "after `out`")?;
+                let expr = self.expr(0)?;
+                self.expect(Tok::RParen, "to finish `out(...)`")?;
+                Stmt::Out { span, expr }
+            }
+            Tok::Ident(name) => {
+                let span = self.span();
+                self.bump();
+                if self.eat(&Tok::LBracket) {
+                    let index = self.expr(0)?;
+                    self.expect(Tok::RBracket, "to finish the store address")?;
+                    self.expect(Tok::Assign, "to give the stored value")?;
+                    let value = self.expr(0)?;
+                    Stmt::Store {
+                        array: name,
+                        span,
+                        index,
+                        value,
+                    }
+                } else {
+                    self.expect(Tok::Assign, "to close the recurrence")?;
+                    let expr = self.expr(0)?;
+                    let distance = if self.eat(&Tok::At) {
+                        let at = self.span();
+                        let d = self.int_literal("a literal iteration distance")?;
+                        if d < 1 {
+                            return Err(ParseError::new(
+                                at,
+                                "recurrence distance must be at least 1",
+                            ));
+                        }
+                        u32::try_from(d).map_err(|_| {
+                            ParseError::new(at, "recurrence distance does not fit in 32 bits")
+                        })?
+                    } else {
+                        1
+                    };
+                    Stmt::Close {
+                        name,
+                        span,
+                        expr,
+                        distance,
+                    }
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    self.span(),
+                    format!("expected a statement, found {}", other.describe()),
+                ));
+            }
+        };
+        self.expect(Tok::Semi, "after the statement")?;
+        Ok(stmt)
+    }
+
+    /// A literal integer with an optional leading `-`.
+    fn int_literal(&mut self, context: &str) -> Result<i64, ParseError> {
+        let negative = self.eat(&Tok::Minus);
+        let span = self.span();
+        match *self.peek() {
+            Tok::Int(magnitude) => {
+                self.bump();
+                fold_literal(magnitude, negative, span)
+            }
+            ref other => Err(ParseError::new(
+                span,
+                format!("expected {context}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    // ----- expressions, lowest precedence first -----------------------
+
+    fn expr(&mut self, depth: usize) -> Result<Expr, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(ParseError::new(self.span(), "expression nesting too deep"));
+        }
+        self.binary_level(depth + 1, 0)
+    }
+
+    /// Binary operator precedence table, loosest binding first (C
+    /// order: `|` < `^` < `&` < `==` < `<` < shifts < additive <
+    /// multiplicative).
+    const LEVELS: &'static [&'static [(Tok, BinOp)]] = &[
+        &[(Tok::Pipe, BinOp::Or)],
+        &[(Tok::Caret, BinOp::Xor)],
+        &[(Tok::Amp, BinOp::And)],
+        &[(Tok::EqEq, BinOp::Eq)],
+        &[(Tok::Lt, BinOp::Lt)],
+        &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
+        &[(Tok::Plus, BinOp::Add), (Tok::Minus, BinOp::Sub)],
+        &[(Tok::Star, BinOp::Mul), (Tok::Slash, BinOp::Div)],
+    ];
+
+    fn binary_level(&mut self, depth: usize, level: usize) -> Result<Expr, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(ParseError::new(self.span(), "expression nesting too deep"));
+        }
+        if level >= Self::LEVELS.len() {
+            return self.unary(depth + 1);
+        }
+        let mut lhs = self.binary_level(depth + 1, level + 1)?;
+        loop {
+            let span = self.span();
+            let Some(&(_, op)) = Self::LEVELS[level].iter().find(|(t, _)| t == self.peek()) else {
+                return Ok(lhs);
+            };
+            self.bump();
+            let rhs = self.binary_level(depth + 1, level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+    }
+
+    fn unary(&mut self, depth: usize) -> Result<Expr, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(ParseError::new(self.span(), "expression nesting too deep"));
+        }
+        let span = self.span();
+        if self.eat(&Tok::Minus) {
+            // `-literal` folds to a negative constant (this is how
+            // negative `Const` payloads are written); `-expr` is a
+            // negation node.
+            if let Tok::Int(magnitude) = *self.peek() {
+                let lit_span = self.span();
+                self.bump();
+                let value = fold_literal(magnitude, true, lit_span)?;
+                return Ok(Expr::Int { value, span });
+            }
+            let operand = self.unary(depth + 1)?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        if self.eat(&Tok::Tilde) {
+            let operand = self.unary(depth + 1)?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.primary(depth + 1)
+    }
+
+    fn primary(&mut self, depth: usize) -> Result<Expr, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(ParseError::new(self.span(), "expression nesting too deep"));
+        }
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::Int(magnitude) => {
+                self.bump();
+                let value = fold_literal(magnitude, false, span)?;
+                Ok(Expr::Int { value, span })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat(&Tok::LBracket) {
+                    let index = self.expr(depth + 1)?;
+                    self.expect(Tok::RBracket, "to finish the load address")?;
+                    Ok(Expr::Load {
+                        array: name,
+                        span,
+                        index: Box::new(index),
+                    })
+                } else {
+                    Ok(Expr::Name { name, span })
+                }
+            }
+            Tok::KwIn => {
+                self.bump();
+                self.expect(Tok::LParen, "after `in`")?;
+                let ch_span = self.span();
+                let channel = match *self.peek() {
+                    Tok::Int(ch) => {
+                        self.bump();
+                        u32::try_from(ch).map_err(|_| {
+                            ParseError::new(ch_span, "in() channel index does not fit in 32 bits")
+                        })?
+                    }
+                    ref other => {
+                        return Err(ParseError::new(
+                            ch_span,
+                            format!(
+                                "in() takes a literal channel index, found {}",
+                                other.describe()
+                            ),
+                        ));
+                    }
+                };
+                self.expect(Tok::RParen, "to finish `in(...)`")?;
+                Ok(Expr::In { channel, span })
+            }
+            Tok::KwAbs => {
+                self.bump();
+                let mut args = self.call_args("abs", 1, depth)?;
+                Ok(Expr::Unary {
+                    op: UnOp::Abs,
+                    operand: Box::new(args.pop().expect("arity checked")),
+                    span,
+                })
+            }
+            Tok::KwMin | Tok::KwMax => {
+                let op = if self.peek() == &Tok::KwMin {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
+                let name = if op == BinOp::Min { "min" } else { "max" };
+                self.bump();
+                let mut args = self.call_args(name, 2, depth)?;
+                let rhs = args.pop().expect("arity checked");
+                let lhs = args.pop().expect("arity checked");
+                Ok(Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    span,
+                })
+            }
+            Tok::KwSelect => {
+                self.bump();
+                let mut args = self.call_args("select", 3, depth)?;
+                let otherwise = args.pop().expect("arity checked");
+                let then = args.pop().expect("arity checked");
+                let cond = args.pop().expect("arity checked");
+                Ok(Expr::Select {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    otherwise: Box::new(otherwise),
+                    span,
+                })
+            }
+            Tok::KwOut => {
+                self.bump();
+                let mut args = self.call_args("out", 1, depth)?;
+                Ok(Expr::OutValue {
+                    span,
+                    expr: Box::new(args.pop().expect("arity checked")),
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                // `(name[i] = v)` is a store used as a value; anything
+                // else is an ordinary parenthesized expression.
+                let inner =
+                    if matches!(self.peek(), Tok::Ident(_)) && self.peek2() == &Tok::LBracket {
+                        let (array, array_span) = self.expect_ident("an array name")?;
+                        self.bump(); // `[`
+                        let index = self.expr(depth + 1)?;
+                        self.expect(Tok::RBracket, "to finish the address")?;
+                        if self.eat(&Tok::Assign) {
+                            let value = self.expr(depth + 1)?;
+                            Expr::StoreValue {
+                                array,
+                                span: array_span,
+                                index: Box::new(index),
+                                value: Box::new(value),
+                            }
+                        } else {
+                            // Just a parenthesized load: resume the
+                            // precedence climb with it as the leftmost
+                            // operand.
+                            let load = Expr::Load {
+                                array,
+                                span: array_span,
+                                index: Box::new(index),
+                            };
+                            self.continue_binary(load, depth)?
+                        }
+                    } else {
+                        self.expr(depth + 1)?
+                    };
+                self.expect(Tok::RParen, "to close the parenthesis")?;
+                Ok(inner)
+            }
+            other => Err(ParseError::new(
+                span,
+                format!("expected an expression, found {}", other.describe()),
+            )),
+        }
+    }
+
+    /// Continues parsing binary operators after an already-parsed
+    /// leftmost operand (used when the store-vs-load lookahead inside
+    /// parentheses committed to a load).
+    fn continue_binary(&mut self, lhs: Expr, depth: usize) -> Result<Expr, ParseError> {
+        let mut lhs = lhs;
+        loop {
+            let span = self.span();
+            let found = Self::LEVELS.iter().enumerate().find_map(|(level, row)| {
+                row.iter()
+                    .find(|(t, _)| t == self.peek())
+                    .map(|&(_, op)| (level, op))
+            });
+            let Some((level, op)) = found else {
+                return Ok(lhs);
+            };
+            self.bump();
+            let rhs = self.binary_level(depth + 1, level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+    }
+
+    fn call_args(
+        &mut self,
+        name: &str,
+        arity: usize,
+        depth: usize,
+    ) -> Result<Vec<Expr>, ParseError> {
+        let open = self.span();
+        self.expect(Tok::LParen, &format!("after `{name}`"))?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                args.push(self.expr(depth + 1)?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, &format!("to finish `{name}(...)`"))?;
+        if args.len() != arity {
+            return Err(ParseError::new(
+                open,
+                format!(
+                    "{name}() takes exactly {arity} argument(s), found {}",
+                    args.len()
+                ),
+            ));
+        }
+        Ok(args)
+    }
+}
+
+/// Folds a literal magnitude (with optional leading `-`) into an
+/// `i64`, admitting `-(2^63)` = `i64::MIN` and nothing larger.
+fn fold_literal(magnitude: u64, negative: bool, span: Span) -> Result<i64, ParseError> {
+    if negative {
+        if magnitude > 1u64 << 63 {
+            return Err(ParseError::new(span, "integer literal out of range"));
+        }
+        Ok((magnitude as i64).wrapping_neg())
+    } else {
+        i64::try_from(magnitude).map_err(|_| ParseError::new(span, "integer literal out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_kernel(src: &str) -> Kernel {
+        let program = parse(src).expect("parse");
+        assert_eq!(program.kernels.len(), 1);
+        program.kernels.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parses_the_statement_forms() {
+        let k = one_kernel(
+            "kernel k {\n\
+             i32[] mem;\n\
+             i32 x = in(0);\n\
+             rec i32 s = -3;\n\
+             i32 y = mem[x + 1] * 2;\n\
+             mem[y] = x;\n\
+             s = s + y @ 2;\n\
+             out(s);\n\
+             }",
+        );
+        assert_eq!(k.name, "k");
+        assert_eq!(k.stmts.len(), 7);
+        assert!(matches!(k.stmts[0], Stmt::ArrayDecl { .. }));
+        assert!(matches!(k.stmts[2], Stmt::RecDecl { init: -3, .. }));
+        assert!(matches!(k.stmts[5], Stmt::Close { distance: 2, .. }));
+    }
+
+    #[test]
+    fn precedence_follows_c() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3).
+        let k = one_kernel("kernel k { i32 x = 1 + 2 * 3; }");
+        let Stmt::ScalarDecl { expr, .. } = &k.stmts[0] else {
+            panic!("expected decl");
+        };
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = expr
+        else {
+            panic!("expected + at the root, got {expr:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn store_value_in_parens() {
+        let k = one_kernel("kernel k { i32[] m; i32 x = 1; i32 y = (m[x] = x) + 1; }");
+        let Stmt::ScalarDecl { expr, .. } = &k.stmts[2] else {
+            panic!("expected decl");
+        };
+        let Expr::Binary { lhs, .. } = expr else {
+            panic!("expected + at the root");
+        };
+        assert!(matches!(**lhs, Expr::StoreValue { .. }));
+    }
+
+    #[test]
+    fn parenthesized_load_still_climbs() {
+        let k = one_kernel("kernel k { i32[] m; i32 x = 1; i32 y = (m[x] + 2); }");
+        let Stmt::ScalarDecl { expr, .. } = &k.stmts[2] else {
+            panic!("expected decl");
+        };
+        assert!(matches!(expr, Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn missing_semicolon_is_positioned() {
+        let err = parse("kernel k {\n  i32 x = 1\n}").unwrap_err();
+        assert_eq!((err.line, err.col), (3, 1));
+        assert!(err.message.contains("expected `;`"), "{}", err.message);
+    }
+
+    #[test]
+    fn zero_distance_rejected() {
+        let err = parse("kernel k { rec i32 s = 0; s = s @ 0; }").unwrap_err();
+        assert!(err.message.contains("at least 1"), "{}", err.message);
+    }
+
+    #[test]
+    fn deep_nesting_degrades_to_an_error() {
+        let mut src = String::from("kernel k { i32 x = ");
+        src.push_str(&"(".repeat(4000));
+        src.push('1');
+        src.push_str(&")".repeat(4000));
+        src.push_str("; }");
+        let err = parse(&src).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{}", err.message);
+    }
+
+    #[test]
+    fn negative_literal_folds_to_min() {
+        let k = one_kernel("kernel k { i32 x = -9223372036854775808; }");
+        let Stmt::ScalarDecl { expr, .. } = &k.stmts[0] else {
+            panic!("expected decl");
+        };
+        assert!(matches!(
+            expr,
+            Expr::Int {
+                value: i64::MIN,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn wrong_call_arity_reported() {
+        let err = parse("kernel k { i32 x = min(1); }").unwrap_err();
+        assert!(err.message.contains("exactly 2"), "{}", err.message);
+    }
+
+    #[test]
+    fn missing_close_brace_reported() {
+        let err = parse("kernel k { i32 x = 1;").unwrap_err();
+        assert!(err.message.contains("closing"), "{}", err.message);
+    }
+}

@@ -192,6 +192,18 @@ impl Client {
             .collect()
     }
 
+    /// `POST /compile`: compiles raw `.mk` source (exactly one kernel)
+    /// on the server. Success carries the kernel name, canonical
+    /// digest, node count, per-class node demand and the compiled DFG.
+    /// A compile failure surfaces as [`ClientError::Http`] with status
+    /// 400 whose body is the structured `{"error","line","col"}`
+    /// diagnostic.
+    pub fn compile(&self, source: &str) -> Result<CompileResponse, ClientError> {
+        let (_, body) = self.call("POST", "/compile", Some(source))?;
+        serde_json::from_str(&body)
+            .map_err(|e| ClientError::Protocol(format!("parsing compile response: {e}")))
+    }
+
     /// `GET /healthz`: the liveness document as raw JSON text.
     pub fn healthz(&self) -> Result<String, ClientError> {
         let (_, body) = self.call("GET", "/healthz", None)?;
@@ -309,6 +321,34 @@ impl Client {
         }
         Ok((headers, body))
     }
+}
+
+/// The `POST /compile` response body.
+#[derive(Clone, Debug, Deserialize)]
+pub struct CompileResponse {
+    /// The kernel's name.
+    pub name: String,
+    /// Canonical digest of the compiled DFG, lowercase hex — the
+    /// content address `/map` caching keys on.
+    pub digest: String,
+    /// Node count of the compiled DFG.
+    pub nodes: u64,
+    /// Per-class node demand (`alu`/`mul`/`mem`), as inferred by the
+    /// frontend.
+    pub classes: ClassDemand,
+    /// The compiled DFG, ready to embed in a [`MapRequest`].
+    pub dfg: cgra_dfg::Dfg,
+}
+
+/// Per-class node counts in a [`CompileResponse`].
+#[derive(Clone, Copy, Debug, Deserialize)]
+pub struct ClassDemand {
+    /// Nodes needing only the ALU datapath.
+    pub alu: u64,
+    /// Multiply/divide nodes.
+    pub mul: u64,
+    /// Load/store nodes.
+    pub mem: u64,
 }
 
 /// The `GET /cache/<digest>` response body.

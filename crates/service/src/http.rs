@@ -8,6 +8,7 @@
 //! |--------|------|------|----------|
 //! | `POST` | `/map` | one [`MapRequest`] | one [`MapReport`] |
 //! | `POST` | `/map_batch` | array of requests | `{"reports": [...], "cache": [...]}` |
+//! | `POST` | `/compile` | raw `.mk` source | compiled DFG + canonical digest |
 //! | `GET` | `/cache/<digest>?engine=..&fp=..` | — | one cache entry (peer fill) |
 //! | `GET` | `/stats` | — | cache + persistence + server counters |
 //! | `GET` | `/healthz` | — | liveness + registry summary |
@@ -109,6 +110,8 @@ pub struct ServerStatsSnapshot {
     pub map_requests: u64,
     /// `POST /map_batch` requests handled.
     pub batch_requests: u64,
+    /// `POST /compile` requests handled.
+    pub compile_requests: u64,
     /// Requests answered with a 4xx/5xx status.
     pub errors: u64,
     /// Solves released early because the client disconnected.
@@ -145,6 +148,7 @@ struct ServerCounters {
     requests: AtomicU64,
     map_requests: AtomicU64,
     batch_requests: AtomicU64,
+    compile_requests: AtomicU64,
     errors: AtomicU64,
     client_disconnects: AtomicU64,
 }
@@ -613,6 +617,22 @@ impl EventLoop {
                     },
                 );
             }
+            ("POST", "/compile") => {
+                // Source-only: compiles on the cheap pool and returns
+                // the DFG without touching the solve queue.
+                self.counters
+                    .compile_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                self.submit_cheap(
+                    conn,
+                    CheapJob {
+                        token: conn.token,
+                        keep_alive: req.keep_alive,
+                        version: req.version,
+                        kind: CheapKind::Compile { body: req.body },
+                    },
+                );
+            }
             ("GET", path) if path.starts_with("/cache/") => {
                 // Peer fill: cache-read only, answered from the cheap
                 // pool so a fleet sibling never waits on solves.
@@ -695,9 +715,9 @@ impl EventLoop {
         let version = job.version;
         conn.inflight = Some(match &job.kind {
             CheapKind::Map { cancel, .. } => cancel.clone(),
-            // Cache reads finish in microseconds; the flag only backs
-            // the in-flight slot (nothing polls it mid-read).
-            CheapKind::CacheGet { .. } => CancelFlag::new(),
+            // Cache reads and compiles finish in microseconds; the
+            // flag only backs the in-flight slot (nothing polls it).
+            CheapKind::CacheGet { .. } | CheapKind::Compile { .. } => CancelFlag::new(),
         });
         if self.cheap_tx.send(job).is_err() {
             // Only possible mid-shutdown: the pool is gone.
@@ -819,6 +839,7 @@ impl EventLoop {
                 requests: self.counters.requests.load(Ordering::Relaxed),
                 map_requests: self.counters.map_requests.load(Ordering::Relaxed),
                 batch_requests: self.counters.batch_requests.load(Ordering::Relaxed),
+                compile_requests: self.counters.compile_requests.load(Ordering::Relaxed),
                 errors: self.counters.errors.load(Ordering::Relaxed),
                 client_disconnects: self.counters.client_disconnects.load(Ordering::Relaxed),
                 queue_depth: self.queue.depth(),
@@ -944,6 +965,9 @@ enum CheapKind {
     /// `GET /cache/<target>`: export one entry to a fleet sibling.
     /// `target` is everything after the `/cache/` prefix.
     CacheGet { target: String },
+    /// `POST /compile`: raw `.mk` source in, DFG JSON + canonical
+    /// digest out. Never reaches the solve queue.
+    Compile { body: Vec<u8> },
 }
 
 /// One admitted engine job travelling from the cheap pool to the solve
@@ -1017,6 +1041,10 @@ fn handle_cheap(ctx: &WorkerCtx, job: CheapJob) {
         } => (batch, body, cancel),
         CheapKind::CacheGet { target } => {
             handle_cache_get(ctx, token, &target, keep_alive, version);
+            return;
+        }
+        CheapKind::Compile { body } => {
+            handle_compile(ctx, token, &body, keep_alive, version);
             return;
         }
     };
@@ -1324,6 +1352,76 @@ fn run_solve(ctx: &WorkerCtx, job: SolveJob) {
             send_batch_response(ctx, token, &answered, keep_alive, version);
         }
     }
+}
+
+/// Serves `POST /compile`: the body is raw `.mk` source holding
+/// exactly one kernel (no JSON envelope — `curl --data-binary
+/// @kernel.mk` works as-is). Success is `200` with the kernel name,
+/// canonical digest, node count, per-class demand and the full DFG
+/// JSON (ready to embed in a `/map` request); a compile failure is
+/// `400` whose body carries the structured diagnostic —
+/// `{"error": ..., "line": L, "col": C}` — so clients can point back
+/// into the source.
+fn handle_compile(
+    ctx: &WorkerCtx,
+    token: u64,
+    body: &[u8],
+    keep_alive: bool,
+    version: HttpVersion,
+) {
+    let Ok(source) = std::str::from_utf8(body) else {
+        ctx.send_error(token, 400, "request body is not UTF-8", keep_alive, version);
+        return;
+    };
+    let dfg = match monomap_frontend::compile_one(source) {
+        Ok(dfg) => dfg,
+        Err(e) => {
+            ctx.counters.errors.fetch_add(1, Ordering::Relaxed);
+            let message =
+                serde_json::to_string(&e.message).unwrap_or_else(|_| "\"compile error\"".into());
+            let body = format!(
+                "{{\"error\":{message},\"line\":{},\"col\":{}}}",
+                e.line, e.col
+            );
+            ctx.send(ResponseMsg {
+                token,
+                bytes: encode_response(400, &body, &[], keep_alive, version),
+                keep_alive,
+            });
+            return;
+        }
+    };
+    let counts = monomap_frontend::class_counts(&dfg);
+    let (name, dfg_json) = match (
+        serde_json::to_string(&dfg.name().to_string()),
+        serde_json::to_string(&dfg),
+    ) {
+        (Ok(n), Ok(d)) => (n, d),
+        (Err(e), _) | (_, Err(e)) => {
+            ctx.send_error(
+                token,
+                500,
+                &format!("serializing compiled DFG: {e}"),
+                keep_alive,
+                version,
+            );
+            return;
+        }
+    };
+    let body = format!(
+        "{{\"name\":{name},\"digest\":\"{}\",\"nodes\":{},\
+         \"classes\":{{\"alu\":{},\"mul\":{},\"mem\":{}}},\"dfg\":{dfg_json}}}",
+        dfg.digest().to_hex(),
+        dfg.num_nodes(),
+        counts.alu,
+        counts.mul,
+        counts.mem,
+    );
+    ctx.send(ResponseMsg {
+        token,
+        bytes: encode_response(200, &body, &[], keep_alive, version),
+        keep_alive,
+    });
 }
 
 fn send_map_report(

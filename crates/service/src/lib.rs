@@ -80,7 +80,7 @@ pub mod store;
 
 pub use cache::{CacheKey, CacheStatsSnapshot, MapCache};
 pub use cached::{CacheDisposition, CacheProbe, CachedMappingService, PreparedRequest};
-pub use client::{Client, ClientError, MapResponse};
+pub use client::{ClassDemand, Client, ClientError, CompileResponse, MapResponse};
 pub use disklog::DiskLog;
 pub use http::{Server, ServerConfig, ServerHandle, ServerStatsSnapshot, StatsSnapshot};
 pub use peer::PeerStore;

@@ -261,7 +261,7 @@ pub(crate) fn hex_encode(bytes: &[u8]) -> String {
 
 /// Inverse of [`hex_encode`]; `None` on odd length or non-hex input.
 pub(crate) fn hex_decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())
@@ -304,9 +304,12 @@ mod tests {
 
     /// An in-memory [`CacheStore`] for exercising the tier logic
     /// without touching disk or network.
+    /// Canonical bytes + report, as a tier stores them.
+    type StoredEntry = (Arc<[u8]>, MapReport);
+
     struct FakeStore {
         kind: StoreKind,
-        entries: Mutex<HashMap<CacheKey, (Arc<[u8]>, MapReport)>>,
+        entries: Mutex<HashMap<CacheKey, StoredEntry>>,
         hits: AtomicU64,
         fill_errors: AtomicU64,
         puts: AtomicU64,

@@ -343,7 +343,9 @@ fn mismatched_peer_bytes_are_rejected_and_counted() {
 fn peer_fill_persists_to_the_local_disk_log() {
     let dir = TempDir::new("peerdisk");
     let (daemon, daemon_client) = start_peer_daemon();
-    daemon_client.map(&request(chain(7))).expect("sibling solve");
+    daemon_client
+        .map(&request(chain(7)))
+        .expect("sibling solve");
 
     // Tier stack: memory → disk → peer. The peer fill must write
     // through to the disk log, so it survives a local restart even

@@ -56,6 +56,38 @@ fail() { echo "FAIL: $1" >&2; exit 1; }
 
 echo "monomapd smoke OK ($ADDR)"
 
+# ---- frontend: compile a .mk over the wire, then map it --------------
+
+COMPILE_OUT="$("$BIN/monomap-client" --addr "$ADDR" compile kernels/bitcount.mk)"
+echo "$COMPILE_OUT" | grep -q '^name:    bitcount$' \
+    || fail "compile did not echo the kernel name: $COMPILE_OUT"
+echo "$COMPILE_OUT" | grep -qE '^digest:  [0-9a-f]{32}$' \
+    || fail "compile printed no canonical digest: $COMPILE_OUT"
+
+"$BIN/monomap-client" --addr "$ADDR" map --source kernels/bitcount.mk | tail -1 \
+    | grep -qx 'cache: miss' \
+    || fail "first map --source of bitcount was not a cold solve"
+"$BIN/monomap-client" --addr "$ADDR" map --source kernels/bitcount.mk | tail -1 \
+    | grep -qx 'cache: hit' \
+    || fail "repeated map --source of bitcount was not a cache hit"
+"$BIN/monomap-client" --addr "$ADDR" stats --json | grep -q '"compile_requests":1' \
+    || fail "/stats did not count the compile"
+
+# A malformed kernel comes back as a positioned diagnostic, not a crash.
+BAD="$(mktemp)"
+printf 'kernel broken {\n  i32 x = nope;\n}\n' >"$BAD"
+if ERR="$("$BIN/monomap-client" --addr "$ADDR" compile "$BAD" 2>&1 >/dev/null)"; then
+    rm -f "$BAD"
+    fail "malformed source compiled cleanly"
+fi
+rm -f "$BAD"
+echo "$ERR" | grep -q 'undefined name' \
+    || fail "compile error lost the diagnostic: $ERR"
+echo "$ERR" | grep -q '"line":2' \
+    || fail "compile error carried no source position: $ERR"
+
+echo "monomapd compile smoke OK ($ADDR)"
+
 # ---- restart: the disk log must survive a kill -----------------------
 
 kill "$DAEMON"
@@ -80,8 +112,10 @@ grep -q 'replayed: [1-9]' "$LOG3" \
 "$BIN/monomap-client" --addr "$ADDR3" map susan | tail -1 | grep -qx 'cache: hit' \
     || fail "restarted daemon re-solved susan instead of serving the disk log"
 
-"$BIN/monomap-client" --addr "$ADDR3" stats --json | grep -q '"disk_replayed":1' \
-    || fail "/stats did not count the replayed entry"
+# Two entries were solved before the kill: susan and the compiled
+# bitcount from the frontend section.
+"$BIN/monomap-client" --addr "$ADDR3" stats --json | grep -q '"disk_replayed":2' \
+    || fail "/stats did not count both replayed entries"
 
 echo "monomapd restart smoke OK ($ADDR3)"
 

@@ -10,9 +10,12 @@
 //! ```
 //!
 //! `map` takes a kernel name from the built-in 17-kernel suite (plus
-//! `running_example` and `accumulator`), prints the `MapReport` JSON
-//! to stdout and finishes with a `cache: hit|miss|bypass` line that
-//! scripts can grep.
+//! `running_example` and `accumulator`) — or, with `--source
+//! <file.mk>`, a loop kernel written in the text DSL — prints the
+//! `MapReport` JSON to stdout and finishes with a `cache:
+//! hit|miss|bypass` line that scripts can grep. `compile <file.mk>`
+//! compiles on the server without mapping and prints the DFG envelope
+//! (name, canonical digest, node and class counts).
 
 use std::process::ExitCode;
 
@@ -30,6 +33,8 @@ USAGE:
     monomap-client --addr <host:port> map <kernel> [--engine decoupled|coupled|annealing]
                                                    [--max-ii <n>] [--deadline <seconds>]
                                                    [--rows <n> --cols <n>]
+    monomap-client --addr <host:port> map --source <file.mk> [same options]
+    monomap-client --addr <host:port> compile <file.mk>
 
 KERNELS:
     any suite name (see `monomap-client kernels`), running_example, accumulator
@@ -49,6 +54,7 @@ fn run() -> Result<(), String> {
     let mut addr: Option<String> = None;
     let mut command: Option<String> = None;
     let mut kernel: Option<String> = None;
+    let mut source_file: Option<String> = None;
     let mut engine = EngineId::Decoupled;
     let mut config = MapperConfig::default();
     let mut deadline: Option<f64> = None;
@@ -69,6 +75,7 @@ fn run() -> Result<(), String> {
             }
             "--addr" => addr = Some(value("--addr")?),
             "--json" => json = true,
+            "--source" => source_file = Some(value("--source")?),
             "--engine" => {
                 engine = match value("--engine")?.as_str() {
                     "decoupled" => EngineId::Decoupled,
@@ -104,7 +111,10 @@ fn run() -> Result<(), String> {
                 )
             }
             other if command.is_none() => command = Some(other.to_string()),
-            other if command.as_deref() == Some("map") && kernel.is_none() => {
+            other
+                if matches!(command.as_deref(), Some("map") | Some("compile"))
+                    && kernel.is_none() =>
+            {
                 kernel = Some(other.to_string())
             }
             other => return Err(format!("unexpected argument `{other}` (try --help)")),
@@ -138,11 +148,42 @@ fn run() -> Result<(), String> {
                 print_stats(&stats);
             }
         }
+        "compile" => {
+            let file = kernel.ok_or("compile needs a .mk file path")?;
+            let source =
+                std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let response = client.compile(&source).map_err(|e| e.to_string())?;
+            println!("name:    {}", response.name);
+            println!("digest:  {}", response.digest);
+            println!("nodes:   {}", response.nodes);
+            println!(
+                "classes: alu={} mul={} mem={}",
+                response.classes.alu, response.classes.mul, response.classes.mem
+            );
+            println!(
+                "{}",
+                serde_json::to_string(&response.dfg).map_err(|e| e.to_string())?
+            );
+        }
         "map" => {
-            let kernel = kernel.ok_or("map needs a kernel name")?;
-            let dfg = kernel_by_name(&kernel)
-                .ok_or_else(|| format!("unknown kernel `{kernel}` (try `kernels`)"))?;
-            let mut request = MapRequest::new(engine, dfg).with_config(config);
+            let mut request = match (&source_file, kernel) {
+                (Some(file), None) => {
+                    let source = std::fs::read_to_string(file)
+                        .map_err(|e| format!("cannot read {file}: {e}"))?;
+                    MapRequest::from_source(engine, source)
+                        .map_err(|e| format!("{file}:{e}"))?
+                        .with_config(config)
+                }
+                (None, Some(kernel)) => {
+                    let dfg = kernel_by_name(&kernel)
+                        .ok_or_else(|| format!("unknown kernel `{kernel}` (try `kernels`)"))?;
+                    MapRequest::new(engine, dfg).with_config(config)
+                }
+                (Some(_), Some(_)) => {
+                    return Err("give either a kernel name or --source, not both".into())
+                }
+                (None, None) => return Err("map needs a kernel name or --source <file>".into()),
+            };
             request.deadline_seconds = deadline;
             match (rows, cols) {
                 (None, None) => {}
@@ -191,6 +232,7 @@ fn print_stats(stats: &monomap_service::StatsSnapshot) {
     println!("  requests:          {}", s.requests);
     println!("  map_requests:      {}", s.map_requests);
     println!("  batch_requests:    {}", s.batch_requests);
+    println!("  compile_requests:  {}", s.compile_requests);
     println!("  errors:            {}", s.errors);
     println!("  client_disconnects:{}", s.client_disconnects);
     println!("  queue_depth:       {}", s.queue_depth);

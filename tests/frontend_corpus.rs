@@ -1,0 +1,150 @@
+//! Corpus tests for the `.mk` frontend.
+//!
+//! `kernels/*.mk` is the committed re-expression of the 17 generated
+//! suite kernels: each file must compile to the exact canonical digest
+//! of its `cgra_dfg::suite::generate(..)` counterpart AND to the
+//! digest pinned in `EXPECTED` below (so drift in the generator, the
+//! frontend or the canonicalizer all fail loudly, each with a
+//! different signature).
+//!
+//! `corpus/invalid/*.mk` files carry a `// expect: L:C message` first
+//! line; compilation must fail with exactly that position and message.
+
+use std::fs;
+use std::path::PathBuf;
+
+use cgra_dfg::suite;
+use monomap_frontend::{class_counts, compile_one};
+
+/// Canonical digests of the 17 suite kernels, as emitted by
+/// `gen_kernels` (and re-derived from the generators below).
+const EXPECTED: [(&str, &str); 17] = [
+    ("aes", "b699bfeffed615b3b2e03eee22be90d5"),
+    ("backprop", "6dac77f00e3e90730549b7108d1077c4"),
+    ("basicmath", "d9646cf29caf969ef3ce45af998034dd"),
+    ("bitcount", "382f2bd5b9c8b149ee6776de23b54912"),
+    ("cfd", "79ded41987bb395f833fe4a7714c370a"),
+    ("crc32", "dde15849d48f1a48aaf5e9ae2c5f123b"),
+    ("fft", "53790559ccba7bc78d0ddb3954c6af03"),
+    ("gsm", "440eac73c7ec60f25f07bf5a613bc40d"),
+    ("heartwall", "403dfd47207fd9edb19f2efe416c27a6"),
+    ("hotspot3D", "9b1fe8d5153f8f3a0720359350745af8"),
+    ("lud", "4835d04387bb8ba423b077e011c7a19d"),
+    ("nw", "90a99f0e80ca79268b86da928bf76bef"),
+    ("particlefilter", "2af8e7647f4d3169fbf193857fbd54c9"),
+    ("sha1", "246ad119c52e430df80e974d0da9059d"),
+    ("sha2", "007053fea9f6d53ca82695c78685b8ff"),
+    ("stringsearch", "20f8f21cf6ac1144ae7cada77d51b7d4"),
+    ("susan", "5af99dc9c09007f2e935efce101b900e"),
+];
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn every_suite_kernel_compiles_to_its_generated_digest() {
+    for (name, expected_hex) in EXPECTED {
+        let path = repo_path(&format!("kernels/{name}.mk"));
+        let source = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (run gen_kernels?)", path.display()));
+        let compiled =
+            compile_one(&source).unwrap_or_else(|e| panic!("{name}.mk does not compile: {e}"));
+        let generated = suite::generate(name);
+        assert_eq!(compiled.name(), name);
+        assert_eq!(
+            compiled.digest(),
+            generated.digest(),
+            "{name}.mk drifted from suite::generate(\"{name}\")"
+        );
+        assert_eq!(
+            compiled.digest().to_hex(),
+            expected_hex,
+            "{name}: canonical digest drifted from the pinned value"
+        );
+        assert_eq!(
+            compiled.num_nodes(),
+            generated.num_nodes(),
+            "{name}: node count drift"
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_the_whole_suite() {
+    let mut on_disk: Vec<String> = fs::read_dir(repo_path("kernels"))
+        .expect("kernels/ exists")
+        .map(|e| {
+            e.unwrap()
+                .path()
+                .file_stem()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = suite::generate_all()
+        .iter()
+        .map(|d| d.name().to_string())
+        .collect();
+    expected.sort();
+    assert_eq!(on_disk, expected, "kernels/ and the suite disagree");
+    assert_eq!(on_disk.len(), 17);
+}
+
+#[test]
+fn class_demand_matches_the_generated_graphs() {
+    // Op-class inference must survive the text round trip: the mapper
+    // sees the same ALU/MUL/MEM demand either way.
+    for dfg in suite::generate_all() {
+        let source = fs::read_to_string(repo_path(&format!("kernels/{}.mk", dfg.name())))
+            .expect("kernel file exists");
+        let compiled = compile_one(&source).expect("compiles");
+        assert_eq!(
+            class_counts(&compiled),
+            class_counts(&dfg),
+            "{}: class demand drift",
+            dfg.name()
+        );
+    }
+}
+
+#[test]
+fn invalid_corpus_diagnostics_are_exact() {
+    let dir = repo_path("corpus/invalid");
+    let mut checked = 0;
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("corpus/invalid exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let source = fs::read_to_string(&path).unwrap();
+        let header = source
+            .lines()
+            .next()
+            .unwrap_or_else(|| panic!("{}: empty file", path.display()));
+        let spec = header.strip_prefix("// expect: ").unwrap_or_else(|| {
+            panic!(
+                "{}: first line must be `// expect: L:C message`",
+                path.display()
+            )
+        });
+        let (pos, message) = spec.split_once(' ').expect("expect header has a message");
+        let (line, col) = pos.split_once(':').expect("position is L:C");
+        let line: u32 = line.parse().expect("line is a number");
+        let col: u32 = col.parse().expect("col is a number");
+        let err = compile_one(&source)
+            .err()
+            .unwrap_or_else(|| panic!("{}: unexpectedly compiled", path.display()));
+        assert_eq!(
+            (err.line, err.col, err.message.as_str()),
+            (line, col, message),
+            "{}: wrong diagnostic",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 13, "invalid corpus shrank to {checked} files");
+}

@@ -812,3 +812,97 @@ fn map_with_retry_waits_out_a_shed_and_succeeds() {
     drop(queued);
     server.shutdown().unwrap();
 }
+
+/// A loop kernel in the `.mk` text DSL, small enough to map on the
+/// e2e servers' 2x2 grid (in, phi, add, out — four nodes, four PEs).
+const WIRE_KERNEL: &str = "kernel wire_acc {
+  i32 x = in(0);
+  rec i32 acc = 0;
+  out(acc + x);
+  acc = acc + x;
+}
+";
+
+#[test]
+fn compile_over_the_wire_then_map_hits_on_the_same_digest() {
+    let (server, client) = start_server(2);
+
+    // The server's compiler and the in-process frontend must agree on
+    // everything: name, canonical digest, node count, class demand.
+    let local = monomap_frontend::compile_one(WIRE_KERNEL).expect("local compile");
+    let counts = monomap_frontend::class_counts(&local);
+    let compiled = client.compile(WIRE_KERNEL).expect("compile over the wire");
+    assert_eq!(compiled.name, "wire_acc");
+    assert_eq!(compiled.digest, local.digest().to_hex());
+    assert_eq!(compiled.nodes as usize, local.num_nodes());
+    assert_eq!(compiled.classes.alu as usize, counts.alu);
+    assert_eq!(compiled.classes.mul as usize, counts.mul);
+    assert_eq!(compiled.classes.mem as usize, counts.mem);
+    assert_eq!(compiled.dfg.digest(), local.digest());
+
+    // The returned DFG is ready to map as-is.
+    let first = client
+        .map(&MapRequest::new(EngineId::Decoupled, compiled.dfg))
+        .expect("map the compiled DFG");
+    assert_eq!(first.cache, Some(CacheDisposition::Miss));
+    assert!(first.report.outcome.is_mapped(), "{:?}", first.report);
+
+    // A source-bearing request for the same kernel is digest-identical,
+    // so it lands on the warm cache entry — the `map --source` path
+    // never pays for a second solve.
+    let by_source = MapRequest::from_source(EngineId::Decoupled, WIRE_KERNEL).expect("from_source");
+    let second = client.map(&by_source).expect("map by source");
+    assert_eq!(
+        second.cache,
+        Some(CacheDisposition::Hit),
+        "source request shares the compiled DFG's cache entry"
+    );
+    assert_eq!(
+        serde_json::to_string(&first.report).unwrap(),
+        serde_json::to_string(&second.report).unwrap(),
+        "the hit replays the original report byte for byte"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.server.compile_requests, 1);
+    assert_eq!(stats.server.map_requests, 2);
+    assert_eq!(stats.cache.hits, 1);
+    assert_eq!(stats.server.errors, 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn malformed_source_is_a_400_with_a_positioned_diagnostic() {
+    let (server, client) = start_server(1);
+    // `nope` is never defined; the diagnostic must point at it.
+    let source = "kernel broken {\n  i32 x = nope;\n}\n";
+    match client.compile(source) {
+        Err(ClientError::Http { status: 400, body }) => {
+            assert!(body.contains("undefined name"), "{body}");
+            assert!(body.contains("\"line\":2"), "{body}");
+            assert!(body.contains("\"col\":11"), "{body}");
+        }
+        other => panic!("expected a 400 diagnostic, got {other:?}"),
+    }
+
+    // A non-UTF-8 body is rejected before the compiler ever runs.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(
+            b"POST /compile HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\nConnection: close\r\n\r\nk\xffe\xfe",
+        )
+        .unwrap();
+    let mut response = String::new();
+    use std::io::Read;
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("UTF-8"), "{response}");
+
+    // Both failures count as errors; the server keeps serving.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.server.compile_requests, 2);
+    assert!(stats.server.errors >= 2, "{stats:?}");
+    let ok = client.compile(WIRE_KERNEL).expect("server survives");
+    assert_eq!(ok.name, "wire_acc");
+    server.shutdown().unwrap();
+}
